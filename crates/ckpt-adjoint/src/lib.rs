@@ -1,0 +1,24 @@
+//! Adjoint computations over checkpoint records (the first application class
+//! the paper's §5 targets next).
+//!
+//! Adjoint (reverse-mode) solvers need their forward states in reverse
+//! order. The classic answer is Griewank-style binomial checkpointing
+//! ([`revolve`]): keep `c` snapshots, re-run forward steps in a provably
+//! minimal pattern. The paper's answer is cheaper storage: de-duplicate
+//! *every* forward state into an incremental record and read them back
+//! directly ([`driver::run_dedup_store`]) with zero recomputation.
+//!
+//! * [`solver`] — a diffusion PDE with a discrete adjoint whose gradient is
+//!   verified against finite differences;
+//! * [`revolve`] — the binomial schedule planner, validated against the
+//!   dynamic-programming optimum;
+//! * [`driver`] — both execution strategies, producing bit-identical
+//!   gradients with very different storage/compute profiles.
+
+pub mod driver;
+pub mod revolve;
+pub mod solver;
+
+pub use driver::{run_dedup_store, run_revolve, AdjointReport};
+pub use revolve::{optimal_cost, schedule, validate, Action, ScheduleStats};
+pub use solver::{HeatModel, HeatParams, State};

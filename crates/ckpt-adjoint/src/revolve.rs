@@ -1,0 +1,296 @@
+//! Binomial checkpointing for adjoint computations (Griewank's *revolve*,
+//! the "minimal repetition dynamic checkpointing" family the paper cites as
+//! \[35\]).
+//!
+//! An adjoint (backward) sweep needs the forward states in *reverse* order.
+//! With only `c` checkpoint slots for `l` forward steps, states must be
+//! recomputed from stored ones; the binomial schedule minimizes the total
+//! number of re-executed forward steps. This module provides:
+//!
+//! * [`optimal_cost`] — the textbook dynamic program for the minimal forward
+//!   re-execution count (used as the oracle in tests);
+//! * [`schedule`] — a recursive treeverse planner emitting an explicit
+//!   action list whose cost the tests check against the DP optimum;
+//! * [`Action`] — the storage/compute primitive steps a driver executes.
+
+/// One step of a reversal schedule. Steps are numbered `0..l`; *state `i`*
+/// is the solver state before step `i` (state `l` is the final state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Store state `state` into a checkpoint slot.
+    Store { state: usize },
+    /// Restore state `state` from its slot (it stays stored).
+    Restore { state: usize },
+    /// Release the slot holding `state`.
+    Discard { state: usize },
+    /// Run forward steps `from..to`, producing state `to` from state `from`.
+    Forward { from: usize, to: usize },
+    /// Run the adjoint of step `step` (requires state `step` to be current).
+    Backward { step: usize },
+}
+
+/// Minimal total forward steps re-executed to reverse `l` steps with `c`
+/// checkpoint slots (classic DP; the initial state occupies no slot and the
+/// current solver state is free). `None` if it cannot be done (c == 0 and
+/// l > 1).
+pub fn optimal_cost(l: usize, c: usize) -> Option<u64> {
+    if l == 0 {
+        return Some(0);
+    }
+    // cost[m][k]: forward steps (beyond the mandatory single initial sweep
+    // is *included* here: we count every Forward step executed).
+    // Recurrence: reversing m steps with k slots: choose the split s in
+    // 1..m: run forward s steps (cost s), store nothing for them, store
+    // state s, reverse the right part with k-1 slots, then reverse the left
+    // s steps with k slots starting again from the (restorable) base.
+    // cost(1, k) = 1 for any k >= 0 (advance once, reverse it).
+    // cost(m, 0) = infeasible for m > 1.
+    let mut cost = vec![vec![u64::MAX; c + 1]; l + 1];
+    cost[0].fill(0);
+    if l >= 1 {
+        cost[1].fill(1);
+    }
+    for m in 2..=l {
+        for k in 1..=c {
+            let mut best = u64::MAX;
+            for s in 1..m {
+                let right = cost[m - s][k - 1];
+                let left = cost[s][k];
+                if right != u64::MAX && left != u64::MAX {
+                    best = best.min(s as u64 + right + left);
+                }
+            }
+            cost[m][k] = best;
+        }
+    }
+    (cost[l][c] != u64::MAX).then_some(cost[l][c])
+}
+
+/// Build a reversal schedule for `l` steps with `c` checkpoint slots.
+/// Returns `None` when infeasible (`c == 0 && l > 1`).
+pub fn schedule(l: usize, c: usize) -> Option<Vec<Action>> {
+    if l == 0 {
+        return Some(Vec::new());
+    }
+    if c == 0 && l > 1 {
+        return None;
+    }
+    let mut actions = Vec::new();
+    // The initial state 0 is implicitly available (the caller holds it); the
+    // planner stores it first so it can return after excursions.
+    actions.push(Action::Store { state: 0 });
+    treeverse(0, l, c, &mut actions);
+    actions.push(Action::Discard { state: 0 });
+    Some(actions)
+}
+
+/// Optimal split point via the DP (memo-free per call; schedules are built
+/// once, so clarity beats caching here).
+fn best_split(m: usize, k: usize) -> usize {
+    let mut best_s = 1;
+    let mut best = u64::MAX;
+    for s in 1..m {
+        let right = optimal_cost(m - s, k - 1);
+        let left = optimal_cost(s, k);
+        if let (Some(r), Some(lft)) = (right, left) {
+            let total = s as u64 + r + lft;
+            if total < best {
+                best = total;
+                best_s = s;
+            }
+        }
+    }
+    best_s
+}
+
+/// Reverse steps `base..end` assuming state `base` is stored (or is state 0)
+/// and `slots` further slots are free.
+fn treeverse(base: usize, end: usize, slots: usize, actions: &mut Vec<Action>) {
+    let m = end - base;
+    if m == 1 {
+        // State `base` is current (callers arrange this): advance once and
+        // run the adjoint step.
+        actions.push(Action::Forward { from: base, to: end });
+        actions.push(Action::Backward { step: base });
+        return;
+    }
+    let s = best_split(m, slots);
+    let mid = base + s;
+    // Advance to the split, store it, reverse the right part with one fewer
+    // slot, then come back and reverse the left part.
+    actions.push(Action::Forward { from: base, to: mid });
+    actions.push(Action::Store { state: mid });
+    treeverse(mid, end, slots - 1, actions);
+    actions.push(Action::Discard { state: mid });
+    actions.push(Action::Restore { state: base });
+    treeverse(base, mid, slots, actions);
+}
+
+/// Statistics of a schedule (for tests and the experiment report).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleStats {
+    /// Total forward steps executed (the recompute cost).
+    pub forward_steps: u64,
+    /// Adjoint steps executed (must equal `l`).
+    pub backward_steps: u64,
+    /// Peak number of simultaneously stored states.
+    pub peak_slots: usize,
+}
+
+/// Validate a schedule by symbolic execution and collect its statistics.
+///
+/// Checks: every `Backward{step}` runs with the current state equal to
+/// `step` and steps run in strict reverse order `l-1, l-2, …, 0`; restores
+/// only hit stored states; slot usage never exceeds `c + 1` (the planner's
+/// base-state slot plus `c` excursion slots).
+pub fn validate(l: usize, c: usize, actions: &[Action]) -> Result<ScheduleStats, String> {
+    let mut stored = std::collections::HashSet::new();
+    let mut current: Option<usize> = Some(0);
+    let mut next_backward = l.checked_sub(1);
+    let mut forward_steps = 0u64;
+    let mut backward_steps = 0u64;
+    let mut peak = 0usize;
+
+    for (i, a) in actions.iter().enumerate() {
+        match *a {
+            Action::Store { state } => {
+                if current != Some(state) {
+                    return Err(format!("action {i}: store of non-current state {state}"));
+                }
+                stored.insert(state);
+                peak = peak.max(stored.len());
+            }
+            Action::Restore { state } => {
+                if !stored.contains(&state) {
+                    return Err(format!("action {i}: restore of unstored state {state}"));
+                }
+                current = Some(state);
+            }
+            Action::Discard { state } => {
+                if !stored.remove(&state) {
+                    return Err(format!("action {i}: discard of unstored state {state}"));
+                }
+            }
+            Action::Forward { from, to } => {
+                if current != Some(from) {
+                    return Err(format!("action {i}: forward from non-current state {from}"));
+                }
+                if to <= from || to > l {
+                    return Err(format!("action {i}: bad forward range {from}..{to}"));
+                }
+                forward_steps += (to - from) as u64;
+                current = Some(to);
+            }
+            Action::Backward { step } => {
+                if next_backward != Some(step) {
+                    return Err(format!(
+                        "action {i}: backward {step} out of order (expected {next_backward:?})"
+                    ));
+                }
+                if current != Some(step + 1) {
+                    return Err(format!("action {i}: backward {step} without state {}", step + 1));
+                }
+                backward_steps += 1;
+                next_backward = step.checked_sub(1);
+                current = Some(step);
+            }
+        }
+    }
+    if backward_steps != l as u64 {
+        return Err(format!("only {backward_steps} of {l} adjoint steps ran"));
+    }
+    if !stored.is_empty() {
+        return Err(format!("{} states leaked in slots", stored.len()));
+    }
+    if peak > c + 1 {
+        return Err(format!("peak slot usage {peak} exceeds {} slots", c + 1));
+    }
+    Ok(ScheduleStats { forward_steps, backward_steps, peak_slots: peak })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dp_known_values() {
+        // Counting convention: total forward steps including the initial
+        // sweep. Griewank's closed form t(l,s) = r·l − β(s+1, r−1) counts
+        // *re-runs beyond* that sweep, so ours equals l + t. With plenty of
+        // slots r = 1 and t = l − 1: total = 2l − 1.
+        for l in 1..12u64 {
+            assert_eq!(optimal_cost(l as usize, l as usize), Some(2 * l - 1), "l={l}");
+            // More slots than steps cannot help further.
+            assert_eq!(optimal_cost(l as usize, 2 * l as usize), Some(2 * l - 1), "l={l}");
+        }
+        // One slot: quadratic behaviour, cost = l(l+1)/2.
+        for l in 1..10u64 {
+            assert_eq!(optimal_cost(l as usize, 1), Some(l * (l + 1) / 2), "l={l}");
+        }
+        // Infeasible.
+        assert_eq!(optimal_cost(2, 0), None);
+        assert_eq!(optimal_cost(0, 0), Some(0));
+        assert_eq!(optimal_cost(1, 0), Some(1));
+    }
+
+    #[test]
+    fn schedules_validate_and_match_dp_cost() {
+        for l in 1..=24usize {
+            for c in 1..=5usize {
+                let actions = schedule(l, c).unwrap();
+                let stats = validate(l, c, &actions)
+                    .unwrap_or_else(|e| panic!("l={l} c={c}: {e}"));
+                // The planner's Forward cost must hit the DP optimum: its
+                // splits come from the same DP.
+                assert_eq!(
+                    stats.forward_steps,
+                    optimal_cost(l, c).unwrap(),
+                    "l={l} c={c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_schedule_is_none() {
+        assert!(schedule(5, 0).is_none());
+        assert_eq!(schedule(0, 3), Some(vec![]));
+    }
+
+    #[test]
+    fn plenty_of_slots_degenerates_to_store_all() {
+        let l = 10u64;
+        let actions = schedule(l as usize, l as usize).unwrap();
+        let stats = validate(l as usize, l as usize, &actions).unwrap();
+        assert_eq!(stats.forward_steps, 2 * l - 1);
+        // All l states pass through a slot exactly once.
+        let stores = actions.iter().filter(|a| matches!(a, Action::Store { .. })).count();
+        assert_eq!(stores as u64, l);
+    }
+
+    #[test]
+    fn recompute_grows_as_slots_shrink() {
+        let l = 64;
+        let mut last = 0;
+        for c in (1..=8).rev() {
+            let cost = optimal_cost(l, c).unwrap();
+            assert!(cost >= last, "c={c}");
+            last = cost;
+        }
+        // And meaningfully so: 1 slot is far worse than 8.
+        assert!(optimal_cost(l, 1).unwrap() > 10 * optimal_cost(l, 8).unwrap());
+    }
+
+    #[test]
+    fn validator_rejects_corrupt_schedules() {
+        let mut actions = schedule(6, 2).unwrap();
+        // Tamper: drop one adjoint step.
+        let pos = actions.iter().position(|a| matches!(a, Action::Backward { .. })).unwrap();
+        actions.remove(pos);
+        assert!(validate(6, 2, &actions).is_err());
+
+        // Restore of a never-stored state.
+        let bad = vec![Action::Restore { state: 3 }];
+        assert!(validate(1, 1, &bad).is_err());
+    }
+}

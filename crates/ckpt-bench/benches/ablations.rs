@@ -1,0 +1,144 @@
+//! Criterion benches for the ablations of `DESIGN.md`:
+//!
+//! * A1 — hash function throughput (Murmur3 vs MD5, §2.4);
+//! * A2 — metadata compaction cost (Tree's extra passes vs List);
+//! * A3 — two-stage wave ordering vs the naive fused sweep;
+//! * kernel-fusion — fused vs unfused launch accounting (§2.1).
+
+use ckpt_bench::workload::gdv_snapshots;
+use ckpt_dedup::prelude::*;
+use ckpt_graph::PaperGraph;
+use ckpt_hash::{Hasher128, Md5, Murmur3, Sha256};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_sim::Device;
+
+fn bench_hashing(c: &mut Criterion) {
+    let data: Vec<u8> = (0..4u32 << 20).map(|i| (i % 251) as u8).collect();
+    let mut group = c.benchmark_group("a1_hashing");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    for chunk in [64usize, 128, 512] {
+        group.bench_with_input(BenchmarkId::new("murmur3", chunk), &chunk, |b, &chunk| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for piece in data.chunks(chunk) {
+                    acc ^= Murmur3.hash(piece).h1;
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("md5", chunk), &chunk, |b, &chunk| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for piece in data.chunks(chunk) {
+                    acc ^= Md5.hash(piece).h1;
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sha256", chunk), &chunk, |b, &chunk| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for piece in data.chunks(chunk) {
+                    acc ^= Sha256.hash(piece).h1;
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_metadata_compaction(c: &mut Criterion) {
+    let w = gdv_snapshots(PaperGraph::Hugebubbles, 3_000, 2, 42, true);
+    let (first, second) = (&w.snapshots[0], &w.snapshots[1]);
+    let mut group = c.benchmark_group("a2_metadata");
+    group.throughput(Throughput::Bytes(second.len() as u64));
+    group.bench_function("tree_compacted", |b| {
+        b.iter_batched(
+            || {
+                let mut m = TreeCheckpointer::new(Device::a100(), TreeConfig::new(64));
+                m.checkpoint(first);
+                m
+            },
+            |mut m| m.checkpoint(second),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("list_naive", |b| {
+        b.iter_batched(
+            || {
+                let mut m = ListCheckpointer::new(Device::a100(), TreeConfig::new(64));
+                m.checkpoint(first);
+                m
+            },
+            |mut m| m.checkpoint(second),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_wave_ordering(c: &mut Criterion) {
+    let w = gdv_snapshots(PaperGraph::MessageRace, 3_000, 2, 42, true);
+    let (first, second) = (&w.snapshots[0], &w.snapshots[1]);
+    let mut group = c.benchmark_group("a3_waves");
+    group.bench_function("two_stage", |b| {
+        b.iter_batched(
+            || {
+                let mut m = TreeCheckpointer::new(Device::a100(), TreeConfig::new(64));
+                m.checkpoint(first);
+                m
+            },
+            |mut m| m.checkpoint(second),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("naive_fused_sweep", |b| {
+        b.iter_batched(
+            || {
+                let mut m = NaiveTreeCheckpointer::new(Device::a100(), TreeConfig::new(64));
+                m.checkpoint(first);
+                m
+            },
+            |mut m| m.checkpoint(second),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_kernel_fusion(c: &mut Criterion) {
+    // Modeled launch-latency comparison is in the figures binary; here we
+    // measure the measured-side overhead of the fused-vs-unfused paths.
+    let w = gdv_snapshots(PaperGraph::MessageRace, 3_000, 2, 42, true);
+    let (first, second) = (&w.snapshots[0], &w.snapshots[1]);
+    let mut group = c.benchmark_group("kernel_fusion");
+    for fused in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::new("tree", if fused { "fused" } else { "unfused" }),
+            &fused,
+            |b, &fused| {
+                b.iter_batched(
+                    || {
+                        let cfg = TreeConfig { fused, ..TreeConfig::new(64) };
+                        let mut m = TreeCheckpointer::new(Device::a100(), cfg);
+                        m.checkpoint(first);
+                        m
+                    },
+                    |mut m| m.checkpoint(second),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hashing,
+    bench_metadata_compaction,
+    bench_wave_ordering,
+    bench_kernel_fusion
+);
+criterion_main!(benches);

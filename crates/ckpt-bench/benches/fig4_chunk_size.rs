@@ -1,0 +1,63 @@
+//! Criterion bench for Figure 4: checkpointing cost across chunk sizes.
+//!
+//! Measures the wall time of one incremental checkpoint (the second of a
+//! pair, so the historical record is warm) for each method at each chunk
+//! size of the paper's sweep, on a Message Race GDV workload.
+
+use ckpt_bench::workload::gdv_snapshots;
+use ckpt_dedup::prelude::*;
+use ckpt_graph::PaperGraph;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_sim::Device;
+
+fn bench_chunk_sizes(c: &mut Criterion) {
+    let w = gdv_snapshots(PaperGraph::MessageRace, 4_000, 2, 42, true);
+    let (first, second) = (&w.snapshots[0], &w.snapshots[1]);
+
+    let mut group = c.benchmark_group("fig4_chunk_size");
+    group.throughput(Throughput::Bytes(second.len() as u64));
+    for chunk in [32usize, 64, 128, 256, 512] {
+        group.bench_with_input(BenchmarkId::new("tree", chunk), &chunk, |b, &chunk| {
+            b.iter_batched(
+                || {
+                    let mut m = TreeCheckpointer::new(Device::a100(), TreeConfig::new(chunk));
+                    m.checkpoint(first);
+                    m
+                },
+                |mut m| m.checkpoint(second),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("list", chunk), &chunk, |b, &chunk| {
+            b.iter_batched(
+                || {
+                    let mut m = ListCheckpointer::new(Device::a100(), TreeConfig::new(chunk));
+                    m.checkpoint(first);
+                    m
+                },
+                |mut m| m.checkpoint(second),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("basic", chunk), &chunk, |b, &chunk| {
+            b.iter_batched(
+                || {
+                    let mut m = BasicCheckpointer::new(Device::a100(), chunk);
+                    m.checkpoint(first);
+                    m
+                },
+                |mut m| m.checkpoint(second),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    // Full is chunk-size independent; one reference point.
+    group.bench_function("full", |b| {
+        let mut m = FullCheckpointer::new(Device::a100(), 128);
+        b.iter(|| m.checkpoint(second))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_chunk_sizes);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion bench for Figure 5: per-checkpoint cost of de-duplication vs
+//! compression at the frequency-scenario chunk size (128 B).
+//!
+//! De-duplication cost shrinks as checkpoints get closer together (fewer
+//! changed chunks to serialize); per-checkpoint compression cost does not —
+//! the asymmetry behind Figure 5's throughput panels.
+
+use ckpt_bench::workload::gdv_snapshots;
+use ckpt_compress::all_codecs;
+use ckpt_dedup::prelude::*;
+use ckpt_graph::PaperGraph;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_sim::Device;
+
+fn bench_frequency(c: &mut Criterion) {
+    // N = 10: the middle frequency of the paper's sweep.
+    let w = gdv_snapshots(PaperGraph::UnstructuredMesh, 4_000, 10, 42, true);
+    let snaps = &w.snapshots;
+    let bytes = snaps[0].len() as u64;
+
+    let mut group = c.benchmark_group("fig5_frequency");
+    group.throughput(Throughput::Bytes(bytes));
+    group.sample_size(20);
+
+    group.bench_function("tree_incremental", |b| {
+        b.iter_batched(
+            || {
+                let mut m = TreeCheckpointer::new(Device::a100(), TreeConfig::new(128));
+                for s in &snaps[..snaps.len() - 1] {
+                    m.checkpoint(s);
+                }
+                m
+            },
+            |mut m| m.checkpoint(snaps.last().unwrap()),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    for codec in all_codecs() {
+        let name = codec.name();
+        group.bench_with_input(BenchmarkId::new("compress", name), &codec, |b, codec| {
+            b.iter(|| codec.compress(snaps.last().unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_decompression(c: &mut Criterion) {
+    // Restore-path comparison: decompressing one checkpoint vs replaying a
+    // dedup record.
+    let w = gdv_snapshots(PaperGraph::UnstructuredMesh, 3_000, 5, 42, true);
+    let snaps = &w.snapshots;
+
+    let mut group = c.benchmark_group("fig5_restore");
+    group.sample_size(20);
+    for codec in all_codecs().into_iter().take(3) {
+        let packed = codec.compress(snaps.last().unwrap());
+        let name = codec.name();
+        group.bench_with_input(BenchmarkId::new("decompress", name), &packed, |b, packed| {
+            b.iter(|| codec.decompress(packed).unwrap())
+        });
+    }
+    let mut m = TreeCheckpointer::new(Device::a100(), TreeConfig::new(128));
+    let diffs: Vec<_> = snaps.iter().map(|s| m.checkpoint(s).diff).collect();
+    group.bench_function("tree_restore_record", |b| {
+        b.iter(|| restore_record(&diffs).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_frequency, bench_decompression);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench for Figure 6: multi-rank checkpointing through the
+//! asynchronous runtime, Tree vs Full, as the rank count grows.
+
+use ckpt_bench::workload::scaling_snapshots;
+use ckpt_runtime::{run_scaling, AsyncRuntime, ScalingConfig, ScalingMethod};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_scaling(c: &mut Criterion) {
+    // Small per-rank partitions; workloads pre-generated outside the timer.
+    let max_ranks = 8usize;
+    let snapshots: Vec<Vec<Vec<u8>>> =
+        (0..max_ranks as u32).map(|r| scaling_snapshots(r, 1_200, 5, 42)).collect();
+
+    let mut group = c.benchmark_group("fig6_scaling");
+    group.sample_size(10);
+    for n_ranks in [1usize, 2, 4, 8] {
+        for method in [ScalingMethod::Tree, ScalingMethod::Full] {
+            group.bench_with_input(
+                BenchmarkId::new(method.name(), n_ranks),
+                &n_ranks,
+                |b, &n_ranks| {
+                    b.iter(|| {
+                        let rt = AsyncRuntime::new();
+                        let cfg = ScalingConfig {
+                            method,
+                            n_ranks,
+                            gpus_per_node: 8,
+                            chunk_size: 128,
+                        };
+                        run_scaling(cfg, &rt, |rank| snapshots[rank as usize].clone())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Microbenchmarks of the substrate primitives the paper's design leans on:
+//! the lock-free distinct-hash map, the device scan, and the team gather.
+
+use ckpt_hash::{Hasher128, Murmur3};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_sim::{collectives, Device, DistinctMap, MapEntry};
+use rayon::prelude::*;
+
+fn bench_distinct_map(c: &mut Criterion) {
+    let n = 100_000usize;
+    let digests: Vec<_> = (0..n).map(|i| Murmur3.hash(&(i as u64).to_le_bytes())).collect();
+
+    let mut group = c.benchmark_group("distinct_map");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("insert_serial", |b| {
+        b.iter(|| {
+            let map = DistinctMap::with_capacity(n);
+            for (i, d) in digests.iter().enumerate() {
+                map.insert(d, MapEntry::new(i as u32, 0));
+            }
+            map.len()
+        })
+    });
+    group.bench_function("insert_parallel", |b| {
+        b.iter(|| {
+            let map = DistinctMap::with_capacity(n);
+            digests.par_iter().enumerate().for_each(|(i, d)| {
+                map.insert(d, MapEntry::new(i as u32, 0));
+            });
+            map.len()
+        })
+    });
+    group.bench_function("lookup_hit", |b| {
+        let map = DistinctMap::with_capacity(n);
+        for (i, d) in digests.iter().enumerate() {
+            map.insert(d, MapEntry::new(i as u32, 0));
+        }
+        b.iter(|| digests.iter().filter(|d| map.contains(d)).count())
+    });
+    group.finish();
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let n = 1usize << 20;
+    let input: Vec<u64> = (0..n as u64).map(|i| i % 97).collect();
+    let mut out = vec![0u64; n];
+
+    let mut group = c.benchmark_group("collectives");
+    group.throughput(Throughput::Bytes((n * 8) as u64));
+    group.bench_function("exclusive_scan", |b| {
+        b.iter(|| collectives::exclusive_scan(&input, &mut out))
+    });
+
+    let src: Vec<u8> = (0..(4 << 20)).map(|i| i as u8).collect();
+    let segments: Vec<(usize, usize)> = (0..8192).map(|i| (i * 512, 256)).collect();
+    let total: usize = segments.iter().map(|s| s.1).sum();
+    let mut dst = vec![0u8; total];
+    group.throughput(Throughput::Bytes(total as u64));
+    group.bench_function("segmented_gather", |b| {
+        b.iter(|| collectives::segmented_gather(&src, &segments, &mut dst))
+    });
+    group.finish();
+}
+
+fn bench_device_launch_overhead(c: &mut Criterion) {
+    let dev = Device::a100();
+    let mut group = c.benchmark_group("device");
+    for n in [1_000usize, 100_000] {
+        group.bench_with_input(BenchmarkId::new("parallel_for", n), &n, |b, &n| {
+            b.iter(|| {
+                dev.parallel_for("noop", n, gpu_sim::KernelCost::stream(n as u64), |i| {
+                    std::hint::black_box(i);
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distinct_map, bench_collectives, bench_device_launch_overhead);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! figures <experiment> [--scale N] [--rank-scale N] [--seed N]
+//!
+//! experiments:
+//!   table1            input-graph inventory
+//!   fig2              compact-metadata worked example
+//!   fig4              chunk-size sweep (ratio + throughput)
+//!   fig5              checkpoint-frequency sweep incl. compressors
+//!   fig6              strong scaling 1..64 ranks, Tree vs Full
+//!   hybrid            E1: dedup + payload compression (paper §5)
+//!   highfreq          E2: producer stall under storage backpressure (§1)
+//!   streaming         E3: checkpoint-level compute/transfer pipelining (§5)
+//!   adjoint           E5: adjoint reversal, revolve vs dedup store (§5)
+//!   ablation-hash     A1: Murmur3 vs MD5
+//!   ablation-metadata A2: Tree vs List metadata
+//!   ablation-waves    A3: two-stage vs naive wave ordering
+//!   ablation-gorder   A4: Gorder on/off
+//!   all               everything above
+//! ```
+
+use ckpt_bench::experiments::{self, ExpConfig};
+use ckpt_bench::report;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: figures <table1|fig2|fig4|fig5|fig6|hybrid|highfreq|streaming|adjoint|ablation-hash|ablation-metadata|\
+         ablation-waves|ablation-gorder|ablation-fusion|all> [--scale N] [--rank-scale N] [--coverage F] [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let what = args[0].clone();
+    let mut cfg = ExpConfig::default();
+    let mut rank_scale = 4_000usize;
+    let mut coverage = ckpt_bench::workload::SCALING_COVERAGE;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                cfg.scale = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--rank-scale" => {
+                rank_scale =
+                    args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--coverage" => {
+                coverage =
+                    args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--seed" => {
+                cfg.seed = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+
+    let t0 = std::time::Instant::now();
+    let all = what == "all";
+    let mut ran = false;
+    let mut run = |name: &str, f: &mut dyn FnMut() -> String| {
+        if all || what == name {
+            println!("==== {name} ====");
+            println!("{}", f());
+            ran = true;
+        }
+    };
+
+    run("table1", &mut || report::render_table1(&experiments::table1(cfg)));
+    run("fig2", &mut || report::render_fig2(&experiments::fig2_demo()));
+    run("fig4", &mut || report::render_fig4(&experiments::fig4(cfg)));
+    run("fig5", &mut || report::render_fig5(&experiments::fig5(cfg)));
+    run("fig6", &mut || {
+        report::render_fig6(&experiments::fig6_with_ranks(
+            rank_scale,
+            cfg.seed,
+            &experiments::FIG6_RANKS,
+            coverage,
+        ))
+    });
+    run("hybrid", &mut || report::render_hybrid(&experiments::hybrid(cfg)));
+    run("highfreq", &mut || report::render_highfreq(&experiments::highfreq(cfg)));
+    run("streaming", &mut || report::render_streaming(&experiments::streaming(cfg)));
+    run("adjoint", &mut || report::render_adjoint(&experiments::adjoint(cfg)));
+    run("ablation-hash", &mut || report::render_hash(&experiments::ablation_hash(cfg)));
+    run("ablation-metadata", &mut || {
+        report::render_metadata(&experiments::ablation_metadata(cfg))
+    });
+    run("ablation-waves", &mut || report::render_waves(&experiments::ablation_waves(cfg)));
+    run("ablation-gorder", &mut || report::render_gorder(&experiments::ablation_gorder(cfg)));
+    run("ablation-fusion", &mut || report::render_fusion(&experiments::ablation_fusion(cfg)));
+
+    if !ran {
+        usage();
+    }
+    eprintln!("[figures] completed in {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,16 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (§3), plus the ablations listed in `DESIGN.md`.
+//!
+//! * [`workload`] — ORANGES GDV snapshot sequences over the Table 1 graphs;
+//! * [`codecs`] — compressor baselines and the common measurement currency;
+//! * [`experiments`] — one driver per table/figure/ablation;
+//! * [`report`] — plain-text rendering.
+//!
+//! Run `cargo run -p ckpt-bench --release --bin figures -- all` to regenerate
+//! everything; see `EXPERIMENTS.md` at the repository root for the recorded
+//! paper-vs-measured comparison.
+
+pub mod codecs;
+pub mod experiments;
+pub mod report;
+pub mod workload;

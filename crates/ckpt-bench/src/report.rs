@@ -1,0 +1,317 @@
+//! Plain-text rendering of experiment results, one section per paper
+//! table/figure.
+
+use crate::codecs::MeasuredRecord;
+use crate::experiments::*;
+
+/// Human-friendly byte formatting.
+pub fn fmt_bytes(b: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = b as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u < UNITS.len() - 1 {
+        v /= 1024.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{b} B")
+    } else {
+        format!("{v:.2} {}", UNITS[u])
+    }
+}
+
+/// Throughput in GB/s.
+pub fn fmt_tp(bps: f64) -> String {
+    format!("{:.2} GB/s", bps / 1e9)
+}
+
+fn method_line(m: &MeasuredRecord) -> String {
+    format!(
+        "    {:<10} ratio {:>8.2}x | stored {:>12} | meta {:>10} | modeled {} | measured {}",
+        m.name,
+        m.ratio(),
+        fmt_bytes(m.stored),
+        fmt_bytes(m.metadata),
+        fmt_tp(m.modeled_throughput()),
+        fmt_tp(m.measured_throughput()),
+    )
+}
+
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut s = String::new();
+    s.push_str("Table 1: input graphs (paper original vs generated stand-in)\n");
+    s.push_str(&format!(
+        "{:<18} {:>12} {:>13} {:>9} | {:>10} {:>12} {:>10} {:>9}\n",
+        "Graph", "|V| paper", "arcs paper", "GDV", "|V| gen", "arcs gen", "GDV gen", "tri"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<18} {:>12} {:>13} {:>9} | {:>10} {:>12} {:>10} {:>9}\n",
+            r.graph.name(),
+            r.paper_vertices,
+            r.paper_arcs,
+            fmt_bytes(r.paper_gdv_bytes),
+            r.generated.n_vertices,
+            r.generated.n_arcs,
+            fmt_bytes(r.generated_gdv_bytes),
+            r.generated.n_triangles,
+        ));
+    }
+    s
+}
+
+pub fn render_fig2(d: &Fig2Demo) -> String {
+    format!(
+        "Figure 2 worked example (8 chunks, second checkpoint):\n\
+           Tree compact metadata : {} regions (first-occurrence roots {:?}, \
+         shifted {:?})\n\
+           List naive metadata   : {} entries\n\
+           -> compaction saves {} entries, as in the paper (7 -> 3)\n",
+        d.tree_regions,
+        d.tree_first,
+        d.tree_shift,
+        d.list_entries,
+        d.list_entries - d.tree_regions,
+    )
+}
+
+pub fn render_fig4(cells: &[Fig4Cell]) -> String {
+    let mut s = String::new();
+    s.push_str("Figure 4: chunk-size sweep (dedup ratio & throughput), N=10 checkpoints\n");
+    let mut last = None;
+    for c in cells {
+        if last != Some(c.graph) {
+            s.push_str(&format!("\n  [{}]\n", c.graph.name()));
+            last = Some(c.graph);
+        }
+        s.push_str(&format!("  chunk {:>4} B\n", c.chunk_size));
+        for m in &c.methods {
+            s.push_str(&method_line(m));
+            s.push('\n');
+        }
+    }
+    s
+}
+
+pub fn render_fig5(cells: &[Fig5Cell]) -> String {
+    let mut s = String::new();
+    s.push_str("Figure 5: checkpoint-frequency sweep (chunk 128 B), vs compressors\n");
+    let mut last = None;
+    for c in cells {
+        if last != Some(c.graph) {
+            s.push_str(&format!("\n  [{}]\n", c.graph.name()));
+            last = Some(c.graph);
+        }
+        s.push_str(&format!("  N = {} checkpoints\n", c.n_checkpoints));
+        for m in &c.methods {
+            s.push_str(&method_line(m));
+            s.push('\n');
+        }
+    }
+    s
+}
+
+pub fn render_fig6(points: &[Fig6Point]) -> String {
+    let mut s = String::new();
+    s.push_str("Figure 6: strong scaling on Delaunay, Tree vs Full, 10 ckpts/process\n");
+    s.push_str(&format!(
+        "{:>6} {:>8} {:>14} {:>14} {:>10} {:>14} {:>14}\n",
+        "ranks", "method", "total full", "total stored", "reduction", "modeled tp", "measured tp"
+    ));
+    for p in points {
+        s.push_str(&format!(
+            "{:>6} {:>8} {:>14} {:>14} {:>9.1}x {:>14} {:>14}\n",
+            p.n_ranks,
+            p.method.name(),
+            fmt_bytes(p.total_full),
+            fmt_bytes(p.total_stored),
+            p.total_full as f64 / p.total_stored.max(1) as f64,
+            fmt_tp(p.modeled_throughput),
+            fmt_tp(p.measured_throughput),
+        ));
+    }
+    s
+}
+
+pub fn render_metadata(points: &[MetadataPoint]) -> String {
+    let mut s = String::new();
+    s.push_str("Ablation A2: metadata compaction (Tree vs List), aggregated over N=10\n");
+    s.push_str(&format!(
+        "{:<18} {:>6} {:>14} {:>14} {:>12} {:>12} {:>8}\n",
+        "graph", "chunk", "tree meta", "list meta", "tree regions", "list entries", "saving"
+    ));
+    for p in points {
+        s.push_str(&format!(
+            "{:<18} {:>6} {:>14} {:>14} {:>12} {:>12} {:>7.1}x\n",
+            p.graph.name(),
+            p.chunk_size,
+            fmt_bytes(p.tree_metadata),
+            fmt_bytes(p.list_metadata),
+            p.tree_regions,
+            p.list_entries,
+            p.list_metadata as f64 / p.tree_metadata.max(1) as f64,
+        ));
+    }
+    s
+}
+
+pub fn render_waves(points: &[WavesPoint]) -> String {
+    let mut s = String::new();
+    s.push_str("Ablation A3: two-stage wave ordering vs naive fused sweep (chunk 64 B)\n");
+    for p in points {
+        s.push_str(&format!("  [{}]\n", p.workload));
+        s.push_str(&method_line(&p.two_stage));
+        s.push('\n');
+        s.push_str(&method_line(&p.naive));
+        s.push_str(&format!(
+            "\n    -> naive stores {:.2}x more ({:.2}x more metadata)\n",
+            p.naive.stored as f64 / p.two_stage.stored.max(1) as f64,
+            p.naive.metadata as f64 / p.two_stage.metadata.max(1) as f64
+        ));
+    }
+    s
+}
+
+pub fn render_hybrid(points: &[HybridPoint]) -> String {
+    let mut s = String::new();
+    s.push_str(
+        "Extension E1 (paper \u{a7}5): compressing first occurrences inside the diff\n",
+    );
+    for p in points {
+        s.push_str(&format!("  [{}]\n", p.graph.name()));
+        for m in &p.methods {
+            s.push_str(&method_line(m));
+            s.push('\n');
+        }
+    }
+    s
+}
+
+pub fn render_adjoint(points: &[AdjointPoint]) -> String {
+    let mut s = String::new();
+    s.push_str(
+        "Extension E5 (\u{a7}5): adjoint reversal \u{2014} recomputation vs de-duplicated storage\n",
+    );
+    s.push_str(&format!("{:<28} {:>14} {:>14}\n", "strategy", "forward steps", "store bytes"));
+    for p in points {
+        s.push_str(&format!(
+            "{:<28} {:>14} {:>14}\n",
+            p.strategy,
+            p.forward_steps,
+            fmt_bytes(p.store_bytes),
+        ));
+    }
+    s
+}
+
+pub fn render_streaming(points: &[StreamingPoint]) -> String {
+    let mut s = String::new();
+    s.push_str(
+        "Extension E3 (\u{a7}5): checkpoint-level streaming (overlap dedup with transfers)\n",
+    );
+    s.push_str(&format!(
+        "{:<20} {:>16} {:>16} {:>9}\n",
+        "graph", "sequential", "pipelined", "speedup"
+    ));
+    for p in points {
+        s.push_str(&format!(
+            "{:<20} {:>13.3} ms {:>13.3} ms {:>8.2}x\n",
+            p.graph.name(),
+            p.sequential_sec * 1e3,
+            p.pipelined_sec * 1e3,
+            p.speedup(),
+        ));
+    }
+    s
+}
+
+pub fn render_highfreq(points: &[HighFreqPoint]) -> String {
+    let mut s = String::new();
+    s.push_str(
+        "Extension E2 (\u{a7}1): high-frequency checkpointing under storage backpressure\n",
+    );
+    s.push_str(&format!(
+        "{:>8} {:>14} {:>14} {:>16}\n",
+        "method", "stall", "makespan", "record stored"
+    ));
+    for p in points {
+        s.push_str(&format!(
+            "{:>8} {:>12.2} s {:>12.2} s {:>16}\n",
+            p.method,
+            p.stall_sec,
+            p.makespan_sec,
+            fmt_bytes(p.total_stored),
+        ));
+    }
+    s
+}
+
+pub fn render_gorder(points: &[GorderPoint]) -> String {
+    let mut s = String::new();
+    s.push_str("Ablation A4: vertex-ordering pre-processing (Tree, chunk 64 B)\n");
+    for p in points {
+        s.push_str(&format!("  [{}]\n", p.graph.name()));
+        for rec in &p.orderings {
+            s.push_str(&method_line(rec));
+            s.push('\n');
+        }
+    }
+    s
+}
+
+pub fn render_fusion(points: &[FusionPoint]) -> String {
+    let mut s = String::new();
+    s.push_str("Ablation A5: fused kernels (\u{a7}2.1) \u{2014} modeled launch-latency cost\n");
+    s.push_str(&format!(
+        "{:<20} {:>10} {:>14} {:>14} | {:>10} {:>14} {:>14}\n",
+        "graph", "fused", "launch", "total", "unfused", "launch", "total"
+    ));
+    for p in points {
+        s.push_str(&format!(
+            "{:<20} {:>10} {:>11.3} ms {:>11.3} ms | {:>10} {:>11.3} ms {:>11.3} ms\n",
+            p.graph.name(),
+            p.fused.0,
+            p.fused.1 * 1e3,
+            p.fused.2 * 1e3,
+            p.unfused.0,
+            p.unfused.1 * 1e3,
+            p.unfused.2 * 1e3,
+        ));
+    }
+    s
+}
+
+pub fn render_hash(points: &[HashPoint]) -> String {
+    let mut s = String::new();
+    s.push_str("Ablation A1: hash function choice (chunk 128 B)\n");
+    for p in points {
+        s.push_str(&format!(
+            "  {:<8} raw hashing {:>12} | end-to-end Tree: {}\n",
+            p.hasher,
+            fmt_tp(p.bytes_per_sec),
+            method_line(&p.record).trim_start(),
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.00 KiB");
+        assert_eq!(fmt_bytes(5 * 1024 * 1024), "5.00 MiB");
+        assert_eq!(fmt_bytes((4.33 * (1u64 << 40) as f64) as u64), "4.33 TiB");
+    }
+
+    #[test]
+    fn fig2_rendering_mentions_savings() {
+        let d = crate::experiments::fig2_demo();
+        let text = render_fig2(&d);
+        assert!(text.contains("3 regions"));
+        assert!(text.contains("7 entries"));
+    }
+}

@@ -1,0 +1,378 @@
+//! The serialized incremental-checkpoint ("diff") format.
+//!
+//! One diff is produced per checkpoint. It packs, in order: a fixed header,
+//! method-specific metadata (region tables or a chunk bitmap), and the raw
+//! payload of first-occurrence data. The paper's pipeline assembles exactly
+//! this object in GPU memory so a single device-to-host transfer moves it
+//! (§2.1 "efficient combined serialization of metadata and unique chunks");
+//! our encoding is the host-side materialization of that object.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic      [u8;4] = b"GDCD"
+//! version    u16
+//! kind       u8            (Full / Basic / List / Tree)
+//! payload_codec u8         (0 = raw; else a `ckpt_compress::codec_by_id`
+//!                           id — the §5 dedup+compression hybrid)
+//! ckpt_id    u32
+//! data_len   u64
+//! chunk_size u32
+//! n_first    u32           (regions / changed chunks)
+//! n_shift    u32
+//! payload_len u64
+//! -- kind-specific metadata --
+//! Basic:       bitmap of ceil(n_chunks/8) bytes, bit c = chunk c changed
+//! List / Tree: n_first × u32 node ids,
+//!              n_shift × (u32 node, u32 ref_node, u32 ref_ckpt)
+//! Full:        none
+//! -- payload: payload_len bytes --
+//! ```
+
+/// Which checkpointing method produced a diff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum MethodKind {
+    /// Always store the full buffer.
+    Full = 0,
+    /// Hash chunks, compare with the previous checkpoint position-wise,
+    /// store a bitmap plus changed chunks.
+    Basic = 1,
+    /// Hash chunks against the whole historical record but store one
+    /// metadata entry per non-fixed chunk (no compaction).
+    List = 2,
+    /// The paper's method: Merkle-tree compacted metadata.
+    Tree = 3,
+}
+
+impl MethodKind {
+    pub fn from_u8(v: u8) -> Option<MethodKind> {
+        match v {
+            0 => Some(MethodKind::Full),
+            1 => Some(MethodKind::Basic),
+            2 => Some(MethodKind::List),
+            3 => Some(MethodKind::Tree),
+            _ => None,
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            MethodKind::Full => "Full",
+            MethodKind::Basic => "Basic",
+            MethodKind::List => "List",
+            MethodKind::Tree => "Tree",
+        }
+    }
+}
+
+/// A shifted-duplicate region: `node`'s data equals the data that first
+/// occurred at `ref_node` of checkpoint `ref_ckpt`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShiftRegion {
+    pub node: u32,
+    pub ref_node: u32,
+    pub ref_ckpt: u32,
+}
+
+const MAGIC: [u8; 4] = *b"GDCD";
+const VERSION: u16 = 1;
+const HEADER_BYTES: usize = 4 + 2 + 1 + 1 + 4 + 8 + 4 + 4 + 4 + 8;
+
+/// A decoded (or not-yet-encoded) incremental checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diff {
+    pub kind: MethodKind,
+    pub ckpt_id: u32,
+    /// Length of the original checkpoint buffer.
+    pub data_len: u64,
+    pub chunk_size: u32,
+    /// First-occurrence region roots (node ids), in payload order.
+    /// Unused by `Full`; for `Basic` the changed chunks are implied by the
+    /// bitmap and this stays empty.
+    pub first_regions: Vec<u32>,
+    /// Shifted-duplicate regions. Empty for `Full`/`Basic`.
+    pub shift_regions: Vec<ShiftRegion>,
+    /// `Basic` only: changed-chunk bitmap.
+    pub bitmap: Vec<u8>,
+    /// Compression applied to `payload` (0 = none; see
+    /// `ckpt_compress::codec_by_id`). First-occurrence data is compressed
+    /// *after* de-duplication — the hybrid the paper's §5 proposes.
+    pub payload_codec: u8,
+    /// Raw bytes of the first-occurrence regions, concatenated in table
+    /// order (`Basic`: changed chunks in ascending chunk order; `Full`: the
+    /// entire buffer).
+    pub payload: Vec<u8>,
+}
+
+/// Errors from [`Diff::decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    TooShort,
+    BadMagic,
+    BadVersion(u16),
+    BadKind(u8),
+    LengthMismatch { expected: usize, actual: usize },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::TooShort => write!(f, "buffer too short for diff header"),
+            DecodeError::BadMagic => write!(f, "bad magic bytes"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported diff version {v}"),
+            DecodeError::BadKind(k) => write!(f, "unknown method kind {k}"),
+            DecodeError::LengthMismatch { expected, actual } => {
+                write!(f, "diff length mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl Diff {
+    /// Number of chunks in the original buffer.
+    pub fn n_chunks(&self) -> usize {
+        (self.data_len as usize).div_ceil(self.chunk_size as usize)
+    }
+
+    /// Bytes of metadata (everything except the payload and the fixed
+    /// header). This is the quantity the paper's compaction minimizes.
+    pub fn metadata_bytes(&self) -> usize {
+        self.first_regions.len() * 4 + self.shift_regions.len() * 12 + self.bitmap.len()
+    }
+
+    /// Total size of the encoded diff in bytes — the "incremental checkpoint
+    /// size" used for de-duplication ratios.
+    pub fn stored_bytes(&self) -> usize {
+        HEADER_BYTES + self.metadata_bytes() + self.payload.len()
+    }
+
+    /// Serialize to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.stored_bytes());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.push(self.kind as u8);
+        out.push(self.payload_codec);
+        out.extend_from_slice(&self.ckpt_id.to_le_bytes());
+        out.extend_from_slice(&self.data_len.to_le_bytes());
+        out.extend_from_slice(&self.chunk_size.to_le_bytes());
+        out.extend_from_slice(&(self.first_regions.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.shift_regions.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u64).to_le_bytes());
+        match self.kind {
+            MethodKind::Full => {}
+            MethodKind::Basic => out.extend_from_slice(&self.bitmap),
+            MethodKind::List | MethodKind::Tree => {
+                for &n in &self.first_regions {
+                    out.extend_from_slice(&n.to_le_bytes());
+                }
+                for s in &self.shift_regions {
+                    out.extend_from_slice(&s.node.to_le_bytes());
+                    out.extend_from_slice(&s.ref_node.to_le_bytes());
+                    out.extend_from_slice(&s.ref_ckpt.to_le_bytes());
+                }
+            }
+        }
+        out.extend_from_slice(&self.payload);
+        debug_assert_eq!(out.len(), self.stored_bytes());
+        out
+    }
+
+    /// Deserialize from bytes.
+    pub fn decode(buf: &[u8]) -> Result<Diff, DecodeError> {
+        if buf.len() < HEADER_BYTES {
+            return Err(DecodeError::TooShort);
+        }
+        if buf[0..4] != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let version = u16::from_le_bytes(buf[4..6].try_into().unwrap());
+        if version != VERSION {
+            return Err(DecodeError::BadVersion(version));
+        }
+        let kind = MethodKind::from_u8(buf[6]).ok_or(DecodeError::BadKind(buf[6]))?;
+        let payload_codec = buf[7];
+        let ckpt_id = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+        let data_len = u64::from_le_bytes(buf[12..20].try_into().unwrap());
+        let chunk_size = u32::from_le_bytes(buf[20..24].try_into().unwrap());
+        let n_first = u32::from_le_bytes(buf[24..28].try_into().unwrap()) as usize;
+        let n_shift = u32::from_le_bytes(buf[28..32].try_into().unwrap()) as usize;
+        let payload_len = u64::from_le_bytes(buf[32..40].try_into().unwrap()) as usize;
+
+        let n_chunks = (data_len as usize).div_ceil(chunk_size.max(1) as usize);
+        let (bitmap_len, table_len, keep_first) = match kind {
+            MethodKind::Full => (0, 0, false),
+            MethodKind::Basic => (n_chunks.div_ceil(8), 0, false),
+            MethodKind::List | MethodKind::Tree => (0, n_first * 4 + n_shift * 12, true),
+        };
+        let expected = HEADER_BYTES + bitmap_len + table_len + payload_len;
+        if buf.len() != expected {
+            return Err(DecodeError::LengthMismatch { expected, actual: buf.len() });
+        }
+
+        let mut pos = HEADER_BYTES;
+        let bitmap = buf[pos..pos + bitmap_len].to_vec();
+        pos += bitmap_len;
+
+        let mut first_regions = Vec::new();
+        let mut shift_regions = Vec::new();
+        if keep_first {
+            first_regions.reserve(n_first);
+            for _ in 0..n_first {
+                first_regions.push(u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()));
+                pos += 4;
+            }
+            shift_regions.reserve(n_shift);
+            for _ in 0..n_shift {
+                let node = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap());
+                let ref_node = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
+                let ref_ckpt = u32::from_le_bytes(buf[pos + 8..pos + 12].try_into().unwrap());
+                shift_regions.push(ShiftRegion { node, ref_node, ref_ckpt });
+                pos += 12;
+            }
+        }
+        let payload = buf[pos..pos + payload_len].to_vec();
+
+        Ok(Diff {
+            kind,
+            ckpt_id,
+            data_len,
+            chunk_size,
+            first_regions,
+            shift_regions,
+            bitmap,
+            payload_codec,
+            payload,
+        })
+    }
+}
+
+/// Bitmap helpers used by the `Basic` method.
+pub mod bitmap {
+    /// Set bit `i` in `bits`.
+    #[inline]
+    pub fn set(bits: &mut [u8], i: usize) {
+        bits[i / 8] |= 1 << (i % 8);
+    }
+
+    /// Read bit `i` of `bits`.
+    #[inline]
+    pub fn get(bits: &[u8], i: usize) -> bool {
+        bits[i / 8] & (1 << (i % 8)) != 0
+    }
+
+    /// Bytes needed for `n` bits.
+    #[inline]
+    pub fn bytes_for(n: usize) -> usize {
+        n.div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tree_diff() -> Diff {
+        Diff {
+            kind: MethodKind::Tree,
+            ckpt_id: 3,
+            data_len: 1000,
+            chunk_size: 64,
+            first_regions: vec![1, 12],
+            shift_regions: vec![ShiftRegion { node: 6, ref_node: 3, ref_ckpt: 0 }],
+            bitmap: Vec::new(),
+            payload_codec: 0,
+            payload: vec![0xab; 192],
+        }
+    }
+
+    #[test]
+    fn tree_diff_round_trip() {
+        let d = sample_tree_diff();
+        let bytes = d.encode();
+        assert_eq!(bytes.len(), d.stored_bytes());
+        assert_eq!(Diff::decode(&bytes).unwrap(), d);
+    }
+
+    #[test]
+    fn full_diff_round_trip() {
+        let d = Diff {
+            kind: MethodKind::Full,
+            ckpt_id: 0,
+            data_len: 100,
+            chunk_size: 64,
+            first_regions: Vec::new(),
+            shift_regions: Vec::new(),
+            bitmap: Vec::new(),
+            payload_codec: 0,
+            payload: (0..100u8).collect(),
+        };
+        assert_eq!(Diff::decode(&d.encode()).unwrap(), d);
+    }
+
+    #[test]
+    fn basic_diff_round_trip() {
+        let n_chunks = 10usize;
+        let mut bm = vec![0u8; bitmap::bytes_for(n_chunks)];
+        bitmap::set(&mut bm, 0);
+        bitmap::set(&mut bm, 9);
+        let d = Diff {
+            kind: MethodKind::Basic,
+            ckpt_id: 2,
+            data_len: 640,
+            chunk_size: 64,
+            first_regions: Vec::new(),
+            shift_regions: Vec::new(),
+            bitmap: bm,
+            payload_codec: 0,
+            payload: vec![1u8; 128],
+        };
+        let back = Diff::decode(&d.encode()).unwrap();
+        assert_eq!(back, d);
+        assert!(bitmap::get(&back.bitmap, 0));
+        assert!(!bitmap::get(&back.bitmap, 5));
+        assert!(bitmap::get(&back.bitmap, 9));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(Diff::decode(&[]), Err(DecodeError::TooShort));
+        let mut bytes = sample_tree_diff().encode();
+        bytes[0] = b'X';
+        assert_eq!(Diff::decode(&bytes), Err(DecodeError::BadMagic));
+
+        let mut bytes = sample_tree_diff().encode();
+        bytes[4] = 99;
+        assert!(matches!(Diff::decode(&bytes), Err(DecodeError::BadVersion(99))));
+
+        let mut bytes = sample_tree_diff().encode();
+        bytes[6] = 7;
+        assert_eq!(Diff::decode(&bytes), Err(DecodeError::BadKind(7)));
+
+        let mut bytes = sample_tree_diff().encode();
+        bytes.pop();
+        assert!(matches!(Diff::decode(&bytes), Err(DecodeError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn metadata_accounting() {
+        let d = sample_tree_diff();
+        assert_eq!(d.metadata_bytes(), 2 * 4 + 12);
+        assert_eq!(d.stored_bytes(), 40 + 20 + 192);
+    }
+
+    #[test]
+    fn bitmap_helpers() {
+        let mut b = vec![0u8; bitmap::bytes_for(17)];
+        assert_eq!(b.len(), 3);
+        for i in [0, 7, 8, 16] {
+            bitmap::set(&mut b, i);
+        }
+        for i in 0..17 {
+            assert_eq!(bitmap::get(&b, i), [0, 7, 8, 16].contains(&i));
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Merkle-tree based GPU-accelerated de-duplication for incremental
+//! checkpointing — the core contribution of Tan et al., ICPP'23.
+//!
+//! High-frequency checkpointing workloads (adjoint computations,
+//! reproducibility capture, lineage stores) must persist an entire record of
+//! checkpoints, not just the latest. This crate de-duplicates each new
+//! checkpoint against everything seen so far, at chunk granularity, directly
+//! on the (simulated) GPU where the data lives:
+//!
+//! * chunks are hashed and classified as **first occurrences**, **fixed
+//!   duplicates** (unchanged in place) or **shifted duplicates** (seen
+//!   elsewhere in the record) — Algorithm 1 of the paper;
+//! * contiguous runs with the same classification are consolidated bottom-up
+//!   through a Merkle tree into a near-minimal set of regions, shrinking
+//!   metadata by orders of magnitude versus per-chunk lists;
+//! * the surviving metadata and unique chunks are serialized into one
+//!   contiguous buffer and moved host-side with a single transfer.
+//!
+//! # Quick start
+//!
+//! ```
+//! use ckpt_dedup::prelude::*;
+//!
+//! let device = gpu_sim::Device::a100();
+//! let mut ckpt = TreeCheckpointer::new(device, TreeConfig::new(64));
+//!
+//! let mut data: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+//! let out0 = ckpt.checkpoint(&data);          // initial checkpoint: full
+//! data[100] ^= 1;                             // sparse update
+//! let out1 = ckpt.checkpoint(&data);          // tiny incremental diff
+//! assert!(out1.diff.stored_bytes() < out0.diff.stored_bytes() / 10);
+//!
+//! // Reconstruct any version from the record.
+//! let versions = restore_record(&[out0.diff, out1.diff]).unwrap();
+//! assert_eq!(versions[1], data);
+//! ```
+
+pub mod chunking;
+pub mod diff;
+pub mod labels;
+pub mod methods;
+pub mod random_access;
+pub mod record;
+pub mod restore;
+pub mod stats;
+pub mod tree;
+pub(crate) mod util;
+
+pub use chunking::Chunking;
+pub use diff::{Diff, MethodKind, ShiftRegion};
+pub use labels::Label;
+pub use methods::basic::BasicCheckpointer;
+pub use methods::full::FullCheckpointer;
+pub use methods::list::ListCheckpointer;
+pub use methods::tree::{TreeCheckpointer, TreeConfig};
+pub use methods::tree_naive::NaiveTreeCheckpointer;
+pub use methods::tree_serial::SerialTreeCheckpointer;
+pub use methods::{CheckpointOutput, Checkpointer};
+pub use random_access::RecordReader;
+pub use record::{run_record, CheckpointRecord};
+pub use restore::{restore_latest, restore_record, Restorer};
+pub use stats::{CheckpointStats, RecordStats};
+pub use tree::{MerkleTree, TreeShape};
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::methods::basic::BasicCheckpointer;
+    pub use crate::methods::full::FullCheckpointer;
+    pub use crate::methods::list::ListCheckpointer;
+    pub use crate::methods::tree::{TreeCheckpointer, TreeConfig};
+    pub use crate::methods::tree_naive::NaiveTreeCheckpointer;
+    pub use crate::methods::tree_serial::SerialTreeCheckpointer;
+    pub use crate::methods::{CheckpointOutput, Checkpointer};
+    pub use crate::random_access::RecordReader;
+    pub use crate::record::{run_record, CheckpointRecord};
+    pub use crate::restore::{restore_latest, restore_record, Restorer};
+    pub use crate::stats::{CheckpointStats, RecordStats};
+    pub use crate::MethodKind;
+}

@@ -1,0 +1,144 @@
+//! The **Basic** baseline: position-wise incremental checkpointing.
+//!
+//! "A Basic incremental checkpointing method that breaks the checkpoint into
+//! chunks, hashes the chunks, then builds a bitmap to indicate what chunks
+//! are new and what chunks remain unchanged. It saves the bitmap and the new
+//! chunks" (§3.2). It detects *fixed* duplicates only — no spatial
+//! de-duplication, no shifted duplicates — but its metadata is a single bit
+//! per chunk.
+
+use crate::chunking::Chunking;
+use crate::diff::{bitmap, Diff, MethodKind};
+use crate::methods::{CheckpointOutput, Checkpointer, Timer};
+use crate::stats::CheckpointStats;
+use ckpt_hash::{Digest128, Hasher128, Murmur3};
+use gpu_sim::{Device, KernelCost};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// The Basic method's persistent state.
+pub struct BasicCheckpointer {
+    device: Device,
+    hasher: Box<dyn Hasher128>,
+    chunk_size: usize,
+    fused: bool,
+    state: Option<State>,
+    ckpt_id: u32,
+}
+
+struct State {
+    chunking: Chunking,
+    /// Previous checkpoint's chunk digests, indexed by chunk.
+    prev: Vec<Digest128>,
+}
+
+impl BasicCheckpointer {
+    pub fn new(device: Device, chunk_size: usize) -> Self {
+        BasicCheckpointer {
+            device,
+            hasher: Box::new(Murmur3),
+            chunk_size,
+            fused: true,
+            state: None,
+            ckpt_id: 0,
+        }
+    }
+}
+
+impl Checkpointer for BasicCheckpointer {
+    fn kind(&self) -> MethodKind {
+        MethodKind::Basic
+    }
+
+    fn checkpoint(&mut self, data: &[u8]) -> CheckpointOutput {
+        let device = self.device.clone();
+        let ckpt_id = self.ckpt_id;
+        let timer = Timer::start(&device);
+        if self.state.is_none() {
+            let chunking = Chunking::new(data.len(), self.chunk_size);
+            self.state = Some(State {
+                chunking,
+                prev: vec![Digest128::ZERO; chunking.n_chunks()],
+            });
+        }
+        let hasher = &*self.hasher;
+        let state = self.state.as_mut().unwrap();
+        assert_eq!(data.len(), state.chunking.data_len(), "checkpoint size changed mid-record");
+        let chunking = state.chunking;
+        let n = chunking.n_chunks();
+
+        let changed: Vec<AtomicU8> = (0..n).map(|_| AtomicU8::new(0)).collect();
+        let prev = crate::util::SharedSliceMut::new(&mut state.prev);
+
+        let run = || {
+            device.parallel_for(
+                "basic_hash_compare",
+                n,
+                KernelCost::stream(data.len() as u64),
+                |c| {
+                    let digest = hasher.hash(chunking.chunk(data, c));
+                    // SAFETY: chunk index owned by this thread.
+                    let old = unsafe { prev.read(c) };
+                    if ckpt_id == 0 || digest != old {
+                        changed[c].store(1, Ordering::Relaxed);
+                        unsafe { prev.write(c, digest) };
+                    }
+                },
+            );
+
+            // Build the bitmap and gather changed chunks.
+            let mut bm = vec![0u8; bitmap::bytes_for(n)];
+            let mut segments = Vec::new();
+            for (c, flag) in changed.iter().enumerate() {
+                if flag.load(Ordering::Relaxed) == 1 {
+                    bitmap::set(&mut bm, c);
+                    let (a, b) = chunking.byte_range(c);
+                    segments.push((a, b - a));
+                }
+            }
+            let payload_len: usize = segments.iter().map(|s| s.1).sum();
+            let mut staging = device.alloc::<u8>(payload_len);
+            device.team_gather("basic_serialize", data, &segments, staging.as_mut_slice());
+            let payload = staging.copy_prefix_to_host(payload_len);
+            device.account_d2h_bytes(bm.len() as u64);
+            (bm, payload, segments.len())
+        };
+
+        let (bm, payload, n_changed) = if self.fused {
+            device.fused("basic_checkpoint", run)
+        } else {
+            run()
+        };
+
+        let diff = Diff {
+            kind: MethodKind::Basic,
+            ckpt_id,
+            data_len: chunking.data_len() as u64,
+            chunk_size: chunking.chunk_size() as u32,
+            first_regions: Vec::new(),
+            shift_regions: Vec::new(),
+            bitmap: bm,
+            payload_codec: 0,
+            payload,
+        };
+        let (measured_sec, modeled_sec) = timer.stop(&device);
+        let stats = CheckpointStats {
+            method: MethodKind::Basic,
+            ckpt_id,
+            uncompressed_bytes: data.len() as u64,
+            stored_bytes: diff.stored_bytes() as u64,
+            metadata_bytes: diff.metadata_bytes() as u64,
+            payload_bytes: diff.payload.len() as u64,
+            n_first: n_changed as u64,
+            n_shift: 0,
+            n_fixed_chunks: (n - n_changed) as u64,
+            measured_sec,
+            modeled_sec,
+        };
+        self.ckpt_id += 1;
+        CheckpointOutput { diff, stats }
+    }
+
+    fn device_state_bytes(&self) -> usize {
+        self.state.as_ref().map_or(0, |s| s.prev.len() * 16)
+    }
+}

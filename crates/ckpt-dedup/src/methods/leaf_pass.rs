@@ -1,0 +1,264 @@
+//! The shared leaf-hashing pass (Algorithm 1, lines 1–23).
+//!
+//! Both the `List` and `Tree` methods start identically: hash every chunk in
+//! parallel, classify it as a fixed duplicate (same digest at the same
+//! position as the previous checkpoint), a first occurrence (digest new to
+//! the historical record) or a shifted duplicate (digest already recorded at
+//! a different position), and keep the historical record pointing at the
+//! *earliest* occurrence within the current checkpoint (lines 13–16).
+
+use crate::chunking::Chunking;
+use crate::labels::{Label, LabelArray};
+use crate::tree::TreeShape;
+use crate::util::SharedSliceMut;
+use ckpt_hash::{Digest128, Hasher128};
+use gpu_sim::{ContentCache, Device, DistinctMap, InsertResult, KernelCost, MapEntry, Verification};
+
+/// Run the leaf pass for checkpoint `ckpt_id` of `data`.
+///
+/// * `digests` — per-node digest array; leaf slots hold the previous
+///   checkpoint's digests on entry and the current ones on exit.
+/// * `labels` — written with the per-leaf classification.
+/// * `map` — the historical record of unique hashes, updated with first
+///   occurrences.
+/// * `cache` — optional chunk-content cache (§2.4's hash-collision
+///   mitigation): first occurrences are cached; candidate duplicates whose
+///   cached bytes differ are *collisions* and are stored instead of
+///   referenced, under a salted digest so no ancestor consolidates on the
+///   colliding value.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run(
+    device: &Device,
+    shape: &TreeShape,
+    chunking: &Chunking,
+    hasher: &dyn Hasher128,
+    data: &[u8],
+    digests: &mut [Digest128],
+    labels: &LabelArray,
+    map: &DistinctMap,
+    ckpt_id: u32,
+    cache: Option<&ContentCache>,
+) {
+    debug_assert_eq!(data.len(), chunking.data_len());
+    debug_assert_eq!(shape.n_chunks(), chunking.n_chunks());
+    let tree = SharedSliceMut::new(digests);
+    let n = chunking.n_chunks();
+    let cost = KernelCost::stream(data.len() as u64)
+        .with_writes((n * std::mem::size_of::<Digest128>()) as u64);
+
+    device.parallel_for("leaf_hash_and_classify", n, cost, |c| {
+        let leaf = shape.leaf_of_chunk(c);
+        let chunk = chunking.chunk(data, c);
+        let digest = hasher.hash(chunk);
+        // A detected collision must not be referenced *or* become
+        // referenceable: the chunk is stored as a first occurrence under a
+        // digest salted with its position, which no other content hashes to.
+        let collide_to_first = |digest: &Digest128| {
+            let salt = Digest128::new(leaf as u64, ckpt_id as u64 | 1 << 63);
+            let salted = hasher.combine(digest, &salt);
+            // SAFETY: leaf owned by this thread.
+            unsafe { tree.write(leaf, salted) };
+            labels.set(leaf, Label::FirstOcur);
+        };
+        // SAFETY: leaf index owned by this thread for this kernel (the
+        // chunk→leaf map is a bijection).
+        let prev = unsafe { tree.read(leaf) };
+        if ckpt_id > 0 && digest == prev {
+            // Same digest at the same position. With verification on, guard
+            // against the chunk having changed into a colliding value.
+            match cache.map_or(Verification::Unknown, |c| c.verify(&digest, chunk)) {
+                Verification::Collision => {
+                    collide_to_first(&digest);
+                    return;
+                }
+                _ => {
+                    labels.set(leaf, Label::FixedDupl);
+                    return;
+                }
+            }
+        }
+        unsafe { tree.write(leaf, digest) };
+
+        // "Earlier" between two occurrences in the same checkpoint means
+        // smaller *chunk index* (data order), matching the sequential
+        // reference implementation exactly.
+        let earlier = |a: u32, b: u32| shape.chunk_of_leaf(a as usize) < shape.chunk_of_leaf(b as usize);
+
+        // Candidate duplicate paths verify content first when a cache is on.
+        let verified_collision = |cache: Option<&ContentCache>| {
+            cache.is_some_and(|c| c.verify(&digest, chunk) == Verification::Collision)
+        };
+
+        match map.insert(&digest, MapEntry::new(leaf as u32, ckpt_id)) {
+            InsertResult::Inserted => {
+                if let Some(c) = cache {
+                    c.insert(&digest, chunk);
+                }
+                labels.set(leaf, Label::FirstOcur);
+                // Close the displacement race: if a concurrently-running
+                // earlier leaf already displaced us, demote ourselves. Both
+                // orders of this re-check and the displacer's relabel
+                // converge to ShiftDupl.
+                if map.get(&digest).is_some_and(|e| e != MapEntry::new(leaf as u32, ckpt_id)) {
+                    labels.set(leaf, Label::ShiftDupl);
+                }
+            }
+            InsertResult::Exists(_) if verified_collision(cache) => collide_to_first(&digest),
+            InsertResult::Exists(e) if e.ckpt == ckpt_id && earlier(leaf as u32, e.node) => {
+                // This leaf is earlier than the recorded occurrence in the
+                // same checkpoint: make it canonical (lines 13–16) and
+                // relabel whoever we displaced as a shifted duplicate.
+                let (before, after) = map
+                    .update_with(&digest, |cur| {
+                        (cur.ckpt == ckpt_id && earlier(leaf as u32, cur.node))
+                            .then_some(MapEntry::new(leaf as u32, ckpt_id))
+                    })
+                    .expect("digest just observed must be present");
+                if after == MapEntry::new(leaf as u32, ckpt_id) {
+                    labels.set(leaf, Label::FirstOcur);
+                    if before.ckpt == ckpt_id && before.node != leaf as u32 {
+                        labels.set(before.node as usize, Label::ShiftDupl);
+                    }
+                    if map.get(&digest).is_some_and(|e2| e2 != MapEntry::new(leaf as u32, ckpt_id))
+                    {
+                        labels.set(leaf, Label::ShiftDupl);
+                    }
+                } else {
+                    // An even earlier leaf won while we were retrying.
+                    labels.set(leaf, Label::ShiftDupl);
+                }
+            }
+            InsertResult::Exists(_) => labels.set(leaf, Label::ShiftDupl),
+            InsertResult::OutOfCapacity => {
+                // Historical record exhausted: degrade gracefully by storing
+                // the chunk as payload (no dedup opportunity recorded).
+                labels.set(leaf, Label::FirstOcur)
+            }
+        }
+    });
+}
+
+/// Count leaves carrying each label (stats helper): returns
+/// `(first, fixed, shift)`.
+pub(crate) fn leaf_label_counts(shape: &TreeShape, labels: &LabelArray) -> (u64, u64, u64) {
+    let mut first = 0;
+    let mut fixed = 0;
+    let mut shift = 0;
+    for c in 0..shape.n_chunks() {
+        match labels.get(shape.leaf_of_chunk(c)) {
+            Label::FirstOcur => first += 1,
+            Label::FixedDupl => fixed += 1,
+            Label::ShiftDupl => shift += 1,
+            other => unreachable!("leaf with label {other:?} after leaf pass"),
+        }
+    }
+    (first, fixed, shift)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckpt_hash::Murmur3;
+
+    fn setup(data_len: usize, chunk_size: usize) -> (Device, TreeShape, Chunking) {
+        let ck = Chunking::new(data_len, chunk_size);
+        (Device::a100(), TreeShape::new(ck.n_chunks()), ck)
+    }
+
+    #[test]
+    fn first_checkpoint_all_first_or_shift() {
+        let (dev, shape, ck) = setup(32 * 8, 32);
+        // Chunks: A B A B C C D E -> first occurrences A,B,C,D,E; shifts: 2.
+        let mut data = vec![0u8; 256];
+        for (i, tag) in [0u8, 1, 0, 1, 2, 2, 3, 4].iter().enumerate() {
+            data[i * 32..(i + 1) * 32].fill(*tag);
+        }
+        let mut digests = vec![Digest128::ZERO; shape.n_nodes()];
+        let labels = LabelArray::new(shape.n_nodes());
+        let map = DistinctMap::with_capacity(64);
+        run(&dev, &shape, &ck, &Murmur3, &data, &mut digests, &labels, &map, 0, None);
+
+        let (first, fixed, shift) = leaf_label_counts(&shape, &labels);
+        assert_eq!(first, 5);
+        assert_eq!(fixed, 0);
+        assert_eq!(shift, 3);
+        assert_eq!(map.len(), 5);
+    }
+
+    #[test]
+    fn earliest_leaf_is_canonical() {
+        let (dev, shape, ck) = setup(32 * 4, 32);
+        let data = vec![7u8; 128]; // four identical chunks
+        let mut digests = vec![Digest128::ZERO; shape.n_nodes()];
+        let labels = LabelArray::new(shape.n_nodes());
+        let map = DistinctMap::with_capacity(16);
+        run(&dev, &shape, &ck, &Murmur3, &data, &mut digests, &labels, &map, 0, None);
+
+        let d = Murmur3.hash(&data[0..32]);
+        let entry = map.get(&d).unwrap();
+        // Canonical occurrence is the leaf with the smallest node id among
+        // the four (all four leaves hold the same digest).
+        let min_leaf = (0..4).map(|c| shape.leaf_of_chunk(c)).min().unwrap();
+        assert_eq!(entry.node as usize, min_leaf);
+        assert_eq!(labels.get(min_leaf), Label::FirstOcur);
+    }
+
+    #[test]
+    fn second_checkpoint_fixed_duplicates() {
+        let (dev, shape, ck) = setup(32 * 4, 32);
+        let mut data = vec![0u8; 128];
+        for (i, t) in [1u8, 2, 3, 4].iter().enumerate() {
+            data[i * 32..(i + 1) * 32].fill(*t);
+        }
+        let mut digests = vec![Digest128::ZERO; shape.n_nodes()];
+        let mut labels = LabelArray::new(shape.n_nodes());
+        let map = DistinctMap::with_capacity(64);
+        run(&dev, &shape, &ck, &Murmur3, &data, &mut digests, &labels, &map, 0, None);
+
+        // Second checkpoint: chunk 2 modified, rest unchanged.
+        data[2 * 32..3 * 32].fill(9);
+        labels.clear();
+        run(&dev, &shape, &ck, &Murmur3, &data, &mut digests, &labels, &map, 1, None);
+        let (first, fixed, shift) = leaf_label_counts(&shape, &labels);
+        assert_eq!(fixed, 3);
+        assert_eq!(first, 1);
+        assert_eq!(shift, 0);
+    }
+
+    #[test]
+    fn second_checkpoint_shifted_duplicate_of_old_data() {
+        let (dev, shape, ck) = setup(32 * 4, 32);
+        let mut data = vec![0u8; 128];
+        for (i, t) in [1u8, 2, 3, 4].iter().enumerate() {
+            data[i * 32..(i + 1) * 32].fill(*t);
+        }
+        let mut digests = vec![Digest128::ZERO; shape.n_nodes()];
+        let mut labels = LabelArray::new(shape.n_nodes());
+        let map = DistinctMap::with_capacity(64);
+        run(&dev, &shape, &ck, &Murmur3, &data, &mut digests, &labels, &map, 0, None);
+
+        // Chunk 0 now holds chunk 3's old content: shifted duplicate.
+        data[0..32].fill(4);
+        labels.clear();
+        run(&dev, &shape, &ck, &Murmur3, &data, &mut digests, &labels, &map, 1, None);
+        let leaf0 = shape.leaf_of_chunk(0);
+        assert_eq!(labels.get(leaf0), Label::ShiftDupl);
+        let entry = map.get(&Murmur3.hash(&data[0..32])).unwrap();
+        assert_eq!(entry.ckpt, 0);
+        assert_eq!(entry.node as usize, shape.leaf_of_chunk(3));
+    }
+
+    #[test]
+    fn degrades_to_first_ocur_when_map_full() {
+        let (dev, shape, ck) = setup(32 * 8, 32);
+        let data: Vec<u8> = (0..256u32).map(|i| (i / 32) as u8 * 17 + (i % 32) as u8).collect();
+        let mut digests = vec![Digest128::ZERO; shape.n_nodes()];
+        let labels = LabelArray::new(shape.n_nodes());
+        let map = DistinctMap::with_capacity(1); // 2-slot table, fills instantly
+        run(&dev, &shape, &ck, &Murmur3, &data, &mut digests, &labels, &map, 0, None);
+        let (first, fixed, shift) = leaf_label_counts(&shape, &labels);
+        // All chunks distinct; whatever did not fit became FirstOcur anyway.
+        assert_eq!(first, 8);
+        assert_eq!(fixed + shift, 0);
+    }
+}

@@ -1,0 +1,164 @@
+//! The **List** baseline: the paper's method without metadata compaction.
+//!
+//! "We implemented a List method that is identical to our method except for
+//! the metadata compaction, which is omitted. Instead, a full list of all
+//! first-time occurrences and shifted duplicates is stored along the new
+//! chunks" (§3.2). It shares the leaf pass — and therefore the full
+//! spatiotemporal de-duplication power — with the Tree method, but emits one
+//! metadata entry per non-fixed chunk, which is what the Tree method's
+//! hierarchical consolidation compacts away.
+
+use crate::chunking::Chunking;
+use crate::diff::MethodKind;
+use crate::labels::{Label, LabelArray};
+use crate::methods::tree::{resolve_shift_refs, serialize_diff, TreeConfig};
+use crate::methods::{leaf_pass, CheckpointOutput, Checkpointer, Timer};
+use crate::stats::CheckpointStats;
+use crate::tree::{MerkleTree, TreeShape};
+use ckpt_hash::{Hasher128, Murmur3};
+use gpu_sim::{Device, DistinctMap};
+
+/// The List method's persistent state across a checkpoint record.
+pub struct ListCheckpointer {
+    device: Device,
+    hasher: Box<dyn Hasher128>,
+    config: TreeConfig,
+    state: Option<State>,
+    ckpt_id: u32,
+}
+
+struct State {
+    chunking: Chunking,
+    /// Only the leaf slots are used; sharing [`MerkleTree`] keeps node ids
+    /// compatible with the common diff format and restore path.
+    tree: MerkleTree,
+    labels: LabelArray,
+    map: DistinctMap,
+}
+
+impl ListCheckpointer {
+    pub fn new(device: Device, config: TreeConfig) -> Self {
+        ListCheckpointer {
+            device,
+            hasher: Box::new(Murmur3),
+            config,
+            state: None,
+            ckpt_id: 0,
+        }
+    }
+
+    pub fn record_len(&self) -> usize {
+        self.state.as_ref().map_or(0, |s| s.map.len())
+    }
+}
+
+impl Checkpointer for ListCheckpointer {
+    fn kind(&self) -> MethodKind {
+        MethodKind::List
+    }
+
+    fn checkpoint(&mut self, data: &[u8]) -> CheckpointOutput {
+        let device = self.device.clone();
+        let ckpt_id = self.ckpt_id;
+        let timer = Timer::start(&device);
+        if self.state.is_none() {
+            let chunking = Chunking::new(data.len(), self.config.chunk_size);
+            let shape = TreeShape::new(chunking.n_chunks());
+            // The List record only ever holds leaf digests, so its natural
+            // capacity is per-chunk rather than per-node.
+            let map_cap = self.config.map_capacity.unwrap_or(4 * shape.n_chunks());
+            self.state = Some(State {
+                chunking,
+                tree: MerkleTree::new(chunking.n_chunks()),
+                labels: LabelArray::new(shape.n_nodes()),
+                map: DistinctMap::with_capacity(map_cap),
+            });
+        }
+        let hasher = &*self.hasher;
+        let fused = self.config.fused;
+        let state = self.state.as_mut().unwrap();
+        assert_eq!(data.len(), state.chunking.data_len(), "checkpoint size changed mid-record");
+        let shape = *state.tree.shape();
+        let chunking = state.chunking;
+        state.labels.clear();
+
+        let run = |state: &mut State| {
+            leaf_pass::run(
+                &device,
+                &shape,
+                &chunking,
+                hasher,
+                data,
+                state.tree.digests_mut(),
+                &state.labels,
+                &state.map,
+                ckpt_id,
+                None,
+            );
+            // No consolidation: every non-fixed leaf is its own region.
+            let mut first = Vec::new();
+            let mut shift_nodes = Vec::new();
+            for c in 0..chunking.n_chunks() {
+                let leaf = shape.leaf_of_chunk(c) as u32;
+                match state.labels.get(leaf as usize) {
+                    Label::FirstOcur => first.push(leaf),
+                    Label::ShiftDupl => shift_nodes.push(leaf),
+                    Label::FixedDupl => {}
+                    other => unreachable!("leaf labeled {other:?} after leaf pass"),
+                }
+            }
+            first.sort_unstable();
+            shift_nodes.sort_unstable();
+            let shift = resolve_shift_refs(
+                state.tree.digests(),
+                &state.map,
+                ckpt_id,
+                &shift_nodes,
+                &mut first,
+            );
+            serialize_diff(
+                &device,
+                &shape,
+                &chunking,
+                data,
+                ckpt_id,
+                MethodKind::List,
+                first,
+                shift,
+                None,
+                None,
+            )
+        };
+
+        let diff = if fused {
+            device.fused("list_dedup_checkpoint", || run(state))
+        } else {
+            run(state)
+        };
+
+        let (measured_sec, modeled_sec) = timer.stop(&device);
+        let (_, fixed, _) = leaf_pass::leaf_label_counts(&shape, &state.labels);
+        let stats = CheckpointStats {
+            method: MethodKind::List,
+            ckpt_id,
+            uncompressed_bytes: data.len() as u64,
+            stored_bytes: diff.stored_bytes() as u64,
+            metadata_bytes: diff.metadata_bytes() as u64,
+            payload_bytes: diff.payload.len() as u64,
+            n_first: diff.first_regions.len() as u64,
+            n_shift: diff.shift_regions.len() as u64,
+            n_fixed_chunks: fixed,
+            measured_sec,
+            modeled_sec,
+        };
+        self.ckpt_id += 1;
+        CheckpointOutput { diff, stats }
+    }
+
+    fn device_state_bytes(&self) -> usize {
+        self.state.as_ref().map_or(0, |s| {
+            // Only leaf digests are live for List.
+            s.chunking.n_chunks() * 16 + s.labels.len() + s.map.memory_bytes()
+        })
+    }
+}

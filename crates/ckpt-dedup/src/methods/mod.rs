@@ -1,0 +1,80 @@
+//! The four compared checkpointing methods.
+//!
+//! * [`full::FullCheckpointer`] — baseline: always store everything.
+//! * [`basic::BasicCheckpointer`] — hash chunks, compare position-wise with
+//!   the previous checkpoint, store a bitmap plus changed chunks.
+//! * [`list::ListCheckpointer`] — the paper's method *without* metadata
+//!   compaction: full per-chunk first-occurrence / shifted-duplicate lists.
+//! * [`tree::TreeCheckpointer`] — the paper's contribution: Merkle-tree
+//!   compacted metadata (Algorithm 1).
+//!
+//! All share the [`Checkpointer`] trait so experiments can sweep methods
+//! uniformly, and all parallel code paths run through the `gpu-sim` device so
+//! their modeled cost is comparable.
+
+pub mod basic;
+pub mod full;
+pub mod leaf_pass;
+pub mod list;
+pub mod tree;
+pub mod tree_naive;
+pub mod tree_serial;
+
+use crate::diff::{Diff, MethodKind};
+use crate::stats::CheckpointStats;
+
+/// One checkpoint's outputs: the encoded diff and its statistics.
+#[derive(Debug, Clone)]
+pub struct CheckpointOutput {
+    pub diff: Diff,
+    pub stats: CheckpointStats,
+}
+
+/// A checkpointing method with internal state accumulated across a record.
+///
+/// Implementations require every checkpoint in a record to have the same
+/// byte length (the paper's workload checkpoints a fixed-size GDV array);
+/// they panic otherwise.
+pub trait Checkpointer: Send {
+    /// Method identifier.
+    fn kind(&self) -> MethodKind;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+
+    /// Capture the next checkpoint of `data`, producing its diff and stats.
+    fn checkpoint(&mut self, data: &[u8]) -> CheckpointOutput;
+
+    /// Bytes of device memory held by the method's persistent state (hash
+    /// record, trees, label arrays) — the space overhead the paper discusses
+    /// in §2.1.
+    fn device_state_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// Book-keeping shared by the method implementations: wall-clock and modeled
+/// time around one `checkpoint()` call.
+pub(crate) struct Timer {
+    start: std::time::Instant,
+    modeled_before: f64,
+}
+
+impl Timer {
+    pub(crate) fn start(device: &gpu_sim::Device) -> Self {
+        Timer {
+            start: std::time::Instant::now(),
+            modeled_before: device.metrics().modeled_sec(),
+        }
+    }
+
+    /// (measured_sec, modeled_sec) elapsed since `start`.
+    pub(crate) fn stop(self, device: &gpu_sim::Device) -> (f64, f64) {
+        (
+            self.start.elapsed().as_secs_f64(),
+            device.metrics().modeled_sec() - self.modeled_before,
+        )
+    }
+}

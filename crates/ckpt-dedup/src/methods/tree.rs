@@ -1,0 +1,609 @@
+//! The paper's contribution: Merkle-tree de-duplication with compact
+//! metadata (the **Tree** method, Algorithm 1).
+//!
+//! Pipeline per checkpoint, all inside one fused device kernel:
+//!
+//! 1. **Leaf pass** (lines 1–23): hash + classify every chunk
+//!    ([`super::leaf_pass`]).
+//! 2. **First-occurrence consolidation** (lines 24–32): level-by-level
+//!    bottom-up, consolidate adjacent first-occurrence subtrees, inserting
+//!    each consolidated region's digest into the historical record.
+//! 3. **Shifted-duplicate consolidation and region collection** (lines
+//!    33–46): level-by-level bottom-up over the remaining nodes, consolidate
+//!    adjacent shifted duplicates when their combined digest is already
+//!    recorded, propagate fixed duplicates, and emit the roots of maximal
+//!    uniform regions.
+//!
+//! Stages 2 and 3 are strictly ordered ("we process the sub-trees
+//! corresponding to the first-time occurrences, then ... the shifted
+//! duplicates") so a shifted-duplicate lookup never races with the
+//! first-occurrence insert it should match — the missed-dedup hazard §2.2
+//! calls out. The ablation benchmark `waves` quantifies what a fused
+//! single-stage pass would lose.
+//!
+//! 4. **Serialization**: region tables plus a team-cooperative gather of
+//!    first-occurrence bytes into one contiguous device buffer, then a single
+//!    device-to-host transfer (§2.1, §2.4).
+
+use crate::chunking::Chunking;
+use crate::diff::{Diff, MethodKind, ShiftRegion};
+use crate::labels::{Label, LabelArray};
+use crate::methods::{leaf_pass, CheckpointOutput, Checkpointer, Timer};
+use crate::stats::CheckpointStats;
+use crate::tree::{MerkleTree, TreeShape};
+use crate::util::SharedSliceMut;
+use ckpt_hash::{Hasher128, Murmur3};
+use gpu_sim::{Device, DistinctMap, InsertResult, KernelCost, MapEntry};
+use std::sync::atomic::{AtomicU8, Ordering as AtomicOrdering};
+
+/// Configuration for [`TreeCheckpointer`] (and [`super::list::ListCheckpointer`]).
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// De-duplication granularity in bytes (32–512 in the paper's sweeps).
+    pub chunk_size: usize,
+    /// Capacity of the historical record of unique hashes. `None` sizes it
+    /// to `4 × (2·n_chunks − 1)` digests at the first checkpoint, enough for
+    /// several checkpoints of fully-new data before graceful degradation.
+    pub map_capacity: Option<usize>,
+    /// Run the whole pipeline as one fused kernel (§2.1). Disable to measure
+    /// the per-launch latency a naive multi-kernel implementation pays.
+    pub fused: bool,
+    /// Compress the first-occurrence payload with this codec before the
+    /// device-to-host transfer (`ckpt_compress::codec_id`) — the paper's §5
+    /// dedup+compression hybrid. `None` ships raw bytes.
+    pub payload_codec: Option<u8>,
+    /// Overlap payload serialization with the device-to-host transfer as an
+    /// `n`-slice pipeline (§5's streaming extension). `None` serializes then
+    /// transfers sequentially. Mutually exclusive with `payload_codec`
+    /// (compression needs the whole payload before the transfer).
+    pub streamed_slices: Option<u32>,
+    /// §2.4's hash-collision mitigation: keep a device-resident cache of
+    /// first-occurrence chunk contents and verify candidate duplicates
+    /// against it; detected collisions are stored instead of referenced.
+    pub verify_collisions: bool,
+}
+
+impl TreeConfig {
+    pub fn new(chunk_size: usize) -> Self {
+        TreeConfig {
+            chunk_size,
+            map_capacity: None,
+            fused: true,
+            payload_codec: None,
+            streamed_slices: None,
+            verify_collisions: false,
+        }
+    }
+
+    /// Enable the §5 hybrid with the named codec ("zstd", "lz4", …).
+    pub fn with_payload_codec(mut self, name: &str) -> Self {
+        assert!(self.streamed_slices.is_none(), "streaming and compression are exclusive");
+        self.payload_codec =
+            Some(ckpt_compress::codec_id(name).unwrap_or_else(|| panic!("unknown codec {name}")));
+        self
+    }
+
+    /// Enable §5's streaming extension: overlap serialization with the
+    /// transfer as an `n`-slice pipeline.
+    pub fn with_streaming(mut self, n_slices: u32) -> Self {
+        assert!(self.payload_codec.is_none(), "streaming and compression are exclusive");
+        self.streamed_slices = Some(n_slices.max(1));
+        self
+    }
+
+    /// Enable §2.4's collision verification via a chunk-content cache.
+    pub fn with_collision_verification(mut self) -> Self {
+        self.verify_collisions = true;
+        self
+    }
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self::new(128)
+    }
+}
+
+/// The Tree method's persistent state across a checkpoint record.
+pub struct TreeCheckpointer {
+    device: Device,
+    hasher: Box<dyn Hasher128>,
+    config: TreeConfig,
+    codec: Option<(u8, Box<dyn ckpt_compress::Codec>)>,
+    state: Option<State>,
+    ckpt_id: u32,
+}
+
+struct State {
+    chunking: Chunking,
+    tree: MerkleTree,
+    labels: LabelArray,
+    map: DistinctMap,
+    cache: Option<gpu_sim::ContentCache>,
+}
+
+impl TreeCheckpointer {
+    pub fn new(device: Device, config: TreeConfig) -> Self {
+        Self::with_hasher(device, config, Box::new(Murmur3))
+    }
+
+    /// Use a custom hash function (the A1 ablation swaps in MD5).
+    pub fn with_hasher(device: Device, config: TreeConfig, hasher: Box<dyn Hasher128>) -> Self {
+        let codec = config.payload_codec.map(|id| {
+            (id, ckpt_compress::codec_by_id(id).expect("validated by TreeConfig"))
+        });
+        TreeCheckpointer { device, hasher, config, codec, state: None, ckpt_id: 0 }
+    }
+
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Number of checkpoints taken so far.
+    pub fn checkpoints_taken(&self) -> u32 {
+        self.ckpt_id
+    }
+
+    /// Unique digests in the historical record.
+    pub fn record_len(&self) -> usize {
+        self.state.as_ref().map_or(0, |s| s.map.len())
+    }
+
+    fn init_state(&mut self, data_len: usize) -> &mut State {
+        let chunking = Chunking::new(data_len, self.config.chunk_size);
+        let shape = TreeShape::new(chunking.n_chunks());
+        let map_cap = self.config.map_capacity.unwrap_or(4 * shape.n_nodes());
+        let cache = self.config.verify_collisions.then(|| {
+            gpu_sim::ContentCache::new(2 * shape.n_chunks(), self.config.chunk_size)
+        });
+        self.state = Some(State {
+            chunking,
+            tree: MerkleTree::new(chunking.n_chunks()),
+            labels: LabelArray::new(shape.n_nodes()),
+            map: DistinctMap::with_capacity(map_cap),
+            cache,
+        });
+        self.state.as_mut().unwrap()
+    }
+}
+
+/// Regions emitted by the collection pass, before payload gathering.
+#[derive(Debug, Default)]
+pub(crate) struct EmittedRegions {
+    pub first: Vec<u32>,
+    pub shift_nodes: Vec<u32>,
+}
+
+/// Pass 2: consolidate first-occurrence subtrees bottom-up (lines 24–32).
+pub(crate) fn first_ocur_pass(
+    device: &Device,
+    shape: &TreeShape,
+    hasher: &dyn Hasher128,
+    digests: &mut [ckpt_hash::Digest128],
+    labels: &LabelArray,
+    map: &DistinctMap,
+    ckpt_id: u32,
+) {
+    let tree = SharedSliceMut::new(digests);
+    for (lo, hi) in shape.interior_levels_bottom_up() {
+        let width = hi - lo;
+        let cost = KernelCost::stream((width * 2 * 16) as u64).with_writes((width * 16) as u64);
+        device.parallel_for("consolidate_first_ocur", width, cost, |k| {
+            let node = lo + k;
+            let (cl, cr) = (shape.left(node), shape.right(node));
+            if labels.get(cl) == Label::FirstOcur && labels.get(cr) == Label::FirstOcur {
+                // SAFETY: children were finalized by the previous level's
+                // kernel (fork-join barrier); `node` is owned by this thread.
+                let (dl, dr) = unsafe { (tree.read(cl), tree.read(cr)) };
+                let combined = hasher.combine(&dl, &dr);
+                unsafe { tree.write(node, combined) };
+                let me = MapEntry::new(node as u32, ckpt_id);
+                match map.insert(&combined, me) {
+                    InsertResult::Inserted => {
+                        labels.set(node, Label::FirstOcur);
+                        // See the leaf pass: demote ourselves if an earlier
+                        // twin displaced us concurrently.
+                        if map.get(&combined).is_some_and(|e| e != me) {
+                            labels.set(node, Label::ShiftDupl);
+                        }
+                    }
+                    // A twin subtree elsewhere already registered this
+                    // digest: this whole region is a shifted duplicate. Keep
+                    // the record pointing at the leftmost twin (nodes within
+                    // a level are in data order) so the outcome matches the
+                    // sequential reference. Displacement is restricted to
+                    // twins on the *same level* — a twin on a deeper level
+                    // was finalized by an earlier kernel and its parent may
+                    // be consuming its label concurrently with ours, so
+                    // relabeling it here would race.
+                    InsertResult::Exists(e)
+                        if e.ckpt == ckpt_id
+                            && (node as u32) < e.node
+                            && shape.depth(node) == shape.depth(e.node as usize) =>
+                    {
+                        let (before, after) = map
+                            .update_with(&combined, |cur| {
+                                (cur.ckpt == ckpt_id && (node as u32) < cur.node).then_some(me)
+                            })
+                            .expect("digest just observed must be present");
+                        if after == me {
+                            labels.set(node, Label::FirstOcur);
+                            if before.ckpt == ckpt_id && before.node != node as u32 {
+                                labels.set(before.node as usize, Label::ShiftDupl);
+                            }
+                            if map.get(&combined).is_some_and(|e2| e2 != me) {
+                                labels.set(node, Label::ShiftDupl);
+                            }
+                        } else {
+                            labels.set(node, Label::ShiftDupl);
+                        }
+                    }
+                    InsertResult::Exists(_) => labels.set(node, Label::ShiftDupl),
+                    InsertResult::OutOfCapacity => labels.set(node, Label::FirstOcur),
+                }
+            }
+        });
+    }
+}
+
+/// Pass 3: consolidate shifted duplicates, propagate fixed duplicates, and
+/// collect maximal region roots (lines 33–46).
+///
+/// Per §2.2, a consolidated region "is added to the historical record of
+/// unique hashes" even when its combined digest is *new*: the first
+/// occurrence of a shifted-pair pattern registers itself so that every later
+/// twin — in this checkpoint or any future one — consolidates against it.
+/// This is what collapses constant regions (a page of zero chunks needs
+/// O(log) metadata entries instead of one per chunk) and recurring
+/// multi-chunk patterns. Each level therefore runs in two sub-kernels:
+/// first publish combined digests into the record (with the same
+/// earliest-twin canonicalization as the other passes, so the outcome is
+/// deterministic), then decide labels and emit regions.
+pub(crate) fn collect_pass(
+    device: &Device,
+    shape: &TreeShape,
+    hasher: &dyn Hasher128,
+    digests: &mut [ckpt_hash::Digest128],
+    labels: &LabelArray,
+    map: &DistinctMap,
+    ckpt_id: u32,
+) -> EmittedRegions {
+    let tree = SharedSliceMut::new(digests);
+    // Lock-free emission, GPU style: kernels set a per-node flag (1 = first
+    // occurrence region, 2 = shifted region) and the lists are built
+    // afterwards by stream compaction — no mutex exists in a real kernel.
+    let emit_flags: Vec<AtomicU8> = (0..shape.n_nodes()).map(|_| AtomicU8::new(0)).collect();
+    let emit = |node: usize| match labels.get(node) {
+        Label::FirstOcur => emit_flags[node].store(1, AtomicOrdering::Relaxed),
+        Label::ShiftDupl => emit_flags[node].store(2, AtomicOrdering::Relaxed),
+        // Fixed duplicates are omitted; Mixed children already emitted
+        // their own regions at a deeper level.
+        Label::FixedDupl | Label::Mixed => {}
+        Label::None => unreachable!("unlabeled child below current level"),
+    };
+
+    for (lo, hi) in shape.interior_levels_bottom_up() {
+        let width = hi - lo;
+        let cost = KernelCost::stream((width * 2 * 16) as u64);
+
+        // Sub-kernel 1: combine shifted pairs and publish their digests.
+        device.parallel_for("consolidate_shift_publish", width, cost, |k| {
+            let node = lo + k;
+            if labels.get(node) != Label::None {
+                return; // consolidated in the first-occurrence pass
+            }
+            let (cl, cr) = (shape.left(node), shape.right(node));
+            if labels.get(cl) == Label::ShiftDupl && labels.get(cr) == Label::ShiftDupl {
+                // SAFETY: children finalized by previous levels; `node`
+                // owned by this thread.
+                let (dl, dr) = unsafe { (tree.read(cl), tree.read(cr)) };
+                let combined = hasher.combine(&dl, &dr);
+                unsafe { tree.write(node, combined) };
+                let me = MapEntry::new(node as u32, ckpt_id);
+                match map.insert(&combined, me) {
+                    InsertResult::Inserted | InsertResult::OutOfCapacity => {}
+                    // Keep the record pointing at the leftmost same-level
+                    // twin so the decision sub-kernel is deterministic (the
+                    // sequential reference processes nodes in ascending
+                    // order). Cross-level twins keep the deeper entry:
+                    // referencing it consolidates better than re-publishing.
+                    InsertResult::Exists(e)
+                        if e.ckpt == ckpt_id
+                            && (node as u32) < e.node
+                            && shape.depth(node) == shape.depth(e.node as usize) =>
+                    {
+                        map.update_with(&combined, |cur| {
+                            (cur.ckpt == ckpt_id
+                                && (node as u32) < cur.node
+                                && shape.depth(node) == shape.depth(cur.node as usize))
+                            .then_some(me)
+                        });
+                    }
+                    InsertResult::Exists(_) => {}
+                }
+            }
+        });
+
+        // Sub-kernel 2: decide labels and emit the regions that cannot
+        // consolidate further.
+        device.parallel_for("consolidate_shift_decide", width, cost, |k| {
+            let node = lo + k;
+            if labels.get(node) != Label::None {
+                return;
+            }
+            let (cl, cr) = (shape.left(node), shape.right(node));
+            match (labels.get(cl), labels.get(cr)) {
+                (Label::FixedDupl, Label::FixedDupl) => labels.set(node, Label::FixedDupl),
+                (Label::ShiftDupl, Label::ShiftDupl) => {
+                    // SAFETY: written by sub-kernel 1 (fork-join barrier).
+                    let combined = unsafe { tree.read(node) };
+                    match map.get(&combined) {
+                        Some(e) if !(e.node == node as u32 && e.ckpt == ckpt_id) => {
+                            // A prior occurrence exists: this whole region
+                            // is a shifted duplicate of it.
+                            labels.set(node, Label::ShiftDupl);
+                        }
+                        // We are the canonical first occurrence of this
+                        // pattern (or the record is full): the children are
+                        // the maximal representable regions.
+                        _ => {
+                            labels.set(node, Label::Mixed);
+                            emit(cl);
+                            emit(cr);
+                        }
+                    }
+                }
+                _ => {
+                    labels.set(node, Label::Mixed);
+                    emit(cl);
+                    emit(cr);
+                }
+            }
+        });
+    }
+
+    // The root of a fully-uniform tree never had a parent to emit it.
+    emit(0);
+
+    compact_emissions(device, &emit_flags)
+}
+
+/// Build the sorted region lists from per-node emission flags with two
+/// device compactions.
+pub(crate) fn compact_emissions(device: &Device, emit_flags: &[AtomicU8]) -> EmittedRegions {
+    let first_flags: Vec<u8> = emit_flags
+        .iter()
+        .map(|f| (f.load(AtomicOrdering::Relaxed) == 1) as u8)
+        .collect();
+    let shift_flags: Vec<u8> = emit_flags
+        .iter()
+        .map(|f| (f.load(AtomicOrdering::Relaxed) == 2) as u8)
+        .collect();
+    EmittedRegions {
+        first: device.compact_indices("compact_first_regions", &first_flags),
+        shift_nodes: device.compact_indices("compact_shift_regions", &shift_flags),
+    }
+}
+
+/// Resolve each emitted shifted-duplicate node to its historical reference.
+pub(crate) fn resolve_shift_refs(
+    digests: &[ckpt_hash::Digest128],
+    map: &DistinctMap,
+    ckpt_id: u32,
+    shift_nodes: &[u32],
+    first: &mut Vec<u32>,
+) -> Vec<ShiftRegion> {
+    let mut out = Vec::with_capacity(shift_nodes.len());
+    for &node in shift_nodes {
+        let digest = digests[node as usize];
+        match map.get(&digest) {
+            Some(e) if !(e.node == node && e.ckpt == ckpt_id) => {
+                out.push(ShiftRegion { node, ref_node: e.node, ref_ckpt: e.ckpt });
+            }
+            // Defensive: a self-reference or vanished entry would make the
+            // diff unrestorable — store the data instead. Unreachable under
+            // the algorithm's invariants, cheap to keep as a safety net.
+            _ => first.push(node),
+        }
+    }
+    first.sort_unstable();
+    out
+}
+
+/// Gather the payload for the first-occurrence regions and build the diff.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn serialize_diff(
+    device: &Device,
+    shape: &TreeShape,
+    chunking: &Chunking,
+    data: &[u8],
+    ckpt_id: u32,
+    kind: MethodKind,
+    first: Vec<u32>,
+    shift: Vec<ShiftRegion>,
+    codec: Option<&(u8, Box<dyn ckpt_compress::Codec>)>,
+    streamed_slices: Option<u32>,
+) -> Diff {
+    let segments: Vec<(usize, usize)> = first
+        .iter()
+        .map(|&node| {
+            let (clo, chi) = shape.chunk_range(node as usize);
+            let (a, b) = chunking.byte_range_of_chunks(clo, chi);
+            (a, b - a)
+        })
+        .collect();
+    let payload_len: usize = segments.iter().map(|s| s.1).sum();
+
+    if let Some(n_slices) = streamed_slices {
+        // §5 streaming extension: gather and transfer overlap as a pipeline.
+        let payload =
+            device.streamed_gather_to_host("serialize_streamed", data, &segments, n_slices);
+        device.account_d2h_bytes((first.len() * 4 + shift.len() * 12) as u64);
+        return Diff {
+            kind,
+            ckpt_id,
+            data_len: chunking.data_len() as u64,
+            chunk_size: chunking.chunk_size() as u32,
+            first_regions: first,
+            shift_regions: shift,
+            bitmap: Vec::new(),
+            payload_codec: 0,
+            payload,
+        };
+    }
+
+    // Consolidate scattered regions into one contiguous device buffer with
+    // team-cooperative copies, then one device-to-host transfer (§2.1).
+    let mut staging = device.alloc::<u8>(payload_len);
+    device.team_gather("serialize_payload", data, &segments, staging.as_mut_slice());
+
+    // Optional §5 hybrid: compress the consolidated first occurrences on the
+    // device before the transfer (modeled as one more kernel over the
+    // payload), shipping whichever representation is smaller.
+    let (payload_codec, payload) = match codec {
+        Some((id, codec)) if payload_len > 0 => {
+            let packed = codec.compress(staging.as_slice());
+            device.parallel_for(
+                "compress_payload",
+                0,
+                KernelCost {
+                    bytes_read: payload_len as u64,
+                    bytes_written: packed.len() as u64,
+                    flops: (payload_len as f64 * codec.flops_per_byte()) as u64,
+                },
+                |_| {},
+            );
+            if packed.len() < payload_len {
+                device.account_d2h_bytes(packed.len() as u64);
+                (*id, packed)
+            } else {
+                (0, staging.copy_prefix_to_host(payload_len))
+            }
+        }
+        _ => (0, staging.copy_prefix_to_host(payload_len)),
+    };
+    // The metadata tables ride along in the same consolidated transfer.
+    device.account_d2h_bytes((first.len() * 4 + shift.len() * 12) as u64);
+
+    Diff {
+        kind,
+        ckpt_id,
+        data_len: chunking.data_len() as u64,
+        chunk_size: chunking.chunk_size() as u32,
+        first_regions: first,
+        shift_regions: shift,
+        bitmap: Vec::new(),
+        payload_codec,
+        payload,
+    }
+}
+
+impl Checkpointer for TreeCheckpointer {
+    fn kind(&self) -> MethodKind {
+        MethodKind::Tree
+    }
+
+    fn checkpoint(&mut self, data: &[u8]) -> CheckpointOutput {
+        let device = self.device.clone();
+        let ckpt_id = self.ckpt_id;
+        let timer = Timer::start(&device);
+        if self.state.is_none() {
+            self.init_state(data.len());
+        }
+        let hasher = &*self.hasher;
+        let fused = self.config.fused;
+        let codec = self.codec.as_ref();
+        let streamed = self.config.streamed_slices;
+        let state = self.state.as_mut().unwrap();
+        assert_eq!(
+            data.len(),
+            state.chunking.data_len(),
+            "checkpoint size changed mid-record"
+        );
+        let shape = *state.tree.shape();
+        let chunking = state.chunking;
+        state.labels.clear();
+
+        let run = |state: &mut State| {
+            leaf_pass::run(
+                &device,
+                &shape,
+                &chunking,
+                hasher,
+                data,
+                state.tree.digests_mut(),
+                &state.labels,
+                &state.map,
+                ckpt_id,
+                state.cache.as_ref(),
+            );
+            first_ocur_pass(
+                &device,
+                &shape,
+                hasher,
+                state.tree.digests_mut(),
+                &state.labels,
+                &state.map,
+                ckpt_id,
+            );
+            let mut regions = collect_pass(
+                &device,
+                &shape,
+                hasher,
+                state.tree.digests_mut(),
+                &state.labels,
+                &state.map,
+                ckpt_id,
+            );
+            let shift = resolve_shift_refs(
+                state.tree.digests(),
+                &state.map,
+                ckpt_id,
+                &regions.shift_nodes,
+                &mut regions.first,
+            );
+            serialize_diff(
+                &device,
+                &shape,
+                &chunking,
+                data,
+                ckpt_id,
+                MethodKind::Tree,
+                regions.first,
+                shift,
+                codec,
+                streamed,
+            )
+        };
+
+        let diff = if fused {
+            device.fused("tree_dedup_checkpoint", || run(state))
+        } else {
+            run(state)
+        };
+
+        let (measured_sec, modeled_sec) = timer.stop(&device);
+        let (_, fixed, _) = leaf_pass::leaf_label_counts(&shape, &state.labels);
+        let stats = CheckpointStats {
+            method: MethodKind::Tree,
+            ckpt_id,
+            uncompressed_bytes: data.len() as u64,
+            stored_bytes: diff.stored_bytes() as u64,
+            metadata_bytes: diff.metadata_bytes() as u64,
+            payload_bytes: diff.payload.len() as u64,
+            n_first: diff.first_regions.len() as u64,
+            n_shift: diff.shift_regions.len() as u64,
+            n_fixed_chunks: fixed,
+            measured_sec,
+            modeled_sec,
+        };
+        self.ckpt_id += 1;
+        CheckpointOutput { diff, stats }
+    }
+
+    fn device_state_bytes(&self) -> usize {
+        self.state.as_ref().map_or(0, |s| {
+            s.tree.memory_bytes() + s.labels.len() + s.map.memory_bytes()
+        })
+    }
+}

@@ -1,0 +1,52 @@
+//! Running a sequence of checkpoints through one method.
+
+use crate::diff::Diff;
+use crate::methods::Checkpointer;
+use crate::stats::RecordStats;
+
+/// The outcome of checkpointing a sequence of snapshots: the diffs plus the
+/// aggregated statistics.
+#[derive(Debug)]
+pub struct CheckpointRecord {
+    pub diffs: Vec<Diff>,
+    pub stats: RecordStats,
+}
+
+impl CheckpointRecord {
+    /// Total bytes stored across the record.
+    pub fn total_stored(&self) -> u64 {
+        self.stats.total_stored()
+    }
+}
+
+/// Feed every snapshot to `method` in order, collecting diffs and stats.
+pub fn run_record<'a>(
+    method: &mut dyn Checkpointer,
+    snapshots: impl IntoIterator<Item = &'a [u8]>,
+) -> CheckpointRecord {
+    let mut diffs = Vec::new();
+    let mut stats = RecordStats::new();
+    for snap in snapshots {
+        let out = method.checkpoint(snap);
+        stats.push(out.stats);
+        diffs.push(out.diff);
+    }
+    CheckpointRecord { diffs, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::full::FullCheckpointer;
+
+    #[test]
+    fn record_collects_all_snapshots() {
+        let dev = gpu_sim::Device::a100();
+        let mut m = FullCheckpointer::new(dev, 64);
+        let snaps: Vec<Vec<u8>> = (0..3).map(|i| vec![i as u8; 256]).collect();
+        let rec = run_record(&mut m, snaps.iter().map(|s| s.as_slice()));
+        assert_eq!(rec.diffs.len(), 3);
+        assert_eq!(rec.stats.len(), 3);
+        assert_eq!(rec.stats.total_uncompressed(), 3 * 256);
+    }
+}

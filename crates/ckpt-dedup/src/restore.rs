@@ -1,0 +1,445 @@
+//! Checkpoint reconstruction from a record of incremental diffs.
+//!
+//! "To restore a checkpoint from the differences, it is enough to start from
+//! the first-time occurrences, then fill the fixed duplicates and finally
+//! assemble the shifted duplicates from the corresponding checkpoint ID
+//! (which can be a previous checkpoint or the current checkpoint to be
+//! restored)" (§2.2).
+//!
+//! Concretely, version `k` is materialized as: clone version `k-1` (this
+//! realizes every fixed duplicate), write the first-occurrence payload into
+//! its regions, then resolve shifted duplicates by copying from the
+//! referenced checkpoint's materialized buffer. Shifted duplicates that
+//! reference the *current* checkpoint may depend on one another (a region
+//! can duplicate data that itself sits under another shifted region), so
+//! they are applied with a chunk-granularity readiness fixpoint; the
+//! emission rules guarantee the dependency graph is acyclic, so the loop
+//! always makes progress on well-formed diffs.
+
+use crate::chunking::Chunking;
+use crate::diff::{bitmap, Diff, MethodKind};
+use crate::tree::TreeShape;
+use std::borrow::Cow;
+
+/// Errors surfaced while reconstructing checkpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreError {
+    /// Diff `ckpt_id`s must be 0, 1, 2, … in order.
+    OutOfOrder { index: usize, ckpt_id: u32 },
+    /// All diffs in a record must come from one method.
+    MixedKinds { expected: MethodKind, found: MethodKind },
+    /// Geometry (data length / chunk size) changed mid-record.
+    GeometryChanged,
+    /// A payload was shorter than its region table requires.
+    PayloadTruncated { ckpt_id: u32 },
+    /// A shifted duplicate referenced a checkpoint that does not exist yet.
+    ForwardReference { ckpt_id: u32, ref_ckpt: u32 },
+    /// A shifted duplicate's source span does not match its target span.
+    SpanMismatch { node: u32, ref_node: u32 },
+    /// Same-checkpoint shifted duplicates could not be resolved (cycle or
+    /// corrupt reference).
+    UnresolvableShifts { ckpt_id: u32, remaining: usize },
+    /// The payload claims a compression codec this build does not know.
+    UnknownCodec { ckpt_id: u32, codec: u8 },
+    /// The compressed payload failed to decompress.
+    PayloadCorrupt { ckpt_id: u32 },
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::OutOfOrder { index, ckpt_id } => {
+                write!(f, "diff at position {index} has ckpt_id {ckpt_id}")
+            }
+            RestoreError::MixedKinds { expected, found } => {
+                write!(f, "record mixes methods: {} vs {}", expected.name(), found.name())
+            }
+            RestoreError::GeometryChanged => write!(f, "data length or chunk size changed"),
+            RestoreError::PayloadTruncated { ckpt_id } => {
+                write!(f, "payload truncated in checkpoint {ckpt_id}")
+            }
+            RestoreError::ForwardReference { ckpt_id, ref_ckpt } => {
+                write!(f, "checkpoint {ckpt_id} references future checkpoint {ref_ckpt}")
+            }
+            RestoreError::SpanMismatch { node, ref_node } => {
+                write!(f, "shift region {node} has mismatched source {ref_node}")
+            }
+            RestoreError::UnresolvableShifts { ckpt_id, remaining } => {
+                write!(f, "{remaining} unresolvable shifted duplicates in checkpoint {ckpt_id}")
+            }
+            RestoreError::UnknownCodec { ckpt_id, codec } => {
+                write!(f, "checkpoint {ckpt_id} uses unknown payload codec {codec}")
+            }
+            RestoreError::PayloadCorrupt { ckpt_id } => {
+                write!(f, "checkpoint {ckpt_id} payload failed to decompress")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+/// Incrementally materializes a checkpoint record.
+///
+/// Keeps every restored version in memory because shifted duplicates may
+/// reference any previous checkpoint (the paper keeps the record on storage
+/// tiers; random access there is the runtime crate's concern).
+pub struct Restorer {
+    kind: Option<MethodKind>,
+    data_len: usize,
+    chunk_size: usize,
+    versions: Vec<Vec<u8>>,
+}
+
+impl Restorer {
+    pub fn new() -> Self {
+        Restorer { kind: None, data_len: 0, chunk_size: 0, versions: Vec::new() }
+    }
+
+    /// Number of versions materialized so far.
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+
+    /// Materialized bytes of version `k`.
+    pub fn version(&self, k: usize) -> Option<&[u8]> {
+        self.versions.get(k).map(|v| v.as_slice())
+    }
+
+    /// The most recently applied version.
+    pub fn latest(&self) -> Option<&[u8]> {
+        self.versions.last().map(|v| v.as_slice())
+    }
+
+    /// Apply the next diff in sequence, materializing its version.
+    pub fn apply(&mut self, diff: &Diff) -> Result<&[u8], RestoreError> {
+        let index = self.versions.len();
+        if diff.ckpt_id as usize != index {
+            return Err(RestoreError::OutOfOrder { index, ckpt_id: diff.ckpt_id });
+        }
+        match self.kind {
+            None => {
+                self.kind = Some(diff.kind);
+                self.data_len = diff.data_len as usize;
+                self.chunk_size = diff.chunk_size as usize;
+            }
+            Some(k) => {
+                if k != diff.kind {
+                    return Err(RestoreError::MixedKinds { expected: k, found: diff.kind });
+                }
+                if self.data_len != diff.data_len as usize
+                    || self.chunk_size != diff.chunk_size as usize
+                {
+                    return Err(RestoreError::GeometryChanged);
+                }
+            }
+        }
+
+        let prev: Option<&[u8]> = index.checked_sub(1).map(|i| self.versions[i].as_slice());
+        let buf = match diff.kind {
+            MethodKind::Full => restore_full(diff)?,
+            MethodKind::Basic => restore_basic(diff, prev)?,
+            MethodKind::List | MethodKind::Tree => restore_regions(diff, prev, &self.versions)?,
+        };
+        self.versions.push(buf);
+        Ok(self.versions.last().unwrap())
+    }
+}
+
+impl Default for Restorer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Materialize every version of a record.
+pub fn restore_record(diffs: &[Diff]) -> Result<Vec<Vec<u8>>, RestoreError> {
+    let mut r = Restorer::new();
+    for d in diffs {
+        r.apply(d)?;
+    }
+    Ok(r.versions)
+}
+
+/// Materialize only the final version of a record.
+pub fn restore_latest(diffs: &[Diff]) -> Result<Vec<u8>, RestoreError> {
+    let mut versions = restore_record(diffs)?;
+    versions.pop().ok_or(RestoreError::UnresolvableShifts { ckpt_id: 0, remaining: 0 })
+}
+
+/// The diff's payload with any §5 hybrid compression undone.
+pub(crate) fn decoded_payload(diff: &Diff) -> Result<Cow<'_, [u8]>, RestoreError> {
+    if diff.payload_codec == 0 {
+        return Ok(Cow::Borrowed(&diff.payload));
+    }
+    let codec = ckpt_compress::codec_by_id(diff.payload_codec).ok_or(
+        RestoreError::UnknownCodec { ckpt_id: diff.ckpt_id, codec: diff.payload_codec },
+    )?;
+    codec
+        .decompress(&diff.payload)
+        .map(Cow::Owned)
+        .map_err(|_| RestoreError::PayloadCorrupt { ckpt_id: diff.ckpt_id })
+}
+
+fn restore_full(diff: &Diff) -> Result<Vec<u8>, RestoreError> {
+    let payload = decoded_payload(diff)?;
+    if payload.len() != diff.data_len as usize {
+        return Err(RestoreError::PayloadTruncated { ckpt_id: diff.ckpt_id });
+    }
+    Ok(payload.into_owned())
+}
+
+fn restore_basic(diff: &Diff, prev: Option<&[u8]>) -> Result<Vec<u8>, RestoreError> {
+    let payload = decoded_payload(diff)?;
+    let ck = Chunking::new(diff.data_len as usize, diff.chunk_size as usize);
+    let mut buf = match prev {
+        Some(p) => p.to_vec(),
+        None => vec![0u8; diff.data_len as usize],
+    };
+    let mut cursor = 0usize;
+    for c in 0..ck.n_chunks() {
+        if bitmap::get(&diff.bitmap, c) {
+            let (a, b) = ck.byte_range(c);
+            let len = b - a;
+            if cursor + len > payload.len() {
+                return Err(RestoreError::PayloadTruncated { ckpt_id: diff.ckpt_id });
+            }
+            buf[a..b].copy_from_slice(&payload[cursor..cursor + len]);
+            cursor += len;
+        }
+    }
+    Ok(buf)
+}
+
+fn restore_regions(
+    diff: &Diff,
+    prev: Option<&[u8]>,
+    versions: &[Vec<u8>],
+) -> Result<Vec<u8>, RestoreError> {
+    let data_len = diff.data_len as usize;
+    let ck = Chunking::new(data_len, diff.chunk_size as usize);
+    let shape = TreeShape::new(ck.n_chunks());
+
+    // Fixed duplicates: everything not covered by a region keeps the
+    // previous checkpoint's content.
+    let mut buf = match prev {
+        Some(p) => p.to_vec(),
+        None => vec![0u8; data_len],
+    };
+
+    // First occurrences: payload slices in region-table order.
+    let payload = decoded_payload(diff)?;
+    let mut cursor = 0usize;
+    for &node in &diff.first_regions {
+        let (clo, chi) = shape.chunk_range(node as usize);
+        let (a, b) = ck.byte_range_of_chunks(clo, chi);
+        let len = b - a;
+        if cursor + len > payload.len() {
+            return Err(RestoreError::PayloadTruncated { ckpt_id: diff.ckpt_id });
+        }
+        buf[a..b].copy_from_slice(&payload[cursor..cursor + len]);
+        cursor += len;
+    }
+
+    // Shifted duplicates. Chunk-granularity readiness: chunks under a
+    // not-yet-applied same-checkpoint shift region are stale until that
+    // region is copied in.
+    let mut ready = vec![true; ck.n_chunks()];
+    for s in &diff.shift_regions {
+        let (clo, chi) = shape.chunk_range(s.node as usize);
+        ready[clo..chi].fill(false);
+    }
+
+    let mut pending: Vec<&crate::diff::ShiftRegion> = diff.shift_regions.iter().collect();
+    while !pending.is_empty() {
+        let before = pending.len();
+        pending.retain(|s| {
+            let (dlo, dhi) = shape.chunk_range(s.node as usize);
+            let (slo, shi) = shape.chunk_range(s.ref_node as usize);
+            if s.ref_ckpt == diff.ckpt_id {
+                // Same-checkpoint source: wait until its chunks are ready.
+                if !ready[slo..shi].iter().all(|&r| r) {
+                    return true; // keep pending
+                }
+                let (sa, sb) = ck.byte_range_of_chunks(slo, shi);
+                let (da, db) = ck.byte_range_of_chunks(dlo, dhi);
+                if sb - sa != db - da {
+                    return true; // reported below as span mismatch
+                }
+                let src = buf[sa..sb].to_vec();
+                buf[da..db].copy_from_slice(&src);
+            } else {
+                // Historical source: the referenced version is materialized.
+                let Some(src_ver) = versions.get(s.ref_ckpt as usize) else {
+                    return true; // reported below as unresolvable/forward
+                };
+                let (sa, sb) = ck.byte_range_of_chunks(slo, shi);
+                let (da, db) = ck.byte_range_of_chunks(dlo, dhi);
+                if sb - sa != db - da {
+                    return true;
+                }
+                buf[da..db].copy_from_slice(&src_ver[sa..sb]);
+            }
+            ready[dlo..dhi].fill(true);
+            false // applied
+        });
+        if pending.len() == before {
+            // Distinguish error causes for the first stuck region.
+            let s = pending[0];
+            if s.ref_ckpt > diff.ckpt_id {
+                return Err(RestoreError::ForwardReference {
+                    ckpt_id: diff.ckpt_id,
+                    ref_ckpt: s.ref_ckpt,
+                });
+            }
+            let (dlo, dhi) = shape.chunk_range(s.node as usize);
+            let (slo, shi) = shape.chunk_range(s.ref_node as usize);
+            if dhi - dlo != shi - slo {
+                return Err(RestoreError::SpanMismatch { node: s.node, ref_node: s.ref_node });
+            }
+            return Err(RestoreError::UnresolvableShifts {
+                ckpt_id: diff.ckpt_id,
+                remaining: pending.len(),
+            });
+        }
+    }
+    Ok(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::ShiftRegion;
+
+    fn tree_diff(ckpt_id: u32, data_len: u64) -> Diff {
+        Diff {
+            kind: MethodKind::Tree,
+            ckpt_id,
+            data_len,
+            chunk_size: 32,
+            first_regions: Vec::new(),
+            shift_regions: Vec::new(),
+            bitmap: Vec::new(),
+            payload_codec: 0,
+            payload: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn full_record_restores() {
+        let mk = |id: u32, fill: u8| Diff {
+            kind: MethodKind::Full,
+            ckpt_id: id,
+            data_len: 64,
+            chunk_size: 32,
+            first_regions: Vec::new(),
+            shift_regions: Vec::new(),
+            bitmap: Vec::new(),
+            payload_codec: 0,
+            payload: vec![fill; 64],
+        };
+        let versions = restore_record(&[mk(0, 1), mk(1, 2)]).unwrap();
+        assert_eq!(versions[0], vec![1u8; 64]);
+        assert_eq!(versions[1], vec![2u8; 64]);
+    }
+
+    #[test]
+    fn rejects_out_of_order() {
+        let mut d = tree_diff(5, 64);
+        d.first_regions = vec![0];
+        d.payload = vec![0; 64];
+        let err = restore_record(&[d]).unwrap_err();
+        assert!(matches!(err, RestoreError::OutOfOrder { ckpt_id: 5, .. }));
+    }
+
+    #[test]
+    fn rejects_mixed_kinds() {
+        let d0 = Diff {
+            kind: MethodKind::Full,
+            ckpt_id: 0,
+            data_len: 64,
+            chunk_size: 32,
+            first_regions: Vec::new(),
+            shift_regions: Vec::new(),
+            bitmap: Vec::new(),
+            payload_codec: 0,
+            payload: vec![0; 64],
+        };
+        let d1 = tree_diff(1, 64);
+        let err = restore_record(&[d0, d1]).unwrap_err();
+        assert!(matches!(err, RestoreError::MixedKinds { .. }));
+    }
+
+    #[test]
+    fn rejects_truncated_payload() {
+        // Root region of a 2-chunk tree claims 64 bytes, payload has 10.
+        let mut d = tree_diff(0, 64);
+        d.first_regions = vec![0];
+        d.payload = vec![0; 10];
+        let err = restore_record(&[d]).unwrap_err();
+        assert!(matches!(err, RestoreError::PayloadTruncated { ckpt_id: 0 }));
+    }
+
+    #[test]
+    fn same_ckpt_shift_chain_resolves() {
+        // 4 chunks; region table: chunk 0 (leaf 3) first-occurrence;
+        // leaf 4 shifts from leaf 3; leaf 5 shifts from leaf 4's data —
+        // but references must target the map's canonical node (leaf 3);
+        // instead build a genuine chain: 5 references 4, 4 references 3.
+        // The fixpoint must order them correctly even though 5 precedes 4
+        // in the table.
+        let mut d = tree_diff(0, 128);
+        d.first_regions = vec![3, 6]; // leaf 3 = chunk 0; leaf 6 = chunk 3
+        d.shift_regions = vec![
+            ShiftRegion { node: 5, ref_node: 4, ref_ckpt: 0 }, // chunk 2 <- chunk 1
+            ShiftRegion { node: 4, ref_node: 3, ref_ckpt: 0 }, // chunk 1 <- chunk 0
+        ];
+        d.payload = [[7u8; 32], [9u8; 32]].concat();
+        let v = restore_record(std::slice::from_ref(&d)).unwrap();
+        assert_eq!(&v[0][0..32], &[7u8; 32]);
+        assert_eq!(&v[0][32..64], &[7u8; 32]);
+        assert_eq!(&v[0][64..96], &[7u8; 32]);
+        assert_eq!(&v[0][96..128], &[9u8; 32]);
+    }
+
+    #[test]
+    fn detects_unresolvable_cycle() {
+        let mut d = tree_diff(0, 128);
+        d.first_regions = vec![3, 6];
+        d.payload = vec![0; 64];
+        d.shift_regions = vec![
+            ShiftRegion { node: 4, ref_node: 5, ref_ckpt: 0 },
+            ShiftRegion { node: 5, ref_node: 4, ref_ckpt: 0 },
+        ];
+        let err = restore_record(&[d]).unwrap_err();
+        assert!(matches!(err, RestoreError::UnresolvableShifts { remaining: 2, .. }));
+    }
+
+    #[test]
+    fn cross_ckpt_shift_reads_old_version() {
+        // ckpt 0: full content via root region; ckpt 1: chunk 0 becomes
+        // ckpt 0's chunk 3 content, rest fixed.
+        let mut d0 = tree_diff(0, 128);
+        d0.first_regions = vec![0];
+        d0.payload = (0..128u8).map(|i| i / 32).collect(); // chunks 0,1,2,3
+        let mut d1 = tree_diff(1, 128);
+        d1.shift_regions = vec![ShiftRegion { node: 3, ref_node: 6, ref_ckpt: 0 }];
+        let versions = restore_record(&[d0, d1]).unwrap();
+        assert_eq!(&versions[1][0..32], &[3u8; 32]);
+        assert_eq!(&versions[1][32..], &versions[0][32..]);
+    }
+
+    #[test]
+    fn forward_reference_rejected() {
+        let mut d = tree_diff(0, 64);
+        d.first_regions = vec![1]; // chunk 0
+        d.payload = vec![0; 32];
+        d.shift_regions = vec![ShiftRegion { node: 2, ref_node: 1, ref_ckpt: 9 }];
+        let err = restore_record(&[d]).unwrap_err();
+        assert!(matches!(err, RestoreError::ForwardReference { ref_ckpt: 9, .. }));
+    }
+}

@@ -1,0 +1,181 @@
+//! Metrics for checkpoints and checkpoint records, matching §3.2 of the
+//! paper:
+//!
+//! * **de-duplication ratio** — size of the full checkpoints divided by the
+//!   size of the de-duplicated checkpoints (higher = more space saved);
+//! * **de-duplication throughput** — size of the original data divided by the
+//!   time to create the incremental checkpoint *and* copy it from the GPU to
+//!   host memory. For `Full` this degenerates to the flush throughput.
+//!
+//! Each quantity exists twice: measured CPU wall time, and modeled A100
+//! device time from the `gpu-sim` performance model. The modeled numbers are
+//! the ones comparable in shape to the paper's figures.
+
+use crate::diff::MethodKind;
+
+/// Per-checkpoint statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckpointStats {
+    pub method: MethodKind,
+    pub ckpt_id: u32,
+    /// Size of the original (full) checkpoint buffer.
+    pub uncompressed_bytes: u64,
+    /// Size of the encoded diff actually stored.
+    pub stored_bytes: u64,
+    /// Metadata portion of the diff.
+    pub metadata_bytes: u64,
+    /// First-occurrence payload portion of the diff.
+    pub payload_bytes: u64,
+    /// First-occurrence regions (Tree) / chunks (Basic, List).
+    pub n_first: u64,
+    /// Shifted-duplicate regions (Tree) / chunks (List).
+    pub n_shift: u64,
+    /// Fixed-duplicate leaf chunks (omitted from the diff).
+    pub n_fixed_chunks: u64,
+    /// Wall-clock seconds to produce + serialize + transfer the diff.
+    pub measured_sec: f64,
+    /// Modeled device seconds for the same work.
+    pub modeled_sec: f64,
+}
+
+impl CheckpointStats {
+    /// De-duplication ratio of this single checkpoint.
+    pub fn ratio(&self) -> f64 {
+        self.uncompressed_bytes as f64 / self.stored_bytes.max(1) as f64
+    }
+
+    /// Measured de-duplication throughput, bytes/second.
+    pub fn measured_throughput(&self) -> f64 {
+        self.uncompressed_bytes as f64 / self.measured_sec.max(1e-12)
+    }
+
+    /// Modeled de-duplication throughput, bytes/second.
+    pub fn modeled_throughput(&self) -> f64 {
+        self.uncompressed_bytes as f64 / self.modeled_sec.max(1e-12)
+    }
+}
+
+/// Aggregated statistics over a checkpoint record (a sequence of diffs).
+///
+/// The paper's frequency experiments aggregate "all captured checkpoints
+/// (excluding the first)" — use [`RecordStats::excluding_first`] for that
+/// view.
+#[derive(Debug, Clone, Default)]
+pub struct RecordStats {
+    checkpoints: Vec<CheckpointStats>,
+}
+
+impl RecordStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, s: CheckpointStats) {
+        self.checkpoints.push(s);
+    }
+
+    pub fn len(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.checkpoints.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &CheckpointStats> {
+        self.checkpoints.iter()
+    }
+
+    /// A view excluding the initial full checkpoint (the paper's aggregation
+    /// for the frequency scenario).
+    pub fn excluding_first(&self) -> RecordStats {
+        RecordStats { checkpoints: self.checkpoints.iter().skip(1).copied().collect() }
+    }
+
+    pub fn total_uncompressed(&self) -> u64 {
+        self.checkpoints.iter().map(|c| c.uncompressed_bytes).sum()
+    }
+
+    pub fn total_stored(&self) -> u64 {
+        self.checkpoints.iter().map(|c| c.stored_bytes).sum()
+    }
+
+    pub fn total_metadata(&self) -> u64 {
+        self.checkpoints.iter().map(|c| c.metadata_bytes).sum()
+    }
+
+    pub fn total_measured_sec(&self) -> f64 {
+        self.checkpoints.iter().map(|c| c.measured_sec).sum()
+    }
+
+    pub fn total_modeled_sec(&self) -> f64 {
+        self.checkpoints.iter().map(|c| c.modeled_sec).sum()
+    }
+
+    /// Aggregate de-duplication ratio: Σ full sizes / Σ stored sizes.
+    pub fn ratio(&self) -> f64 {
+        self.total_uncompressed() as f64 / self.total_stored().max(1) as f64
+    }
+
+    /// Aggregate measured throughput: Σ original bytes / Σ seconds.
+    pub fn measured_throughput(&self) -> f64 {
+        self.total_uncompressed() as f64 / self.total_measured_sec().max(1e-12)
+    }
+
+    /// Aggregate modeled throughput.
+    pub fn modeled_throughput(&self) -> f64 {
+        self.total_uncompressed() as f64 / self.total_modeled_sec().max(1e-12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(id: u32, full: u64, stored: u64, sec: f64) -> CheckpointStats {
+        CheckpointStats {
+            method: MethodKind::Tree,
+            ckpt_id: id,
+            uncompressed_bytes: full,
+            stored_bytes: stored,
+            metadata_bytes: 8,
+            payload_bytes: stored.saturating_sub(8),
+            n_first: 1,
+            n_shift: 0,
+            n_fixed_chunks: 0,
+            measured_sec: sec,
+            modeled_sec: sec / 10.0,
+        }
+    }
+
+    #[test]
+    fn single_checkpoint_metrics() {
+        let s = stats(0, 1000, 100, 0.5);
+        assert!((s.ratio() - 10.0).abs() < 1e-12);
+        assert!((s.measured_throughput() - 2000.0).abs() < 1e-9);
+        assert!((s.modeled_throughput() - 20000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn record_aggregation() {
+        let mut r = RecordStats::new();
+        r.push(stats(0, 1000, 1000, 1.0)); // initial full checkpoint
+        r.push(stats(1, 1000, 100, 0.1));
+        r.push(stats(2, 1000, 100, 0.1));
+        assert_eq!(r.len(), 3);
+        assert!((r.ratio() - 3000.0 / 1200.0).abs() < 1e-12);
+
+        let inc = r.excluding_first();
+        assert_eq!(inc.len(), 2);
+        assert!((inc.ratio() - 10.0).abs() < 1e-12);
+        assert!((inc.measured_throughput() - 2000.0 / 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let s = stats(0, 0, 0, 0.0);
+        assert!(s.ratio().is_finite());
+        assert!(s.measured_throughput().is_finite());
+        assert!(RecordStats::new().ratio().is_finite());
+    }
+}

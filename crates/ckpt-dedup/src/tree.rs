@@ -1,0 +1,362 @@
+//! Flattened complete-binary Merkle tree over the checkpoint's chunks.
+//!
+//! The paper stores Merkle trees "in a flattened array and identif\[ies\]
+//! parent-child relationships using simple formulas based on the offset in
+//! the array" (§2.4). For `n` leaf chunks the tree has exactly `2n - 1` nodes
+//! in heap layout: children of node `i` are `2i + 1` and `2i + 2`. Because
+//! `2n - 1` is odd, every interior node has exactly two children — the tree is
+//! *complete*: all levels full except the deepest, which is filled
+//! left-to-right.
+//!
+//! Chunks are numbered in data order. For non-power-of-two `n` the deepest
+//! level holds the first chunks and the tail of chunks sits one level up, so
+//! the mapping between chunk index and heap index needs the usual wrap-around
+//! formulas, all implemented (and property-tested) here.
+
+use ckpt_hash::Digest128;
+
+/// Index algebra for a complete binary tree over `n_chunks` leaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeShape {
+    n_chunks: usize,
+    /// Heap index of the first node on the deepest (possibly partial) level:
+    /// `2^h - 1` where `h = ceil(log2(n_chunks))`.
+    deep_start: usize,
+    /// Number of leaves on the deepest level.
+    deep_leaves: usize,
+}
+
+impl TreeShape {
+    /// Shape of the tree over `n_chunks ≥ 1` leaves.
+    pub fn new(n_chunks: usize) -> Self {
+        assert!(n_chunks >= 1, "a Merkle tree needs at least one chunk");
+        // h = ceil(log2(n_chunks)), with h = 0 for the single-chunk tree.
+        let h = if n_chunks == 1 {
+            0
+        } else {
+            usize::BITS - (n_chunks - 1).leading_zeros()
+        };
+        let deep_start = (1usize << h) - 1;
+        let deep_leaves = (2 * n_chunks - 1) - deep_start;
+        TreeShape { n_chunks, deep_start, deep_leaves }
+    }
+
+    /// Number of leaf chunks.
+    #[inline]
+    pub fn n_chunks(&self) -> usize {
+        self.n_chunks
+    }
+
+    /// Total nodes in the flattened array (`2n - 1`).
+    #[inline]
+    pub fn n_nodes(&self) -> usize {
+        2 * self.n_chunks - 1
+    }
+
+    /// Number of interior nodes (`n - 1`).
+    #[inline]
+    pub fn n_interior(&self) -> usize {
+        self.n_chunks - 1
+    }
+
+    /// Parent of node `i` (`i > 0`).
+    #[inline]
+    pub fn parent(&self, i: usize) -> usize {
+        debug_assert!(i > 0 && i < self.n_nodes());
+        (i - 1) / 2
+    }
+
+    /// Left child of interior node `i`.
+    #[inline]
+    pub fn left(&self, i: usize) -> usize {
+        2 * i + 1
+    }
+
+    /// Right child of interior node `i`.
+    #[inline]
+    pub fn right(&self, i: usize) -> usize {
+        2 * i + 2
+    }
+
+    /// Whether node `i` is a leaf. Leaves occupy the last `n` heap slots.
+    #[inline]
+    pub fn is_leaf(&self, i: usize) -> bool {
+        i >= self.n_interior()
+    }
+
+    /// Heap index of the leaf holding chunk `c` (data order).
+    #[inline]
+    pub fn leaf_of_chunk(&self, c: usize) -> usize {
+        debug_assert!(c < self.n_chunks);
+        let i = self.deep_start + c;
+        if i < self.n_nodes() {
+            i
+        } else {
+            i - self.n_chunks
+        }
+    }
+
+    /// Chunk index (data order) of leaf node `i`.
+    #[inline]
+    pub fn chunk_of_leaf(&self, i: usize) -> usize {
+        debug_assert!(self.is_leaf(i), "node {i} is interior");
+        if i >= self.deep_start {
+            i - self.deep_start
+        } else {
+            i + self.n_chunks - self.deep_start
+        }
+    }
+
+    /// The contiguous chunk range `[start, end)` covered by node `i`.
+    ///
+    /// Left-to-right tree order equals data order, so every subtree covers a
+    /// contiguous run of chunks. O(depth).
+    pub fn chunk_range(&self, i: usize) -> (usize, usize) {
+        let mut lo = i;
+        while !self.is_leaf(lo) {
+            lo = self.left(lo);
+        }
+        let mut hi = i;
+        while !self.is_leaf(hi) {
+            hi = self.right(hi);
+        }
+        (self.chunk_of_leaf(lo), self.chunk_of_leaf(hi) + 1)
+    }
+
+    /// Number of chunks covered by node `i`.
+    pub fn span(&self, i: usize) -> usize {
+        let (lo, hi) = self.chunk_range(i);
+        hi - lo
+    }
+
+    /// Interior-node levels from the bottom up: each item is the heap-index
+    /// range `[start, end)` of one level, deepest interior level first, root
+    /// level (`[0, 1)`) last. Level-by-level iteration is how both the
+    /// consolidation passes of Algorithm 1 parallelize.
+    pub fn interior_levels_bottom_up(&self) -> Vec<(usize, usize)> {
+        let n_int = self.n_interior();
+        if n_int == 0 {
+            return Vec::new();
+        }
+        let mut levels = Vec::new();
+        let mut depth_start = 0usize; // level d starts at 2^d - 1
+        let mut width = 1usize;
+        while depth_start < n_int {
+            let end = (depth_start + width).min(n_int);
+            levels.push((depth_start, end));
+            depth_start += width;
+            width *= 2;
+        }
+        levels.reverse();
+        levels
+    }
+
+    /// Depth of node `i` (root = 0).
+    pub fn depth(&self, i: usize) -> u32 {
+        (usize::BITS - 1) - (i + 1).leading_zeros()
+    }
+}
+
+/// A Merkle tree: shape plus the per-node digest array, retained across
+/// checkpoints so leaf hashes from the previous checkpoint are available for
+/// the fixed-duplicate test (Algorithm 1, line 3).
+#[derive(Debug, Clone)]
+pub struct MerkleTree {
+    shape: TreeShape,
+    digests: Vec<Digest128>,
+}
+
+impl MerkleTree {
+    /// An all-zero tree over `n_chunks` leaves.
+    pub fn new(n_chunks: usize) -> Self {
+        let shape = TreeShape::new(n_chunks);
+        MerkleTree { shape, digests: vec![Digest128::ZERO; shape.n_nodes()] }
+    }
+
+    #[inline]
+    pub fn shape(&self) -> &TreeShape {
+        &self.shape
+    }
+
+    #[inline]
+    pub fn get(&self, node: usize) -> Digest128 {
+        self.digests[node]
+    }
+
+    #[inline]
+    pub fn set(&mut self, node: usize, d: Digest128) {
+        self.digests[node] = d;
+    }
+
+    /// Raw digest storage (device-side view for parallel kernels).
+    pub fn digests(&self) -> &[Digest128] {
+        &self.digests
+    }
+
+    pub fn digests_mut(&mut self) -> &mut [Digest128] {
+        &mut self.digests
+    }
+
+    /// Bytes of device memory the tree occupies.
+    pub fn memory_bytes(&self) -> usize {
+        self.digests.len() * std::mem::size_of::<Digest128>()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop, clippy::explicit_counter_loop)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_chunk_tree() {
+        let s = TreeShape::new(1);
+        assert_eq!(s.n_nodes(), 1);
+        assert_eq!(s.n_interior(), 0);
+        assert!(s.is_leaf(0));
+        assert_eq!(s.leaf_of_chunk(0), 0);
+        assert_eq!(s.chunk_of_leaf(0), 0);
+        assert_eq!(s.chunk_range(0), (0, 1));
+        assert!(s.interior_levels_bottom_up().is_empty());
+    }
+
+    #[test]
+    fn power_of_two_layout() {
+        // n = 8: classic heap, leaves at 7..=14 in data order.
+        let s = TreeShape::new(8);
+        assert_eq!(s.n_nodes(), 15);
+        for c in 0..8 {
+            assert_eq!(s.leaf_of_chunk(c), 7 + c);
+            assert_eq!(s.chunk_of_leaf(7 + c), c);
+        }
+        assert_eq!(s.chunk_range(0), (0, 8));
+        assert_eq!(s.chunk_range(1), (0, 4));
+        assert_eq!(s.chunk_range(2), (4, 8));
+        assert_eq!(s.chunk_range(6), (6, 8));
+    }
+
+    #[test]
+    fn non_power_of_two_layout() {
+        // n = 6: 11 nodes; deepest level starts at 7 with 4 leaves
+        // (chunks 0..4), then chunks 4,5 are nodes 5,6 one level up.
+        let s = TreeShape::new(6);
+        assert_eq!(s.n_nodes(), 11);
+        assert_eq!(s.leaf_of_chunk(0), 7);
+        assert_eq!(s.leaf_of_chunk(3), 10);
+        assert_eq!(s.leaf_of_chunk(4), 5);
+        assert_eq!(s.leaf_of_chunk(5), 6);
+        // Interior nodes: 0..=4.
+        for i in 0..5 {
+            assert!(!s.is_leaf(i), "node {i}");
+        }
+        for i in 5..11 {
+            assert!(s.is_leaf(i), "node {i}");
+        }
+        assert_eq!(s.chunk_range(0), (0, 6));
+        assert_eq!(s.chunk_range(1), (0, 4));
+        assert_eq!(s.chunk_range(2), (4, 6));
+        assert_eq!(s.chunk_range(3), (0, 2));
+        assert_eq!(s.chunk_range(4), (2, 4));
+    }
+
+    #[test]
+    fn levels_bottom_up_cover_all_interior_nodes_once() {
+        for n in [2usize, 3, 5, 6, 8, 13, 64, 100] {
+            let s = TreeShape::new(n);
+            let levels = s.interior_levels_bottom_up();
+            let mut seen = vec![false; s.n_interior()];
+            for (a, b) in levels {
+                for i in a..b {
+                    assert!(!seen[i], "node {i} visited twice (n={n})");
+                    seen[i] = true;
+                }
+            }
+            assert!(seen.iter().all(|&x| x), "missing interior nodes (n={n})");
+        }
+    }
+
+    #[test]
+    fn levels_visit_children_before_parents() {
+        for n in [3usize, 6, 17, 100] {
+            let s = TreeShape::new(n);
+            let mut order = vec![usize::MAX; s.n_interior()];
+            let mut step = 0;
+            for (a, b) in s.interior_levels_bottom_up() {
+                for i in a..b {
+                    order[i] = step;
+                }
+                step += 1;
+            }
+            for i in 0..s.n_interior() {
+                for child in [s.left(i), s.right(i)] {
+                    if !s.is_leaf(child) {
+                        assert!(order[child] < order[i], "n={n}, parent {i}, child {child}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depth_formula() {
+        let s = TreeShape::new(8);
+        assert_eq!(s.depth(0), 0);
+        assert_eq!(s.depth(1), 1);
+        assert_eq!(s.depth(2), 1);
+        assert_eq!(s.depth(3), 2);
+        assert_eq!(s.depth(7), 3);
+        assert_eq!(s.depth(14), 3);
+    }
+
+    #[test]
+    fn merkle_tree_storage() {
+        let mut t = MerkleTree::new(4);
+        assert_eq!(t.digests().len(), 7);
+        t.set(3, Digest128::new(1, 2));
+        assert_eq!(t.get(3), Digest128::new(1, 2));
+        assert_eq!(t.memory_bytes(), 7 * 16);
+    }
+
+    proptest! {
+        #[test]
+        fn leaf_chunk_mapping_is_a_bijection(n in 1usize..2000) {
+            let s = TreeShape::new(n);
+            let mut seen = vec![false; s.n_nodes()];
+            for c in 0..n {
+                let leaf = s.leaf_of_chunk(c);
+                prop_assert!(s.is_leaf(leaf));
+                prop_assert!(!seen[leaf]);
+                seen[leaf] = true;
+                prop_assert_eq!(s.chunk_of_leaf(leaf), c);
+            }
+            // Exactly the leaves were hit.
+            for i in 0..s.n_nodes() {
+                prop_assert_eq!(seen[i], s.is_leaf(i));
+            }
+        }
+
+        #[test]
+        fn chunk_ranges_partition_at_every_node(n in 2usize..1000) {
+            let s = TreeShape::new(n);
+            for i in 0..s.n_interior() {
+                let (lo, hi) = s.chunk_range(i);
+                let (llo, lhi) = s.chunk_range(s.left(i));
+                let (rlo, rhi) = s.chunk_range(s.right(i));
+                // Children partition the parent's range, left before right.
+                prop_assert_eq!(lo, llo);
+                prop_assert_eq!(lhi, rlo);
+                prop_assert_eq!(rhi, hi);
+            }
+            prop_assert_eq!(s.chunk_range(0), (0, n));
+        }
+
+        #[test]
+        fn parent_child_inverse(n in 2usize..1000, node in 1usize..1999) {
+            let s = TreeShape::new(n);
+            prop_assume!(node < s.n_nodes());
+            let p = s.parent(node);
+            prop_assert!(s.left(p) == node || s.right(p) == node);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Small utilities for parallel kernels.
+
+use std::cell::UnsafeCell;
+
+/// A mutable slice shareable across the threads of one parallel kernel.
+///
+/// Rust's borrow rules (correctly) forbid `&mut [T]` from being captured by a
+/// `Fn(usize)` kernel body running on many threads. GPU code has no such
+/// guard: every thread writes disjoint elements and the kernel boundary is
+/// the synchronization point. This wrapper encodes that contract.
+///
+/// # Safety contract
+///
+/// * During a kernel, each index is either **owned by a single thread** (which
+///   may read and write it freely) or **read-only** for every thread.
+/// * The kernel's fork-join boundary (the `parallel_for` call returning) is a
+///   happens-before edge, so reads after the kernel see all writes.
+pub struct SharedSliceMut<'a, T> {
+    data: &'a [UnsafeCell<T>],
+}
+
+// SAFETY: see the struct-level contract; all aliasing is managed by callers
+// obeying the one-writer-per-index rule within a kernel.
+unsafe impl<T: Send + Sync> Sync for SharedSliceMut<'_, T> {}
+unsafe impl<T: Send + Sync> Send for SharedSliceMut<'_, T> {}
+
+impl<'a, T> SharedSliceMut<'a, T> {
+    /// Wrap an exclusive slice for the duration of a kernel.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        // SAFETY: `UnsafeCell<T>` has the same layout as `T`; we hold the
+        // unique borrow, so reinterpreting it as a shared slice of cells is
+        // sound.
+        let data = unsafe {
+            std::slice::from_raw_parts(slice.as_ptr() as *const UnsafeCell<T>, slice.len())
+        };
+        SharedSliceMut { data }
+    }
+
+    #[inline]
+    #[allow(dead_code)] // part of the wrapper's API; exercised by tests
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    #[allow(dead_code)]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Write `value` at `index`.
+    ///
+    /// # Safety
+    /// No other thread may access `index` during this kernel.
+    #[inline]
+    pub unsafe fn write(&self, index: usize, value: T) {
+        *self.data[index].get() = value;
+    }
+
+    /// Read the value at `index`.
+    ///
+    /// # Safety
+    /// No thread may be writing `index` during this kernel.
+    #[inline]
+    pub unsafe fn read(&self, index: usize) -> T
+    where
+        T: Copy,
+    {
+        *self.data[index].get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn parallel_disjoint_writes() {
+        let mut v = vec![0u64; 10_000];
+        {
+            let shared = SharedSliceMut::new(&mut v);
+            (0..shared.len()).into_par_iter().for_each(|i| {
+                // SAFETY: each index written exactly once.
+                unsafe { shared.write(i, i as u64 * 3) };
+            });
+        }
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64 * 3));
+    }
+
+    #[test]
+    fn read_back_within_later_kernel() {
+        let mut v: Vec<u32> = (0..1000).collect();
+        let shared = SharedSliceMut::new(&mut v);
+        let sum: u64 = (0..shared.len())
+            .into_par_iter()
+            // SAFETY: read-only kernel, no writers.
+            .map(|i| unsafe { shared.read(i) } as u64)
+            .sum();
+        assert_eq!(sum, 999 * 1000 / 2);
+    }
+}

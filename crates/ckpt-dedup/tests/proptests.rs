@@ -1,0 +1,227 @@
+//! Property-based tests: for *any* sequence of snapshot mutations, every
+//! method's record restores to the exact original bytes, and the parallel
+//! Tree implementation agrees with its sequential reference.
+
+use ckpt_dedup::prelude::*;
+use gpu_sim::Device;
+use proptest::prelude::*;
+
+/// A random edit applied between two checkpoints.
+#[derive(Debug, Clone)]
+enum Edit {
+    /// Overwrite `len` bytes at `at` with `value`.
+    Fill { at: usize, len: usize, value: u8 },
+    /// Copy `len` bytes from `src` to `dst` (may overlap).
+    Copy { src: usize, dst: usize, len: usize },
+    /// Revert the whole buffer to an earlier snapshot.
+    Revert { to: usize },
+}
+
+fn edit_strategy() -> impl Strategy<Value = Edit> {
+    prop_oneof![
+        (0usize..4096, 1usize..512, any::<u8>())
+            .prop_map(|(at, len, value)| Edit::Fill { at, len, value }),
+        (0usize..4096, 0usize..4096, 1usize..1024)
+            .prop_map(|(src, dst, len)| Edit::Copy { src, dst, len }),
+        (0usize..4).prop_map(|to| Edit::Revert { to }),
+    ]
+}
+
+fn apply(snapshots: &[Vec<u8>], data: &mut Vec<u8>, edit: &Edit) {
+    let n = data.len();
+    match edit {
+        Edit::Fill { at, len, value } => {
+            let at = at % n;
+            let end = (at + len).min(n);
+            data[at..end].fill(*value);
+        }
+        Edit::Copy { src, dst, len } => {
+            let src = src % n;
+            let dst = dst % n;
+            let len = (*len).min(n - src).min(n - dst);
+            let tmp = data[src..src + len].to_vec();
+            data[dst..dst + len].copy_from_slice(&tmp);
+        }
+        Edit::Revert { to } => {
+            if let Some(s) = snapshots.get(*to) {
+                *data = s.clone();
+            }
+        }
+    }
+}
+
+fn snapshots_from_edits(len: usize, seed_byte: u8, edits: &[Edit]) -> Vec<Vec<u8>> {
+    let mut data: Vec<u8> =
+        (0..len).map(|i| seed_byte.wrapping_add((i / 7) as u8).wrapping_mul(13)).collect();
+    let mut snapshots = vec![data.clone()];
+    for e in edits {
+        apply(&snapshots, &mut data, e);
+        snapshots.push(data.clone());
+    }
+    snapshots
+}
+
+fn assert_roundtrip(method: &mut dyn Checkpointer, snapshots: &[Vec<u8>]) {
+    let rec = run_record(method, snapshots.iter().map(|s| s.as_slice()));
+    let versions = restore_record(&rec.diffs).expect("restore must succeed");
+    for (k, (got, want)) in versions.iter().zip(snapshots).enumerate() {
+        assert_eq!(got, want, "{} diverged at version {k}", method.name());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tree_restores_any_workload(
+        len in 40usize..5000,
+        seed in any::<u8>(),
+        chunk_size in prop_oneof![Just(32usize), Just(64), Just(128)],
+        edits in prop::collection::vec(edit_strategy(), 1..6),
+    ) {
+        let snapshots = snapshots_from_edits(len, seed, &edits);
+        let mut m = TreeCheckpointer::new(Device::a100(), TreeConfig::new(chunk_size));
+        assert_roundtrip(&mut m, &snapshots);
+    }
+
+    #[test]
+    fn list_restores_any_workload(
+        len in 40usize..3000,
+        seed in any::<u8>(),
+        edits in prop::collection::vec(edit_strategy(), 1..5),
+    ) {
+        let snapshots = snapshots_from_edits(len, seed, &edits);
+        let mut m = ListCheckpointer::new(Device::a100(), TreeConfig::new(32));
+        assert_roundtrip(&mut m, &snapshots);
+    }
+
+    #[test]
+    fn basic_restores_any_workload(
+        len in 40usize..3000,
+        seed in any::<u8>(),
+        edits in prop::collection::vec(edit_strategy(), 1..5),
+    ) {
+        let snapshots = snapshots_from_edits(len, seed, &edits);
+        let mut m = BasicCheckpointer::new(Device::a100(), 32);
+        assert_roundtrip(&mut m, &snapshots);
+    }
+
+    #[test]
+    fn parallel_equals_serial_on_any_workload(
+        len in 40usize..3000,
+        seed in any::<u8>(),
+        edits in prop::collection::vec(edit_strategy(), 1..5),
+    ) {
+        let snapshots = snapshots_from_edits(len, seed, &edits);
+        let mut par = TreeCheckpointer::new(Device::a100(), TreeConfig::new(32));
+        let mut ser = SerialTreeCheckpointer::new(32);
+        for snap in &snapshots {
+            let p = par.checkpoint(snap);
+            let s = ser.checkpoint(snap);
+            prop_assert_eq!(p.diff, s.diff);
+        }
+    }
+
+    #[test]
+    fn diff_wire_format_round_trips(
+        len in 40usize..2000,
+        seed in any::<u8>(),
+        edits in prop::collection::vec(edit_strategy(), 1..4),
+    ) {
+        let snapshots = snapshots_from_edits(len, seed, &edits);
+        let mut m = TreeCheckpointer::new(Device::a100(), TreeConfig::new(32));
+        for snap in &snapshots {
+            let d = m.checkpoint(snap).diff;
+            let encoded = d.encode();
+            prop_assert_eq!(ckpt_dedup::Diff::decode(&encoded).unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn tree_never_stores_more_than_full_plus_small_overhead(
+        len in 1000usize..5000,
+        seed in any::<u8>(),
+        edits in prop::collection::vec(edit_strategy(), 1..4),
+    ) {
+        // Worst case the Tree method stores the whole buffer plus bounded
+        // metadata: header + one region id, and in pathological mixes at
+        // most one entry per chunk pair.
+        let snapshots = snapshots_from_edits(len, seed, &edits);
+        let mut m = TreeCheckpointer::new(Device::a100(), TreeConfig::new(32));
+        for snap in &snapshots {
+            let out = m.checkpoint(snap);
+            let n_chunks = len.div_ceil(32);
+            let bound = snap.len() + 64 + 16 * n_chunks;
+            prop_assert!(out.diff.stored_bytes() <= bound);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_access_reader_matches_full_restore(
+        len in 100usize..3000,
+        seed in any::<u8>(),
+        edits in prop::collection::vec(edit_strategy(), 1..5),
+        reads in prop::collection::vec((any::<u16>(), any::<u16>(), any::<u16>()), 1..20),
+    ) {
+        let snapshots = snapshots_from_edits(len, seed, &edits);
+        let mut m = TreeCheckpointer::new(Device::a100(), TreeConfig::new(32));
+        let diffs: Vec<_> = snapshots.iter().map(|s| m.checkpoint(s).diff).collect();
+        let reader = ckpt_dedup::RecordReader::build(&diffs).unwrap();
+        for (v, off, rlen) in reads {
+            let v = (v as usize) % snapshots.len();
+            let off = (off as usize) % len;
+            let rlen = (rlen as usize) % (len - off).max(1);
+            let mut out = vec![0u8; rlen];
+            reader.read_at(v as u32, off, &mut out).unwrap();
+            prop_assert_eq!(&out[..], &snapshots[v][off..off + rlen]);
+        }
+    }
+
+    #[test]
+    fn hybrid_codecs_restore_any_workload(
+        len in 100usize..2500,
+        seed in any::<u8>(),
+        edits in prop::collection::vec(edit_strategy(), 1..4),
+        codec_idx in 0usize..7,
+    ) {
+        let codec = ["lz4", "snappy", "cascaded", "bitcomp", "deflate", "zstd", "rle"][codec_idx];
+        let snapshots = snapshots_from_edits(len, seed, &edits);
+        let mut m = TreeCheckpointer::new(
+            Device::a100(),
+            TreeConfig::new(32).with_payload_codec(codec),
+        );
+        assert_roundtrip(&mut m, &snapshots);
+    }
+
+    #[test]
+    fn collision_verification_is_transparent_with_strong_hash(
+        len in 100usize..2000,
+        seed in any::<u8>(),
+        edits in prop::collection::vec(edit_strategy(), 1..4),
+    ) {
+        let snapshots = snapshots_from_edits(len, seed, &edits);
+        let mut plain = TreeCheckpointer::new(Device::a100(), TreeConfig::new(32));
+        let mut verified = TreeCheckpointer::new(
+            Device::a100(),
+            TreeConfig::new(32).with_collision_verification(),
+        );
+        for snap in &snapshots {
+            prop_assert_eq!(plain.checkpoint(snap).diff, verified.checkpoint(snap).diff);
+        }
+    }
+
+    #[test]
+    fn naive_tree_restores_any_workload(
+        len in 100usize..2000,
+        seed in any::<u8>(),
+        edits in prop::collection::vec(edit_strategy(), 1..4),
+    ) {
+        let snapshots = snapshots_from_edits(len, seed, &edits);
+        let mut m = NaiveTreeCheckpointer::new(Device::a100(), TreeConfig::new(32));
+        assert_roundtrip(&mut m, &snapshots);
+    }
+}

@@ -1,0 +1,229 @@
+//! Compressed-sparse-row graphs.
+//!
+//! Undirected simple graphs stored as sorted adjacency in CSR form — the
+//! representation both the generators and the ORANGES graphlet enumerator
+//! operate on. Vertices are `u32`; "edges" in reports follow the paper's
+//! Table 1 convention of counting nonzeros (directed arcs), which is twice
+//! the undirected edge count.
+
+/// An undirected simple graph in CSR form with sorted neighbor lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Vec<u64>,
+    neighbors: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Build from an undirected edge list. Self-loops are dropped and
+    /// duplicate edges collapsed. `n` is the vertex count; any endpoint
+    /// `≥ n` panics.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            assert!((a as usize) < n && (b as usize) < n, "edge ({a},{b}) out of range");
+            if a == b {
+                continue;
+            }
+            adj[a as usize].push(b);
+            adj[b as usize].push(a);
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::new();
+        offsets.push(0);
+        for list in adj.iter_mut() {
+            list.sort_unstable();
+            list.dedup();
+            neighbors.extend_from_slice(list);
+            offsets.push(neighbors.len() as u64);
+        }
+        CsrGraph { offsets, neighbors }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of stored arcs (nonzeros) — twice the undirected edge count.
+    #[inline]
+    pub fn n_arcs(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Sorted neighbors of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let a = self.offsets[v as usize] as usize;
+        let b = self.offsets[v as usize + 1] as usize;
+        &self.neighbors[a..b]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Whether the undirected edge `{a, b}` exists (binary search).
+    #[inline]
+    pub fn has_edge(&self, a: u32, b: u32) -> bool {
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Maximum degree.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n_vertices() as u32).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Mean degree (arcs per vertex).
+    pub fn mean_degree(&self) -> f64 {
+        if self.n_vertices() == 0 {
+            0.0
+        } else {
+            self.n_arcs() as f64 / self.n_vertices() as f64
+        }
+    }
+
+    /// Iterate all undirected edges `(a, b)` with `a < b`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.n_vertices() as u32).flat_map(move |v| {
+            self.neighbors(v).iter().copied().filter(move |&u| v < u).map(move |u| (v, u))
+        })
+    }
+
+    /// Relabel vertices: vertex `v` becomes `perm[v]`. `perm` must be a
+    /// permutation of `0..n`.
+    pub fn permute(&self, perm: &[u32]) -> CsrGraph {
+        let n = self.n_vertices();
+        assert_eq!(perm.len(), n, "permutation length mismatch");
+        debug_assert!({
+            let mut seen = vec![false; n];
+            perm.iter().all(|&p| {
+                let fresh = !seen[p as usize];
+                seen[p as usize] = true;
+                fresh
+            })
+        });
+        let edges: Vec<(u32, u32)> =
+            self.edges().map(|(a, b)| (perm[a as usize], perm[b as usize])).collect();
+        CsrGraph::from_edges(n, &edges)
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * 8 + self.neighbors.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn diamond() -> CsrGraph {
+        // 0-1, 0-2, 1-2, 1-3, 2-3
+        CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = diamond();
+        assert_eq!(g.n_vertices(), 4);
+        assert_eq!(g.n_edges(), 5);
+        assert_eq!(g.n_arcs(), 10);
+        assert_eq!(g.neighbors(1), &[0, 2, 3]);
+        assert_eq!(g.degree(0), 2);
+        assert!(g.has_edge(2, 3));
+        assert!(!g.has_edge(0, 3));
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn edges_iterator_is_canonical() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn self_loops_and_duplicates_dropped() {
+        let g = CsrGraph::from_edges(3, &[(0, 0), (0, 1), (1, 0), (0, 1), (1, 2)]);
+        assert_eq!(g.n_edges(), 2);
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let g = CsrGraph::from_edges(5, &[]);
+        assert_eq!(g.n_vertices(), 5);
+        assert_eq!(g.n_edges(), 0);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn permute_preserves_structure() {
+        let g = diamond();
+        let perm = [3u32, 1, 0, 2];
+        let h = g.permute(&perm);
+        assert_eq!(h.n_edges(), g.n_edges());
+        for (a, b) in g.edges() {
+            assert!(h.has_edge(perm[a as usize], perm[b as usize]));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn csr_invariants_hold(
+            n in 1usize..60,
+            raw in prop::collection::vec((0u32..60, 0u32..60), 0..300)
+        ) {
+            let edges: Vec<(u32, u32)> =
+                raw.into_iter().map(|(a, b)| (a % n as u32, b % n as u32)).collect();
+            let g = CsrGraph::from_edges(n, &edges);
+            // Sorted unique neighbor lists, symmetric adjacency.
+            for v in 0..n as u32 {
+                let ns = g.neighbors(v);
+                prop_assert!(ns.windows(2).all(|w| w[0] < w[1]));
+                for &u in ns {
+                    prop_assert!(g.has_edge(u, v));
+                    prop_assert_ne!(u, v);
+                }
+            }
+            prop_assert_eq!(g.n_arcs() % 2, 0);
+        }
+
+        #[test]
+        fn permutation_is_isomorphism(
+            n in 2usize..40,
+            raw in prop::collection::vec((0u32..40, 0u32..40), 0..200),
+            seed in any::<u64>(),
+        ) {
+            let edges: Vec<(u32, u32)> =
+                raw.into_iter().map(|(a, b)| (a % n as u32, b % n as u32)).collect();
+            let g = CsrGraph::from_edges(n, &edges);
+            // Deterministic pseudo-random permutation.
+            let mut perm: Vec<u32> = (0..n as u32).collect();
+            let mut state = seed | 1;
+            for i in (1..n).rev() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let j = (state >> 33) as usize % (i + 1);
+                perm.swap(i, j);
+            }
+            let h = g.permute(&perm);
+            prop_assert_eq!(h.n_edges(), g.n_edges());
+            let mut degs_g: Vec<usize> = (0..n as u32).map(|v| g.degree(v)).collect();
+            let mut degs_h: Vec<usize> = (0..n as u32).map(|v| h.degree(v)).collect();
+            degs_g.sort_unstable();
+            degs_h.sort_unstable();
+            prop_assert_eq!(degs_g, degs_h);
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Synthetic generators for the paper's five input-graph classes (Table 1).
+//!
+//! The originals (HPC event traces and SuiteSparse graphs of 11–18 M
+//! vertices) are not redistributable here, so each generator reproduces the
+//! *structural class* at a configurable vertex count with the same
+//! arcs-per-vertex ratio as Table 1 and the qualitative properties the paper
+//! leans on: event graphs are sparse and fragmented with few dense
+//! subgraphs (easy to de-duplicate); road/bubble graphs are near-planar with
+//! low, uniform degrees (harder); Delaunay is a dense planar triangulation
+//! (used for the scaling test). All generators are deterministic in
+//! `(n_target, seed)`.
+
+use crate::csr::CsrGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// "Message Race"-class event graph: processes with fragmented event chains
+/// plus sparse cross-process message edges. Arcs/vertex ≈ 1.5.
+pub fn message_race(n_target: usize, seed: u64) -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4d52);
+    let n = n_target.max(16);
+    let p = (n / 64).clamp(2, 4096); // processes
+    let l = n / p; // events per process
+    let n = p * l;
+    let mut edges = Vec::with_capacity(n * 3 / 4);
+    for proc in 0..p {
+        let base = (proc * l) as u32;
+        // Fragmented happens-before chains with *variable* segment lengths
+        // (2–12 events): trace-derived event graphs have no isolated events
+        // but also no two identical causal neighborhoods for long stretches —
+        // the structural diversity is what makes fresh GDV rows unique
+        // (first occurrences) rather than copies of each other.
+        let mut e = 0usize;
+        while e < l - 1 {
+            let seg = rng.gen_range(2..=5usize).min(l - e);
+            for k in 0..seg - 1 {
+                edges.push((base + (e + k) as u32, base + (e + k) as u32 + 1));
+            }
+            e += seg;
+        }
+    }
+    // Message edges: bursty sends to racing events of other processes at
+    // nearby logical times (~8% of events send 1–3 messages).
+    for proc in 0..p {
+        let base = (proc * l) as u32;
+        for e in 0..l {
+            if rng.gen_bool(0.04) {
+                for _ in 0..rng.gen_range(1..=3usize) {
+                    let other = (proc + rng.gen_range(1..p)) % p;
+                    let jitter = rng.gen_range(0..l.min(8));
+                    let te = (e + jitter) % l;
+                    edges.push((base + e as u32, (other * l + te) as u32));
+                }
+            }
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// "Unstructured Mesh"-class event graph: processes laid out on a jittered
+/// 2D mesh, messages follow fixed mesh neighborhoods (repeated communication
+/// substructure). Arcs/vertex ≈ 1.5.
+pub fn unstructured_mesh(n_target: usize, seed: u64) -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x554d);
+    let n = n_target.max(64);
+    let p = (n / 64).clamp(4, 4096);
+    let side = (p as f64).sqrt() as usize;
+    let p = side * side;
+    let l = n / p;
+    let n = p * l;
+    let mut edges = Vec::with_capacity(n * 3 / 4);
+    for proc in 0..p {
+        let base = (proc * l) as u32;
+        // Variable-length timeline segments (2–5 events; no isolated events,
+        // diverse causal neighborhoods — see `message_race`).
+        let mut e = 0usize;
+        while e < l - 1 {
+            let seg = rng.gen_range(2..=5usize).min(l - e);
+            for k in 0..seg - 1 {
+                edges.push((base + (e + k) as u32, base + (e + k) as u32 + 1));
+            }
+            e += seg;
+        }
+    }
+    // Mesh-neighbor exchanges: each process talks to its 4-neighborhood in
+    // regular rounds (every ~12 events), creating repeated patterns.
+    for py in 0..side {
+        for px in 0..side {
+            let proc = py * side + px;
+            let nbrs = [
+                (px.wrapping_sub(1), py),
+                (px + 1, py),
+                (px, py.wrapping_sub(1)),
+                (px, py + 1),
+            ];
+            for e in (0..l).step_by(12) {
+                for &(nx, ny) in &nbrs {
+                    if nx < side && ny < side && rng.gen_bool(0.25) {
+                        let other = ny * side + nx;
+                        let te = (e + rng.gen_range(0..3)) % l;
+                        edges.push(((proc * l + e) as u32, (other * l + te) as u32));
+                    }
+                }
+            }
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// "Asia OSM"-class road network: junction grid whose links are subdivided
+/// into long degree-2 chains, with a few missing links. Arcs/vertex ≈ 2.1.
+pub fn road_network(n_target: usize, seed: u64) -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4f534d);
+    const SUBDIV: usize = 8; // intermediate vertices per road segment
+    // V = J + E_j * SUBDIV where E_j ≈ 2J (grid) → V ≈ J(1 + 2*SUBDIV).
+    let j_side = (((n_target as f64) / (1.0 + 2.0 * SUBDIV as f64)).sqrt() as usize).max(2);
+    let n_junctions = j_side * j_side;
+
+    // Junction-level grid with 6% of links removed (dead ends, coastline).
+    let mut junction_edges = Vec::new();
+    for y in 0..j_side {
+        for x in 0..j_side {
+            let v = (y * j_side + x) as u32;
+            if x + 1 < j_side && rng.gen_bool(0.94) {
+                junction_edges.push((v, v + 1));
+            }
+            if y + 1 < j_side && rng.gen_bool(0.94) {
+                junction_edges.push((v, v + j_side as u32));
+            }
+        }
+    }
+
+    // Subdivide every junction link into a chain of SUBDIV inner vertices.
+    let mut edges = Vec::new();
+    let mut next = n_junctions as u32;
+    for &(a, b) in &junction_edges {
+        let mut prev = a;
+        for _ in 0..SUBDIV {
+            edges.push((prev, next));
+            prev = next;
+            next += 1;
+        }
+        edges.push((prev, b));
+    }
+    CsrGraph::from_edges(next as usize, &edges)
+}
+
+/// "Hugebubbles"-class foam: a honeycomb lattice (degree-3 bubbles) with a
+/// few popped walls. Arcs/vertex ≈ 3.
+pub fn hugebubbles(n_target: usize, seed: u64) -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4842);
+    // Brick-wall representation of a honeycomb: grid where each vertex
+    // links to its horizontal neighbors and to the row below on alternating
+    // parity (degree ≤ 3).
+    let side = ((n_target as f64).sqrt() as usize).max(4);
+    let n = side * side;
+    let mut edges = Vec::with_capacity(n * 3 / 2);
+    for y in 0..side {
+        for x in 0..side {
+            let v = (y * side + x) as u32;
+            // Horizontal walls, with 4% popped (merged bubbles).
+            if x + 1 < side && rng.gen_bool(0.96) {
+                edges.push((v, v + 1));
+            }
+            // Vertical wall on alternating parity (honeycomb pattern), with
+            // 10% popped — real foams have irregular bubble sizes, which is
+            // what makes neighboring cells structurally distinct.
+            if y + 1 < side && (x + y) % 2 == 0 && rng.gen_bool(0.90) {
+                edges.push((v, v + side as u32));
+            }
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// "Delaunay"-class planar triangulation: jittered grid with randomly
+/// oriented cell diagonals. Arcs/vertex ≈ 6 (the SuiteSparse `delaunay_n24`
+/// ratio), mean degree ≈ 6 like a true Delaunay triangulation.
+pub fn delaunay(n_target: usize, seed: u64) -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x444e);
+    let side = ((n_target as f64).sqrt() as usize).max(2);
+    let n = side * side;
+    let mut edges = Vec::with_capacity(n * 3);
+    for y in 0..side {
+        for x in 0..side {
+            let v = (y * side + x) as u32;
+            if x + 1 < side {
+                edges.push((v, v + 1));
+            }
+            if y + 1 < side {
+                edges.push((v, v + side as u32));
+            }
+            // One diagonal per cell, random orientation — the two possible
+            // Delaunay flips of the quad.
+            if x + 1 < side && y + 1 < side {
+                if rng.gen_bool(0.5) {
+                    edges.push((v, v + side as u32 + 1));
+                } else {
+                    edges.push((v + 1, v + side as u32));
+                }
+            }
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ratio(g: &CsrGraph) -> f64 {
+        g.n_arcs() as f64 / g.n_vertices() as f64
+    }
+
+    #[test]
+    fn message_race_matches_table1_ratio() {
+        let g = message_race(20_000, 1);
+        // Table 1: 16.76M arcs / 11.17M vertices = 1.50.
+        assert!((ratio(&g) - 1.5).abs() < 0.25, "ratio {}", ratio(&g));
+    }
+
+    #[test]
+    fn unstructured_mesh_matches_table1_ratio() {
+        let g = unstructured_mesh(20_000, 1);
+        // Table 1: 21.6M / 14.4M = 1.50.
+        assert!((ratio(&g) - 1.5).abs() < 0.3, "ratio {}", ratio(&g));
+    }
+
+    #[test]
+    fn road_network_matches_table1_ratio() {
+        let g = road_network(20_000, 1);
+        // Table 1: 25.4M / 11.95M = 2.13.
+        assert!((ratio(&g) - 2.13).abs() < 0.25, "ratio {}", ratio(&g));
+        // Roads are chain-dominated: most vertices have degree 2.
+        let deg2 = (0..g.n_vertices() as u32).filter(|&v| g.degree(v) == 2).count();
+        assert!(deg2 as f64 > 0.8 * g.n_vertices() as f64);
+    }
+
+    #[test]
+    fn hugebubbles_matches_table1_ratio() {
+        let g = hugebubbles(20_000, 1);
+        // Table 1: 54.9M / 18.3M = 3.0.
+        assert!((ratio(&g) - 3.0).abs() < 0.35, "ratio {}", ratio(&g));
+        assert!(g.max_degree() <= 4);
+    }
+
+    #[test]
+    fn delaunay_matches_table1_ratio() {
+        let g = delaunay(20_000, 1);
+        // Table 1: 100.7M / 16.8M = 6.0.
+        assert!((ratio(&g) - 6.0).abs() < 0.5, "ratio {}", ratio(&g));
+        // Triangulation: interior degree ~6.
+        assert!(g.max_degree() <= 8);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(message_race(5000, 7), message_race(5000, 7));
+        assert_ne!(message_race(5000, 7), message_race(5000, 8));
+        assert_eq!(delaunay(5000, 3), delaunay(5000, 3));
+    }
+
+    #[test]
+    fn generators_hit_requested_scale() {
+        for (name, g) in [
+            ("mr", message_race(30_000, 0)),
+            ("um", unstructured_mesh(30_000, 0)),
+            ("road", road_network(30_000, 0)),
+            ("hb", hugebubbles(30_000, 0)),
+            ("del", delaunay(30_000, 0)),
+        ] {
+            let n = g.n_vertices() as f64;
+            assert!(
+                (n - 30_000.0).abs() / 30_000.0 < 0.2,
+                "{name}: {} vertices for target 30000",
+                g.n_vertices()
+            );
+        }
+    }
+
+    #[test]
+    fn event_graphs_have_fewer_triangles_than_delaunay() {
+        // The paper: "The event graphs are more sparse than the graphs from
+        // SuiteSparse, with fewer dense subgraphs."
+        fn triangles(g: &CsrGraph) -> usize {
+            let mut t = 0;
+            for (a, b) in g.edges() {
+                let (na, nb) = (g.neighbors(a), g.neighbors(b));
+                let (mut i, mut j) = (0, 0);
+                while i < na.len() && j < nb.len() {
+                    match na[i].cmp(&nb[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            t += 1;
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+            }
+            t / 3
+        }
+        let ev = triangles(&message_race(10_000, 2));
+        let del = triangles(&delaunay(10_000, 2));
+        assert!(del > 10 * (ev + 1), "delaunay {del} vs event {ev}");
+    }
+}

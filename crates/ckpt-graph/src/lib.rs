@@ -1,0 +1,29 @@
+//! Graph substrate for the ORANGES driver application.
+//!
+//! Provides everything the paper's evaluation needs on the graph side:
+//!
+//! * [`CsrGraph`] — compact undirected graphs with sorted adjacency;
+//! * [`generators`] — synthetic stand-ins for the five Table 1 inputs
+//!   (HPC event traces and SuiteSparse graphs are not redistributable), each
+//!   reproducing its class's arcs-per-vertex ratio and structure;
+//! * [`mod@gorder`] — the Gorder cache-locality reordering pass the paper
+//!   applies to every input before running ORANGES;
+//! * [`ordering`] — BFS / RCM / degree orderings as comparison points;
+//! * [`io`] — Matrix Market / edge-list parsing, so real SuiteSparse files
+//!   can be substituted back in when available;
+//! * [`stats`] — Table 1 style reporting;
+//! * [`table1::PaperGraph`] — the named inputs with their published sizes.
+
+pub mod csr;
+pub mod generators;
+pub mod gorder;
+pub mod io;
+pub mod ordering;
+pub mod stats;
+pub mod table1;
+
+pub use csr::CsrGraph;
+pub use gorder::{gorder, reorder};
+pub use ordering::{bfs_order, degree_order, rcm_order};
+pub use stats::GraphStats;
+pub use table1::PaperGraph;

@@ -1,0 +1,116 @@
+//! Summary statistics for graphs (Table 1 style reporting).
+
+use crate::csr::CsrGraph;
+
+/// Degree and size summary of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    pub n_vertices: usize,
+    pub n_edges: usize,
+    pub n_arcs: usize,
+    pub min_degree: usize,
+    pub max_degree: usize,
+    pub mean_degree: f64,
+    /// Exact triangle count (merge-based; fine at bench scales).
+    pub n_triangles: usize,
+}
+
+impl GraphStats {
+    pub fn compute(g: &CsrGraph) -> GraphStats {
+        let n = g.n_vertices();
+        let mut min_degree = usize::MAX;
+        let mut max_degree = 0;
+        for v in 0..n as u32 {
+            let d = g.degree(v);
+            min_degree = min_degree.min(d);
+            max_degree = max_degree.max(d);
+        }
+        if n == 0 {
+            min_degree = 0;
+        }
+        GraphStats {
+            n_vertices: n,
+            n_edges: g.n_edges(),
+            n_arcs: g.n_arcs(),
+            min_degree,
+            max_degree,
+            mean_degree: g.mean_degree(),
+            n_triangles: count_triangles(g),
+        }
+    }
+}
+
+/// Exact triangle count via sorted-adjacency intersection per edge.
+pub fn count_triangles(g: &CsrGraph) -> usize {
+    let mut t = 0usize;
+    for (a, b) in g.edges() {
+        let (na, nb) = (g.neighbors(a), g.neighbors(b));
+        let (mut i, mut j) = (0, 0);
+        while i < na.len() && j < nb.len() {
+            match na[i].cmp(&nb[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    t += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+    t / 3
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "|V|={} |E|={} (arcs {}) deg[min {}, mean {:.2}, max {}] triangles={}",
+            self.n_vertices,
+            self.n_edges,
+            self.n_arcs,
+            self.min_degree,
+            self.mean_degree,
+            self.max_degree,
+            self.n_triangles
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_counts() {
+        // K4 has 4 triangles.
+        let k4 = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(count_triangles(&k4), 4);
+        // A path has none.
+        let path = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(count_triangles(&path), 0);
+        // One triangle plus a pendant.
+        let tri = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        assert_eq!(count_triangles(&tri), 1);
+    }
+
+    #[test]
+    fn stats_of_known_graph() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.n_vertices, 5);
+        assert_eq!(s.n_edges, 4);
+        assert_eq!(s.min_degree, 0); // vertex 4 isolated
+        assert_eq!(s.max_degree, 3);
+        assert_eq!(s.n_triangles, 1);
+        let rendered = s.to_string();
+        assert!(rendered.contains("|V|=5"));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let s = GraphStats::compute(&CsrGraph::from_edges(1, &[]));
+        assert_eq!(s.max_degree, 0);
+        assert_eq!(s.n_triangles, 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! The paper's input-graph inventory (Table 1) and scaled synthetic stand-ins.
+
+use crate::csr::CsrGraph;
+use crate::generators;
+
+/// One of the paper's five input graphs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PaperGraph {
+    MessageRace,
+    UnstructuredMesh,
+    AsiaOsm,
+    Hugebubbles,
+    DelaunayN24,
+}
+
+impl PaperGraph {
+    /// All graphs, Table 1 order.
+    pub fn all() -> [PaperGraph; 5] {
+        [
+            PaperGraph::MessageRace,
+            PaperGraph::UnstructuredMesh,
+            PaperGraph::AsiaOsm,
+            PaperGraph::Hugebubbles,
+            PaperGraph::DelaunayN24,
+        ]
+    }
+
+    /// The four single-process graphs of Figures 4 and 5.
+    pub fn single_process() -> [PaperGraph; 4] {
+        [
+            PaperGraph::MessageRace,
+            PaperGraph::UnstructuredMesh,
+            PaperGraph::AsiaOsm,
+            PaperGraph::Hugebubbles,
+        ]
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            PaperGraph::MessageRace => "Message Race",
+            PaperGraph::UnstructuredMesh => "Unstructured Mesh",
+            PaperGraph::AsiaOsm => "Asia OSM",
+            PaperGraph::Hugebubbles => "Hugebubbles",
+            PaperGraph::DelaunayN24 => "Delaunay N24",
+        }
+    }
+
+    /// Table 1's published `(|V|, nonzeros, GDV bytes)` for the original
+    /// full-scale graph.
+    pub fn table1_row(&self) -> (u64, u64, u64) {
+        match self {
+            PaperGraph::MessageRace => (11_174_336, 16_761_248, 3_260_000_000),
+            PaperGraph::UnstructuredMesh => (14_418_368, 21_627_296, 4_210_000_000),
+            PaperGraph::AsiaOsm => (11_950_757, 25_423_206, 3_490_000_000),
+            PaperGraph::Hugebubbles => (18_318_143, 54_940_162, 5_350_000_000),
+            PaperGraph::DelaunayN24 => (16_777_216, 100_663_202, 4_900_000_000),
+        }
+    }
+
+    /// Generate the scaled synthetic stand-in with `n_target` vertices.
+    pub fn generate(&self, n_target: usize, seed: u64) -> CsrGraph {
+        match self {
+            PaperGraph::MessageRace => generators::message_race(n_target, seed),
+            PaperGraph::UnstructuredMesh => generators::unstructured_mesh(n_target, seed),
+            PaperGraph::AsiaOsm => generators::road_network(n_target, seed),
+            PaperGraph::Hugebubbles => generators::hugebubbles(n_target, seed),
+            PaperGraph::DelaunayN24 => generators::delaunay(n_target, seed),
+        }
+    }
+}
+
+impl std::fmt::Display for PaperGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_ratio_tracks_table1() {
+        for pg in PaperGraph::all() {
+            let (v, nnz, _) = pg.table1_row();
+            let target_ratio = nnz as f64 / v as f64;
+            let g = pg.generate(25_000, 11);
+            let got = g.n_arcs() as f64 / g.n_vertices() as f64;
+            assert!(
+                (got - target_ratio).abs() / target_ratio < 0.18,
+                "{pg}: generated ratio {got:.2} vs Table 1 {target_ratio:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn table1_gdv_size_is_consistent() {
+        // GDV size ≈ |V| × 73 orbits × 4 bytes (the paper reports GB-scale
+        // sizes consistent with a ~292-byte per-vertex record).
+        for pg in PaperGraph::all() {
+            let (v, _, gdv) = pg.table1_row();
+            let per_vertex = gdv as f64 / v as f64;
+            assert!(
+                (250.0..350.0).contains(&per_vertex),
+                "{pg}: {per_vertex:.0} bytes/vertex"
+            );
+        }
+    }
+}

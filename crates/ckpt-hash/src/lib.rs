@@ -1,0 +1,94 @@
+//! Hashing primitives for GPU-accelerated de-duplication.
+//!
+//! The de-duplication engine compares data chunks by their 128-bit digests.
+//! The paper uses the non-cryptographic MurmurHash3 x64-128 function because
+//! its throughput is high enough not to bottleneck de-duplication, unlike
+//! cryptographic functions such as MD5 (§2.4 of the paper). Both are provided
+//! here so the trade-off can be measured (ablation A1 in `DESIGN.md`):
+//!
+//! * [`Murmur3`] — MurmurHash3 x64-128, the production hash.
+//! * [`Md5`] — RFC 1321 MD5, the slow cryptographic comparison point.
+//! * [`Sha256`] — FIPS 180-4 SHA-256 (truncated to 128 bits), the
+//!   conservative cryptographic option.
+//!
+//! All hash functions implement the [`Hasher128`] trait and produce a
+//! [`Digest128`], a plain-old-data 128-bit value that can live inside lock-free
+//! hash-table slots and flattened Merkle-tree arrays.
+
+pub mod digest;
+pub mod md5;
+pub mod murmur3;
+pub mod sha256;
+
+pub use digest::Digest128;
+pub use md5::Md5;
+pub use murmur3::Murmur3;
+pub use sha256::Sha256;
+
+/// A 128-bit digest function over byte strings.
+///
+/// Implementations must be pure functions of `(data, seed)`: the same input
+/// always produces the same digest, on every thread, so digests computed by
+/// concurrent de-duplication kernels are directly comparable.
+pub trait Hasher128: Send + Sync {
+    /// Hash `data` with the given seed.
+    fn hash_seeded(&self, data: &[u8], seed: u32) -> Digest128;
+
+    /// Hash `data` with seed 0 (the default used for chunk digests).
+    #[inline]
+    fn hash(&self, data: &[u8]) -> Digest128 {
+        self.hash_seeded(data, 0)
+    }
+
+    /// Combine two child digests into a parent digest (Merkle-tree inner node).
+    ///
+    /// The default implementation hashes the concatenation of the two raw
+    /// digests, which is exactly what the paper does for inner nodes: the
+    /// parent's hash is `H(left || right)`.
+    #[inline]
+    fn combine(&self, left: &Digest128, right: &Digest128) -> Digest128 {
+        let mut buf = [0u8; 32];
+        buf[..16].copy_from_slice(&left.to_bytes());
+        buf[16..].copy_from_slice(&right.to_bytes());
+        self.hash(&buf)
+    }
+
+    /// Human-readable name, used in benchmark reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        let h = Murmur3;
+        let a = h.hash(b"left chunk");
+        let b = h.hash(b"right chunk");
+        assert_ne!(h.combine(&a, &b), h.combine(&b, &a));
+    }
+
+    #[test]
+    fn combine_matches_manual_concatenation() {
+        let h = Murmur3;
+        let a = h.hash(b"aaaa");
+        let b = h.hash(b"bbbb");
+        let mut cat = Vec::new();
+        cat.extend_from_slice(&a.to_bytes());
+        cat.extend_from_slice(&b.to_bytes());
+        assert_eq!(h.combine(&a, &b), h.hash(&cat));
+    }
+
+    #[test]
+    fn trait_object_dispatch() {
+        let hashers: Vec<Box<dyn Hasher128>> =
+            vec![Box::new(Murmur3), Box::new(Md5), Box::new(Sha256)];
+        for h in &hashers {
+            // Same input twice -> same digest; different input -> different digest.
+            assert_eq!(h.hash(b"x"), h.hash(b"x"));
+            assert_ne!(h.hash(b"x"), h.hash(b"y"));
+        }
+        assert_ne!(hashers[0].hash(b"x"), hashers[1].hash(b"x"));
+    }
+}

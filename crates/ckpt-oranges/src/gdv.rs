@@ -1,0 +1,142 @@
+//! The graphlet degree vector (GDV) array — the checkpointed data structure.
+//!
+//! One row of [`crate::orbits::N_ORBITS`] `u32` counters per vertex, stored
+//! row-major in one flat allocation so the whole array can be handed to the
+//! checkpointing engine as a single byte buffer ("each process produces a
+//! checkpoint record ... directly into the GPU memory", §2.1). At the
+//! paper's scale this is the multi-GB object of Table 1's last column
+//! (≈ 292 B/vertex).
+
+use crate::orbits::N_ORBITS;
+
+/// Flat per-vertex orbit-counter array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gdv {
+    counts: Vec<u32>,
+    n_vertices: usize,
+}
+
+impl Gdv {
+    /// All-zero GDV for `n_vertices`.
+    pub fn new(n_vertices: usize) -> Self {
+        Gdv { counts: vec![0u32; n_vertices * N_ORBITS], n_vertices }
+    }
+
+    #[inline]
+    pub fn n_vertices(&self) -> usize {
+        self.n_vertices
+    }
+
+    /// Total size in bytes (what gets checkpointed).
+    #[inline]
+    pub fn size_bytes(&self) -> usize {
+        self.counts.len() * 4
+    }
+
+    /// Increment vertex `v`'s counter for `orbit`.
+    #[inline]
+    pub fn bump(&mut self, v: u32, orbit: u8) {
+        self.counts[v as usize * N_ORBITS + orbit as usize] += 1;
+    }
+
+    /// The orbit-counter row of vertex `v`.
+    #[inline]
+    pub fn row(&self, v: u32) -> &[u32] {
+        &self.counts[v as usize * N_ORBITS..(v as usize + 1) * N_ORBITS]
+    }
+
+    /// Raw little-endian byte view of the whole array — the checkpoint
+    /// payload. (`u32` counters are plain old data; on the little-endian
+    /// targets this project supports, the in-memory representation *is* the
+    /// serialized representation, exactly like a GPU buffer handed to the
+    /// de-duplication kernel.)
+    pub fn as_bytes(&self) -> &[u8] {
+        // SAFETY: u32 has no padding or invalid bit patterns; the slice
+        // covers exactly the Vec's initialized elements.
+        unsafe {
+            std::slice::from_raw_parts(self.counts.as_ptr() as *const u8, self.counts.len() * 4)
+        }
+    }
+
+    /// Rebuild a GDV from bytes produced by [`as_bytes`](Self::as_bytes)
+    /// (restart path).
+    pub fn from_bytes(bytes: &[u8]) -> Option<Gdv> {
+        if !bytes.len().is_multiple_of(4 * N_ORBITS) {
+            return None;
+        }
+        let counts: Vec<u32> = bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let n_vertices = counts.len() / N_ORBITS;
+        Some(Gdv { counts, n_vertices })
+    }
+
+    /// Atomic view of the counters for parallel enumeration kernels.
+    ///
+    /// `AtomicU32` is guaranteed to have the same in-memory representation
+    /// as `u32`, so a unique borrow of the counter array can be handed to
+    /// many threads as atomics for the duration of a parallel pass.
+    pub fn as_atomic(&mut self) -> &[std::sync::atomic::AtomicU32] {
+        // SAFETY: exclusive borrow + identical layout; all concurrent access
+        // goes through atomic operations.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.counts.as_mut_ptr() as *const std::sync::atomic::AtomicU32,
+                self.counts.len(),
+            )
+        }
+    }
+
+    /// Sum of all counters (test/metrics helper).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|&c| c as u64).sum()
+    }
+
+    /// Number of non-zero counters (sparsity metric; the paper notes sparse
+    /// graphs yield sparse GDVs).
+    pub fn nonzero(&self) -> usize {
+        self.counts.iter().filter(|&&c| c != 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_row() {
+        let mut g = Gdv::new(3);
+        g.bump(1, 0);
+        g.bump(1, 0);
+        g.bump(2, 72);
+        assert_eq!(g.row(1)[0], 2);
+        assert_eq!(g.row(2)[72], 1);
+        assert_eq!(g.row(0).iter().sum::<u32>(), 0);
+        assert_eq!(g.total(), 3);
+        assert_eq!(g.nonzero(), 2);
+    }
+
+    #[test]
+    fn byte_view_round_trip() {
+        let mut g = Gdv::new(4);
+        g.bump(0, 5);
+        g.bump(3, 10);
+        let bytes = g.as_bytes();
+        assert_eq!(bytes.len(), 4 * N_ORBITS * 4);
+        let back = Gdv::from_bytes(bytes).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn byte_view_is_little_endian_rows() {
+        let mut g = Gdv::new(1);
+        g.bump(0, 0);
+        assert_eq!(&g.as_bytes()[0..4], &[1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn from_bytes_rejects_bad_length() {
+        assert!(Gdv::from_bytes(&[0u8; 7]).is_none());
+    }
+}

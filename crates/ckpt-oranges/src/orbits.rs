@@ -1,0 +1,323 @@
+//! Graphlet and orbit classification tables for 2–5-vertex graphlets.
+//!
+//! A *graphlet* is a connected induced subgraph on 2–5 vertices; there are
+//! exactly 30 of them up to isomorphism (1 + 2 + 6 + 21 by size). An *orbit*
+//! is an automorphism-equivalence class of vertices within a graphlet; there
+//! are 73 across all 30 graphlets. The GDV (graphlet degree vector) of a
+//! vertex counts, per orbit, how many graphlet instances contain it in that
+//! position (Přulj's taxonomy; the paper builds one 73-counter vector per
+//! vertex and checkpoints the evolving array).
+//!
+//! Rather than transcribing the published orbit tables, this module *derives*
+//! them: it enumerates every labeled graph on k ≤ 5 vertices (adjacency
+//! bitmask over the `k(k-1)/2` vertex pairs), finds canonical forms by
+//! minimizing over all `k!` relabelings, and computes automorphism orbits
+//! brute-force. Graphlet and orbit ids are assigned in deterministic
+//! (size, canonical-mask) order — a relabeling of the published numbering
+//! with identical structure (the tests pin the 30/73 counts and spot-check
+//! well-known graphlets).
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Total number of orbits across all 2–5-vertex graphlets.
+pub const N_ORBITS: usize = 73;
+
+/// Total number of graphlets (connected graphs on 2–5 vertices).
+pub const N_GRAPHLETS: usize = 30;
+
+/// Bit index of the vertex pair `(i, j)` with `i < j` in an adjacency mask.
+#[inline]
+pub fn pair_bit(i: usize, j: usize) -> usize {
+    debug_assert!(i < j);
+    j * (j - 1) / 2 + i
+}
+
+/// Whether the masked graph on `k` vertices is connected.
+pub fn is_connected(mask: u16, k: usize) -> bool {
+    if k == 0 {
+        return false;
+    }
+    let mut seen = 1u8; // bitmask of visited vertices, start at 0
+    let mut stack = vec![0usize];
+    while let Some(v) = stack.pop() {
+        for u in 0..k {
+            if u != v && seen & (1 << u) == 0 {
+                let (a, b) = if u < v { (u, v) } else { (v, u) };
+                if mask & (1 << pair_bit(a, b)) != 0 {
+                    seen |= 1 << u;
+                    stack.push(u);
+                }
+            }
+        }
+    }
+    seen.count_ones() as usize == k
+}
+
+/// Relabel the masked graph: vertex `v` becomes `perm[v]`.
+fn permute_mask(mask: u16, k: usize, perm: &[usize]) -> u16 {
+    let mut out = 0u16;
+    for j in 1..k {
+        for i in 0..j {
+            if mask & (1 << pair_bit(i, j)) != 0 {
+                let (a, b) = (perm[i].min(perm[j]), perm[i].max(perm[j]));
+                out |= 1 << pair_bit(a, b);
+            }
+        }
+    }
+    out
+}
+
+fn permutations(k: usize) -> Vec<Vec<usize>> {
+    fn rec(prefix: &mut Vec<usize>, rest: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if rest.is_empty() {
+            out.push(prefix.clone());
+            return;
+        }
+        for i in 0..rest.len() {
+            let v = rest.remove(i);
+            prefix.push(v);
+            rec(prefix, rest, out);
+            prefix.pop();
+            rest.insert(i, v);
+        }
+    }
+    let mut out = Vec::new();
+    rec(&mut Vec::new(), &mut (0..k).collect(), &mut out);
+    out
+}
+
+/// The derived classification tables.
+pub struct OrbitTable {
+    /// Per size k (index k-2): `orbit[mask * k + i]` = global orbit id of
+    /// vertex `i` in the masked graph, or `u8::MAX` if disconnected.
+    orbit: [Vec<u8>; 4],
+    /// Per size k (index k-2): `graphlet[mask]` = global graphlet id, or
+    /// `u8::MAX` if disconnected.
+    graphlet: [Vec<u8>; 4],
+    n_graphlets: usize,
+    n_orbits: usize,
+}
+
+impl OrbitTable {
+    fn build() -> OrbitTable {
+        let mut orbit: [Vec<u8>; 4] = Default::default();
+        let mut graphlet: [Vec<u8>; 4] = Default::default();
+        let mut next_graphlet = 0usize;
+        let mut next_orbit = 0usize;
+
+        for k in 2..=5usize {
+            let n_pairs = k * (k - 1) / 2;
+            let n_masks = 1usize << n_pairs;
+            let perms = permutations(k);
+            let mut orb_k = vec![u8::MAX; n_masks * k];
+            let mut gr_k = vec![u8::MAX; n_masks];
+
+            // Canonical class data discovered in ascending mask order: the
+            // canonical representative (min over relabelings) is always the
+            // first class member encountered.
+            let mut class_graphlet: HashMap<u16, u8> = HashMap::new();
+            let mut class_orbits: HashMap<u16, Vec<u8>> = HashMap::new();
+
+            for mask in 0..n_masks as u16 {
+                if !is_connected(mask, k) {
+                    continue;
+                }
+                let mut canon = mask;
+                let mut to_canon: &Vec<usize> = &perms[0];
+                for p in &perms {
+                    let pm = permute_mask(mask, k, p);
+                    if pm < canon {
+                        canon = pm;
+                        to_canon = p;
+                    }
+                }
+                if canon == mask {
+                    // New canonical class: register graphlet + orbits.
+                    let gid = next_graphlet as u8;
+                    next_graphlet += 1;
+                    class_graphlet.insert(mask, gid);
+
+                    // Automorphism orbits of the canonical form: i ~ j iff
+                    // some automorphism maps i to j.
+                    let mut class_of = vec![usize::MAX; k];
+                    let autos: Vec<&Vec<usize>> = perms
+                        .iter()
+                        .filter(|p| permute_mask(mask, k, p) == mask)
+                        .collect();
+                    for i in 0..k {
+                        if class_of[i] != usize::MAX {
+                            continue;
+                        }
+                        let orbit_id = next_orbit;
+                        next_orbit += 1;
+                        for p in &autos {
+                            class_of[p[i]] = orbit_id;
+                        }
+                        class_of[i] = orbit_id;
+                    }
+                    class_orbits
+                        .insert(mask, class_of.iter().map(|&o| o as u8).collect());
+                }
+                // Map this mask's vertices through `to_canon` onto the
+                // canonical class's orbits.
+                let canon_orbits = &class_orbits[&canon];
+                gr_k[mask as usize] = class_graphlet[&canon];
+                for i in 0..k {
+                    orb_k[mask as usize * k + i] = canon_orbits[to_canon[i]];
+                }
+            }
+            orbit[k - 2] = orb_k;
+            graphlet[k - 2] = gr_k;
+        }
+
+        OrbitTable { orbit, graphlet, n_graphlets: next_graphlet, n_orbits: next_orbit }
+    }
+
+    /// The process-wide table (built once, ~12 KiB).
+    pub fn global() -> &'static OrbitTable {
+        static TABLE: OnceLock<OrbitTable> = OnceLock::new();
+        TABLE.get_or_init(OrbitTable::build)
+    }
+
+    /// Global orbit id of vertex `i` in the connected masked graph on `k`
+    /// vertices. Panics on disconnected masks in debug builds.
+    #[inline]
+    pub fn orbit_of(&self, k: usize, mask: u16, i: usize) -> u8 {
+        let o = self.orbit[k - 2][mask as usize * k + i];
+        debug_assert_ne!(o, u8::MAX, "disconnected mask {mask:#b} (k={k})");
+        o
+    }
+
+    /// Global graphlet id of the connected masked graph.
+    #[inline]
+    pub fn graphlet_of(&self, k: usize, mask: u16) -> u8 {
+        let g = self.graphlet[k - 2][mask as usize];
+        debug_assert_ne!(g, u8::MAX, "disconnected mask {mask:#b} (k={k})");
+        g
+    }
+
+    pub fn n_graphlets(&self) -> usize {
+        self.n_graphlets
+    }
+
+    pub fn n_orbits(&self) -> usize {
+        self.n_orbits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_the_taxonomy() {
+        let t = OrbitTable::global();
+        assert_eq!(t.n_graphlets(), N_GRAPHLETS, "connected graphs on 2-5 vertices");
+        assert_eq!(t.n_orbits(), N_ORBITS, "orbits across all graphlets");
+    }
+
+    #[test]
+    fn connectivity_oracle() {
+        // k=3: edges 01,02,12 are bits 0,1,2.
+        assert!(is_connected(0b011, 3)); // path 1-0-2
+        assert!(is_connected(0b111, 3)); // triangle
+        assert!(!is_connected(0b001, 3)); // edge + isolated vertex
+        assert!(!is_connected(0b000, 2));
+        assert!(is_connected(0b1, 2));
+    }
+
+    #[test]
+    fn edge_graphlet_has_one_orbit() {
+        let t = OrbitTable::global();
+        // k=2, mask 1 = the single edge; both endpoints equivalent.
+        assert_eq!(t.orbit_of(2, 1, 0), t.orbit_of(2, 1, 1));
+        assert_eq!(t.graphlet_of(2, 1), 0);
+        assert_eq!(t.orbit_of(2, 1, 0), 0);
+    }
+
+    #[test]
+    fn path3_has_two_orbits_triangle_one() {
+        let t = OrbitTable::global();
+        let path = 0b011u16; // 0-1, 0-2: vertex 0 is the center
+        let o_center = t.orbit_of(3, path, 0);
+        let o_end = t.orbit_of(3, path, 1);
+        assert_ne!(o_center, o_end);
+        assert_eq!(t.orbit_of(3, path, 2), o_end);
+
+        let tri = 0b111u16;
+        let o = t.orbit_of(3, tri, 0);
+        assert_eq!(t.orbit_of(3, tri, 1), o);
+        assert_eq!(t.orbit_of(3, tri, 2), o);
+        assert_ne!(t.graphlet_of(3, path), t.graphlet_of(3, tri));
+    }
+
+    #[test]
+    fn isomorphic_masks_share_graphlet_and_orbits() {
+        let t = OrbitTable::global();
+        // Two labelings of the 3-path with different centers.
+        let center0 = 0b011u16; // 01, 02
+        let center1 = 0b101u16; // 01, 12
+        let center2 = 0b110u16; // 02, 12
+        assert_eq!(t.graphlet_of(3, center0), t.graphlet_of(3, center1));
+        assert_eq!(t.graphlet_of(3, center1), t.graphlet_of(3, center2));
+        assert_eq!(t.orbit_of(3, center0, 0), t.orbit_of(3, center1, 1));
+        assert_eq!(t.orbit_of(3, center0, 1), t.orbit_of(3, center1, 0));
+        assert_eq!(t.orbit_of(3, center2, 2), t.orbit_of(3, center0, 0));
+    }
+
+    #[test]
+    fn k5_clique_is_fully_symmetric() {
+        let t = OrbitTable::global();
+        let k5 = (1u16 << 10) - 1;
+        let o = t.orbit_of(5, k5, 0);
+        for i in 1..5 {
+            assert_eq!(t.orbit_of(5, k5, i), o);
+        }
+    }
+
+    #[test]
+    fn star4_center_differs_from_leaves() {
+        let t = OrbitTable::global();
+        // k=4 star centered at 0: edges 01, 02, 03 → bits pair(0,1)=0,
+        // pair(0,2)=1, pair(0,3)=3.
+        let star = (1u16 << pair_bit(0, 1)) | (1 << pair_bit(0, 2)) | (1 << pair_bit(0, 3));
+        let center = t.orbit_of(4, star, 0);
+        let leaf = t.orbit_of(4, star, 1);
+        assert_ne!(center, leaf);
+        assert_eq!(t.orbit_of(4, star, 2), leaf);
+        assert_eq!(t.orbit_of(4, star, 3), leaf);
+    }
+
+    #[test]
+    fn orbit_ids_partition_by_graphlet_size() {
+        // Size-2 orbits come first, then size-3, etc. (deterministic
+        // ordering promised by the module docs).
+        let t = OrbitTable::global();
+        assert_eq!(t.orbit_of(2, 1, 0), 0);
+        // First size-3 graphlet (path, mask 0b011) starts at orbit 1.
+        let o3: Vec<u8> = (0..3).map(|i| t.orbit_of(3, 0b011, i)).collect();
+        assert!(o3.iter().all(|&o| (1..=3).contains(&o)));
+        // Size-5 orbits all ≥ the size-4 maximum.
+        let k5 = (1u16 << 10) - 1;
+        let max4 = (0..4).map(|i| t.orbit_of(4, (1 << 6) - 1, i)).max().unwrap();
+        assert!(t.orbit_of(5, k5, 0) > max4);
+    }
+
+    #[test]
+    fn every_connected_mask_is_classified() {
+        let t = OrbitTable::global();
+        for k in 2..=5usize {
+            let n_pairs = k * (k - 1) / 2;
+            for mask in 0..(1u16 << n_pairs) {
+                if is_connected(mask, k) {
+                    let g = t.graphlet_of(k, mask);
+                    assert!((g as usize) < N_GRAPHLETS);
+                    for i in 0..k {
+                        assert!((t.orbit_of(k, mask, i) as usize) < N_ORBITS);
+                    }
+                }
+            }
+        }
+    }
+}

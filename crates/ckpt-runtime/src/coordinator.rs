@@ -1,0 +1,240 @@
+//! Multi-rank strong-scaling harness (the Fig. 6 experiment).
+//!
+//! "Each process checkpoints independently, but multiple GPUs copying data
+//! to a shared CPU can impact performance. We measure the sum of the first
+//! ten checkpoints for all processes. Throughput is measured by taking the
+//! sum of 10 checkpoints and dividing it by the maximum runtime spent on
+//! de-duplication across all processes" (§3.3).
+//!
+//! Each rank gets its own simulated device whose host-link contention is set
+//! to the number of co-located GPUs on its node (8 per ThetaGPU node), its
+//! own checkpointer state, and a share of one [`AsyncRuntime`].
+
+use crate::runtime::AsyncRuntime;
+use ckpt_dedup::prelude::*;
+use gpu_sim::Device;
+
+/// Which method a scaling run uses (Fig. 6 compares Tree vs Full).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalingMethod {
+    Tree,
+    Full,
+    Basic,
+    List,
+}
+
+impl ScalingMethod {
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScalingMethod::Tree => "Tree",
+            ScalingMethod::Full => "Full",
+            ScalingMethod::Basic => "Basic",
+            ScalingMethod::List => "List",
+        }
+    }
+
+    fn build(&self, device: Device, chunk_size: usize) -> Box<dyn Checkpointer> {
+        match self {
+            ScalingMethod::Tree => {
+                Box::new(TreeCheckpointer::new(device, TreeConfig::new(chunk_size)))
+            }
+            ScalingMethod::Full => Box::new(FullCheckpointer::new(device, chunk_size)),
+            ScalingMethod::Basic => Box::new(BasicCheckpointer::new(device, chunk_size)),
+            ScalingMethod::List => {
+                Box::new(ListCheckpointer::new(device, TreeConfig::new(chunk_size)))
+            }
+        }
+    }
+}
+
+/// Configuration of one strong-scaling run.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingConfig {
+    pub method: ScalingMethod,
+    pub n_ranks: usize,
+    /// GPUs per node (PCIe contenders); ThetaGPU has 8.
+    pub gpus_per_node: usize,
+    pub chunk_size: usize,
+}
+
+/// Per-rank outcome.
+#[derive(Debug)]
+pub struct RankReport {
+    pub rank: u32,
+    pub stats: RecordStats,
+    /// Modeled device seconds spent producing + transferring diffs.
+    pub modeled_sec: f64,
+    pub measured_sec: f64,
+}
+
+/// Aggregate outcome of a scaling run.
+#[derive(Debug)]
+pub struct ScalingReport {
+    pub method: ScalingMethod,
+    pub n_ranks: usize,
+    /// Σ original checkpoint bytes over all ranks and checkpoints (what Full
+    /// would store).
+    pub total_full_bytes: u64,
+    /// Σ stored diff bytes (Fig. 6a's y-axis).
+    pub total_stored_bytes: u64,
+    /// max over ranks of modeled de-duplication time (Fig. 6b denominator).
+    pub max_rank_modeled_sec: f64,
+    pub max_rank_measured_sec: f64,
+    pub ranks: Vec<RankReport>,
+}
+
+impl ScalingReport {
+    /// Fig. 6a metric: total checkpoint size reduction vs Full.
+    pub fn size_reduction(&self) -> f64 {
+        self.total_full_bytes as f64 / self.total_stored_bytes.max(1) as f64
+    }
+
+    /// Fig. 6b metric (modeled): aggregate de-duplication throughput.
+    pub fn modeled_throughput(&self) -> f64 {
+        self.total_full_bytes as f64 / self.max_rank_modeled_sec.max(1e-12)
+    }
+
+    /// Fig. 6b metric on measured wall time.
+    pub fn measured_throughput(&self) -> f64 {
+        self.total_full_bytes as f64 / self.max_rank_measured_sec.max(1e-12)
+    }
+}
+
+/// Run the scaling experiment. `snapshots_for(rank)` supplies each rank's
+/// checkpoint sequence (each rank owns an equal partition of the problem, so
+/// per-rank data shrinks as ranks grow — strong scaling).
+pub fn run_scaling<F>(cfg: ScalingConfig, runtime: &AsyncRuntime, snapshots_for: F) -> ScalingReport
+where
+    F: Fn(u32) -> Vec<Vec<u8>> + Sync,
+{
+    let contenders = cfg.n_ranks.min(cfg.gpus_per_node).max(1) as u32;
+    let reports: Vec<RankReport> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.n_ranks as u32)
+            .map(|rank| {
+                let snapshots_for = &snapshots_for;
+                s.spawn(move || {
+                    let device = Device::a100();
+                    device.set_contenders(contenders);
+                    let mut method = cfg.method.build(device.clone(), cfg.chunk_size);
+                    let snapshots = snapshots_for(rank);
+                    let mut stats = RecordStats::new();
+                    let t0 = std::time::Instant::now();
+                    for (k, snap) in snapshots.iter().enumerate() {
+                        let out = method.checkpoint(snap);
+                        stats.push(out.stats);
+                        runtime
+                            .submit(rank, k as u32, out.diff.encode())
+                            .expect("host staging full");
+                    }
+                    RankReport {
+                        rank,
+                        modeled_sec: stats.total_modeled_sec(),
+                        measured_sec: t0.elapsed().as_secs_f64(),
+                        stats,
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+    });
+
+    let total_full_bytes = reports.iter().map(|r| r.stats.total_uncompressed()).sum();
+    let total_stored_bytes = reports.iter().map(|r| r.stats.total_stored()).sum();
+    let max_rank_modeled_sec =
+        reports.iter().map(|r| r.modeled_sec).fold(0.0f64, f64::max);
+    let max_rank_measured_sec =
+        reports.iter().map(|r| r.measured_sec).fold(0.0f64, f64::max);
+    ScalingReport {
+        method: cfg.method,
+        n_ranks: cfg.n_ranks,
+        total_full_bytes,
+        total_stored_bytes,
+        max_rank_modeled_sec,
+        max_rank_measured_sec,
+        ranks: reports,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lineage::restore_rank;
+
+    fn snapshots(rank: u32, n: usize, len: usize) -> Vec<Vec<u8>> {
+        // Sparse updates per checkpoint, deterministic per rank.
+        let mut data: Vec<u8> =
+            (0..len).map(|i| ((i as u64 * 31 + rank as u64 * 7) % 251) as u8).collect();
+        let mut out = vec![data.clone()];
+        for k in 1..n {
+            for j in 0..len / 200 {
+                let at = (k * 911 + j * 53 + rank as usize) % len;
+                data[at] = data[at].wrapping_add(1);
+            }
+            out.push(data.clone());
+        }
+        out
+    }
+
+    #[test]
+    fn tree_beats_full_at_every_rank_count() {
+        for n_ranks in [1usize, 4] {
+            let rt_tree = AsyncRuntime::new();
+            let rt_full = AsyncRuntime::new();
+            let mk = |method| ScalingConfig { method, n_ranks, gpus_per_node: 8, chunk_size: 64 };
+            let tree = run_scaling(mk(ScalingMethod::Tree), &rt_tree, |r| snapshots(r, 5, 64_000));
+            let full = run_scaling(mk(ScalingMethod::Full), &rt_full, |r| snapshots(r, 5, 64_000));
+            assert_eq!(tree.total_full_bytes, full.total_full_bytes);
+            assert!(
+                tree.total_stored_bytes < full.total_stored_bytes / 2,
+                "ranks {n_ranks}: tree {} vs full {}",
+                tree.total_stored_bytes,
+                full.total_stored_bytes
+            );
+            assert!(tree.size_reduction() > 2.0);
+            assert!((full.size_reduction() - 1.0).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn every_rank_record_restores_through_the_runtime() {
+        let rt = AsyncRuntime::new();
+        let cfg = ScalingConfig {
+            method: ScalingMethod::Tree,
+            n_ranks: 4,
+            gpus_per_node: 8,
+            chunk_size: 64,
+        };
+        let report = run_scaling(cfg, &rt, |r| snapshots(r, 4, 32_000));
+        assert_eq!(report.ranks.len(), 4);
+        let ids: Vec<(u32, u32)> =
+            (0..4u32).flat_map(|r| (0..4u32).map(move |k| (r, k))).collect();
+        rt.wait_durable(&ids);
+        for rank in 0..4u32 {
+            let versions = restore_rank(rt.tiers(), rank).unwrap();
+            let expect = snapshots(rank, 4, 32_000);
+            assert_eq!(versions, expect, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn contention_reflects_gpus_per_node() {
+        // Same work, more contenders -> larger modeled time per rank.
+        let rt1 = AsyncRuntime::new();
+        let rt8 = AsyncRuntime::new();
+        let base = ScalingConfig {
+            method: ScalingMethod::Full,
+            n_ranks: 2,
+            gpus_per_node: 1,
+            chunk_size: 64,
+        };
+        let crowded = ScalingConfig { gpus_per_node: 8, n_ranks: 8, ..base };
+        let solo = run_scaling(base, &rt1, |r| snapshots(r, 3, 100_000));
+        let packed = run_scaling(crowded, &rt8, |r| snapshots(r, 3, 100_000));
+        let solo_rank = solo.max_rank_modeled_sec;
+        let packed_rank = packed.max_rank_modeled_sec;
+        assert!(
+            packed_rank > 2.5 * solo_rank,
+            "8-way contention {packed_rank} vs solo {solo_rank}"
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! Multi-level asynchronous checkpointing runtime (the paper's Fig. 3
+//! architecture, VeloC-style).
+//!
+//! Application processes de-duplicate on their (simulated) GPU, hand the
+//! consolidated diff to this runtime, and resume computing; a background
+//! flusher drains host memory → node-local SSD → parallel file system with
+//! modeled tier bandwidths. The runtime also provides the restart path:
+//! recovering the durable prefix of each rank's record after a failure and
+//! replaying it back into checkpoint contents.
+//!
+//! * [`tier`] — simulated storage tiers with bandwidth/capacity accounting;
+//! * [`runtime`] — the asynchronous flusher with failure injection;
+//! * [`lineage`] — record collection and restoration;
+//! * [`coordinator`] — the multi-rank strong-scaling harness (Fig. 6).
+
+pub mod coordinator;
+pub mod lineage;
+pub mod runtime;
+pub mod tier;
+
+pub use coordinator::{run_scaling, ScalingConfig, ScalingMethod, ScalingReport};
+pub use lineage::{restore_rank, restore_rank_latest};
+pub use runtime::{AsyncRuntime, TierChain};
+pub use tier::{Tier, TierConfig};

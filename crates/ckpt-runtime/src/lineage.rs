@@ -1,0 +1,124 @@
+//! Lineage access: reconstruct checkpoint contents from the stored record.
+//!
+//! The record of a rank is the ordered sequence of encoded diffs
+//! `(rank, 0), (rank, 1), …` spread across the tier chain. Restoration
+//! decodes them and replays the de-duplication diffs through
+//! [`ckpt_dedup::restore_record`].
+
+use crate::runtime::TierChain;
+use ckpt_dedup::diff::{DecodeError, Diff};
+use ckpt_dedup::restore::{RestoreError, Restorer};
+
+/// Errors when reading a rank's lineage back.
+#[derive(Debug)]
+pub enum LineageError {
+    /// No checkpoints stored for this rank.
+    Empty,
+    /// A diff failed to decode.
+    Decode(u32, DecodeError),
+    /// The diff chain failed to replay.
+    Restore(RestoreError),
+}
+
+impl std::fmt::Display for LineageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LineageError::Empty => write!(f, "no checkpoints for rank"),
+            LineageError::Decode(k, e) => write!(f, "checkpoint {k} corrupt: {e}"),
+            LineageError::Restore(e) => write!(f, "restore failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LineageError {}
+
+/// Collect the contiguous prefix of encoded diffs available for `rank`,
+/// searching every tier (durable copies preferred).
+pub fn collect_record(tiers: &TierChain, rank: u32) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    for k in 0u32.. {
+        match tiers.locate((rank, k)) {
+            Some(bytes) => out.push(bytes),
+            None => break,
+        }
+    }
+    out
+}
+
+/// Materialize every version of `rank`'s record.
+pub fn restore_rank(tiers: &TierChain, rank: u32) -> Result<Vec<Vec<u8>>, LineageError> {
+    let encoded = collect_record(tiers, rank);
+    if encoded.is_empty() {
+        return Err(LineageError::Empty);
+    }
+    let mut restorer = Restorer::new();
+    for (k, bytes) in encoded.iter().enumerate() {
+        let diff = Diff::decode(bytes).map_err(|e| LineageError::Decode(k as u32, e))?;
+        restorer.apply(&diff).map_err(LineageError::Restore)?;
+    }
+    Ok((0..restorer.len()).map(|k| restorer.version(k).unwrap().to_vec()).collect())
+}
+
+/// Materialize only the latest version of `rank`'s record (the restart path).
+pub fn restore_rank_latest(tiers: &TierChain, rank: u32) -> Result<(u32, Vec<u8>), LineageError> {
+    let versions = restore_rank(tiers, rank)?;
+    let last = versions.len() as u32 - 1;
+    Ok((last, versions.into_iter().next_back().unwrap()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::AsyncRuntime;
+    use ckpt_dedup::prelude::*;
+
+    #[test]
+    fn full_round_trip_through_the_runtime() {
+        let rt = AsyncRuntime::new();
+        let dev = gpu_sim::Device::a100();
+        let mut ckpt = TreeCheckpointer::new(dev, TreeConfig::new(64));
+
+        let mut data: Vec<u8> = (0..8192u32).map(|i| (i % 241) as u8).collect();
+        let mut snapshots = Vec::new();
+        let mut ids = Vec::new();
+        for k in 0..4u32 {
+            if k > 0 {
+                let len = data.len();
+                for j in 0..64 {
+                    data[(k as usize * 997 + j * 13) % len] ^= 0x5a;
+                }
+            }
+            snapshots.push(data.clone());
+            let out = ckpt.checkpoint(&data);
+            rt.submit(0, k, out.diff.encode()).unwrap();
+            ids.push((0, k));
+        }
+        rt.wait_durable(&ids);
+
+        let versions = restore_rank(rt.tiers(), 0).unwrap();
+        assert_eq!(versions.len(), 4);
+        for (v, s) in versions.iter().zip(&snapshots) {
+            assert_eq!(v, s);
+        }
+        let (last, latest) = restore_rank_latest(rt.tiers(), 0).unwrap();
+        assert_eq!(last, 3);
+        assert_eq!(&latest, snapshots.last().unwrap());
+        rt.shutdown();
+    }
+
+    #[test]
+    fn empty_rank_errors() {
+        let rt = AsyncRuntime::new();
+        assert!(matches!(restore_rank(rt.tiers(), 42), Err(LineageError::Empty)));
+    }
+
+    #[test]
+    fn corrupt_diff_reported_with_index() {
+        let rt = AsyncRuntime::new();
+        rt.tiers().pfs.put((1, 0), vec![0xde, 0xad]).unwrap();
+        match restore_rank(rt.tiers(), 1) {
+            Err(LineageError::Decode(0, _)) => {}
+            other => panic!("expected decode error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,398 @@
+//! The asynchronous multi-level checkpointing runtime (Fig. 3).
+//!
+//! Application processes hand their consolidated diffs to
+//! [`AsyncRuntime::submit`]
+//! (synchronous only up to the host-memory write — the application resumes
+//! immediately, like VeloC's async mode) and a background flusher drains
+//! host → SSD → PFS, evicting from the upper tier once the object is safe
+//! one level down. A checkpoint is *durable* once it reaches the PFS.
+//!
+//! Failure injection for the restart tests: [`AsyncRuntime::kill`] abandons
+//! the flusher mid-stream; [`AsyncRuntime::recover`] then reports, per rank,
+//! the longest durable prefix of the record from which a restart can
+//! proceed.
+
+use crate::tier::{ObjectId, Tier, TierConfig, TierFull};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The three-tier hierarchy under the GPU.
+pub struct TierChain {
+    pub host: Tier,
+    pub ssd: Tier,
+    pub pfs: Tier,
+}
+
+impl TierChain {
+    pub fn new() -> Self {
+        TierChain {
+            host: Tier::new(TierConfig::host()),
+            ssd: Tier::new(TierConfig::ssd()),
+            pfs: Tier::new(TierConfig::pfs()),
+        }
+    }
+
+    pub fn with_configs(host: TierConfig, ssd: TierConfig, pfs: TierConfig) -> Self {
+        TierChain { host: Tier::new(host), ssd: Tier::new(ssd), pfs: Tier::new(pfs) }
+    }
+
+    /// Find an object in the deepest tier holding it (PFS preferred: it is
+    /// the durable copy).
+    pub fn locate(&self, id: ObjectId) -> Option<Vec<u8>> {
+        self.pfs
+            .get(id)
+            .or_else(|| self.ssd.get(id))
+            .or_else(|| self.host.get(id))
+    }
+}
+
+impl Default for TierChain {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+enum Job {
+    Flush(ObjectId),
+    Shutdown,
+}
+
+/// Asynchronous checkpoint flusher over a [`TierChain`].
+pub struct AsyncRuntime {
+    tiers: Arc<TierChain>,
+    tx: Sender<Job>,
+    worker: Option<JoinHandle<()>>,
+    killed: Arc<AtomicBool>,
+    /// Signaled after the flusher evicts from the host tier, unblocking
+    /// producers stalled in [`submit_blocking`](Self::submit_blocking).
+    space_freed: Arc<(Mutex<u64>, Condvar)>,
+}
+
+impl AsyncRuntime {
+    pub fn new() -> Self {
+        Self::with_tiers(TierChain::new())
+    }
+
+    pub fn with_tiers(tiers: TierChain) -> Self {
+        Self::with_tiers_throttled(tiers, 0.0)
+    }
+
+    /// A runtime whose flusher paces itself in *real* time to the tiers'
+    /// modeled bandwidths, scaled by `time_scale` (e.g. `1e-3` makes one
+    /// modeled second cost one real millisecond). With a non-zero scale,
+    /// finite tier capacities produce genuine backpressure: producers that
+    /// emit checkpoints faster than the chain drains will stall in
+    /// [`submit_blocking`](Self::submit_blocking) — the §1 high-frequency
+    /// limitation this runtime exists to study.
+    pub fn with_tiers_throttled(tiers: TierChain, time_scale: f64) -> Self {
+        let tiers = Arc::new(tiers);
+        let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
+        let killed = Arc::new(AtomicBool::new(false));
+        let space_freed: Arc<(Mutex<u64>, Condvar)> = Arc::new((Mutex::new(0), Condvar::new()));
+        let worker = {
+            let tiers = Arc::clone(&tiers);
+            let killed = Arc::clone(&killed);
+            let space_freed = Arc::clone(&space_freed);
+            std::thread::spawn(move || {
+                let throttle = |bytes: usize, bw: f64| {
+                    if time_scale > 0.0 {
+                        let sec = bytes as f64 / bw * time_scale;
+                        std::thread::sleep(Duration::from_secs_f64(sec));
+                    }
+                };
+                for job in rx.iter() {
+                    match job {
+                        Job::Shutdown => break,
+                        Job::Flush(id) => {
+                            if killed.load(Ordering::Relaxed) {
+                                // Simulated node failure: stop draining.
+                                break;
+                            }
+                            // host → ssd → pfs, evicting behind ourselves.
+                            if let Some(bytes) = tiers.host.get(id) {
+                                let n = bytes.len();
+                                if tiers.ssd.put(id, bytes).is_ok() {
+                                    throttle(n, tiers.ssd.config().bandwidth_bps);
+                                    tiers.host.evict(id);
+                                    let (gen, cv) = &*space_freed;
+                                    *gen.lock() += 1;
+                                    cv.notify_all();
+                                }
+                            }
+                            if killed.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            if let Some(bytes) = tiers.ssd.get(id) {
+                                let n = bytes.len();
+                                if tiers.pfs.put(id, bytes).is_ok() {
+                                    throttle(n, tiers.pfs.config().bandwidth_bps);
+                                    tiers.ssd.evict(id);
+                                }
+                            }
+                        }
+                    }
+                }
+                // Unblock any stalled producers on exit.
+                let (gen, cv) = &*space_freed;
+                *gen.lock() += 1;
+                cv.notify_all();
+            })
+        };
+        AsyncRuntime { tiers, tx, worker: Some(worker), killed, space_freed }
+    }
+
+    pub fn tiers(&self) -> &TierChain {
+        &self.tiers
+    }
+
+    /// Stage a checkpoint diff in host memory and schedule its background
+    /// drain. Returns once the host write completes (the application's
+    /// blocking time).
+    pub fn submit(&self, rank: u32, ckpt_id: u32, bytes: Vec<u8>) -> Result<(), TierFull> {
+        let id = (rank, ckpt_id);
+        self.tiers.host.put(id, bytes)?;
+        // The send only fails after shutdown/kill; the object stays staged.
+        let _ = self.tx.send(Job::Flush(id));
+        Ok(())
+    }
+
+    /// Stage a checkpoint, blocking while the host tier is full — the
+    /// application-visible stall of a producer outrunning the flusher (§1:
+    /// "the HPC workflow may be delayed if it produces new checkpoints
+    /// faster than they can be flushed to slower memory tiers").
+    /// Returns the time spent stalled. Errors if the runtime died while
+    /// waiting.
+    pub fn submit_blocking(
+        &self,
+        rank: u32,
+        ckpt_id: u32,
+        mut bytes: Vec<u8>,
+    ) -> Result<Duration, TierFull> {
+        let start = Instant::now();
+        let id = (rank, ckpt_id);
+        loop {
+            match self.tiers.host.try_put(id, bytes) {
+                Ok(()) => {
+                    let _ = self.tx.send(Job::Flush(id));
+                    return Ok(start.elapsed());
+                }
+                Err(returned) => {
+                    if self.killed.load(Ordering::Relaxed) {
+                        return Err(TierFull { tier: self.tiers.host.name() });
+                    }
+                    bytes = returned;
+                    // Wait for the flusher to evict something (bounded nap to
+                    // stay robust against missed wakeups).
+                    let (gen, cv) = &*self.space_freed;
+                    let mut g = gen.lock();
+                    cv.wait_for(&mut g, Duration::from_millis(20));
+                }
+            }
+        }
+    }
+
+    /// Block until every submitted checkpoint so far has drained to the PFS,
+    /// then return. (Polling keeps the flusher honest about ordering.)
+    pub fn wait_durable(&self, ids: &[ObjectId]) {
+        loop {
+            if ids.iter().all(|&id| self.tiers.pfs.contains(id)) {
+                return;
+            }
+            if self.killed.load(Ordering::Relaxed) {
+                return; // failure: durability will not progress further
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Simulate a crash: the flusher stops mid-stream; staged objects above
+    /// the PFS are lost (host/SSD contents are considered volatile).
+    pub fn kill(&self) {
+        self.killed.store(true, Ordering::Relaxed);
+        let _ = self.tx.send(Job::Shutdown);
+    }
+
+    /// After a crash: the durable record per rank — the longest prefix
+    /// `0..=k` of checkpoint ids fully present on the PFS. Restart must
+    /// resume from these (later diffs may exist but are unusable without
+    /// their predecessors).
+    pub fn recover(&self) -> HashMap<u32, Vec<Vec<u8>>> {
+        let mut by_rank: HashMap<u32, Vec<(u32, Vec<u8>)>> = HashMap::new();
+        for id in self.tiers.pfs.resident() {
+            if let Some(bytes) = self.tiers.pfs.get(id) {
+                by_rank.entry(id.0).or_default().push((id.1, bytes));
+            }
+        }
+        by_rank
+            .into_iter()
+            .map(|(rank, mut objs)| {
+                objs.sort_unstable_by_key(|(ckpt, _)| *ckpt);
+                let mut prefix = Vec::new();
+                for (expect, (ckpt, bytes)) in objs.into_iter().enumerate() {
+                    if ckpt as usize != expect {
+                        break;
+                    }
+                    prefix.push(bytes);
+                }
+                (rank, prefix)
+            })
+            .collect()
+    }
+
+    /// Graceful shutdown: drain everything, then join the worker.
+    pub fn shutdown(mut self) {
+        let _ = self.tx.send(Job::Shutdown);
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Default for AsyncRuntime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for AsyncRuntime {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Job::Shutdown);
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_drains_to_pfs_and_evicts_above() {
+        let rt = AsyncRuntime::new();
+        rt.submit(0, 0, vec![1; 100]).unwrap();
+        rt.submit(0, 1, vec![2; 100]).unwrap();
+        rt.wait_durable(&[(0, 0), (0, 1)]);
+        assert_eq!(rt.tiers().pfs.get((0, 0)), Some(vec![1; 100]));
+        assert_eq!(rt.tiers().pfs.get((0, 1)), Some(vec![2; 100]));
+        assert!(!rt.tiers().host.contains((0, 0)));
+        assert!(!rt.tiers().ssd.contains((0, 0)));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn locate_prefers_durable_copy() {
+        let rt = AsyncRuntime::new();
+        rt.submit(3, 0, vec![7; 10]).unwrap();
+        rt.wait_durable(&[(3, 0)]);
+        assert_eq!(rt.tiers().locate((3, 0)), Some(vec![7; 10]));
+        assert_eq!(rt.tiers().locate((9, 9)), None);
+    }
+
+    #[test]
+    fn modeled_time_accumulates_down_the_chain() {
+        let rt = AsyncRuntime::new();
+        rt.submit(0, 0, vec![0; 1 << 20]).unwrap();
+        rt.wait_durable(&[(0, 0)]);
+        assert!(rt.tiers().host.modeled_busy_sec() > 0.0);
+        assert!(rt.tiers().ssd.modeled_busy_sec() > rt.tiers().pfs.modeled_busy_sec());
+        rt.shutdown();
+    }
+
+    #[test]
+    fn kill_then_recover_returns_durable_prefix() {
+        let rt = AsyncRuntime::new();
+        // Make several checkpoints durable, then crash and submit more.
+        for k in 0..3 {
+            rt.submit(0, k, vec![k as u8; 50]).unwrap();
+        }
+        rt.wait_durable(&[(0, 0), (0, 1), (0, 2)]);
+        rt.kill();
+        // Post-crash submissions stage to host but never become durable.
+        rt.submit(0, 3, vec![9; 50]).unwrap();
+        let rec = rt.recover();
+        assert_eq!(rec[&0].len(), 3);
+        assert_eq!(rec[&0][2], vec![2u8; 50]);
+    }
+
+    #[test]
+    fn recover_stops_at_gaps() {
+        // A rank whose ckpt 1 never landed: only ckpt 0 is usable.
+        let rt = AsyncRuntime::new();
+        rt.tiers().pfs.put((5, 0), vec![1]).unwrap();
+        rt.tiers().pfs.put((5, 2), vec![3]).unwrap();
+        let rec = rt.recover();
+        assert_eq!(rec[&5], vec![vec![1u8]]);
+    }
+
+    #[test]
+    fn backpressure_stalls_then_completes() {
+        // Host tier holds two 100-byte checkpoints; the SSD drains at a
+        // throttled pace, so a burst of 8 must stall the producer — and
+        // every byte still lands durably.
+        let tiers = TierChain::with_configs(
+            TierConfig { name: "host", bandwidth_bps: 25.0e9, capacity: 220 },
+            TierConfig { name: "ssd", bandwidth_bps: 1e6, capacity: u64::MAX },
+            TierConfig::pfs(),
+        );
+        // 100 bytes at 1 MB/s modeled = 0.1 ms real per hop at scale 1.0.
+        let rt = AsyncRuntime::with_tiers_throttled(tiers, 1.0);
+        let mut total_stall = Duration::ZERO;
+        for k in 0..8u32 {
+            total_stall += rt.submit_blocking(0, k, vec![k as u8; 100]).unwrap();
+        }
+        assert!(total_stall > Duration::ZERO, "burst must have stalled");
+        let ids: Vec<_> = (0..8u32).map(|k| (0, k)).collect();
+        rt.wait_durable(&ids);
+        for &id in &ids {
+            assert_eq!(rt.tiers().pfs.get(id), Some(vec![id.1 as u8; 100]));
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn submit_blocking_without_pressure_is_instant() {
+        let rt = AsyncRuntime::new();
+        let stall = rt.submit_blocking(0, 0, vec![1; 64]).unwrap();
+        assert!(stall < Duration::from_millis(50));
+        rt.wait_durable(&[(0, 0)]);
+    }
+
+    #[test]
+    fn submit_blocking_errors_after_kill() {
+        let tiers = TierChain::with_configs(
+            TierConfig { name: "host", bandwidth_bps: 25.0e9, capacity: 50 },
+            TierConfig::ssd(),
+            TierConfig::pfs(),
+        );
+        let rt = AsyncRuntime::with_tiers(tiers);
+        // Kill first so the flusher deterministically never drains: ckpt 0
+        // stays staged in host memory.
+        rt.kill();
+        rt.submit(0, 0, vec![0; 40]).unwrap();
+        // The host is full and nothing will free it: must error, not spin.
+        assert!(rt.submit_blocking(0, 1, vec![0; 40]).is_err());
+    }
+
+    #[test]
+    fn many_ranks_interleaved() {
+        let rt = AsyncRuntime::new();
+        let mut ids = Vec::new();
+        for rank in 0..8u32 {
+            for k in 0..5u32 {
+                rt.submit(rank, k, vec![rank as u8; 64]).unwrap();
+                ids.push((rank, k));
+            }
+        }
+        rt.wait_durable(&ids);
+        for &id in &ids {
+            assert!(rt.tiers().pfs.contains(id));
+        }
+        rt.shutdown();
+    }
+}

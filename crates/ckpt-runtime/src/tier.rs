@@ -1,0 +1,207 @@
+//! Simulated storage tiers.
+//!
+//! The paper's architecture (Fig. 3) drains checkpoints down a hierarchy:
+//! GPU memory → host memory → node-local SSD → parallel file system. Each
+//! tier here is an in-memory object store with a bandwidth model: writes
+//! accumulate *modeled* busy time (`bytes / bandwidth`, shared by every
+//! writer, which is exactly the contention the paper describes for the
+//! PFS), plus capacity accounting so experiments can observe tiers filling
+//! up.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identifies one checkpoint object: `(rank, ckpt_id)`.
+pub type ObjectId = (u32, u32);
+
+/// Static tier parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TierConfig {
+    pub name: &'static str,
+    /// Aggregate write bandwidth in bytes/second, shared by all writers.
+    pub bandwidth_bps: f64,
+    /// Capacity in bytes (writes beyond it fail).
+    pub capacity: u64,
+}
+
+impl TierConfig {
+    /// Host DRAM staging: PCIe-fed, effectively one device link per rank.
+    pub fn host() -> Self {
+        TierConfig { name: "host", bandwidth_bps: 25.0e9, capacity: 512 << 30 }
+    }
+
+    /// Node-local NVMe SSD (Polaris: two 1.6 TB drives).
+    pub fn ssd() -> Self {
+        TierConfig { name: "ssd", bandwidth_bps: 2.0e9, capacity: 3200 << 30 }
+    }
+
+    /// Lustre parallel file system (ThetaGPU: 250 GB/s aggregate).
+    pub fn pfs() -> Self {
+        TierConfig { name: "pfs", bandwidth_bps: 250.0e9, capacity: u64::MAX }
+    }
+}
+
+/// One simulated storage tier.
+pub struct Tier {
+    cfg: TierConfig,
+    objects: Mutex<HashMap<ObjectId, Vec<u8>>>,
+    used: AtomicU64,
+    bytes_written: AtomicU64,
+    /// Modeled cumulative busy time in femtoseconds.
+    busy_femtos: AtomicU64,
+}
+
+/// Error for writes that exceed tier capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierFull {
+    pub tier: &'static str,
+}
+
+impl std::fmt::Display for TierFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tier {} is full", self.tier)
+    }
+}
+
+impl std::error::Error for TierFull {}
+
+impl Tier {
+    pub fn new(cfg: TierConfig) -> Self {
+        Tier {
+            cfg,
+            objects: Mutex::new(HashMap::new()),
+            used: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            busy_femtos: AtomicU64::new(0),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.cfg.name
+    }
+
+    pub fn config(&self) -> &TierConfig {
+        &self.cfg
+    }
+
+    /// Store an object, accounting capacity and modeled write time.
+    pub fn put(&self, id: ObjectId, bytes: Vec<u8>) -> Result<(), TierFull> {
+        self.try_put(id, bytes).map_err(|_| TierFull { tier: self.cfg.name })
+    }
+
+    /// Like [`put`](Self::put), but hands the payload back on a full tier so
+    /// the caller can retry (backpressure path).
+    pub fn try_put(&self, id: ObjectId, bytes: Vec<u8>) -> Result<(), Vec<u8>> {
+        let len = bytes.len() as u64;
+        // Reserve capacity optimistically; roll back on overflow.
+        let prev = self.used.fetch_add(len, Ordering::Relaxed);
+        if prev + len > self.cfg.capacity {
+            self.used.fetch_sub(len, Ordering::Relaxed);
+            return Err(bytes);
+        }
+        self.bytes_written.fetch_add(len, Ordering::Relaxed);
+        let femtos = (len as f64 / self.cfg.bandwidth_bps * 1e15) as u64;
+        self.busy_femtos.fetch_add(femtos, Ordering::Relaxed);
+        let replaced = self.objects.lock().insert(id, bytes);
+        if let Some(old) = replaced {
+            self.used.fetch_sub(old.len() as u64, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Fetch a copy of an object.
+    pub fn get(&self, id: ObjectId) -> Option<Vec<u8>> {
+        self.objects.lock().get(&id).cloned()
+    }
+
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.objects.lock().contains_key(&id)
+    }
+
+    /// Drop an object (eviction after draining to a lower tier).
+    pub fn evict(&self, id: ObjectId) -> bool {
+        match self.objects.lock().remove(&id) {
+            Some(bytes) => {
+                self.used.fetch_sub(bytes.len() as u64, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// All object ids currently resident (sorted, for deterministic tests).
+    pub fn resident(&self) -> Vec<ObjectId> {
+        let mut ids: Vec<ObjectId> = self.objects.lock().keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Bytes currently resident.
+    pub fn used_bytes(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime bytes written (not reduced by eviction).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Modeled cumulative write time in seconds.
+    pub fn modeled_busy_sec(&self) -> f64 {
+        self.busy_femtos.load(Ordering::Relaxed) as f64 / 1e15
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_evict() {
+        let t = Tier::new(TierConfig::host());
+        t.put((0, 0), vec![1, 2, 3]).unwrap();
+        assert_eq!(t.get((0, 0)), Some(vec![1, 2, 3]));
+        assert_eq!(t.used_bytes(), 3);
+        assert!(t.evict((0, 0)));
+        assert_eq!(t.used_bytes(), 0);
+        assert!(!t.evict((0, 0)));
+        assert_eq!(t.get((0, 0)), None);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let t = Tier::new(TierConfig { name: "tiny", bandwidth_bps: 1e9, capacity: 10 });
+        t.put((0, 0), vec![0; 8]).unwrap();
+        assert_eq!(t.put((0, 1), vec![0; 8]), Err(TierFull { tier: "tiny" }));
+        // The failed write must not leak accounting.
+        assert_eq!(t.used_bytes(), 8);
+        t.evict((0, 0));
+        t.put((0, 1), vec![0; 10]).unwrap();
+    }
+
+    #[test]
+    fn overwrite_replaces_accounting() {
+        let t = Tier::new(TierConfig::host());
+        t.put((1, 1), vec![0; 100]).unwrap();
+        t.put((1, 1), vec![0; 40]).unwrap();
+        assert_eq!(t.used_bytes(), 40);
+        assert_eq!(t.bytes_written(), 140);
+    }
+
+    #[test]
+    fn modeled_time_tracks_bandwidth() {
+        let t = Tier::new(TierConfig { name: "x", bandwidth_bps: 1e9, capacity: u64::MAX });
+        t.put((0, 0), vec![0; 1_000_000]).unwrap();
+        assert!((t.modeled_busy_sec() - 1e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resident_listing_sorted() {
+        let t = Tier::new(TierConfig::host());
+        t.put((1, 0), vec![0]).unwrap();
+        t.put((0, 2), vec![0]).unwrap();
+        t.put((0, 1), vec![0]).unwrap();
+        assert_eq!(t.resident(), vec![(0, 1), (0, 2), (1, 0)]);
+    }
+}

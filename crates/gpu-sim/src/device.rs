@@ -1,0 +1,398 @@
+//! The simulated device: kernel launches, fused regions, transfers.
+
+use crate::buffer::DeviceBuffer;
+use crate::collectives;
+use crate::metrics::DeviceMetrics;
+use crate::perf::{DeviceConfig, PerfModel};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// Work description for one kernel, used by the performance model.
+///
+/// Callers state how many bytes the kernel streams through device memory and
+/// roughly how many ALU-op-equivalents it executes; the model takes the
+/// roofline max. Overstating flops on a bandwidth-bound kernel is harmless.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelCost {
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+    pub flops: u64,
+}
+
+impl KernelCost {
+    /// A kernel that streams `bytes` once through memory with ~1 op/byte
+    /// (hashing, copying, comparing).
+    pub fn stream(bytes: u64) -> Self {
+        KernelCost { bytes_read: bytes, bytes_written: 0, flops: bytes }
+    }
+
+    /// A kernel that reads and writes `bytes` (gather/serialize).
+    pub fn copy(bytes: u64) -> Self {
+        KernelCost { bytes_read: bytes, bytes_written: bytes, flops: bytes / 8 }
+    }
+
+    pub fn with_writes(mut self, bytes: u64) -> Self {
+        self.bytes_written = bytes;
+        self
+    }
+}
+
+struct DeviceInner {
+    perf: PerfModel,
+    metrics: DeviceMetrics,
+    /// Depth of nested fused regions; launches inside a fused region skip the
+    /// per-launch latency (one latency is paid by the region itself).
+    fused_depth: AtomicU32,
+    /// Co-located devices contending for the host link (Fig. 6 model).
+    contenders: AtomicU32,
+}
+
+/// A simulated GPU. Cheap to clone (shared handle).
+///
+/// Kernels launched through a `Device` execute data-parallel on the rayon
+/// thread pool while the device accrues *modeled* A100 time in its
+/// [`DeviceMetrics`]. See the crate docs for the fidelity argument.
+#[derive(Clone)]
+pub struct Device {
+    inner: Arc<DeviceInner>,
+}
+
+impl Device {
+    pub fn new(config: DeviceConfig) -> Self {
+        Device {
+            inner: Arc::new(DeviceInner {
+                perf: PerfModel::new(config),
+                metrics: DeviceMetrics::new(),
+                fused_depth: AtomicU32::new(0),
+                contenders: AtomicU32::new(1),
+            }),
+        }
+    }
+
+    /// An A100-like device (the paper's testbed GPU).
+    pub fn a100() -> Self {
+        Self::new(DeviceConfig::a100())
+    }
+
+    /// Activity counters.
+    pub fn metrics(&self) -> &DeviceMetrics {
+        &self.inner.metrics
+    }
+
+    /// The performance model in use.
+    pub fn perf(&self) -> &PerfModel {
+        &self.inner.perf
+    }
+
+    /// Set how many co-located devices share this device's host link
+    /// (PCIe contention in multi-GPU nodes; 8 per ThetaGPU node).
+    pub fn set_contenders(&self, n: u32) {
+        self.inner.contenders.store(n.max(1), Ordering::Relaxed);
+    }
+
+    pub fn contenders(&self) -> u32 {
+        self.inner.contenders.load(Ordering::Relaxed)
+    }
+
+    fn account_launch(&self, cost: KernelCost) {
+        let m = &self.inner.metrics;
+        if self.inner.fused_depth.load(Ordering::Relaxed) == 0 {
+            m.record_launch_latency(self.inner.perf.launch_sec());
+        } else {
+            m.record_fused();
+        }
+        let sec = self.inner.perf.kernel_sec(cost.bytes_read, cost.bytes_written, cost.flops);
+        m.record_kernel(cost.bytes_read, cost.bytes_written, sec);
+    }
+
+    /// Launch a grid of `n` independent work items: `body(i)` for `i in 0..n`,
+    /// executed in parallel. `_name` documents the kernel at call sites and in
+    /// traces.
+    pub fn parallel_for<F>(&self, _name: &str, n: usize, cost: KernelCost, body: F)
+    where
+        F: Fn(usize) + Sync + Send,
+    {
+        self.account_launch(cost);
+        // Small grids are not worth the fork-join overhead — same reasoning
+        // as launching a single block on a real GPU.
+        if n < 1024 {
+            for i in 0..n {
+                body(i);
+            }
+        } else {
+            (0..n).into_par_iter().for_each(body);
+        }
+    }
+
+    /// Launch a parallel map-reduce over `0..n`.
+    pub fn parallel_reduce<T, M, R>(
+        &self,
+        _name: &str,
+        n: usize,
+        cost: KernelCost,
+        identity: T,
+        map: M,
+        reduce: R,
+    ) -> T
+    where
+        T: Send + Sync + Clone,
+        M: Fn(usize) -> T + Sync + Send,
+        R: Fn(T, T) -> T + Sync + Send,
+    {
+        self.account_launch(cost);
+        if n < 1024 {
+            let mut acc = identity;
+            for i in 0..n {
+                acc = reduce(acc, map(i));
+            }
+            acc
+        } else {
+            (0..n)
+                .into_par_iter()
+                .map(map)
+                .reduce(|| identity.clone(), reduce)
+        }
+    }
+
+    /// Exclusive prefix sum on the device (used to pre-compute serialization
+    /// offsets). Returns the total.
+    pub fn exclusive_scan(&self, name: &str, input: &[u64], out: &mut [u64]) -> u64 {
+        self.account_launch(KernelCost::copy(8 * input.len() as u64));
+        let _ = name;
+        collectives::exclusive_scan(input, out)
+    }
+
+    /// Stream compaction on the device: indices of non-zero `flags`, in
+    /// ascending order (flag → scan → scatter; the lock-free way GPU
+    /// pipelines build output lists).
+    pub fn compact_indices(&self, _name: &str, flags: &[u8]) -> Vec<u32> {
+        self.account_launch(KernelCost::stream(2 * flags.len() as u64));
+        collectives::compact_indices(flags)
+    }
+
+    /// Team-cooperative gather of scattered `segments` of `src` into `dst`
+    /// (the consolidation step of §2.1, one team per region so memory accesses
+    /// coalesce). Returns bytes gathered.
+    pub fn team_gather(
+        &self,
+        _name: &str,
+        src: &[u8],
+        segments: &[collectives::Segment],
+        dst: &mut [u8],
+    ) -> usize {
+        let bytes: u64 = segments.iter().map(|&(_, l)| l as u64).sum();
+        self.account_launch(KernelCost::copy(bytes));
+        collectives::segmented_gather(src, segments, dst)
+    }
+
+    /// Run `f` as one *fused kernel*: every launch inside accrues kernel
+    /// execution time but only this region pays launch latency. This models
+    /// the paper's single-fused-kernel design (§2.1: "a naive method would
+    /// introduce unacceptable latencies associated with submitting and
+    /// executing new kernels").
+    pub fn fused<R>(&self, _name: &str, f: impl FnOnce() -> R) -> R {
+        self.inner.metrics.record_launch_latency(self.inner.perf.launch_sec());
+        self.inner.fused_depth.fetch_add(1, Ordering::Relaxed);
+        let out = f();
+        self.inner.fused_depth.fetch_sub(1, Ordering::Relaxed);
+        out
+    }
+
+    /// Allocate a device buffer of `len` default-initialized elements.
+    pub fn alloc<T: Clone + Default + Send + Sync>(&self, len: usize) -> DeviceBuffer<T> {
+        DeviceBuffer::new(self.clone(), vec![T::default(); len])
+    }
+
+    /// Allocate a device buffer initialized from host data, accounting the
+    /// host→device transfer.
+    pub fn alloc_from_host<T: Clone + Send + Sync>(&self, host: &[T]) -> DeviceBuffer<T> {
+        let bytes = std::mem::size_of_val(host) as u64;
+        let sec = self.inner.perf.transfer_sec(bytes, self.contenders());
+        self.inner.metrics.record_h2d(bytes, sec);
+        self.inner.metrics.record_alloc(bytes);
+        DeviceBuffer::new(self.clone(), host.to_vec())
+    }
+
+    pub(crate) fn account_alloc(&self, bytes: u64) {
+        self.inner.metrics.record_alloc(bytes);
+    }
+
+    pub(crate) fn account_d2h(&self, bytes: u64) {
+        let sec = self.inner.perf.transfer_sec(bytes, self.contenders());
+        self.inner.metrics.record_d2h(bytes, sec);
+    }
+
+    pub(crate) fn account_h2d(&self, bytes: u64) {
+        let sec = self.inner.perf.transfer_sec(bytes, self.contenders());
+        self.inner.metrics.record_h2d(bytes, sec);
+    }
+
+    /// Account a device→host transfer of `bytes` that rides along with (or
+    /// happens outside) a buffer copy — e.g. the metadata tables that travel
+    /// in the same consolidated diff transfer.
+    pub fn account_d2h_bytes(&self, bytes: u64) {
+        self.account_d2h(bytes);
+    }
+
+    /// Account a *scattered* device→host transfer of `n_segments` pieces
+    /// (what the naive per-chunk flush would cost; used by the serialization
+    /// ablation).
+    pub fn account_scattered_d2h(&self, bytes: u64, n_segments: u64) {
+        let sec = self
+            .inner
+            .perf
+            .scattered_transfer_sec(bytes, n_segments, self.contenders());
+        self.inner.metrics.record_d2h(bytes, sec);
+    }
+
+    /// Gather scattered `segments` into host memory as a *streamed* pipeline:
+    /// the gather kernel and the device→host DMA run concurrently over
+    /// `n_slices` slices (§5's "streaming methods that overlap de-duplication
+    /// with transfers to host memory"). Functionally identical to a
+    /// [`team_gather`](Self::team_gather) followed by a transfer; only the
+    /// modeled time differs (the slower of the two stages instead of their
+    /// sum).
+    pub fn streamed_gather_to_host(
+        &self,
+        _name: &str,
+        src: &[u8],
+        segments: &[collectives::Segment],
+        n_slices: u32,
+    ) -> Vec<u8> {
+        let bytes: u64 = segments.iter().map(|&(_, l)| l as u64).sum();
+        let mut out = vec![0u8; bytes as usize];
+        collectives::segmented_gather(src, segments, &mut out);
+
+        let perf = &self.inner.perf;
+        let kernel_sec = perf.kernel_sec(bytes, bytes, bytes / 8);
+        let share_sec = bytes as f64
+            / (perf.config().pcie_bytes_per_sec / self.contenders().max(1) as f64);
+        let pipelined = perf.streamed_pipeline_sec(kernel_sec, share_sec, n_slices);
+        // Book the whole pipeline as one fused launch + one transfer whose
+        // combined modeled time is the pipelined duration (kernel part under
+        // "kernel", remainder under "transfer").
+        let m = &self.inner.metrics;
+        if self.inner.fused_depth.load(Ordering::Relaxed) == 0 {
+            m.record_launch_latency(perf.launch_sec());
+        } else {
+            m.record_fused();
+        }
+        m.record_kernel(bytes, bytes, kernel_sec.min(pipelined));
+        m.record_d2h(bytes, (pipelined - kernel_sec.min(pipelined)).max(0.0));
+        out
+    }
+}
+
+impl std::fmt::Debug for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Device")
+            .field("config", self.inner.perf.config())
+            .field("metrics", &self.inner.metrics.snapshot())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn parallel_for_covers_every_index_once() {
+        let dev = Device::a100();
+        let n = 10_000;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        dev.parallel_for("touch", n, KernelCost::stream(n as u64), |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert_eq!(dev.metrics().kernels_launched(), 1);
+    }
+
+    #[test]
+    fn small_grid_runs_sequential_path() {
+        let dev = Device::a100();
+        let hits = AtomicU64::new(0);
+        dev.parallel_for("small", 10, KernelCost::stream(10), |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn parallel_reduce_sums() {
+        let dev = Device::a100();
+        let n = 100_000usize;
+        let total = dev.parallel_reduce(
+            "sum",
+            n,
+            KernelCost::stream(n as u64),
+            0u64,
+            |i| i as u64,
+            |a, b| a + b,
+        );
+        assert_eq!(total, (n as u64 - 1) * n as u64 / 2);
+    }
+
+    #[test]
+    fn fused_region_pays_one_launch_latency() {
+        let dev = Device::a100();
+        let unfused = Device::a100();
+
+        dev.fused("combined", || {
+            for _ in 0..10 {
+                dev.parallel_for("inner", 1, KernelCost::stream(1), |_| {});
+            }
+        });
+        for _ in 0..10 {
+            unfused.parallel_for("inner", 1, KernelCost::stream(1), |_| {});
+        }
+
+        // Fused: 1 launch latency; unfused: 10.
+        let fused_launch = dev.metrics().modeled_launch_sec();
+        let unfused_launch = unfused.metrics().modeled_launch_sec();
+        assert!((unfused_launch / fused_launch - 10.0).abs() < 1e-6);
+        assert_eq!(dev.metrics().fused_kernels(), 10);
+        // Kernel execution time is identical either way.
+        assert!(
+            (dev.metrics().modeled_kernel_sec() - unfused.metrics().modeled_kernel_sec()).abs()
+                < 1e-15
+        );
+    }
+
+    #[test]
+    fn transfers_account_modeled_time_and_bytes() {
+        let dev = Device::a100();
+        let buf = dev.alloc_from_host(&vec![0u8; 1 << 20]);
+        let mut host = vec![0u8; 1 << 20];
+        buf.copy_to_host(&mut host);
+        assert_eq!(dev.metrics().h2d_bytes(), 1 << 20);
+        assert_eq!(dev.metrics().d2h_bytes(), 1 << 20);
+        assert!(dev.metrics().modeled_transfer_sec() > 0.0);
+    }
+
+    #[test]
+    fn contention_slows_modeled_transfers() {
+        let solo = Device::a100();
+        let crowded = Device::a100();
+        crowded.set_contenders(8);
+        let data = vec![0u8; 4 << 20];
+        solo.alloc_from_host(&data);
+        crowded.alloc_from_host(&data);
+        assert!(
+            crowded.metrics().modeled_transfer_sec() > 5.0 * solo.metrics().modeled_transfer_sec()
+        );
+    }
+
+    #[test]
+    fn exclusive_scan_on_device() {
+        let dev = Device::a100();
+        let input = vec![2u64; 100];
+        let mut out = vec![0u64; 100];
+        let total = dev.exclusive_scan("offsets", &input, &mut out);
+        assert_eq!(total, 200);
+        assert_eq!(out[0], 0);
+        assert_eq!(out[99], 198);
+    }
+}

@@ -1,0 +1,450 @@
+//! The *historical record of unique hashes*: a lock-free, insert-only hash
+//! table equivalent to `Kokkos::UnorderedMap`.
+//!
+//! Algorithm 1 in the paper performs one `Map.insert(digest, entry)` per
+//! modified chunk from thousands of GPU threads concurrently, and relies on
+//! insert-if-absent semantics: exactly one inserting thread wins, every other
+//! thread observes the winner's entry. This implementation provides that with
+//! an open-addressing table of fixed capacity whose slots are claimed with a
+//! single compare-and-swap on a state byte (EMPTY → BUSY), published with a
+//! release store (BUSY → FULL), and probed linearly. There are no locks; the
+//! only waiting is a bounded spin while a concurrently-claimed slot finishes
+//! publishing its key.
+//!
+//! The table is sized once (like the paper's per-process GPU-resident record,
+//! bounded by 2× the number of leaf chunks) and never rehashes; `insert`
+//! reports exhaustion instead, which callers treat as "de-duplication
+//! deactivated" exactly as §2.4 describes for fully-changed checkpoints.
+
+use ckpt_hash::Digest128;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+
+const EMPTY: u8 = 0;
+const BUSY: u8 = 1;
+const FULL: u8 = 2;
+
+/// Value stored per unique digest: where it first occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MapEntry {
+    /// Merkle-tree node index (leaf or interior) of the first occurrence.
+    pub node: u32,
+    /// Checkpoint id of the first occurrence.
+    pub ckpt: u32,
+}
+
+impl MapEntry {
+    pub fn new(node: u32, ckpt: u32) -> Self {
+        MapEntry { node, ckpt }
+    }
+
+    #[inline]
+    fn pack(self) -> u64 {
+        (self.ckpt as u64) << 32 | self.node as u64
+    }
+
+    #[inline]
+    fn unpack(v: u64) -> Self {
+        MapEntry { node: v as u32, ckpt: (v >> 32) as u32 }
+    }
+}
+
+/// Result of [`DistinctMap::insert`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertResult {
+    /// The digest was not present; this call inserted it.
+    Inserted,
+    /// The digest was already present with this entry.
+    Exists(MapEntry),
+    /// The table is full; the digest could not be inserted.
+    OutOfCapacity,
+}
+
+impl InsertResult {
+    /// `true` when this call performed the insertion (Algorithm 1's
+    /// `success` flag).
+    pub fn inserted(&self) -> bool {
+        matches!(self, InsertResult::Inserted)
+    }
+}
+
+struct Slot {
+    state: AtomicU8,
+    value: AtomicU64,
+    key: UnsafeCell<Digest128>,
+}
+
+// SAFETY: `key` is written exactly once, by the unique thread that won the
+// EMPTY→BUSY CAS, strictly before the release store of FULL; it is read only
+// after an acquire load observes FULL. The release/acquire pair on `state`
+// makes the key write happen-before every read.
+unsafe impl Sync for Slot {}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            state: AtomicU8::new(EMPTY),
+            value: AtomicU64::new(0),
+            key: UnsafeCell::new(Digest128::ZERO),
+        }
+    }
+}
+
+/// Lock-free insert-only hash map from [`Digest128`] to [`MapEntry`].
+pub struct DistinctMap {
+    slots: Box<[Slot]>,
+    mask: usize,
+    len: AtomicUsize,
+}
+
+impl DistinctMap {
+    /// Create a map able to hold at least `capacity` digests. The backing
+    /// table is the next power of two of `2 * capacity`, keeping the load
+    /// factor ≤ 0.5 so linear probing stays short.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let table = (capacity.max(1) * 2).next_power_of_two();
+        let slots = (0..table).map(|_| Slot::new()).collect::<Vec<_>>().into_boxed_slice();
+        DistinctMap { slots, mask: table - 1, len: AtomicUsize::new(0) }
+    }
+
+    /// Number of digests stored.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of slots in the backing table.
+    pub fn table_size(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[inline]
+    fn start_index(&self, digest: &Digest128) -> usize {
+        // The digest is already a high-quality hash; fold the halves and mask.
+        (digest.h1 ^ digest.h2.rotate_left(32)) as usize & self.mask
+    }
+
+    /// Insert `digest → entry` if absent.
+    ///
+    /// Concurrent inserts of the same digest race benignly: exactly one
+    /// returns [`InsertResult::Inserted`], the rest return
+    /// [`InsertResult::Exists`] with the winner's entry.
+    pub fn insert(&self, digest: &Digest128, entry: MapEntry) -> InsertResult {
+        let start = self.start_index(digest);
+        for probe in 0..self.slots.len() {
+            let slot = &self.slots[(start + probe) & self.mask];
+            let mut state = slot.state.load(Ordering::Acquire);
+            if state == EMPTY {
+                match slot.state.compare_exchange(
+                    EMPTY,
+                    BUSY,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => {
+                        // We own the slot: publish key+value, then FULL.
+                        // SAFETY: unique writer (won the CAS), no reader
+                        // touches `key` until FULL is visible.
+                        unsafe { *slot.key.get() = *digest };
+                        slot.value.store(entry.pack(), Ordering::Relaxed);
+                        slot.state.store(FULL, Ordering::Release);
+                        self.len.fetch_add(1, Ordering::Relaxed);
+                        return InsertResult::Inserted;
+                    }
+                    Err(observed) => state = observed,
+                }
+            }
+            // Somebody claimed this slot; wait until its key is readable.
+            while state == BUSY {
+                std::hint::spin_loop();
+                state = slot.state.load(Ordering::Acquire);
+            }
+            debug_assert_eq!(state, FULL);
+            // SAFETY: acquire load of FULL synchronizes with the release
+            // store after the key write.
+            let key = unsafe { *slot.key.get() };
+            if key == *digest {
+                return InsertResult::Exists(MapEntry::unpack(slot.value.load(Ordering::Relaxed)));
+            }
+        }
+        InsertResult::OutOfCapacity
+    }
+
+    /// Look up a digest.
+    pub fn get(&self, digest: &Digest128) -> Option<MapEntry> {
+        let start = self.start_index(digest);
+        for probe in 0..self.slots.len() {
+            let slot = &self.slots[(start + probe) & self.mask];
+            let mut state = slot.state.load(Ordering::Acquire);
+            if state == EMPTY {
+                return None;
+            }
+            while state == BUSY {
+                std::hint::spin_loop();
+                state = slot.state.load(Ordering::Acquire);
+            }
+            // SAFETY: as in `insert`.
+            let key = unsafe { *slot.key.get() };
+            if key == *digest {
+                return Some(MapEntry::unpack(slot.value.load(Ordering::Relaxed)));
+            }
+        }
+        None
+    }
+
+    /// Whether the digest is present.
+    pub fn contains(&self, digest: &Digest128) -> bool {
+        self.get(digest).is_some()
+    }
+
+    /// Atomically update the entry stored for `digest`, if present.
+    ///
+    /// `f` maps the current entry to `Some(new_entry)` to attempt a
+    /// compare-and-swap (retried until it sticks or `f` declines) or `None`
+    /// to leave the entry unchanged. Returns `(before, after)`: the entry
+    /// observed when the operation settled and the entry in place afterwards
+    /// (equal when `f` declined). Returns `None` if the digest is absent.
+    ///
+    /// Algorithm 1 (lines 13–16) uses this to keep the *earliest* leaf of the
+    /// current checkpoint as the canonical first occurrence when concurrent
+    /// leaf threads insert the same digest out of order; `before` tells the
+    /// displacing thread which node it displaced so it can relabel it.
+    pub fn update_with(
+        &self,
+        digest: &Digest128,
+        f: impl Fn(MapEntry) -> Option<MapEntry>,
+    ) -> Option<(MapEntry, MapEntry)> {
+        let start = self.start_index(digest);
+        for probe in 0..self.slots.len() {
+            let slot = &self.slots[(start + probe) & self.mask];
+            let mut state = slot.state.load(Ordering::Acquire);
+            if state == EMPTY {
+                return None;
+            }
+            while state == BUSY {
+                std::hint::spin_loop();
+                state = slot.state.load(Ordering::Acquire);
+            }
+            // SAFETY: as in `insert`.
+            let key = unsafe { *slot.key.get() };
+            if key == *digest {
+                let mut cur = slot.value.load(Ordering::Relaxed);
+                loop {
+                    match f(MapEntry::unpack(cur)) {
+                        None => {
+                            let e = MapEntry::unpack(cur);
+                            return Some((e, e));
+                        }
+                        Some(new) => {
+                            match slot.value.compare_exchange_weak(
+                                cur,
+                                new.pack(),
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            ) {
+                                Ok(_) => return Some((MapEntry::unpack(cur), new)),
+                                Err(observed) => cur = observed,
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Reset the map to empty. Requires exclusive access, so no concurrent
+    /// protocol is needed.
+    pub fn clear(&mut self) {
+        for slot in self.slots.iter_mut() {
+            *slot.state.get_mut() = EMPTY;
+            *slot.value.get_mut() = 0;
+            *slot.key.get_mut() = Digest128::ZERO;
+        }
+        *self.len.get_mut() = 0;
+    }
+
+    /// Approximate bytes of device memory this record occupies (for the
+    /// space-accounting reports; the paper keeps this structure GPU-resident).
+    pub fn memory_bytes(&self) -> usize {
+        self.slots.len() * std::mem::size_of::<Slot>()
+    }
+}
+
+impl std::fmt::Debug for DistinctMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistinctMap")
+            .field("len", &self.len())
+            .field("table_size", &self.table_size())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckpt_hash::{Hasher128, Murmur3};
+    use std::sync::Arc;
+
+    fn digest(i: u64) -> Digest128 {
+        Murmur3.hash(&i.to_le_bytes())
+    }
+
+    #[test]
+    fn insert_then_get() {
+        let map = DistinctMap::with_capacity(16);
+        let d = digest(1);
+        assert!(map.insert(&d, MapEntry::new(7, 3)).inserted());
+        assert_eq!(map.get(&d), Some(MapEntry::new(7, 3)));
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_insert_returns_first_entry() {
+        let map = DistinctMap::with_capacity(16);
+        let d = digest(2);
+        assert!(map.insert(&d, MapEntry::new(1, 0)).inserted());
+        assert_eq!(map.insert(&d, MapEntry::new(99, 9)), InsertResult::Exists(MapEntry::new(1, 0)));
+        assert_eq!(map.get(&d), Some(MapEntry::new(1, 0)));
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn missing_key_returns_none() {
+        let map = DistinctMap::with_capacity(16);
+        map.insert(&digest(1), MapEntry::new(0, 0));
+        assert_eq!(map.get(&digest(42)), None);
+        assert!(!map.contains(&digest(42)));
+    }
+
+    #[test]
+    fn zero_digest_is_a_legal_key() {
+        let map = DistinctMap::with_capacity(16);
+        assert!(map.insert(&Digest128::ZERO, MapEntry::new(5, 1)).inserted());
+        assert_eq!(map.get(&Digest128::ZERO), Some(MapEntry::new(5, 1)));
+    }
+
+    #[test]
+    fn fills_to_capacity_then_reports_exhaustion() {
+        let map = DistinctMap::with_capacity(8); // table = 16 slots
+        let table = map.table_size();
+        let mut inserted = 0;
+        let mut i = 0u64;
+        loop {
+            match map.insert(&digest(i), MapEntry::new(i as u32, 0)) {
+                InsertResult::Inserted => inserted += 1,
+                InsertResult::OutOfCapacity => break,
+                InsertResult::Exists(_) => panic!("unexpected duplicate"),
+            }
+            i += 1;
+        }
+        assert_eq!(inserted, table);
+        // Everything inserted before exhaustion is still retrievable.
+        for j in 0..inserted as u64 {
+            assert_eq!(map.get(&digest(j)), Some(MapEntry::new(j as u32, 0)));
+        }
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut map = DistinctMap::with_capacity(8);
+        for i in 0..8 {
+            map.insert(&digest(i), MapEntry::new(i as u32, 0));
+        }
+        map.clear();
+        assert!(map.is_empty());
+        assert_eq!(map.get(&digest(0)), None);
+        assert!(map.insert(&digest(0), MapEntry::new(1, 1)).inserted());
+    }
+
+    #[test]
+    fn concurrent_distinct_inserts_all_land() {
+        let map = Arc::new(DistinctMap::with_capacity(10_000));
+        let threads = 8;
+        let per_thread = 1000;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let map = Arc::clone(&map);
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        let d = digest((t * per_thread + i) as u64);
+                        assert!(map.insert(&d, MapEntry::new(i as u32, t as u32)).inserted());
+                    }
+                });
+            }
+        });
+        assert_eq!(map.len(), threads * per_thread);
+        for k in 0..(threads * per_thread) as u64 {
+            assert!(map.contains(&digest(k)));
+        }
+    }
+
+    #[test]
+    fn concurrent_same_key_has_exactly_one_winner() {
+        for _round in 0..50 {
+            let map = Arc::new(DistinctMap::with_capacity(64));
+            let d = digest(77);
+            let winners = Arc::new(AtomicUsize::new(0));
+            std::thread::scope(|s| {
+                for t in 0..8u32 {
+                    let map = Arc::clone(&map);
+                    let winners = Arc::clone(&winners);
+                    s.spawn(move || {
+                        if map.insert(&d, MapEntry::new(t, t)).inserted() {
+                            winners.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+            assert_eq!(winners.load(Ordering::Relaxed), 1);
+            assert_eq!(map.len(), 1);
+            // The stored entry is the winner's own (node == ckpt here), i.e.
+            // a consistent pair, never a torn mix of two threads' writes.
+            let e = map.get(&d).unwrap();
+            assert_eq!(e.node, e.ckpt);
+        }
+    }
+
+    #[test]
+    fn update_with_applies_cas() {
+        let map = DistinctMap::with_capacity(16);
+        let d = digest(5);
+        map.insert(&d, MapEntry::new(10, 2));
+        // Decline: entry unchanged, before == after.
+        let seen = map.update_with(&d, |_| None);
+        assert_eq!(seen, Some((MapEntry::new(10, 2), MapEntry::new(10, 2))));
+        // Replace when the new node is smaller; `before` is the displaced entry.
+        let new = map.update_with(&d, |e| (3 < e.node).then_some(MapEntry::new(3, 2)));
+        assert_eq!(new, Some((MapEntry::new(10, 2), MapEntry::new(3, 2))));
+        assert_eq!(map.get(&d), Some(MapEntry::new(3, 2)));
+        // Absent key.
+        assert_eq!(map.update_with(&digest(999), |_| None), None);
+    }
+
+    #[test]
+    fn concurrent_update_with_converges_to_minimum() {
+        let map = Arc::new(DistinctMap::with_capacity(64));
+        let d = digest(9);
+        map.insert(&d, MapEntry::new(u32::MAX, 1));
+        std::thread::scope(|s| {
+            for t in 0..8u32 {
+                let map = Arc::clone(&map);
+                s.spawn(move || {
+                    for node in (t * 100)..(t * 100 + 100) {
+                        map.update_with(&d, |e| (node < e.node).then_some(MapEntry::new(node, 1)));
+                    }
+                });
+            }
+        });
+        assert_eq!(map.get(&d), Some(MapEntry::new(0, 1)));
+    }
+
+    #[test]
+    fn entry_packing_round_trip() {
+        let e = MapEntry::new(u32::MAX - 1, 12345);
+        assert_eq!(MapEntry::unpack(e.pack()), e);
+    }
+}

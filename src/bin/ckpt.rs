@@ -1,0 +1,246 @@
+//! `ckpt` — de-duplicated checkpoint records on the command line.
+//!
+//! ```text
+//! ckpt create  --out <dir> [--method tree|list|basic|full] [--chunk N]
+//!              [--compress zstd|lz4|...] <snapshot files...>
+//! ckpt info    <dir>
+//! ckpt restore <dir> --version K --out <file>
+//! ckpt verify  <dir> <original snapshot files...>
+//! ```
+//!
+//! A record directory holds one `NNNN.ckpt` file per version (the encoded
+//! diff wire format of `ckpt_dedup::Diff`). All snapshots must have equal
+//! length (the engine checkpoints a fixed-size buffer, like the paper's GDV
+//! array).
+
+use gpu_dedup_ckpt::dedup::prelude::*;
+use gpu_dedup_ckpt::dedup::Diff;
+use gpu_dedup_ckpt::gpu_sim::Device;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  ckpt create  --out <dir> [--method tree|list|basic|full] [--chunk N] \
+         [--compress <codec>] [--verify-collisions] <snapshots...>\n  ckpt info    <dir>\n  \
+         ckpt restore <dir> --version K --out <file>\n  ckpt verify  <dir> <snapshots...>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { return usage() };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "create" => cmd_create(rest),
+        "info" => cmd_info(rest),
+        "restore" => cmd_restore(rest),
+        "verify" => cmd_verify(rest),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ckpt: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn diff_path(dir: &Path, version: usize) -> PathBuf {
+    dir.join(format!("{version:04}.ckpt"))
+}
+
+/// Load the record's diffs in version order.
+fn load_record(dir: &Path) -> Result<Vec<Diff>, Box<dyn std::error::Error>> {
+    let mut diffs = Vec::new();
+    for version in 0.. {
+        let path = diff_path(dir, version);
+        if !path.exists() {
+            break;
+        }
+        let bytes = std::fs::read(&path)?;
+        diffs.push(Diff::decode(&bytes).map_err(|e| format!("{}: {e}", path.display()))?);
+    }
+    if diffs.is_empty() {
+        return Err(format!("no checkpoints found in {}", dir.display()).into());
+    }
+    Ok(diffs)
+}
+
+fn cmd_create(args: &[String]) -> CliResult {
+    let mut out_dir: Option<PathBuf> = None;
+    let mut method = "tree".to_string();
+    let mut chunk = 128usize;
+    let mut compress: Option<String> = None;
+    let mut verify_collisions = false;
+    let mut snapshots: Vec<PathBuf> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out_dir = Some(PathBuf::from(args.get(i + 1).ok_or("--out needs a value")?));
+                i += 2;
+            }
+            "--method" => {
+                method = args.get(i + 1).ok_or("--method needs a value")?.clone();
+                i += 2;
+            }
+            "--chunk" => {
+                chunk = args.get(i + 1).ok_or("--chunk needs a value")?.parse()?;
+                i += 2;
+            }
+            "--compress" => {
+                compress = Some(args.get(i + 1).ok_or("--compress needs a value")?.clone());
+                i += 2;
+            }
+            "--verify-collisions" => {
+                verify_collisions = true;
+                i += 1;
+            }
+            other => {
+                snapshots.push(PathBuf::from(other));
+                i += 1;
+            }
+        }
+    }
+    let out_dir = out_dir.ok_or("missing --out <dir>")?;
+    if snapshots.is_empty() {
+        return Err("no snapshot files given".into());
+    }
+    std::fs::create_dir_all(&out_dir)?;
+
+    let device = Device::a100();
+    let mut cfg = TreeConfig::new(chunk);
+    if let Some(codec) = &compress {
+        cfg = cfg.with_payload_codec(codec);
+    }
+    if verify_collisions {
+        cfg = cfg.with_collision_verification();
+    }
+    let mut ckpt: Box<dyn Checkpointer> = match method.as_str() {
+        "tree" => Box::new(TreeCheckpointer::new(device.clone(), cfg)),
+        "list" => Box::new(ListCheckpointer::new(device.clone(), cfg)),
+        "basic" => Box::new(BasicCheckpointer::new(device.clone(), chunk)),
+        "full" => Box::new(FullCheckpointer::new(device.clone(), chunk)),
+        other => return Err(format!("unknown method '{other}'").into()),
+    };
+
+    let mut total_in = 0u64;
+    let mut total_out = 0u64;
+    for (version, path) in snapshots.iter().enumerate() {
+        let data = std::fs::read(path)?;
+        let out = ckpt.checkpoint(&data);
+        let encoded = out.diff.encode();
+        std::fs::write(diff_path(&out_dir, version), &encoded)?;
+        total_in += data.len() as u64;
+        total_out += encoded.len() as u64;
+        println!(
+            "v{version:04}  {:>12} -> {:>12} bytes  (ratio {:>8.2}x)  {}",
+            data.len(),
+            encoded.len(),
+            out.stats.ratio(),
+            path.display()
+        );
+    }
+    println!(
+        "record: {} versions, {total_in} -> {total_out} bytes ({:.2}x), modeled device time {:.3} ms",
+        snapshots.len(),
+        total_in as f64 / total_out.max(1) as f64,
+        device.metrics().modeled_sec() * 1e3,
+    );
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> CliResult {
+    let dir = PathBuf::from(args.first().ok_or("missing <dir>")?);
+    let diffs = load_record(&dir)?;
+    println!(
+        "record {}: {} versions, method {}, chunk {} B, buffer {} bytes",
+        dir.display(),
+        diffs.len(),
+        diffs[0].kind.name(),
+        diffs[0].chunk_size,
+        diffs[0].data_len,
+    );
+    let mut total = 0u64;
+    for d in &diffs {
+        total += d.stored_bytes() as u64;
+        println!(
+            "  v{:04}  stored {:>10} B  payload {:>10} B  meta {:>8} B  regions {:>6}+{:<6}{}",
+            d.ckpt_id,
+            d.stored_bytes(),
+            d.payload.len(),
+            d.metadata_bytes(),
+            d.first_regions.len(),
+            d.shift_regions.len(),
+            if d.payload_codec != 0 { "  [compressed]" } else { "" },
+        );
+    }
+    let full = diffs[0].data_len * diffs.len() as u64;
+    println!("total stored {total} B vs {full} B full ({:.2}x)", full as f64 / total.max(1) as f64);
+    Ok(())
+}
+
+fn cmd_restore(args: &[String]) -> CliResult {
+    let mut dir: Option<PathBuf> = None;
+    let mut version: Option<usize> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--version" => {
+                version = Some(args.get(i + 1).ok_or("--version needs a value")?.parse()?);
+                i += 2;
+            }
+            "--out" => {
+                out = Some(PathBuf::from(args.get(i + 1).ok_or("--out needs a value")?));
+                i += 2;
+            }
+            other => {
+                dir = Some(PathBuf::from(other));
+                i += 1;
+            }
+        }
+    }
+    let dir = dir.ok_or("missing <dir>")?;
+    let out = out.ok_or("missing --out <file>")?;
+    let diffs = load_record(&dir)?;
+    let version = version.unwrap_or(diffs.len() - 1);
+    if version >= diffs.len() {
+        return Err(format!("version {version} not in record (0..{})", diffs.len() - 1).into());
+    }
+    // Random-access reader: restores without materializing every version.
+    let reader = RecordReader::build(&diffs)?;
+    let bytes = reader.read_version(version as u32)?;
+    std::fs::write(&out, &bytes)?;
+    println!("restored v{version} ({} bytes) -> {}", bytes.len(), out.display());
+    Ok(())
+}
+
+fn cmd_verify(args: &[String]) -> CliResult {
+    let dir = PathBuf::from(args.first().ok_or("missing <dir>")?);
+    let originals = &args[1..];
+    let diffs = load_record(&dir)?;
+    if originals.len() != diffs.len() {
+        return Err(format!(
+            "record has {} versions but {} originals were given",
+            diffs.len(),
+            originals.len()
+        )
+        .into());
+    }
+    let versions = restore_record(&diffs)?;
+    for (k, (restored, path)) in versions.iter().zip(originals).enumerate() {
+        let original = std::fs::read(path)?;
+        if restored != &original {
+            return Err(format!("version {k} does not match {path}").into());
+        }
+        println!("v{k:04} ok  {path}");
+    }
+    println!("all {} versions verified bit-exact", versions.len());
+    Ok(())
+}

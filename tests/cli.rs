@@ -1,0 +1,162 @@
+//! End-to-end tests of the `ckpt` command-line tool (create → info →
+//! restore → verify) against real files in a temp directory.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn ckpt() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ckpt"))
+}
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!(
+            "ckpt-cli-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Write three snapshot files with sparse mutations between them.
+fn write_snapshots(dir: &Path) -> Vec<PathBuf> {
+    let mut data: Vec<u8> = (0..64 * 1024u32).map(|i| (i % 251) as u8).collect();
+    let mut paths = Vec::new();
+    for k in 0..3 {
+        if k > 0 {
+            for j in 0..40 {
+                let at = (k * 977 + j * 131) % data.len();
+                data[at] = data[at].wrapping_add(1);
+            }
+        }
+        let p = dir.join(format!("snap{k}.bin"));
+        std::fs::write(&p, &data).unwrap();
+        paths.push(p);
+    }
+    paths
+}
+
+#[test]
+fn create_info_restore_verify_round_trip() {
+    let tmp = TempDir::new("roundtrip");
+    let snaps = write_snapshots(tmp.path());
+    let record = tmp.path().join("record");
+
+    // create
+    let out = ckpt()
+        .args(["create", "--out", record.to_str().unwrap(), "--chunk", "64"])
+        .args(snaps.iter().map(|p| p.to_str().unwrap()))
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "create failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(record.join("0000.ckpt").exists());
+    assert!(record.join("0002.ckpt").exists());
+
+    // info
+    let out = ckpt().args(["info", record.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("3 versions"), "{text}");
+    assert!(text.contains("method Tree"), "{text}");
+
+    // restore the middle version
+    let restored = tmp.path().join("restored.bin");
+    let out = ckpt()
+        .args([
+            "restore",
+            record.to_str().unwrap(),
+            "--version",
+            "1",
+            "--out",
+            restored.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(std::fs::read(&restored).unwrap(), std::fs::read(&snaps[1]).unwrap());
+
+    // verify against all originals
+    let out = ckpt()
+        .args(["verify", record.to_str().unwrap()])
+        .args(snaps.iter().map(|p| p.to_str().unwrap()))
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("verified bit-exact"));
+}
+
+#[test]
+fn create_with_compression_and_other_methods() {
+    let tmp = TempDir::new("methods");
+    let snaps = write_snapshots(tmp.path());
+    for (tag, extra) in [
+        ("tree-zstd", vec!["--method", "tree", "--compress", "zstd"]),
+        ("list", vec!["--method", "list"]),
+        ("basic", vec!["--method", "basic"]),
+        ("full", vec!["--method", "full"]),
+        ("tree-vc", vec!["--method", "tree", "--verify-collisions"]),
+    ] {
+        let record = tmp.path().join(format!("rec-{tag}"));
+        let out = ckpt()
+            .args(["create", "--out", record.to_str().unwrap(), "--chunk", "64"])
+            .args(&extra)
+            .args(snaps.iter().map(|p| p.to_str().unwrap()))
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{tag}: {}", String::from_utf8_lossy(&out.stderr));
+        let out = ckpt()
+            .args(["verify", record.to_str().unwrap()])
+            .args(snaps.iter().map(|p| p.to_str().unwrap()))
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{tag}: {}", String::from_utf8_lossy(&out.stderr));
+    }
+}
+
+#[test]
+fn helpful_errors() {
+    let tmp = TempDir::new("errors");
+    // Unknown subcommand → usage, exit 2.
+    let out = ckpt().arg("bogus").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    // Missing record dir.
+    let out = ckpt().args(["info", tmp.path().join("nope").to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no checkpoints"));
+    // Restoring a version that does not exist.
+    let snaps = write_snapshots(tmp.path());
+    let record = tmp.path().join("rec");
+    assert!(ckpt()
+        .args(["create", "--out", record.to_str().unwrap()])
+        .args(snaps.iter().map(|p| p.to_str().unwrap()))
+        .status()
+        .unwrap()
+        .success());
+    let out = ckpt()
+        .args([
+            "restore",
+            record.to_str().unwrap(),
+            "--version",
+            "9",
+            "--out",
+            tmp.path().join("x").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not in record"));
+}

@@ -1,0 +1,99 @@
+//! Concurrency stress: many ranks submitting while the flusher races a
+//! randomly-timed crash; recovery must always yield a clean durable prefix
+//! per rank that restores bit-exactly.
+
+use gpu_dedup_ckpt::dedup::prelude::*;
+use gpu_dedup_ckpt::gpu_sim::Device;
+use gpu_dedup_ckpt::runtime::{restore_rank, AsyncRuntime};
+
+fn rank_snapshots(rank: u32, n: usize) -> Vec<Vec<u8>> {
+    let len = 16 * 1024;
+    let mut data: Vec<u8> =
+        (0..len).map(|i| ((i as u64 * 31 + rank as u64 * 1009) % 251) as u8).collect();
+    let mut out = vec![data.clone()];
+    for k in 1..n {
+        for j in 0..24 {
+            let at = (k * 769 + j * 331 + rank as usize * 7) % len;
+            data[at] = data[at].wrapping_add(1);
+        }
+        out.push(data.clone());
+    }
+    out
+}
+
+#[test]
+fn concurrent_ranks_with_racing_crash_recover_cleanly() {
+    for round in 0..6u64 {
+        let rt = AsyncRuntime::new();
+        let n_ranks = 6u32;
+        let n_ckpts = 8usize;
+
+        // Producers run concurrently; the main thread kills the runtime at a
+        // pseudo-random moment.
+        std::thread::scope(|s| {
+            for rank in 0..n_ranks {
+                let rt = &rt;
+                s.spawn(move || {
+                    let mut m =
+                        TreeCheckpointer::new(Device::a100(), TreeConfig::new(64));
+                    for (k, snap) in rank_snapshots(rank, n_ckpts).iter().enumerate() {
+                        let diff = m.checkpoint(snap).diff;
+                        // After a crash, staging may be full/dead — both are
+                        // legitimate outcomes for a dying node.
+                        let _ = rt.submit(rank, k as u32, diff.encode());
+                        std::thread::yield_now();
+                    }
+                });
+            }
+            // Crash at a round-dependent point part-way through.
+            std::thread::sleep(std::time::Duration::from_micros(200 * round + 50));
+            rt.kill();
+        });
+
+        let recovered = rt.recover();
+        let mut total_durable = 0usize;
+        for (rank, prefix) in &recovered {
+            total_durable += prefix.len();
+            // Every recovered prefix must decode and restore exactly to the
+            // rank's original snapshots.
+            if prefix.is_empty() {
+                continue;
+            }
+            let versions = restore_rank(rt.tiers(), *rank)
+                .unwrap_or_else(|e| panic!("round {round} rank {rank}: {e}"));
+            let originals = rank_snapshots(*rank, n_ckpts);
+            for (k, v) in versions.iter().enumerate() {
+                assert_eq!(v, &originals[k], "round {round} rank {rank} version {k}");
+            }
+        }
+        // Sanity: the crash landed somewhere meaningful at least sometimes.
+        eprintln!("round {round}: {total_durable} durable checkpoints across ranks");
+    }
+}
+
+#[test]
+fn graceful_shutdown_drains_everything() {
+    let rt = AsyncRuntime::new();
+    let n_ranks = 8u32;
+    let n_ckpts = 6usize;
+    std::thread::scope(|s| {
+        for rank in 0..n_ranks {
+            let rt = &rt;
+            s.spawn(move || {
+                let mut m = TreeCheckpointer::new(Device::a100(), TreeConfig::new(64));
+                for (k, snap) in rank_snapshots(rank, n_ckpts).iter().enumerate() {
+                    rt.submit(rank, k as u32, m.checkpoint(snap).diff.encode()).unwrap();
+                }
+            });
+        }
+    });
+    let ids: Vec<_> =
+        (0..n_ranks).flat_map(|r| (0..n_ckpts as u32).map(move |k| (r, k))).collect();
+    rt.wait_durable(&ids);
+    for rank in 0..n_ranks {
+        let versions = restore_rank(rt.tiers(), rank).unwrap();
+        assert_eq!(versions.len(), n_ckpts);
+        assert_eq!(versions, rank_snapshots(rank, n_ckpts));
+    }
+    rt.shutdown();
+}
