@@ -213,8 +213,8 @@ mod tests {
             up[i] += eps;
             let mut dn = u0.clone();
             dn[i] -= eps;
-            let fd = (m.objective(&m.advance(&up, l)) - m.objective(&m.advance(&dn, l)))
-                / (2.0 * eps);
+            let fd =
+                (m.objective(&m.advance(&up, l)) - m.objective(&m.advance(&dn, l))) / (2.0 * eps);
             assert!(
                 (fd - rep.gradient[i]).abs() <= 1e-5 * (1.0 + fd.abs()),
                 "grad[{i}]: {} vs fd {fd}",

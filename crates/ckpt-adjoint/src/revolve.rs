@@ -110,7 +110,10 @@ fn treeverse(base: usize, end: usize, slots: usize, actions: &mut Vec<Action>) {
     if m == 1 {
         // State `base` is current (callers arrange this): advance once and
         // run the adjoint step.
-        actions.push(Action::Forward { from: base, to: end });
+        actions.push(Action::Forward {
+            from: base,
+            to: end,
+        });
         actions.push(Action::Backward { step: base });
         return;
     }
@@ -118,7 +121,10 @@ fn treeverse(base: usize, end: usize, slots: usize, actions: &mut Vec<Action>) {
     let mid = base + s;
     // Advance to the split, store it, reverse the right part with one fewer
     // slot, then come back and reverse the left part.
-    actions.push(Action::Forward { from: base, to: mid });
+    actions.push(Action::Forward {
+        from: base,
+        to: mid,
+    });
     actions.push(Action::Store { state: mid });
     treeverse(mid, end, slots - 1, actions);
     actions.push(Action::Discard { state: mid });
@@ -188,7 +194,10 @@ pub fn validate(l: usize, c: usize, actions: &[Action]) -> Result<ScheduleStats,
                     ));
                 }
                 if current != Some(step + 1) {
-                    return Err(format!("action {i}: backward {step} without state {}", step + 1));
+                    return Err(format!(
+                        "action {i}: backward {step} without state {}",
+                        step + 1
+                    ));
                 }
                 backward_steps += 1;
                 next_backward = step.checked_sub(1);
@@ -205,7 +214,11 @@ pub fn validate(l: usize, c: usize, actions: &[Action]) -> Result<ScheduleStats,
     if peak > c + 1 {
         return Err(format!("peak slot usage {peak} exceeds {} slots", c + 1));
     }
-    Ok(ScheduleStats { forward_steps, backward_steps, peak_slots: peak })
+    Ok(ScheduleStats {
+        forward_steps,
+        backward_steps,
+        peak_slots: peak,
+    })
 }
 
 #[cfg(test)]
@@ -219,9 +232,17 @@ mod tests {
         // *re-runs beyond* that sweep, so ours equals l + t. With plenty of
         // slots r = 1 and t = l − 1: total = 2l − 1.
         for l in 1..12u64 {
-            assert_eq!(optimal_cost(l as usize, l as usize), Some(2 * l - 1), "l={l}");
+            assert_eq!(
+                optimal_cost(l as usize, l as usize),
+                Some(2 * l - 1),
+                "l={l}"
+            );
             // More slots than steps cannot help further.
-            assert_eq!(optimal_cost(l as usize, 2 * l as usize), Some(2 * l - 1), "l={l}");
+            assert_eq!(
+                optimal_cost(l as usize, 2 * l as usize),
+                Some(2 * l - 1),
+                "l={l}"
+            );
         }
         // One slot: quadratic behaviour, cost = l(l+1)/2.
         for l in 1..10u64 {
@@ -238,8 +259,7 @@ mod tests {
         for l in 1..=24usize {
             for c in 1..=5usize {
                 let actions = schedule(l, c).unwrap();
-                let stats = validate(l, c, &actions)
-                    .unwrap_or_else(|e| panic!("l={l} c={c}: {e}"));
+                let stats = validate(l, c, &actions).unwrap_or_else(|e| panic!("l={l} c={c}: {e}"));
                 // The planner's Forward cost must hit the DP optimum: its
                 // splits come from the same DP.
                 assert_eq!(
@@ -264,7 +284,10 @@ mod tests {
         let stats = validate(l as usize, l as usize, &actions).unwrap();
         assert_eq!(stats.forward_steps, 2 * l - 1);
         // All l states pass through a slot exactly once.
-        let stores = actions.iter().filter(|a| matches!(a, Action::Store { .. })).count();
+        let stores = actions
+            .iter()
+            .filter(|a| matches!(a, Action::Store { .. }))
+            .count();
         assert_eq!(stores as u64, l);
     }
 
@@ -285,7 +308,10 @@ mod tests {
     fn validator_rejects_corrupt_schedules() {
         let mut actions = schedule(6, 2).unwrap();
         // Tamper: drop one adjoint step.
-        let pos = actions.iter().position(|a| matches!(a, Action::Backward { .. })).unwrap();
+        let pos = actions
+            .iter()
+            .position(|a| matches!(a, Action::Backward { .. }))
+            .unwrap();
         actions.remove(pos);
         assert!(validate(6, 2, &actions).is_err());
 

@@ -45,7 +45,10 @@ impl HeatModel {
         // so most of the state is *exactly* zero and unchanged between
         // steps — the sparse-update structure that makes incremental
         // checkpointing of such solvers worthwhile.
-        HeatModel { params, source: vec![0.0; params.n] }
+        HeatModel {
+            params,
+            source: vec![0.0; params.n],
+        }
     }
 
     /// A deterministic initial condition: a compact pulse in the middle of

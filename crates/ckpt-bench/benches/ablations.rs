@@ -120,7 +120,10 @@ fn bench_kernel_fusion(c: &mut Criterion) {
             |b, &fused| {
                 b.iter_batched(
                     || {
-                        let cfg = TreeConfig { fused, ..TreeConfig::new(64) };
+                        let cfg = TreeConfig {
+                            fused,
+                            ..TreeConfig::new(64)
+                        };
                         let mut m = TreeCheckpointer::new(Device::a100(), cfg);
                         m.checkpoint(first);
                         m

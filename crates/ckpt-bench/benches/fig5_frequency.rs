@@ -56,9 +56,11 @@ fn bench_decompression(c: &mut Criterion) {
     for codec in all_codecs().into_iter().take(3) {
         let packed = codec.compress(snaps.last().unwrap());
         let name = codec.name();
-        group.bench_with_input(BenchmarkId::new("decompress", name), &packed, |b, packed| {
-            b.iter(|| codec.decompress(packed).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("decompress", name),
+            &packed,
+            |b, packed| b.iter(|| codec.decompress(packed).unwrap()),
+        );
     }
     let mut m = TreeCheckpointer::new(Device::a100(), TreeConfig::new(128));
     let diffs: Vec<_> = snaps.iter().map(|s| m.checkpoint(s).diff).collect();

@@ -8,8 +8,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 fn bench_scaling(c: &mut Criterion) {
     // Small per-rank partitions; workloads pre-generated outside the timer.
     let max_ranks = 8usize;
-    let snapshots: Vec<Vec<Vec<u8>>> =
-        (0..max_ranks as u32).map(|r| scaling_snapshots(r, 1_200, 5, 42)).collect();
+    let snapshots: Vec<Vec<Vec<u8>>> = (0..max_ranks as u32)
+        .map(|r| scaling_snapshots(r, 1_200, 5, 42))
+        .collect();
 
     let mut group = c.benchmark_group("fig6_scaling");
     group.sample_size(10);

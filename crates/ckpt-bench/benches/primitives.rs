@@ -8,7 +8,9 @@ use rayon::prelude::*;
 
 fn bench_distinct_map(c: &mut Criterion) {
     let n = 100_000usize;
-    let digests: Vec<_> = (0..n).map(|i| Murmur3.hash(&(i as u64).to_le_bytes())).collect();
+    let digests: Vec<_> = (0..n)
+        .map(|i| Murmur3.hash(&(i as u64).to_le_bytes()))
+        .collect();
 
     let mut group = c.benchmark_group("distinct_map");
     group.throughput(Throughput::Elements(n as u64));
@@ -77,5 +79,10 @@ fn bench_device_launch_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_distinct_map, bench_collectives, bench_device_launch_overhead);
+criterion_group!(
+    benches,
+    bench_distinct_map,
+    bench_collectives,
+    bench_device_launch_overhead
+);
 criterion_main!(benches);

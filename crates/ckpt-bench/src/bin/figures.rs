@@ -44,21 +44,31 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
-                cfg.scale = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                cfg.scale = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
                 i += 2;
             }
             "--rank-scale" => {
-                rank_scale =
-                    args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                rank_scale = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
                 i += 2;
             }
             "--coverage" => {
-                coverage =
-                    args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                coverage = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
                 i += 2;
             }
             "--seed" => {
-                cfg.seed = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                cfg.seed = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
                 i += 2;
             }
             _ => usage(),
@@ -76,8 +86,12 @@ fn main() {
         }
     };
 
-    run("table1", &mut || report::render_table1(&experiments::table1(cfg)));
-    run("fig2", &mut || report::render_fig2(&experiments::fig2_demo()));
+    run("table1", &mut || {
+        report::render_table1(&experiments::table1(cfg))
+    });
+    run("fig2", &mut || {
+        report::render_fig2(&experiments::fig2_demo())
+    });
     run("fig4", &mut || report::render_fig4(&experiments::fig4(cfg)));
     run("fig5", &mut || report::render_fig5(&experiments::fig5(cfg)));
     run("fig6", &mut || {
@@ -88,17 +102,33 @@ fn main() {
             coverage,
         ))
     });
-    run("hybrid", &mut || report::render_hybrid(&experiments::hybrid(cfg)));
-    run("highfreq", &mut || report::render_highfreq(&experiments::highfreq(cfg)));
-    run("streaming", &mut || report::render_streaming(&experiments::streaming(cfg)));
-    run("adjoint", &mut || report::render_adjoint(&experiments::adjoint(cfg)));
-    run("ablation-hash", &mut || report::render_hash(&experiments::ablation_hash(cfg)));
+    run("hybrid", &mut || {
+        report::render_hybrid(&experiments::hybrid(cfg))
+    });
+    run("highfreq", &mut || {
+        report::render_highfreq(&experiments::highfreq(cfg))
+    });
+    run("streaming", &mut || {
+        report::render_streaming(&experiments::streaming(cfg))
+    });
+    run("adjoint", &mut || {
+        report::render_adjoint(&experiments::adjoint(cfg))
+    });
+    run("ablation-hash", &mut || {
+        report::render_hash(&experiments::ablation_hash(cfg))
+    });
     run("ablation-metadata", &mut || {
         report::render_metadata(&experiments::ablation_metadata(cfg))
     });
-    run("ablation-waves", &mut || report::render_waves(&experiments::ablation_waves(cfg)));
-    run("ablation-gorder", &mut || report::render_gorder(&experiments::ablation_gorder(cfg)));
-    run("ablation-fusion", &mut || report::render_fusion(&experiments::ablation_fusion(cfg)));
+    run("ablation-waves", &mut || {
+        report::render_waves(&experiments::ablation_waves(cfg))
+    });
+    run("ablation-gorder", &mut || {
+        report::render_gorder(&experiments::ablation_gorder(cfg))
+    });
+    run("ablation-fusion", &mut || {
+        report::render_fusion(&experiments::ablation_fusion(cfg))
+    });
 
     if !ran {
         usage();

@@ -8,6 +8,7 @@
 //! mirroring how the de-duplication methods are accounted.
 
 use ckpt_compress::Codec;
+use ckpt_telemetry::{StageBreakdown, StageSample};
 use gpu_sim::{Device, KernelCost};
 
 /// Aggregate result of running one method over a snapshot sequence —
@@ -24,6 +25,9 @@ pub struct MeasuredRecord {
     pub metadata: u64,
     pub modeled_sec: f64,
     pub measured_sec: f64,
+    /// Stage-wise sum of the per-checkpoint breakdowns (same aggregation
+    /// window as the scalar fields). Compressors report one `total` stage.
+    pub breakdown: StageBreakdown,
 }
 
 impl MeasuredRecord {
@@ -76,6 +80,17 @@ pub fn run_codec(codec: &dyn Codec, snapshots: &[Vec<u8>], skip_first: bool) -> 
         metadata: 0,
         modeled_sec: modeled,
         measured_sec: measured,
+        breakdown: StageBreakdown {
+            method: codec.name().to_string(),
+            ckpt_id: 0,
+            stages: vec![StageSample {
+                name: "total",
+                measured_sec: measured,
+                modeled_sec: modeled,
+            }],
+            total_measured_sec: measured,
+            total_modeled_sec: modeled,
+        },
     }
 }
 
@@ -92,6 +107,7 @@ pub fn run_dedup(
     let mut metadata = 0u64;
     let mut modeled = 0.0f64;
     let mut measured = 0.0f64;
+    let mut breakdown = StageBreakdown::default();
     for (k, snap) in snapshots.iter().enumerate() {
         let out = method.checkpoint(snap);
         if skip_first && k == 0 {
@@ -102,7 +118,9 @@ pub fn run_dedup(
         metadata += out.stats.metadata_bytes;
         modeled += out.stats.modeled_sec;
         measured += out.stats.measured_sec;
+        breakdown.accumulate(&out.breakdown);
     }
+    breakdown.method = name.to_string();
     MeasuredRecord {
         name: name.to_string(),
         uncompressed,
@@ -110,6 +128,7 @@ pub fn run_dedup(
         metadata,
         modeled_sec: modeled,
         measured_sec: measured,
+        breakdown,
     }
 }
 
@@ -141,7 +160,10 @@ mod tests {
         assert!(rec.modeled_sec > 0.0);
 
         let rec_skip = run_codec(&ZstdLike::default(), &snaps, true);
-        assert_eq!(rec_skip.uncompressed, ((snaps.len() - 1) * snaps[0].len()) as u64);
+        assert_eq!(
+            rec_skip.uncompressed,
+            ((snaps.len() - 1) * snaps[0].len()) as u64
+        );
     }
 
     #[test]

@@ -26,17 +26,38 @@ pub struct ExpConfig {
 
 impl Default for ExpConfig {
     fn default() -> Self {
-        ExpConfig { scale: 20_000, seed: 42 }
+        ExpConfig {
+            scale: 20_000,
+            seed: 42,
+        }
     }
 }
 
 /// The four de-duplication methods of Figures 4–5, in legend order.
 fn dedup_methods(chunk: usize) -> Vec<(&'static str, Box<dyn Checkpointer>)> {
     vec![
-        ("Full", Box::new(FullCheckpointer::new(Device::a100(), chunk)) as Box<dyn Checkpointer>),
-        ("Basic", Box::new(BasicCheckpointer::new(Device::a100(), chunk))),
-        ("List", Box::new(ListCheckpointer::new(Device::a100(), TreeConfig::new(chunk)))),
-        ("Tree", Box::new(TreeCheckpointer::new(Device::a100(), TreeConfig::new(chunk)))),
+        (
+            "Full",
+            Box::new(FullCheckpointer::new(Device::a100(), chunk)) as Box<dyn Checkpointer>,
+        ),
+        (
+            "Basic",
+            Box::new(BasicCheckpointer::new(Device::a100(), chunk)),
+        ),
+        (
+            "List",
+            Box::new(ListCheckpointer::new(
+                Device::a100(),
+                TreeConfig::new(chunk),
+            )),
+        ),
+        (
+            "Tree",
+            Box::new(TreeCheckpointer::new(
+                Device::a100(),
+                TreeConfig::new(chunk),
+            )),
+        ),
     ]
 }
 
@@ -105,7 +126,11 @@ pub fn fig4(cfg: ExpConfig) -> Vec<Fig4Cell> {
                 .into_iter()
                 .map(|(name, mut m)| run_dedup(&mut *m, name, &w.snapshots, false))
                 .collect();
-            out.push(Fig4Cell { graph, chunk_size: chunk, methods });
+            out.push(Fig4Cell {
+                graph,
+                chunk_size: chunk,
+                methods,
+            });
         }
     }
     out
@@ -140,7 +165,11 @@ pub fn fig5(cfg: ExpConfig) -> Vec<Fig5Cell> {
             for codec in all_codecs() {
                 methods.push(run_codec(&*codec, &w.snapshots, true));
             }
-            out.push(Fig5Cell { graph, n_checkpoints: n, methods });
+            out.push(Fig5Cell {
+                graph,
+                n_checkpoints: n,
+                methods,
+            });
         }
     }
     out
@@ -170,7 +199,12 @@ pub const FIG6_CHECKPOINTS: usize = 10;
 /// `per_rank_scale` is the vertex count of each rank's partition (the
 /// paper's per-GPU share of Delaunay N24).
 pub fn fig6(per_rank_scale: usize, seed: u64) -> Vec<Fig6Point> {
-    fig6_with_ranks(per_rank_scale, seed, &FIG6_RANKS, crate::workload::SCALING_COVERAGE)
+    fig6_with_ranks(
+        per_rank_scale,
+        seed,
+        &FIG6_RANKS,
+        crate::workload::SCALING_COVERAGE,
+    )
 }
 
 /// [`fig6`] over a custom rank sweep and run coverage (tests use short
@@ -204,7 +238,12 @@ pub fn fig6_with_ranks(
         });
         for method in [ScalingMethod::Tree, ScalingMethod::Full] {
             let rt = AsyncRuntime::new();
-            let cfg = ScalingConfig { method, n_ranks, gpus_per_node: 8, chunk_size: 128 };
+            let cfg = ScalingConfig {
+                method,
+                n_ranks,
+                gpus_per_node: 8,
+                chunk_size: 128,
+            };
             let report = run_scaling(cfg, &rt, |rank| snapshots[rank as usize].clone());
             out.push(Fig6Point {
                 n_ranks,
@@ -412,8 +451,7 @@ pub fn streaming(cfg: ExpConfig) -> Vec<StreamingPoint> {
                         - (after.modeled_transfer_sec - before.modeled_transfer_sec),
                 );
             }
-            let sequential_sec: f64 =
-                compute.iter().sum::<f64>() + transfer.iter().sum::<f64>();
+            let sequential_sec: f64 = compute.iter().sum::<f64>() + transfer.iter().sum::<f64>();
             // Pipeline: c_0, then step i overlaps compute[i] with
             // transfer[i-1]; the final transfer drains alone.
             let mut pipelined_sec = compute[0];
@@ -421,7 +459,11 @@ pub fn streaming(cfg: ExpConfig) -> Vec<StreamingPoint> {
                 pipelined_sec += compute[i].max(transfer[i - 1]);
             }
             pipelined_sec += transfer[transfer.len() - 1];
-            StreamingPoint { graph, sequential_sec, pipelined_sec }
+            StreamingPoint {
+                graph,
+                sequential_sec,
+                pipelined_sec,
+            }
         })
         .collect()
 }
@@ -452,15 +494,24 @@ pub fn highfreq(cfg: ExpConfig) -> Vec<HighFreqPoint> {
     for (name, mut method) in [
         (
             "Tree",
-            Box::new(TreeCheckpointer::new(Device::a100(), TreeConfig::new(FIG5_CHUNK)))
-                as Box<dyn Checkpointer>,
+            Box::new(TreeCheckpointer::new(
+                Device::a100(),
+                TreeConfig::new(FIG5_CHUNK),
+            )) as Box<dyn Checkpointer>,
         ),
-        ("Full", Box::new(FullCheckpointer::new(Device::a100(), FIG5_CHUNK))),
+        (
+            "Full",
+            Box::new(FullCheckpointer::new(Device::a100(), FIG5_CHUNK)),
+        ),
     ] {
         // Host staging holds ~3 full checkpoints; the SSD throttles in real
         // time (scaled) to its modeled bandwidth.
         let tiers = TierChain::with_configs(
-            TierConfig { name: "host", bandwidth_bps: 25.0e9, capacity: snap_bytes * 3 + 1024 },
+            TierConfig {
+                name: "host",
+                bandwidth_bps: 25.0e9,
+                capacity: snap_bytes * 3 + 1024,
+            },
             TierConfig::ssd(),
             TierConfig::pfs(),
         );
@@ -509,7 +560,12 @@ pub fn hybrid(cfg: ExpConfig) -> Vec<HybridPoint> {
             for codec in ["zstd", "lz4", "cascaded", "bitcomp"] {
                 let cfg_c = TreeConfig::new(FIG5_CHUNK).with_payload_codec(codec);
                 let mut m = TreeCheckpointer::new(Device::a100(), cfg_c);
-                methods.push(run_dedup(&mut m, &format!("Tree+{codec}"), &w.snapshots, false));
+                methods.push(run_dedup(
+                    &mut m,
+                    &format!("Tree+{codec}"),
+                    &w.snapshots,
+                    false,
+                ));
             }
             HybridPoint { graph, methods }
         })
@@ -541,13 +597,8 @@ pub fn ablation_gorder(cfg: ExpConfig) -> Vec<GorderPoint> {
             let orderings = ORDERINGS
                 .iter()
                 .map(|(name, order)| {
-                    let w = gdv_snapshots_ordered(
-                        graph,
-                        cfg.scale,
-                        FIG4_CHECKPOINTS,
-                        cfg.seed,
-                        *order,
-                    );
+                    let w =
+                        gdv_snapshots_ordered(graph, cfg.scale, FIG4_CHECKPOINTS, cfg.seed, *order);
                     let mut m = TreeCheckpointer::new(Device::a100(), TreeConfig::new(64));
                     run_dedup(&mut m, &format!("Tree/{name}"), &w.snapshots, true)
                 })
@@ -589,11 +640,7 @@ pub fn ablation_hash(cfg: ExpConfig) -> Vec<HashPoint> {
         std::hint::black_box(acc);
         let dt = t0.elapsed().as_secs_f64();
 
-        let mut m = TreeCheckpointer::with_hasher(
-            Device::a100(),
-            TreeConfig::new(chunk),
-            hasher,
-        );
+        let mut m = TreeCheckpointer::with_hasher(Device::a100(), TreeConfig::new(chunk), hasher);
         let record = run_dedup(&mut m, name, &w.snapshots, true);
         out.push(HashPoint {
             hasher: name,
@@ -625,19 +672,26 @@ pub fn ablation_fusion(cfg: ExpConfig) -> Vec<FusionPoint> {
             let w = gdv_snapshots(graph, cfg.scale, FIG4_CHECKPOINTS, cfg.seed, true);
             let run = |fused: bool| {
                 let device = Device::a100();
-                let tree_cfg = TreeConfig { fused, ..TreeConfig::new(FIG5_CHUNK) };
+                let tree_cfg = TreeConfig {
+                    fused,
+                    ..TreeConfig::new(FIG5_CHUNK)
+                };
                 let mut m = TreeCheckpointer::new(device.clone(), tree_cfg);
                 for snap in &w.snapshots {
                     m.checkpoint(snap);
                 }
                 let snap = device.metrics().snapshot();
                 (
-                    snap.kernels_launched + if fused { 0 } else { 0 },
+                    snap.kernels_launched,
                     snap.modeled_launch_sec,
                     snap.modeled_sec,
                 )
             };
-            FusionPoint { graph, fused: run(true), unfused: run(false) }
+            FusionPoint {
+                graph,
+                fused: run(true),
+                unfused: run(false),
+            }
         })
         .collect()
 }
@@ -686,7 +740,10 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExpConfig {
-        ExpConfig { scale: 1200, seed: 7 }
+        ExpConfig {
+            scale: 1200,
+            seed: 7,
+        }
     }
 
     #[test]
@@ -712,7 +769,10 @@ mod tests {
 
     #[test]
     fn fig4_tree_wins_ratio_at_fine_chunks() {
-        let cells = fig4(ExpConfig { scale: 1500, seed: 3 });
+        let cells = fig4(ExpConfig {
+            scale: 1500,
+            seed: 3,
+        });
         // At 32-byte chunks the Tree method must beat List on every graph.
         for cell in cells.iter().filter(|c| c.chunk_size == 32) {
             let find = |n: &str| cell.methods.iter().find(|m| m.name == n).unwrap();
@@ -747,7 +807,10 @@ mod tests {
 
     #[test]
     fn hybrid_compresses_further_without_losing_restorability() {
-        let points = hybrid(ExpConfig { scale: 1500, seed: 4 });
+        let points = hybrid(ExpConfig {
+            scale: 1500,
+            seed: 4,
+        });
         for p in &points {
             let raw = &p.methods[0];
             let zstd = p.methods.iter().find(|m| m.name == "Tree+zstd").unwrap();
@@ -763,7 +826,10 @@ mod tests {
 
     #[test]
     fn fusion_saves_launch_latency() {
-        for p in ablation_fusion(ExpConfig { scale: 1200, seed: 3 }) {
+        for p in ablation_fusion(ExpConfig {
+            scale: 1200,
+            seed: 3,
+        }) {
             let (_, fused_launch, fused_total) = p.fused;
             let (_, unfused_launch, unfused_total) = p.unfused;
             assert!(
@@ -777,7 +843,10 @@ mod tests {
 
     #[test]
     fn adjoint_strategies_agree_and_tradeoff_holds() {
-        let points = adjoint(ExpConfig { scale: 1024, seed: 0 });
+        let points = adjoint(ExpConfig {
+            scale: 1024,
+            seed: 0,
+        });
         let dedup = &points[0];
         let raw = &points[1];
         let revolve4 = points.iter().find(|p| p.strategy.contains("c=4")).unwrap();
@@ -790,7 +859,10 @@ mod tests {
 
     #[test]
     fn streaming_pipeline_never_slower_and_usually_faster() {
-        let points = streaming(ExpConfig { scale: 1500, seed: 4 });
+        let points = streaming(ExpConfig {
+            scale: 1500,
+            seed: 4,
+        });
         for p in &points {
             assert!(
                 p.pipelined_sec <= p.sequential_sec * 1.0001,
@@ -807,7 +879,10 @@ mod tests {
 
     #[test]
     fn highfreq_full_stalls_more_than_tree() {
-        let points = highfreq(ExpConfig { scale: 1500, seed: 4 });
+        let points = highfreq(ExpConfig {
+            scale: 1500,
+            seed: 4,
+        });
         let tree = points.iter().find(|p| p.method == "Tree").unwrap();
         let full = points.iter().find(|p| p.method == "Full").unwrap();
         assert!(
@@ -821,7 +896,10 @@ mod tests {
 
     #[test]
     fn ablation_waves_naive_has_more_metadata() {
-        let points = ablation_waves(ExpConfig { scale: 1200, seed: 9 });
+        let points = ablation_waves(ExpConfig {
+            scale: 1200,
+            seed: 9,
+        });
         for p in &points {
             assert!(
                 p.naive.stored >= p.two_stage.stored,

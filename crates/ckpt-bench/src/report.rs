@@ -90,7 +90,32 @@ pub fn render_fig4(cells: &[Fig4Cell]) -> String {
             s.push('\n');
         }
     }
+    s.push_str("\nper-stage breakdown (JSON):\n");
+    s.push_str(&render_fig4_json(cells));
+    s.push('\n');
     s
+}
+
+/// The machine-readable side of Figure 4: each cell's methods with their
+/// aggregated [`ckpt_telemetry::StageBreakdown`]s, on one line.
+pub fn render_fig4_json(cells: &[Fig4Cell]) -> String {
+    let mut w = ckpt_telemetry::JsonWriter::new();
+    w.begin_object();
+    w.key("fig4").begin_array();
+    for c in cells {
+        w.begin_object();
+        w.key("chunk_size").u64(c.chunk_size as u64);
+        w.key("graph").string(c.graph.name());
+        w.key("methods").begin_array();
+        for m in &c.methods {
+            m.breakdown.write_json(&mut w);
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
 }
 
 pub fn render_fig5(cells: &[Fig5Cell]) -> String {
@@ -174,9 +199,7 @@ pub fn render_waves(points: &[WavesPoint]) -> String {
 
 pub fn render_hybrid(points: &[HybridPoint]) -> String {
     let mut s = String::new();
-    s.push_str(
-        "Extension E1 (paper \u{a7}5): compressing first occurrences inside the diff\n",
-    );
+    s.push_str("Extension E1 (paper \u{a7}5): compressing first occurrences inside the diff\n");
     for p in points {
         s.push_str(&format!("  [{}]\n", p.graph.name()));
         for m in &p.methods {
@@ -192,7 +215,10 @@ pub fn render_adjoint(points: &[AdjointPoint]) -> String {
     s.push_str(
         "Extension E5 (\u{a7}5): adjoint reversal \u{2014} recomputation vs de-duplicated storage\n",
     );
-    s.push_str(&format!("{:<28} {:>14} {:>14}\n", "strategy", "forward steps", "store bytes"));
+    s.push_str(&format!(
+        "{:<28} {:>14} {:>14}\n",
+        "strategy", "forward steps", "store bytes"
+    ));
     for p in points {
         s.push_str(&format!(
             "{:<28} {:>14} {:>14}\n",
@@ -227,9 +253,7 @@ pub fn render_streaming(points: &[StreamingPoint]) -> String {
 
 pub fn render_highfreq(points: &[HighFreqPoint]) -> String {
     let mut s = String::new();
-    s.push_str(
-        "Extension E2 (\u{a7}1): high-frequency checkpointing under storage backpressure\n",
-    );
+    s.push_str("Extension E2 (\u{a7}1): high-frequency checkpointing under storage backpressure\n");
     s.push_str(&format!(
         "{:>8} {:>14} {:>14} {:>16}\n",
         "method", "stall", "makespan", "record stored"

@@ -79,7 +79,11 @@ pub fn gdv_snapshots_ordered(
     let mut snapshots = Vec::with_capacity(n_checkpoints);
     let mut run = OrangesRun::new(&g);
     run.run_with_checkpoints_par(n_checkpoints, |bytes, _| snapshots.push(bytes.to_vec()));
-    Workload { graph, n_vertices: g.n_vertices(), snapshots }
+    Workload {
+        graph,
+        n_vertices: g.n_vertices(),
+        snapshots,
+    }
 }
 
 /// [`gdv_snapshots_ordered`] with the paper's default pre-processing
@@ -91,7 +95,11 @@ pub fn gdv_snapshots(
     seed: u64,
     use_gorder: bool,
 ) -> Workload {
-    let order = if use_gorder { VertexOrder::Gorder } else { VertexOrder::Scrambled };
+    let order = if use_gorder {
+        VertexOrder::Gorder
+    } else {
+        VertexOrder::Scrambled
+    };
     gdv_snapshots_ordered(graph, n_target, n_checkpoints, seed, order)
 }
 

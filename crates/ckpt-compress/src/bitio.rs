@@ -22,7 +22,10 @@ impl BitWriter {
     #[inline]
     pub fn write(&mut self, value: u64, n: u32) {
         debug_assert!(n <= 57);
-        debug_assert!(n == 64 || value < (1u64 << n), "value {value} exceeds {n} bits");
+        debug_assert!(
+            n == 64 || value < (1u64 << n),
+            "value {value} exceeds {n} bits"
+        );
         self.acc |= value << self.n_bits;
         self.n_bits += n;
         while self.n_bits >= 8 {
@@ -58,7 +61,12 @@ pub struct BitReader<'a> {
 
 impl<'a> BitReader<'a> {
     pub fn new(data: &'a [u8]) -> Self {
-        BitReader { data, pos: 0, acc: 0, n_bits: 0 }
+        BitReader {
+            data,
+            pos: 0,
+            acc: 0,
+            n_bits: 0,
+        }
     }
 
     #[inline]
@@ -79,7 +87,11 @@ impl<'a> BitReader<'a> {
         if self.n_bits < n {
             return Err(CorruptStream("bit stream exhausted"));
         }
-        let v = if n == 0 { 0 } else { self.acc & ((1u64 << n) - 1) };
+        let v = if n == 0 {
+            0
+        } else {
+            self.acc & ((1u64 << n) - 1)
+        };
         self.acc >>= n;
         self.n_bits -= n;
         Ok(v)

@@ -106,15 +106,23 @@ mod tests {
     fn small_counters_pack_tightly() {
         // 10k u32 counters in 0..16: ≤ 4 bits each + headers ≈ 5 KiB
         // versus 40 KiB raw.
-        let data: Vec<u8> = (0..10_000u32).flat_map(|i| (i % 16).to_le_bytes()).collect();
+        let data: Vec<u8> = (0..10_000u32)
+            .flat_map(|i| (i % 16).to_le_bytes())
+            .collect();
         let packed = Bitcomp.compress(&data);
-        assert!(packed.len() < data.len() / 7, "packed {} bytes", packed.len());
+        assert!(
+            packed.len() < data.len() / 7,
+            "packed {} bytes",
+            packed.len()
+        );
         assert_eq!(Bitcomp.decompress(&packed).unwrap(), data);
     }
 
     #[test]
     fn constant_lanes_take_zero_width() {
-        let data: Vec<u8> = std::iter::repeat_n(123456u32.to_le_bytes(), 1024).flatten().collect();
+        let data: Vec<u8> = std::iter::repeat_n(123456u32.to_le_bytes(), 1024)
+            .flatten()
+            .collect();
         let packed = Bitcomp.compress(&data);
         // 4 frames × 38-bit headers + stream header ≈ 24 bytes.
         assert!(packed.len() < 40, "packed {} bytes", packed.len());
@@ -140,8 +148,10 @@ mod tests {
 
     #[test]
     fn full_range_values() {
-        let data: Vec<u8> =
-            [0u32, u32::MAX, 1, u32::MAX - 1, 1 << 31].iter().flat_map(|v| v.to_le_bytes()).collect();
+        let data: Vec<u8> = [0u32, u32::MAX, 1, u32::MAX - 1, 1 << 31]
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect();
         let packed = Bitcomp.compress(&data);
         assert_eq!(Bitcomp.decompress(&packed).unwrap(), data);
     }

@@ -169,7 +169,9 @@ mod tests {
     #[test]
     fn step_counters_compress_well() {
         // Counter array where long stretches share a value (GDV-like).
-        let data: Vec<u8> = (0..10_000u32).flat_map(|i| (i / 500).to_le_bytes()).collect();
+        let data: Vec<u8> = (0..10_000u32)
+            .flat_map(|i| (i / 500).to_le_bytes())
+            .collect();
         let packed = Cascaded.compress(&data);
         assert!(packed.len() < data.len() / 50);
         assert_eq!(Cascaded.decompress(&packed).unwrap(), data);
@@ -185,8 +187,10 @@ mod tests {
 
     #[test]
     fn wrapping_values_round_trip() {
-        let data: Vec<u8> =
-            [u32::MAX, 0, u32::MAX, 5].iter().flat_map(|v| v.to_le_bytes()).collect();
+        let data: Vec<u8> = [u32::MAX, 0, u32::MAX, 5]
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect();
         let packed = Cascaded.compress(&data);
         assert_eq!(Cascaded.decompress(&packed).unwrap(), data);
     }

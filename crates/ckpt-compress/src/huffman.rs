@@ -36,8 +36,11 @@ pub fn code_lengths(freqs: &[u64; 256]) -> [u8; 256] {
         // Standard heap-built Huffman tree over the used symbols.
         // Heap items: (weight, node id). Internal nodes get ids ≥ used.len().
         let n = f.len();
-        let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
-            f.iter().enumerate().map(|(i, &w)| Reverse((w, i))).collect();
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = f
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| Reverse((w, i)))
+            .collect();
         let mut parent = vec![usize::MAX; 2 * n - 1];
         let mut next_id = n;
         while heap.len() > 1 {
@@ -239,7 +242,11 @@ mod tests {
         let lens = code_lengths(&freqs);
         assert!(lens.iter().all(|&l| l as u32 <= MAX_BITS));
         // Kraft inequality: the lengths must form a valid prefix code.
-        let kraft: f64 = lens.iter().filter(|&&l| l > 0).map(|&l| 2f64.powi(-(l as i32))).sum();
+        let kraft: f64 = lens
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-(l as i32)))
+            .sum();
         assert!(kraft <= 1.0 + 1e-9, "kraft {kraft}");
     }
 

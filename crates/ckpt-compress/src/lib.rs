@@ -149,7 +149,12 @@ mod tests {
     fn all_codecs_handle_empty_input() {
         for codec in all_codecs() {
             let packed = codec.compress(&[]);
-            assert_eq!(codec.decompress(&packed).unwrap(), Vec::<u8>::new(), "{}", codec.name());
+            assert_eq!(
+                codec.decompress(&packed).unwrap(),
+                Vec::<u8>::new(),
+                "{}",
+                codec.name()
+            );
         }
     }
 

@@ -21,22 +21,42 @@ pub struct MatchConfig {
 impl MatchConfig {
     /// LZ4-style: 64 KiB window, moderate search.
     pub fn lz4() -> Self {
-        MatchConfig { window: 64 * 1024 - 1, min_match: 4, max_match: 0xFFF + 19, max_chain: 16 }
+        MatchConfig {
+            window: 64 * 1024 - 1,
+            min_match: 4,
+            max_match: 0xFFF + 19,
+            max_chain: 16,
+        }
     }
 
     /// Snappy-style: small window, single-probe greedy (fast, weaker).
     pub fn snappy() -> Self {
-        MatchConfig { window: 32 * 1024 - 1, min_match: 4, max_match: 64 + 3, max_chain: 1 }
+        MatchConfig {
+            window: 32 * 1024 - 1,
+            min_match: 4,
+            max_match: 64 + 3,
+            max_chain: 1,
+        }
     }
 
     /// Deflate-style: 32 KiB window, decent search.
     pub fn deflate() -> Self {
-        MatchConfig { window: 32 * 1024 - 1, min_match: 3, max_match: 258, max_chain: 32 }
+        MatchConfig {
+            window: 32 * 1024 - 1,
+            min_match: 3,
+            max_match: 258,
+            max_chain: 32,
+        }
     }
 
     /// Zstd-style: large window, deep search (best ratio, slowest).
     pub fn zstd() -> Self {
-        MatchConfig { window: 1 << 20, min_match: 3, max_match: 1 << 16, max_chain: 64 }
+        MatchConfig {
+            window: 1 << 20,
+            min_match: 3,
+            max_match: 1 << 16,
+            max_chain: 64,
+        }
     }
 }
 
@@ -144,7 +164,12 @@ pub fn find_sequences(data: &[u8], cfg: &MatchConfig) -> Vec<Seq> {
     }
 
     // Final literal-only sequence (possibly empty literals).
-    seqs.push(Seq { lit_start, lit_len: n - lit_start, offset: 0, match_len: 0 });
+    seqs.push(Seq {
+        lit_start,
+        lit_len: n - lit_start,
+        offset: 0,
+        match_len: 0,
+    });
     seqs
 }
 
@@ -207,7 +232,12 @@ mod tests {
     #[test]
     fn sequences_rebuild_repetitive_input() {
         let data = b"abcabcabcabcabcabc".repeat(20);
-        for cfg in [MatchConfig::lz4(), MatchConfig::snappy(), MatchConfig::deflate(), MatchConfig::zstd()] {
+        for cfg in [
+            MatchConfig::lz4(),
+            MatchConfig::snappy(),
+            MatchConfig::deflate(),
+            MatchConfig::zstd(),
+        ] {
             let seqs = find_sequences(&data, &cfg);
             assert_eq!(rebuild(&data, &seqs), data);
             // Repetitive input must actually produce matches.
@@ -246,7 +276,11 @@ mod tests {
     #[test]
     fn max_match_is_respected() {
         let data = vec![5u8; 100_000];
-        for cfg in [MatchConfig::lz4(), MatchConfig::snappy(), MatchConfig::deflate()] {
+        for cfg in [
+            MatchConfig::lz4(),
+            MatchConfig::snappy(),
+            MatchConfig::deflate(),
+        ] {
             let seqs = find_sequences(&data, &cfg);
             assert!(seqs.iter().all(|s| s.match_len <= cfg.max_match), "{cfg:?}");
             assert_eq!(rebuild(&data, &seqs), data);
@@ -269,7 +303,17 @@ mod tests {
     #[test]
     fn varint_round_trip() {
         let mut out = Vec::new();
-        let vals = [0u64, 1, 127, 128, 300, 16383, 16384, u32::MAX as u64, u64::MAX];
+        let vals = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX,
+        ];
         for &v in &vals {
             put_varint(&mut out, v);
         }

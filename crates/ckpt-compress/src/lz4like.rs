@@ -17,7 +17,9 @@ pub struct Lz4Like {
 
 impl Default for Lz4Like {
     fn default() -> Self {
-        Lz4Like { cfg: MatchConfig::lz4() }
+        Lz4Like {
+            cfg: MatchConfig::lz4(),
+        }
     }
 }
 
@@ -63,7 +65,11 @@ impl Codec for Lz4Like {
             let last = k == seqs.len() - 1;
             debug_assert_eq!(last, s.match_len == 0);
             let lit_nib = s.lit_len.min(15);
-            let match_nib = if last { 0 } else { (s.match_len - MIN_MATCH).min(15) };
+            let match_nib = if last {
+                0
+            } else {
+                (s.match_len - MIN_MATCH).min(15)
+            };
             out.push(((lit_nib as u8) << 4) | match_nib as u8);
             if lit_nib == 15 {
                 put_len(&mut out, s.lit_len - 15);
@@ -147,7 +153,9 @@ mod tests {
     #[test]
     fn long_literal_runs_use_extensions() {
         // > 15 literals forces nibble escape.
-        let data: Vec<u8> = (0..1000u32).map(|i| (i.wrapping_mul(97) % 251) as u8).collect();
+        let data: Vec<u8> = (0..1000u32)
+            .map(|i| (i.wrapping_mul(97) % 251) as u8)
+            .collect();
         let packed = codec().compress(&data);
         assert_eq!(codec().decompress(&packed).unwrap(), data);
     }

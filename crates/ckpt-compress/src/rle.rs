@@ -105,7 +105,9 @@ mod tests {
 
     #[test]
     fn incompressible_expands_less_than_one_percent() {
-        let data: Vec<u8> = (0..10_000u32).map(|i| (i.wrapping_mul(97) % 251) as u8).collect();
+        let data: Vec<u8> = (0..10_000u32)
+            .map(|i| (i.wrapping_mul(97) % 251) as u8)
+            .collect();
         let packed = Rle.compress(&data);
         assert!(packed.len() <= data.len() + data.len() / 100 + 2);
         assert_eq!(Rle.decompress(&packed).unwrap(), data);

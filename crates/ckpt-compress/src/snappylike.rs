@@ -19,7 +19,9 @@ pub struct SnappyLike {
 
 impl Default for SnappyLike {
     fn default() -> Self {
-        SnappyLike { cfg: MatchConfig::snappy() }
+        SnappyLike {
+            cfg: MatchConfig::snappy(),
+        }
     }
 }
 

@@ -88,7 +88,9 @@ pub struct DeflateLike {
 
 impl Default for DeflateLike {
     fn default() -> Self {
-        DeflateLike { cfg: MatchConfig::deflate() }
+        DeflateLike {
+            cfg: MatchConfig::deflate(),
+        }
     }
 }
 
@@ -118,7 +120,9 @@ pub struct ZstdLike {
 
 impl Default for ZstdLike {
     fn default() -> Self {
-        ZstdLike { cfg: MatchConfig::zstd() }
+        ZstdLike {
+            cfg: MatchConfig::zstd(),
+        }
     }
 }
 
@@ -147,11 +151,16 @@ mod tests {
 
     #[test]
     fn text_round_trip_both() {
-        let data = b"the paper proposes a merkle tree based incremental checkpointing method "
-            .repeat(200);
+        let data =
+            b"the paper proposes a merkle tree based incremental checkpointing method ".repeat(200);
         for codec in [&DeflateLike::default() as &dyn Codec, &ZstdLike::default()] {
             let packed = codec.compress(&data);
-            assert!(packed.len() < data.len() / 8, "{}: {}", codec.name(), packed.len());
+            assert!(
+                packed.len() < data.len() / 8,
+                "{}: {}",
+                codec.name(),
+                packed.len()
+            );
             assert_eq!(codec.decompress(&packed).unwrap(), data);
         }
     }
@@ -160,13 +169,20 @@ mod tests {
     fn zstd_beats_deflate_beyond_deflate_window() {
         // Redundancy at > 32 KiB distance is invisible to the deflate-like
         // window but visible to the zstd-like one.
-        let block: Vec<u8> = (0..48_000u32).map(|i| (i.wrapping_mul(2654435761) >> 9) as u8).collect();
+        let block: Vec<u8> = (0..48_000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 9) as u8)
+            .collect();
         let mut data = block.clone();
         data.extend_from_slice(&block);
         let d = DeflateLike::default().compress(&data).len();
         let z = ZstdLike::default().compress(&data).len();
         assert!(z < d * 3 / 4, "zstd {z} vs deflate {d}");
-        assert_eq!(ZstdLike::default().decompress(&ZstdLike::default().compress(&data)).unwrap(), data);
+        assert_eq!(
+            ZstdLike::default()
+                .decompress(&ZstdLike::default().compress(&data))
+                .unwrap(),
+            data
+        );
     }
 
     #[test]
@@ -175,7 +191,11 @@ mod tests {
         let data: Vec<u8> = (0..30_000u32)
             .map(|i| {
                 let r = i.wrapping_mul(2654435761) >> 24;
-                if r < 200 { b'a' } else { (r % 256) as u8 }
+                if r < 200 {
+                    b'a'
+                } else {
+                    (r % 256) as u8
+                }
             })
             .collect();
         let packed = DeflateLike::default().compress(&data);

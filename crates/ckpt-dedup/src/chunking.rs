@@ -29,7 +29,10 @@ impl Chunking {
             "chunk size {chunk_size} below minimum {}",
             Self::MIN_CHUNK_SIZE
         );
-        Chunking { data_len, chunk_size }
+        Chunking {
+            data_len,
+            chunk_size,
+        }
     }
 
     #[inline]
@@ -61,7 +64,10 @@ impl Chunking {
     #[inline]
     pub fn byte_range_of_chunks(&self, c_lo: usize, c_hi: usize) -> (usize, usize) {
         debug_assert!(c_lo < c_hi && c_hi <= self.n_chunks());
-        (c_lo * self.chunk_size, (c_hi * self.chunk_size).min(self.data_len))
+        (
+            c_lo * self.chunk_size,
+            (c_hi * self.chunk_size).min(self.data_len),
+        )
     }
 
     /// The bytes of chunk `c` within `data`.

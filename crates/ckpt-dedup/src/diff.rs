@@ -210,7 +210,10 @@ impl Diff {
         };
         let expected = HEADER_BYTES + bitmap_len + table_len + payload_len;
         if buf.len() != expected {
-            return Err(DecodeError::LengthMismatch { expected, actual: buf.len() });
+            return Err(DecodeError::LengthMismatch {
+                expected,
+                actual: buf.len(),
+            });
         }
 
         let mut pos = HEADER_BYTES;
@@ -230,7 +233,11 @@ impl Diff {
                 let node = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap());
                 let ref_node = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
                 let ref_ckpt = u32::from_le_bytes(buf[pos + 8..pos + 12].try_into().unwrap());
-                shift_regions.push(ShiftRegion { node, ref_node, ref_ckpt });
+                shift_regions.push(ShiftRegion {
+                    node,
+                    ref_node,
+                    ref_ckpt,
+                });
                 pos += 12;
             }
         }
@@ -282,7 +289,11 @@ mod tests {
             data_len: 1000,
             chunk_size: 64,
             first_regions: vec![1, 12],
-            shift_regions: vec![ShiftRegion { node: 6, ref_node: 3, ref_ckpt: 0 }],
+            shift_regions: vec![ShiftRegion {
+                node: 6,
+                ref_node: 3,
+                ref_ckpt: 0,
+            }],
             bitmap: Vec::new(),
             payload_codec: 0,
             payload: vec![0xab; 192],
@@ -346,7 +357,10 @@ mod tests {
 
         let mut bytes = sample_tree_diff().encode();
         bytes[4] = 99;
-        assert!(matches!(Diff::decode(&bytes), Err(DecodeError::BadVersion(99))));
+        assert!(matches!(
+            Diff::decode(&bytes),
+            Err(DecodeError::BadVersion(99))
+        ));
 
         let mut bytes = sample_tree_diff().encode();
         bytes[6] = 7;
@@ -354,7 +368,10 @@ mod tests {
 
         let mut bytes = sample_tree_diff().encode();
         bytes.pop();
-        assert!(matches!(Diff::decode(&bytes), Err(DecodeError::LengthMismatch { .. })));
+        assert!(matches!(
+            Diff::decode(&bytes),
+            Err(DecodeError::LengthMismatch { .. })
+        ));
     }
 
     #[test]

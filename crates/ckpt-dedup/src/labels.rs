@@ -60,7 +60,9 @@ pub struct LabelArray {
 
 impl LabelArray {
     pub fn new(n_nodes: usize) -> Self {
-        LabelArray { labels: (0..n_nodes).map(|_| AtomicU8::new(0)).collect() }
+        LabelArray {
+            labels: (0..n_nodes).map(|_| AtomicU8::new(0)).collect(),
+        }
     }
 
     #[inline]
@@ -118,7 +120,13 @@ mod tests {
 
     #[test]
     fn round_trip_all_labels() {
-        for l in [Label::None, Label::FirstOcur, Label::FixedDupl, Label::ShiftDupl, Label::Mixed] {
+        for l in [
+            Label::None,
+            Label::FirstOcur,
+            Label::FixedDupl,
+            Label::ShiftDupl,
+            Label::Mixed,
+        ] {
             assert_eq!(Label::from_u8(l as u8), l);
         }
         assert_eq!(Label::from_u8(255), Label::None);

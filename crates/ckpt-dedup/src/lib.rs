@@ -47,6 +47,7 @@ pub mod tree;
 pub(crate) mod util;
 
 pub use chunking::Chunking;
+pub use ckpt_telemetry::{StageBreakdown, StageSample};
 pub use diff::{Diff, MethodKind, ShiftRegion};
 pub use labels::Label;
 pub use methods::basic::BasicCheckpointer;

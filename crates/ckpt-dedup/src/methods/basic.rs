@@ -62,14 +62,19 @@ impl Checkpointer for BasicCheckpointer {
         }
         let hasher = &*self.hasher;
         let state = self.state.as_mut().unwrap();
-        assert_eq!(data.len(), state.chunking.data_len(), "checkpoint size changed mid-record");
+        assert_eq!(
+            data.len(),
+            state.chunking.data_len(),
+            "checkpoint size changed mid-record"
+        );
         let chunking = state.chunking;
         let n = chunking.n_chunks();
 
         let changed: Vec<AtomicU8> = (0..n).map(|_| AtomicU8::new(0)).collect();
         let prev = crate::util::SharedSliceMut::new(&mut state.prev);
 
-        let run = || {
+        let mut recorder = super::StageRecorder::start(&device);
+        let run = |rec: &mut super::StageRecorder<'_>| {
             device.parallel_for(
                 "basic_hash_compare",
                 n,
@@ -84,8 +89,11 @@ impl Checkpointer for BasicCheckpointer {
                     }
                 },
             );
+            rec.mark("leaf_hash");
 
-            // Build the bitmap and gather changed chunks.
+            // Build the bitmap and gather changed chunks. The bitmap is this
+            // method's (uncompacted) metadata, so its construction is the
+            // analogue of the Tree method's compaction stage.
             let mut bm = vec![0u8; bitmap::bytes_for(n)];
             let mut segments = Vec::new();
             for (c, flag) in changed.iter().enumerate() {
@@ -95,19 +103,23 @@ impl Checkpointer for BasicCheckpointer {
                     segments.push((a, b - a));
                 }
             }
+            rec.mark("metadata_compact");
             let payload_len: usize = segments.iter().map(|s| s.1).sum();
             let mut staging = device.alloc::<u8>(payload_len);
             device.team_gather("basic_serialize", data, &segments, staging.as_mut_slice());
+            rec.mark("gather_serialize");
             let payload = staging.copy_prefix_to_host(payload_len);
             device.account_d2h_bytes(bm.len() as u64);
+            rec.mark("d2h");
             (bm, payload, segments.len())
         };
 
         let (bm, payload, n_changed) = if self.fused {
-            device.fused("basic_checkpoint", run)
+            device.fused("basic_checkpoint", || run(&mut recorder))
         } else {
-            run()
+            run(&mut recorder)
         };
+        let breakdown = recorder.finish(MethodKind::Basic, ckpt_id);
 
         let diff = Diff {
             kind: MethodKind::Basic,
@@ -135,7 +147,11 @@ impl Checkpointer for BasicCheckpointer {
             modeled_sec,
         };
         self.ckpt_id += 1;
-        CheckpointOutput { diff, stats }
+        CheckpointOutput {
+            diff,
+            stats,
+            breakdown,
+        }
     }
 
     fn device_state_bytes(&self) -> usize {

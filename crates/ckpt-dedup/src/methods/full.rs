@@ -21,7 +21,12 @@ pub struct FullCheckpointer {
 impl FullCheckpointer {
     /// `chunk_size` only annotates the diff header (Full does not chunk).
     pub fn new(device: Device, chunk_size: usize) -> Self {
-        FullCheckpointer { device, chunk_size, ckpt_id: 0, data_len: None }
+        FullCheckpointer {
+            device,
+            chunk_size,
+            ckpt_id: 0,
+            data_len: None,
+        }
     }
 }
 
@@ -70,6 +75,6 @@ impl Checkpointer for FullCheckpointer {
             modeled_sec,
         };
         self.ckpt_id += 1;
-        CheckpointOutput { diff, stats }
+        CheckpointOutput::with_total_breakdown(diff, stats)
     }
 }

@@ -12,7 +12,9 @@ use crate::labels::{Label, LabelArray};
 use crate::tree::TreeShape;
 use crate::util::SharedSliceMut;
 use ckpt_hash::{Digest128, Hasher128};
-use gpu_sim::{ContentCache, Device, DistinctMap, InsertResult, KernelCost, MapEntry, Verification};
+use gpu_sim::{
+    ContentCache, Device, DistinctMap, InsertResult, KernelCost, MapEntry, Verification,
+};
 
 /// Run the leaf pass for checkpoint `ckpt_id` of `data`.
 ///
@@ -82,7 +84,8 @@ pub(crate) fn run(
         // "Earlier" between two occurrences in the same checkpoint means
         // smaller *chunk index* (data order), matching the sequential
         // reference implementation exactly.
-        let earlier = |a: u32, b: u32| shape.chunk_of_leaf(a as usize) < shape.chunk_of_leaf(b as usize);
+        let earlier =
+            |a: u32, b: u32| shape.chunk_of_leaf(a as usize) < shape.chunk_of_leaf(b as usize);
 
         // Candidate duplicate paths verify content first when a cache is on.
         let verified_collision = |cache: Option<&ContentCache>| {
@@ -99,7 +102,10 @@ pub(crate) fn run(
                 // earlier leaf already displaced us, demote ourselves. Both
                 // orders of this re-check and the displacer's relabel
                 // converge to ShiftDupl.
-                if map.get(&digest).is_some_and(|e| e != MapEntry::new(leaf as u32, ckpt_id)) {
+                if map
+                    .get(&digest)
+                    .is_some_and(|e| e != MapEntry::new(leaf as u32, ckpt_id))
+                {
                     labels.set(leaf, Label::ShiftDupl);
                 }
             }
@@ -119,7 +125,9 @@ pub(crate) fn run(
                     if before.ckpt == ckpt_id && before.node != leaf as u32 {
                         labels.set(before.node as usize, Label::ShiftDupl);
                     }
-                    if map.get(&digest).is_some_and(|e2| e2 != MapEntry::new(leaf as u32, ckpt_id))
+                    if map
+                        .get(&digest)
+                        .is_some_and(|e2| e2 != MapEntry::new(leaf as u32, ckpt_id))
                     {
                         labels.set(leaf, Label::ShiftDupl);
                     }
@@ -176,7 +184,18 @@ mod tests {
         let mut digests = vec![Digest128::ZERO; shape.n_nodes()];
         let labels = LabelArray::new(shape.n_nodes());
         let map = DistinctMap::with_capacity(64);
-        run(&dev, &shape, &ck, &Murmur3, &data, &mut digests, &labels, &map, 0, None);
+        run(
+            &dev,
+            &shape,
+            &ck,
+            &Murmur3,
+            &data,
+            &mut digests,
+            &labels,
+            &map,
+            0,
+            None,
+        );
 
         let (first, fixed, shift) = leaf_label_counts(&shape, &labels);
         assert_eq!(first, 5);
@@ -192,7 +211,18 @@ mod tests {
         let mut digests = vec![Digest128::ZERO; shape.n_nodes()];
         let labels = LabelArray::new(shape.n_nodes());
         let map = DistinctMap::with_capacity(16);
-        run(&dev, &shape, &ck, &Murmur3, &data, &mut digests, &labels, &map, 0, None);
+        run(
+            &dev,
+            &shape,
+            &ck,
+            &Murmur3,
+            &data,
+            &mut digests,
+            &labels,
+            &map,
+            0,
+            None,
+        );
 
         let d = Murmur3.hash(&data[0..32]);
         let entry = map.get(&d).unwrap();
@@ -213,12 +243,34 @@ mod tests {
         let mut digests = vec![Digest128::ZERO; shape.n_nodes()];
         let mut labels = LabelArray::new(shape.n_nodes());
         let map = DistinctMap::with_capacity(64);
-        run(&dev, &shape, &ck, &Murmur3, &data, &mut digests, &labels, &map, 0, None);
+        run(
+            &dev,
+            &shape,
+            &ck,
+            &Murmur3,
+            &data,
+            &mut digests,
+            &labels,
+            &map,
+            0,
+            None,
+        );
 
         // Second checkpoint: chunk 2 modified, rest unchanged.
         data[2 * 32..3 * 32].fill(9);
         labels.clear();
-        run(&dev, &shape, &ck, &Murmur3, &data, &mut digests, &labels, &map, 1, None);
+        run(
+            &dev,
+            &shape,
+            &ck,
+            &Murmur3,
+            &data,
+            &mut digests,
+            &labels,
+            &map,
+            1,
+            None,
+        );
         let (first, fixed, shift) = leaf_label_counts(&shape, &labels);
         assert_eq!(fixed, 3);
         assert_eq!(first, 1);
@@ -235,12 +287,34 @@ mod tests {
         let mut digests = vec![Digest128::ZERO; shape.n_nodes()];
         let mut labels = LabelArray::new(shape.n_nodes());
         let map = DistinctMap::with_capacity(64);
-        run(&dev, &shape, &ck, &Murmur3, &data, &mut digests, &labels, &map, 0, None);
+        run(
+            &dev,
+            &shape,
+            &ck,
+            &Murmur3,
+            &data,
+            &mut digests,
+            &labels,
+            &map,
+            0,
+            None,
+        );
 
         // Chunk 0 now holds chunk 3's old content: shifted duplicate.
         data[0..32].fill(4);
         labels.clear();
-        run(&dev, &shape, &ck, &Murmur3, &data, &mut digests, &labels, &map, 1, None);
+        run(
+            &dev,
+            &shape,
+            &ck,
+            &Murmur3,
+            &data,
+            &mut digests,
+            &labels,
+            &map,
+            1,
+            None,
+        );
         let leaf0 = shape.leaf_of_chunk(0);
         assert_eq!(labels.get(leaf0), Label::ShiftDupl);
         let entry = map.get(&Murmur3.hash(&data[0..32])).unwrap();
@@ -251,11 +325,24 @@ mod tests {
     #[test]
     fn degrades_to_first_ocur_when_map_full() {
         let (dev, shape, ck) = setup(32 * 8, 32);
-        let data: Vec<u8> = (0..256u32).map(|i| (i / 32) as u8 * 17 + (i % 32) as u8).collect();
+        let data: Vec<u8> = (0..256u32)
+            .map(|i| (i / 32) as u8 * 17 + (i % 32) as u8)
+            .collect();
         let mut digests = vec![Digest128::ZERO; shape.n_nodes()];
         let labels = LabelArray::new(shape.n_nodes());
         let map = DistinctMap::with_capacity(1); // 2-slot table, fills instantly
-        run(&dev, &shape, &ck, &Murmur3, &data, &mut digests, &labels, &map, 0, None);
+        run(
+            &dev,
+            &shape,
+            &ck,
+            &Murmur3,
+            &data,
+            &mut digests,
+            &labels,
+            &map,
+            0,
+            None,
+        );
         let (first, fixed, shift) = leaf_label_counts(&shape, &labels);
         // All chunks distinct; whatever did not fit became FirstOcur anyway.
         assert_eq!(first, 8);

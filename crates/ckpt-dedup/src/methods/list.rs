@@ -77,12 +77,17 @@ impl Checkpointer for ListCheckpointer {
         let hasher = &*self.hasher;
         let fused = self.config.fused;
         let state = self.state.as_mut().unwrap();
-        assert_eq!(data.len(), state.chunking.data_len(), "checkpoint size changed mid-record");
+        assert_eq!(
+            data.len(),
+            state.chunking.data_len(),
+            "checkpoint size changed mid-record"
+        );
         let shape = *state.tree.shape();
         let chunking = state.chunking;
         state.labels.clear();
 
-        let run = |state: &mut State| {
+        let mut recorder = super::StageRecorder::start(&device);
+        let run = |state: &mut State, rec: &mut super::StageRecorder<'_>| {
             leaf_pass::run(
                 &device,
                 &shape,
@@ -95,6 +100,7 @@ impl Checkpointer for ListCheckpointer {
                 ckpt_id,
                 None,
             );
+            rec.mark("leaf_hash");
             // No consolidation: every non-fixed leaf is its own region.
             let mut first = Vec::new();
             let mut shift_nodes = Vec::new();
@@ -116,6 +122,9 @@ impl Checkpointer for ListCheckpointer {
                 &shift_nodes,
                 &mut first,
             );
+            // The per-leaf list build plays the role the Tree method's
+            // compaction waves play: producing the region tables.
+            rec.mark("metadata_compact");
             serialize_diff(
                 &device,
                 &shape,
@@ -127,15 +136,17 @@ impl Checkpointer for ListCheckpointer {
                 shift,
                 None,
                 None,
+                Some(rec),
             )
         };
 
         let diff = if fused {
-            device.fused("list_dedup_checkpoint", || run(state))
+            device.fused("list_dedup_checkpoint", || run(state, &mut recorder))
         } else {
-            run(state)
+            run(state, &mut recorder)
         };
 
+        let breakdown = recorder.finish(MethodKind::List, ckpt_id);
         let (measured_sec, modeled_sec) = timer.stop(&device);
         let (_, fixed, _) = leaf_pass::leaf_label_counts(&shape, &state.labels);
         let stats = CheckpointStats {
@@ -152,7 +163,11 @@ impl Checkpointer for ListCheckpointer {
             modeled_sec,
         };
         self.ckpt_id += 1;
-        CheckpointOutput { diff, stats }
+        CheckpointOutput {
+            diff,
+            stats,
+            breakdown,
+        }
     }
 
     fn device_state_bytes(&self) -> usize {

@@ -77,7 +77,10 @@ impl TreeConfig {
 
     /// Enable the §5 hybrid with the named codec ("zstd", "lz4", …).
     pub fn with_payload_codec(mut self, name: &str) -> Self {
-        assert!(self.streamed_slices.is_none(), "streaming and compression are exclusive");
+        assert!(
+            self.streamed_slices.is_none(),
+            "streaming and compression are exclusive"
+        );
         self.payload_codec =
             Some(ckpt_compress::codec_id(name).unwrap_or_else(|| panic!("unknown codec {name}")));
         self
@@ -86,7 +89,10 @@ impl TreeConfig {
     /// Enable §5's streaming extension: overlap serialization with the
     /// transfer as an `n`-slice pipeline.
     pub fn with_streaming(mut self, n_slices: u32) -> Self {
-        assert!(self.payload_codec.is_none(), "streaming and compression are exclusive");
+        assert!(
+            self.payload_codec.is_none(),
+            "streaming and compression are exclusive"
+        );
         self.streamed_slices = Some(n_slices.max(1));
         self
     }
@@ -130,9 +136,19 @@ impl TreeCheckpointer {
     /// Use a custom hash function (the A1 ablation swaps in MD5).
     pub fn with_hasher(device: Device, config: TreeConfig, hasher: Box<dyn Hasher128>) -> Self {
         let codec = config.payload_codec.map(|id| {
-            (id, ckpt_compress::codec_by_id(id).expect("validated by TreeConfig"))
+            (
+                id,
+                ckpt_compress::codec_by_id(id).expect("validated by TreeConfig"),
+            )
         });
-        TreeCheckpointer { device, hasher, config, codec, state: None, ckpt_id: 0 }
+        TreeCheckpointer {
+            device,
+            hasher,
+            config,
+            codec,
+            state: None,
+            ckpt_id: 0,
+        }
     }
 
     pub fn device(&self) -> &Device {
@@ -153,9 +169,10 @@ impl TreeCheckpointer {
         let chunking = Chunking::new(data_len, self.config.chunk_size);
         let shape = TreeShape::new(chunking.n_chunks());
         let map_cap = self.config.map_capacity.unwrap_or(4 * shape.n_nodes());
-        let cache = self.config.verify_collisions.then(|| {
-            gpu_sim::ContentCache::new(2 * shape.n_chunks(), self.config.chunk_size)
-        });
+        let cache = self
+            .config
+            .verify_collisions
+            .then(|| gpu_sim::ContentCache::new(2 * shape.n_chunks(), self.config.chunk_size));
         self.state = Some(State {
             chunking,
             tree: MerkleTree::new(chunking.n_chunks()),
@@ -267,7 +284,7 @@ pub(crate) fn collect_pass(
     labels: &LabelArray,
     map: &DistinctMap,
     ckpt_id: u32,
-) -> EmittedRegions {
+) -> Vec<AtomicU8> {
     let tree = SharedSliceMut::new(digests);
     // Lock-free emission, GPU style: kernels set a per-node flag (1 = first
     // occurrence region, 2 = shifted region) and the lists are built
@@ -365,7 +382,10 @@ pub(crate) fn collect_pass(
     // The root of a fully-uniform tree never had a parent to emit it.
     emit(0);
 
-    compact_emissions(device, &emit_flags)
+    // Callers run `compact_emissions` on the returned flags; keeping the
+    // compaction outside lets the stage clock attribute the consolidation
+    // waves and the metadata compaction separately.
+    emit_flags
 }
 
 /// Build the sorted region lists from per-node emission flags with two
@@ -398,7 +418,11 @@ pub(crate) fn resolve_shift_refs(
         let digest = digests[node as usize];
         match map.get(&digest) {
             Some(e) if !(e.node == node && e.ckpt == ckpt_id) => {
-                out.push(ShiftRegion { node, ref_node: e.node, ref_ckpt: e.ckpt });
+                out.push(ShiftRegion {
+                    node,
+                    ref_node: e.node,
+                    ref_ckpt: e.ckpt,
+                });
             }
             // Defensive: a self-reference or vanished entry would make the
             // diff unrestorable — store the data instead. Unreachable under
@@ -423,6 +447,7 @@ pub(crate) fn serialize_diff(
     shift: Vec<ShiftRegion>,
     codec: Option<&(u8, Box<dyn ckpt_compress::Codec>)>,
     streamed_slices: Option<u32>,
+    mut stages: Option<&mut super::StageRecorder<'_>>,
 ) -> Diff {
     let segments: Vec<(usize, usize)> = first
         .iter()
@@ -435,10 +460,18 @@ pub(crate) fn serialize_diff(
     let payload_len: usize = segments.iter().map(|s| s.1).sum();
 
     if let Some(n_slices) = streamed_slices {
-        // §5 streaming extension: gather and transfer overlap as a pipeline.
+        // §5 streaming extension: gather and transfer overlap as a pipeline;
+        // the overlapped work is attributed to the gather stage, leaving only
+        // the metadata ride-along under "d2h".
         let payload =
             device.streamed_gather_to_host("serialize_streamed", data, &segments, n_slices);
+        if let Some(rec) = stages.as_deref_mut() {
+            rec.mark("gather_serialize");
+        }
         device.account_d2h_bytes((first.len() * 4 + shift.len() * 12) as u64);
+        if let Some(rec) = stages.as_deref_mut() {
+            rec.mark("d2h");
+        }
         return Diff {
             kind,
             ckpt_id,
@@ -460,7 +493,7 @@ pub(crate) fn serialize_diff(
     // Optional §5 hybrid: compress the consolidated first occurrences on the
     // device before the transfer (modeled as one more kernel over the
     // payload), shipping whichever representation is smaller.
-    let (payload_codec, payload) = match codec {
+    let compressed = match codec {
         Some((id, codec)) if payload_len > 0 => {
             let packed = codec.compress(staging.as_slice());
             device.parallel_for(
@@ -473,17 +506,25 @@ pub(crate) fn serialize_diff(
                 },
                 |_| {},
             );
-            if packed.len() < payload_len {
-                device.account_d2h_bytes(packed.len() as u64);
-                (*id, packed)
-            } else {
-                (0, staging.copy_prefix_to_host(payload_len))
-            }
+            (packed.len() < payload_len).then_some((*id, packed))
         }
-        _ => (0, staging.copy_prefix_to_host(payload_len)),
+        _ => None,
+    };
+    if let Some(rec) = stages.as_deref_mut() {
+        rec.mark("gather_serialize");
+    }
+    let (payload_codec, payload) = match compressed {
+        Some((id, packed)) => {
+            device.account_d2h_bytes(packed.len() as u64);
+            (id, packed)
+        }
+        None => (0, staging.copy_prefix_to_host(payload_len)),
     };
     // The metadata tables ride along in the same consolidated transfer.
     device.account_d2h_bytes((first.len() * 4 + shift.len() * 12) as u64);
+    if let Some(rec) = stages {
+        rec.mark("d2h");
+    }
 
     Diff {
         kind,
@@ -524,7 +565,8 @@ impl Checkpointer for TreeCheckpointer {
         let chunking = state.chunking;
         state.labels.clear();
 
-        let run = |state: &mut State| {
+        let mut recorder = super::StageRecorder::start(&device);
+        let run = |state: &mut State, rec: &mut super::StageRecorder<'_>| {
             leaf_pass::run(
                 &device,
                 &shape,
@@ -537,6 +579,7 @@ impl Checkpointer for TreeCheckpointer {
                 ckpt_id,
                 state.cache.as_ref(),
             );
+            rec.mark("leaf_hash");
             first_ocur_pass(
                 &device,
                 &shape,
@@ -546,7 +589,8 @@ impl Checkpointer for TreeCheckpointer {
                 &state.map,
                 ckpt_id,
             );
-            let mut regions = collect_pass(
+            rec.mark("first_ocur_wave");
+            let emit_flags = collect_pass(
                 &device,
                 &shape,
                 hasher,
@@ -555,6 +599,8 @@ impl Checkpointer for TreeCheckpointer {
                 &state.map,
                 ckpt_id,
             );
+            rec.mark("shift_dupl_wave");
+            let mut regions = compact_emissions(&device, &emit_flags);
             let shift = resolve_shift_refs(
                 state.tree.digests(),
                 &state.map,
@@ -562,6 +608,7 @@ impl Checkpointer for TreeCheckpointer {
                 &regions.shift_nodes,
                 &mut regions.first,
             );
+            rec.mark("metadata_compact");
             serialize_diff(
                 &device,
                 &shape,
@@ -573,15 +620,17 @@ impl Checkpointer for TreeCheckpointer {
                 shift,
                 codec,
                 streamed,
+                Some(rec),
             )
         };
 
         let diff = if fused {
-            device.fused("tree_dedup_checkpoint", || run(state))
+            device.fused("tree_dedup_checkpoint", || run(state, &mut recorder))
         } else {
-            run(state)
+            run(state, &mut recorder)
         };
 
+        let breakdown = recorder.finish(MethodKind::Tree, ckpt_id);
         let (measured_sec, modeled_sec) = timer.stop(&device);
         let (_, fixed, _) = leaf_pass::leaf_label_counts(&shape, &state.labels);
         let stats = CheckpointStats {
@@ -598,7 +647,11 @@ impl Checkpointer for TreeCheckpointer {
             modeled_sec,
         };
         self.ckpt_id += 1;
-        CheckpointOutput { diff, stats }
+        CheckpointOutput {
+            diff,
+            stats,
+            breakdown,
+        }
     }
 
     fn device_state_bytes(&self) -> usize {

@@ -164,9 +164,7 @@ fn naive_sweep(
                 // content may resolve through leaves of this very subtree).
                 // The fused sweep therefore has to store the data: the
                 // missed-dedup penalty §2.2's two-stage ordering avoids.
-                InsertResult::Exists(e) if e.ckpt == ckpt_id => {
-                    labels.set(node, Label::FirstOcur)
-                }
+                InsertResult::Exists(e) if e.ckpt == ckpt_id => labels.set(node, Label::FirstOcur),
                 InsertResult::Exists(_) => labels.set(node, Label::ShiftDupl),
                 InsertResult::OutOfCapacity => labels.set(node, Label::FirstOcur),
             }
@@ -203,7 +201,11 @@ impl Checkpointer for NaiveTreeCheckpointer {
         }
         let hasher = &*self.hasher;
         let state = self.state.as_mut().unwrap();
-        assert_eq!(data.len(), state.chunking.data_len(), "checkpoint size changed mid-record");
+        assert_eq!(
+            data.len(),
+            state.chunking.data_len(),
+            "checkpoint size changed mid-record"
+        );
         let shape = *state.tree.shape();
         let chunking = state.chunking;
         state.labels.clear();
@@ -248,6 +250,7 @@ impl Checkpointer for NaiveTreeCheckpointer {
                 shift,
                 None,
                 None,
+                None,
             )
         });
 
@@ -267,7 +270,7 @@ impl Checkpointer for NaiveTreeCheckpointer {
             modeled_sec,
         };
         self.ckpt_id += 1;
-        CheckpointOutput { diff, stats }
+        CheckpointOutput::with_total_breakdown(diff, stats)
     }
 }
 

@@ -43,7 +43,12 @@ impl SerialTreeCheckpointer {
     }
 
     pub fn with_hasher(chunk_size: usize, hasher: Box<dyn Hasher128>) -> Self {
-        SerialTreeCheckpointer { hasher, chunk_size, state: None, ckpt_id: 0 }
+        SerialTreeCheckpointer {
+            hasher,
+            chunk_size,
+            state: None,
+            ckpt_id: 0,
+        }
     }
 
     /// Unique digests in the historical record.
@@ -76,7 +81,11 @@ impl Checkpointer for SerialTreeCheckpointer {
             });
         }
         let s = self.state.as_mut().unwrap();
-        assert_eq!(data.len(), s.chunking.data_len(), "checkpoint size changed mid-record");
+        assert_eq!(
+            data.len(),
+            s.chunking.data_len(),
+            "checkpoint size changed mid-record"
+        );
         s.labels.fill(Label::None);
         let hasher = &*self.hasher;
 
@@ -188,7 +197,11 @@ impl Checkpointer for SerialTreeCheckpointer {
             if e.node == node && e.ckpt == ckpt_id {
                 first.push(node);
             } else {
-                shift.push(ShiftRegion { node, ref_node: e.node, ref_ckpt: e.ckpt });
+                shift.push(ShiftRegion {
+                    node,
+                    ref_node: e.node,
+                    ref_ckpt: e.ckpt,
+                });
             }
         }
         first.sort_unstable();
@@ -230,6 +243,6 @@ impl Checkpointer for SerialTreeCheckpointer {
             modeled_sec: measured_sec,
         };
         self.ckpt_id += 1;
-        CheckpointOutput { diff, stats }
+        CheckpointOutput::with_total_breakdown(diff, stats)
     }
 }

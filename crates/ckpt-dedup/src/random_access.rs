@@ -82,16 +82,21 @@ impl RecordReader {
         let mut geometry: Option<(usize, usize, MethodKind)> = None;
         for (index, diff) in diffs.iter().enumerate() {
             if diff.ckpt_id as usize != index {
-                return Err(RestoreError::OutOfOrder { index, ckpt_id: diff.ckpt_id });
+                return Err(RestoreError::OutOfOrder {
+                    index,
+                    ckpt_id: diff.ckpt_id,
+                });
             }
             match geometry {
                 None => {
-                    geometry =
-                        Some((diff.data_len as usize, diff.chunk_size as usize, diff.kind))
+                    geometry = Some((diff.data_len as usize, diff.chunk_size as usize, diff.kind))
                 }
                 Some((len, cs, kind)) => {
                     if kind != diff.kind {
-                        return Err(RestoreError::MixedKinds { expected: kind, found: diff.kind });
+                        return Err(RestoreError::MixedKinds {
+                            expected: kind,
+                            found: diff.kind,
+                        });
                     }
                     if len != diff.data_len as usize || cs != diff.chunk_size as usize {
                         return Err(RestoreError::GeometryChanged);
@@ -110,7 +115,11 @@ impl RecordReader {
             .unwrap_or(1);
         let height = usize::BITS as usize - n_chunks.leading_zeros() as usize + 1;
         let max_fuel = (diffs.len() + 1) * (2 * height + 6);
-        Ok(RecordReader { data_len, versions, max_fuel })
+        Ok(RecordReader {
+            data_len,
+            versions,
+            max_fuel,
+        })
     }
 
     fn index_one(diff: &Diff) -> Result<VersionIndex, RestoreError> {
@@ -122,7 +131,9 @@ impl RecordReader {
         match diff.kind {
             MethodKind::Full => {
                 if payload.len() != data_len {
-                    return Err(RestoreError::PayloadTruncated { ckpt_id: diff.ckpt_id });
+                    return Err(RestoreError::PayloadTruncated {
+                        ckpt_id: diff.ckpt_id,
+                    });
                 }
                 regions.push(Region {
                     start: 0,
@@ -136,7 +147,9 @@ impl RecordReader {
                     if crate::diff::bitmap::get(&diff.bitmap, c) {
                         let (a, b) = ck.byte_range(c);
                         if payload_off + (b - a) > payload.len() {
-                            return Err(RestoreError::PayloadTruncated { ckpt_id: diff.ckpt_id });
+                            return Err(RestoreError::PayloadTruncated {
+                                ckpt_id: diff.ckpt_id,
+                            });
                         }
                         regions.push(Region {
                             start: a,
@@ -154,7 +167,9 @@ impl RecordReader {
                     let (clo, chi) = shape.chunk_range(node as usize);
                     let (a, b) = ck.byte_range_of_chunks(clo, chi);
                     if payload_off + (b - a) > payload.len() {
-                        return Err(RestoreError::PayloadTruncated { ckpt_id: diff.ckpt_id });
+                        return Err(RestoreError::PayloadTruncated {
+                            ckpt_id: diff.ckpt_id,
+                        });
                     }
                     regions.push(Region {
                         start: a,
@@ -177,7 +192,10 @@ impl RecordReader {
                     regions.push(Region {
                         start: da,
                         len: db - da,
-                        source: Source::Redirect { ckpt: s.ref_ckpt, src_off: sa },
+                        source: Source::Redirect {
+                            ckpt: s.ref_ckpt,
+                            src_off: sa,
+                        },
                     });
                 }
             }
@@ -209,14 +227,12 @@ impl RecordReader {
     }
 
     /// Read `version`'s bytes `[offset, offset + out.len())` into `out`.
-    pub fn read_at(
-        &self,
-        version: u32,
-        offset: usize,
-        out: &mut [u8],
-    ) -> Result<(), RestoreError> {
+    pub fn read_at(&self, version: u32, offset: usize, out: &mut [u8]) -> Result<(), RestoreError> {
         if version as usize >= self.versions.len() {
-            return Err(RestoreError::ForwardReference { ckpt_id: version, ref_ckpt: version });
+            return Err(RestoreError::ForwardReference {
+                ckpt_id: version,
+                ref_ckpt: version,
+            });
         }
         if offset + out.len() > self.data_len {
             return Err(RestoreError::PayloadTruncated { ckpt_id: version });
@@ -241,7 +257,10 @@ impl RecordReader {
         fuel: usize,
     ) -> Result<(), RestoreError> {
         if fuel == 0 {
-            return Err(RestoreError::UnresolvableShifts { ckpt_id: version, remaining: 1 });
+            return Err(RestoreError::UnresolvableShifts {
+                ckpt_id: version,
+                remaining: 1,
+            });
         }
         let vi = &self.versions[version as usize];
         let mut pos = offset;
@@ -347,7 +366,11 @@ mod tests {
             let len = rng.gen_range(0..=(reader.data_len() - off).min(500));
             let mut out = vec![0u8; len];
             reader.read_at(v, off, &mut out).unwrap();
-            assert_eq!(out, &snaps[v as usize][off..off + len], "v{v} off {off} len {len}");
+            assert_eq!(
+                out,
+                &snaps[v as usize][off..off + len],
+                "v{v} off {off} len {len}"
+            );
         }
     }
 
@@ -374,7 +397,11 @@ mod tests {
             let diffs: Vec<_> = snaps.iter().map(|s| m.checkpoint(s).diff).collect();
             let reader = RecordReader::build(&diffs).unwrap();
             for (v, snap) in snaps.iter().enumerate() {
-                assert_eq!(&reader.read_version(v as u32).unwrap(), snap, "kind {kind} v{v}");
+                assert_eq!(
+                    &reader.read_version(v as u32).unwrap(),
+                    snap,
+                    "kind {kind} v{v}"
+                );
             }
         }
     }
@@ -406,8 +433,16 @@ mod tests {
             chunk_size: 64,
             first_regions: vec![],
             shift_regions: vec![
-                ShiftRegion { node: 1, ref_node: 2, ref_ckpt: 0 },
-                ShiftRegion { node: 2, ref_node: 1, ref_ckpt: 0 },
+                ShiftRegion {
+                    node: 1,
+                    ref_node: 2,
+                    ref_ckpt: 0,
+                },
+                ShiftRegion {
+                    node: 2,
+                    ref_node: 1,
+                    ref_ckpt: 0,
+                },
             ],
             bitmap: vec![],
             payload_codec: 0,

@@ -27,7 +27,10 @@ pub enum RestoreError {
     /// Diff `ckpt_id`s must be 0, 1, 2, … in order.
     OutOfOrder { index: usize, ckpt_id: u32 },
     /// All diffs in a record must come from one method.
-    MixedKinds { expected: MethodKind, found: MethodKind },
+    MixedKinds {
+        expected: MethodKind,
+        found: MethodKind,
+    },
     /// Geometry (data length / chunk size) changed mid-record.
     GeometryChanged,
     /// A payload was shorter than its region table requires.
@@ -52,20 +55,31 @@ impl std::fmt::Display for RestoreError {
                 write!(f, "diff at position {index} has ckpt_id {ckpt_id}")
             }
             RestoreError::MixedKinds { expected, found } => {
-                write!(f, "record mixes methods: {} vs {}", expected.name(), found.name())
+                write!(
+                    f,
+                    "record mixes methods: {} vs {}",
+                    expected.name(),
+                    found.name()
+                )
             }
             RestoreError::GeometryChanged => write!(f, "data length or chunk size changed"),
             RestoreError::PayloadTruncated { ckpt_id } => {
                 write!(f, "payload truncated in checkpoint {ckpt_id}")
             }
             RestoreError::ForwardReference { ckpt_id, ref_ckpt } => {
-                write!(f, "checkpoint {ckpt_id} references future checkpoint {ref_ckpt}")
+                write!(
+                    f,
+                    "checkpoint {ckpt_id} references future checkpoint {ref_ckpt}"
+                )
             }
             RestoreError::SpanMismatch { node, ref_node } => {
                 write!(f, "shift region {node} has mismatched source {ref_node}")
             }
             RestoreError::UnresolvableShifts { ckpt_id, remaining } => {
-                write!(f, "{remaining} unresolvable shifted duplicates in checkpoint {ckpt_id}")
+                write!(
+                    f,
+                    "{remaining} unresolvable shifted duplicates in checkpoint {ckpt_id}"
+                )
             }
             RestoreError::UnknownCodec { ckpt_id, codec } => {
                 write!(f, "checkpoint {ckpt_id} uses unknown payload codec {codec}")
@@ -93,7 +107,12 @@ pub struct Restorer {
 
 impl Restorer {
     pub fn new() -> Self {
-        Restorer { kind: None, data_len: 0, chunk_size: 0, versions: Vec::new() }
+        Restorer {
+            kind: None,
+            data_len: 0,
+            chunk_size: 0,
+            versions: Vec::new(),
+        }
     }
 
     /// Number of versions materialized so far.
@@ -119,7 +138,10 @@ impl Restorer {
     pub fn apply(&mut self, diff: &Diff) -> Result<&[u8], RestoreError> {
         let index = self.versions.len();
         if diff.ckpt_id as usize != index {
-            return Err(RestoreError::OutOfOrder { index, ckpt_id: diff.ckpt_id });
+            return Err(RestoreError::OutOfOrder {
+                index,
+                ckpt_id: diff.ckpt_id,
+            });
         }
         match self.kind {
             None => {
@@ -129,7 +151,10 @@ impl Restorer {
             }
             Some(k) => {
                 if k != diff.kind {
-                    return Err(RestoreError::MixedKinds { expected: k, found: diff.kind });
+                    return Err(RestoreError::MixedKinds {
+                        expected: k,
+                        found: diff.kind,
+                    });
                 }
                 if self.data_len != diff.data_len as usize
                     || self.chunk_size != diff.chunk_size as usize
@@ -168,7 +193,10 @@ pub fn restore_record(diffs: &[Diff]) -> Result<Vec<Vec<u8>>, RestoreError> {
 /// Materialize only the final version of a record.
 pub fn restore_latest(diffs: &[Diff]) -> Result<Vec<u8>, RestoreError> {
     let mut versions = restore_record(diffs)?;
-    versions.pop().ok_or(RestoreError::UnresolvableShifts { ckpt_id: 0, remaining: 0 })
+    versions.pop().ok_or(RestoreError::UnresolvableShifts {
+        ckpt_id: 0,
+        remaining: 0,
+    })
 }
 
 /// The diff's payload with any §5 hybrid compression undone.
@@ -176,19 +204,25 @@ pub(crate) fn decoded_payload(diff: &Diff) -> Result<Cow<'_, [u8]>, RestoreError
     if diff.payload_codec == 0 {
         return Ok(Cow::Borrowed(&diff.payload));
     }
-    let codec = ckpt_compress::codec_by_id(diff.payload_codec).ok_or(
-        RestoreError::UnknownCodec { ckpt_id: diff.ckpt_id, codec: diff.payload_codec },
-    )?;
+    let codec =
+        ckpt_compress::codec_by_id(diff.payload_codec).ok_or(RestoreError::UnknownCodec {
+            ckpt_id: diff.ckpt_id,
+            codec: diff.payload_codec,
+        })?;
     codec
         .decompress(&diff.payload)
         .map(Cow::Owned)
-        .map_err(|_| RestoreError::PayloadCorrupt { ckpt_id: diff.ckpt_id })
+        .map_err(|_| RestoreError::PayloadCorrupt {
+            ckpt_id: diff.ckpt_id,
+        })
 }
 
 fn restore_full(diff: &Diff) -> Result<Vec<u8>, RestoreError> {
     let payload = decoded_payload(diff)?;
     if payload.len() != diff.data_len as usize {
-        return Err(RestoreError::PayloadTruncated { ckpt_id: diff.ckpt_id });
+        return Err(RestoreError::PayloadTruncated {
+            ckpt_id: diff.ckpt_id,
+        });
     }
     Ok(payload.into_owned())
 }
@@ -206,7 +240,9 @@ fn restore_basic(diff: &Diff, prev: Option<&[u8]>) -> Result<Vec<u8>, RestoreErr
             let (a, b) = ck.byte_range(c);
             let len = b - a;
             if cursor + len > payload.len() {
-                return Err(RestoreError::PayloadTruncated { ckpt_id: diff.ckpt_id });
+                return Err(RestoreError::PayloadTruncated {
+                    ckpt_id: diff.ckpt_id,
+                });
             }
             buf[a..b].copy_from_slice(&payload[cursor..cursor + len]);
             cursor += len;
@@ -239,7 +275,9 @@ fn restore_regions(
         let (a, b) = ck.byte_range_of_chunks(clo, chi);
         let len = b - a;
         if cursor + len > payload.len() {
-            return Err(RestoreError::PayloadTruncated { ckpt_id: diff.ckpt_id });
+            return Err(RestoreError::PayloadTruncated {
+                ckpt_id: diff.ckpt_id,
+            });
         }
         buf[a..b].copy_from_slice(&payload[cursor..cursor + len]);
         cursor += len;
@@ -299,7 +337,10 @@ fn restore_regions(
             let (dlo, dhi) = shape.chunk_range(s.node as usize);
             let (slo, shi) = shape.chunk_range(s.ref_node as usize);
             if dhi - dlo != shi - slo {
-                return Err(RestoreError::SpanMismatch { node: s.node, ref_node: s.ref_node });
+                return Err(RestoreError::SpanMismatch {
+                    node: s.node,
+                    ref_node: s.ref_node,
+                });
             }
             return Err(RestoreError::UnresolvableShifts {
                 ckpt_id: diff.ckpt_id,
@@ -395,8 +436,16 @@ mod tests {
         let mut d = tree_diff(0, 128);
         d.first_regions = vec![3, 6]; // leaf 3 = chunk 0; leaf 6 = chunk 3
         d.shift_regions = vec![
-            ShiftRegion { node: 5, ref_node: 4, ref_ckpt: 0 }, // chunk 2 <- chunk 1
-            ShiftRegion { node: 4, ref_node: 3, ref_ckpt: 0 }, // chunk 1 <- chunk 0
+            ShiftRegion {
+                node: 5,
+                ref_node: 4,
+                ref_ckpt: 0,
+            }, // chunk 2 <- chunk 1
+            ShiftRegion {
+                node: 4,
+                ref_node: 3,
+                ref_ckpt: 0,
+            }, // chunk 1 <- chunk 0
         ];
         d.payload = [[7u8; 32], [9u8; 32]].concat();
         let v = restore_record(std::slice::from_ref(&d)).unwrap();
@@ -412,11 +461,22 @@ mod tests {
         d.first_regions = vec![3, 6];
         d.payload = vec![0; 64];
         d.shift_regions = vec![
-            ShiftRegion { node: 4, ref_node: 5, ref_ckpt: 0 },
-            ShiftRegion { node: 5, ref_node: 4, ref_ckpt: 0 },
+            ShiftRegion {
+                node: 4,
+                ref_node: 5,
+                ref_ckpt: 0,
+            },
+            ShiftRegion {
+                node: 5,
+                ref_node: 4,
+                ref_ckpt: 0,
+            },
         ];
         let err = restore_record(&[d]).unwrap_err();
-        assert!(matches!(err, RestoreError::UnresolvableShifts { remaining: 2, .. }));
+        assert!(matches!(
+            err,
+            RestoreError::UnresolvableShifts { remaining: 2, .. }
+        ));
     }
 
     #[test]
@@ -427,7 +487,11 @@ mod tests {
         d0.first_regions = vec![0];
         d0.payload = (0..128u8).map(|i| i / 32).collect(); // chunks 0,1,2,3
         let mut d1 = tree_diff(1, 128);
-        d1.shift_regions = vec![ShiftRegion { node: 3, ref_node: 6, ref_ckpt: 0 }];
+        d1.shift_regions = vec![ShiftRegion {
+            node: 3,
+            ref_node: 6,
+            ref_ckpt: 0,
+        }];
         let versions = restore_record(&[d0, d1]).unwrap();
         assert_eq!(&versions[1][0..32], &[3u8; 32]);
         assert_eq!(&versions[1][32..], &versions[0][32..]);
@@ -438,8 +502,15 @@ mod tests {
         let mut d = tree_diff(0, 64);
         d.first_regions = vec![1]; // chunk 0
         d.payload = vec![0; 32];
-        d.shift_regions = vec![ShiftRegion { node: 2, ref_node: 1, ref_ckpt: 9 }];
+        d.shift_regions = vec![ShiftRegion {
+            node: 2,
+            ref_node: 1,
+            ref_ckpt: 9,
+        }];
         let err = restore_record(&[d]).unwrap_err();
-        assert!(matches!(err, RestoreError::ForwardReference { ref_ckpt: 9, .. }));
+        assert!(matches!(
+            err,
+            RestoreError::ForwardReference { ref_ckpt: 9, .. }
+        ));
     }
 }

@@ -89,7 +89,9 @@ impl RecordStats {
     /// A view excluding the initial full checkpoint (the paper's aggregation
     /// for the frequency scenario).
     pub fn excluding_first(&self) -> RecordStats {
-        RecordStats { checkpoints: self.checkpoints.iter().skip(1).copied().collect() }
+        RecordStats {
+            checkpoints: self.checkpoints.iter().skip(1).copied().collect(),
+        }
     }
 
     pub fn total_uncompressed(&self) -> u64 {

@@ -38,7 +38,11 @@ impl TreeShape {
         };
         let deep_start = (1usize << h) - 1;
         let deep_leaves = (2 * n_chunks - 1) - deep_start;
-        TreeShape { n_chunks, deep_start, deep_leaves }
+        TreeShape {
+            n_chunks,
+            deep_start,
+            deep_leaves,
+        }
     }
 
     /// Number of leaf chunks.
@@ -170,7 +174,10 @@ impl MerkleTree {
     /// An all-zero tree over `n_chunks` leaves.
     pub fn new(n_chunks: usize) -> Self {
         let shape = TreeShape::new(n_chunks);
-        MerkleTree { shape, digests: vec![Digest128::ZERO; shape.n_nodes()] }
+        MerkleTree {
+            shape,
+            digests: vec![Digest128::ZERO; shape.n_nodes()],
+        }
     }
 
     #[inline]

@@ -60,19 +60,23 @@ fn snapshot() -> Vec<u8> {
 #[test]
 fn weak_hash_without_verification_corrupts_silently() {
     let data = snapshot();
-    let mut m = TreeCheckpointer::with_hasher(
-        Device::a100(),
-        TreeConfig::new(CS),
-        Box::new(PrefixHasher),
-    );
+    let mut m =
+        TreeCheckpointer::with_hasher(Device::a100(), TreeConfig::new(CS), Box::new(PrefixHasher));
     let diff = m.checkpoint(&data).diff;
     let restored = restore_record(std::slice::from_ref(&diff)).unwrap();
     // Chunk 7 (content b) was de-duplicated against chunk 0 (content a):
     // the restore "succeeds" but returns a's bytes where b's should be.
     let (a, b) = colliding_pair();
-    assert_eq!(&restored[0][7 * CS..8 * CS], &a[..], "collision aliased to first content");
+    assert_eq!(
+        &restored[0][7 * CS..8 * CS],
+        &a[..],
+        "collision aliased to first content"
+    );
     assert_ne!(&restored[0][7 * CS..8 * CS], &b[..]);
-    assert_ne!(restored[0], data, "unverified weak hashing must corrupt this input");
+    assert_ne!(
+        restored[0], data,
+        "unverified weak hashing must corrupt this input"
+    );
 }
 
 #[test]
@@ -85,7 +89,10 @@ fn verification_detects_collisions_and_restores_exactly() {
     );
     let out = m.checkpoint(&data);
     let restored = restore_record(&[out.diff]).unwrap();
-    assert_eq!(restored[0], data, "verified record must restore bit-exactly");
+    assert_eq!(
+        restored[0], data,
+        "verified record must restore bit-exactly"
+    );
 }
 
 #[test]
@@ -109,7 +116,11 @@ fn verification_is_stable_across_checkpoints() {
     // Unchanged checkpoints after the first stay small: only the re-stored
     // colliding chunk plus headers/metadata.
     assert!(diffs[1].stored_bytes() < data.len() / 2);
-    assert_eq!(diffs[1].payload.len(), CS, "exactly the colliding chunk re-stored");
+    assert_eq!(
+        diffs[1].payload.len(),
+        CS,
+        "exactly the colliding chunk re-stored"
+    );
 }
 
 #[test]
@@ -124,8 +135,10 @@ fn verification_with_strong_hash_changes_nothing() {
         })
         .collect();
     let mut plain = TreeCheckpointer::new(Device::a100(), TreeConfig::new(CS));
-    let mut verified =
-        TreeCheckpointer::new(Device::a100(), TreeConfig::new(CS).with_collision_verification());
+    let mut verified = TreeCheckpointer::new(
+        Device::a100(),
+        TreeConfig::new(CS).with_collision_verification(),
+    );
     for s in &snaps {
         let a = plain.checkpoint(s);
         let b = verified.checkpoint(s);

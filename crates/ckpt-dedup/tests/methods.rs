@@ -190,8 +190,14 @@ fn ratio_ordering_on_shift_heavy_workload() {
         let rec = run_record(m, snaps.iter().map(|s| s.as_slice()));
         rec.stats.excluding_first().ratio()
     };
-    let tree = run(&mut TreeCheckpointer::new(Device::a100(), TreeConfig::new(CS)));
-    let list = run(&mut ListCheckpointer::new(Device::a100(), TreeConfig::new(CS)));
+    let tree = run(&mut TreeCheckpointer::new(
+        Device::a100(),
+        TreeConfig::new(CS),
+    ));
+    let list = run(&mut ListCheckpointer::new(
+        Device::a100(),
+        TreeConfig::new(CS),
+    ));
     let basic = run(&mut BasicCheckpointer::new(Device::a100(), CS));
     let full = run(&mut FullCheckpointer::new(Device::a100(), CS));
 
@@ -226,8 +232,11 @@ fn fully_changed_checkpoint_stores_everything_with_tiny_metadata() {
     assert_eq!(out.diff.first_regions, vec![0]);
     assert_eq!(out.diff.payload.len(), v1.len());
     assert!(out.diff.metadata_bytes() <= 4);
-    let versions =
-        restore_record(&run_record_diffs(&mut TreeCheckpointer::new(Device::a100(), TreeConfig::new(CS)), &[v0.clone(), v1.clone()])).unwrap();
+    let versions = restore_record(&run_record_diffs(
+        &mut TreeCheckpointer::new(Device::a100(), TreeConfig::new(CS)),
+        &[v0.clone(), v1.clone()],
+    ))
+    .unwrap();
     assert_eq!(versions[1], v1);
 }
 
@@ -248,7 +257,11 @@ fn single_chunk_buffer() {
         };
         let diffs = run_record_diffs(&mut *m, &[v0.clone(), v1.clone(), v1.clone()]);
         let versions = restore_record(&diffs).unwrap();
-        assert_eq!(versions, vec![v0.clone(), v1.clone(), v1.clone()], "method {mk}");
+        assert_eq!(
+            versions,
+            vec![v0.clone(), v1.clone(), v1.clone()],
+            "method {mk}"
+        );
     }
 }
 
@@ -298,7 +311,9 @@ fn hybrid_payload_compression_round_trips_every_codec() {
     // The §5 dedup+compression hybrid: first occurrences are compressed
     // before the transfer; restore undoes it transparently.
     let snaps = snapshot_sequence();
-    for codec in ["lz4", "snappy", "cascaded", "bitcomp", "deflate", "zstd", "rle"] {
+    for codec in [
+        "lz4", "snappy", "cascaded", "bitcomp", "deflate", "zstd", "rle",
+    ] {
         let cfg = TreeConfig::new(CS).with_payload_codec(codec);
         let mut m = TreeCheckpointer::new(Device::a100(), cfg);
         let rec = run_record(&mut m, snaps.iter().map(|s| s.as_slice()));
@@ -320,8 +335,10 @@ fn hybrid_shrinks_compressible_payloads() {
     // Compressible chunk contents (each chunk is a run of one byte).
     let snaps = snapshot_sequence();
     let mut raw = TreeCheckpointer::new(Device::a100(), TreeConfig::new(CS));
-    let mut hybrid =
-        TreeCheckpointer::new(Device::a100(), TreeConfig::new(CS).with_payload_codec("zstd"));
+    let mut hybrid = TreeCheckpointer::new(
+        Device::a100(),
+        TreeConfig::new(CS).with_payload_codec("zstd"),
+    );
     let raw_rec = run_record(&mut raw, snaps.iter().map(|s| s.as_slice()));
     let hy_rec = run_record(&mut hybrid, snaps.iter().map(|s| s.as_slice()));
     assert!(
@@ -341,8 +358,10 @@ fn hybrid_never_inflates_incompressible_payloads() {
     let mut rng = StdRng::seed_from_u64(99);
     let v0: Vec<u8> = (0..CS * 64).map(|_| rng.gen()).collect();
     let mut raw = TreeCheckpointer::new(Device::a100(), TreeConfig::new(CS));
-    let mut hybrid =
-        TreeCheckpointer::new(Device::a100(), TreeConfig::new(CS).with_payload_codec("rle"));
+    let mut hybrid = TreeCheckpointer::new(
+        Device::a100(),
+        TreeConfig::new(CS).with_payload_codec("rle"),
+    );
     let a = raw.checkpoint(&v0);
     let b = hybrid.checkpoint(&v0);
     assert_eq!(b.diff.payload_codec, 0, "should have fallen back to raw");
@@ -356,8 +375,7 @@ fn streamed_serialization_round_trips_and_overlaps() {
     // payload is large enough for the pipeline to amortize its slice setups.
     let snaps = snapshot_sequence();
     let mut plain = TreeCheckpointer::new(Device::a100(), TreeConfig::new(CS));
-    let mut streamed =
-        TreeCheckpointer::new(Device::a100(), TreeConfig::new(CS).with_streaming(4));
+    let mut streamed = TreeCheckpointer::new(Device::a100(), TreeConfig::new(CS).with_streaming(4));
     for snap in &snaps {
         let a = plain.checkpoint(snap);
         let b = streamed.checkpoint(snap);
@@ -384,7 +402,9 @@ fn serialization_stage_streaming_is_roughly_neutral() {
     let mut state = 0x243F_6A88_85A3_08D3u64;
     let v: Vec<u8> = (0..16 << 20)
         .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u8
         })
         .collect();

@@ -19,10 +19,16 @@ enum Edit {
 
 fn edit_strategy() -> impl Strategy<Value = Edit> {
     prop_oneof![
-        (0usize..4096, 1usize..512, any::<u8>())
-            .prop_map(|(at, len, value)| Edit::Fill { at, len, value }),
-        (0usize..4096, 0usize..4096, 1usize..1024)
-            .prop_map(|(src, dst, len)| Edit::Copy { src, dst, len }),
+        (0usize..4096, 1usize..512, any::<u8>()).prop_map(|(at, len, value)| Edit::Fill {
+            at,
+            len,
+            value
+        }),
+        (0usize..4096, 0usize..4096, 1usize..1024).prop_map(|(src, dst, len)| Edit::Copy {
+            src,
+            dst,
+            len
+        }),
         (0usize..4).prop_map(|to| Edit::Revert { to }),
     ]
 }
@@ -51,8 +57,9 @@ fn apply(snapshots: &[Vec<u8>], data: &mut Vec<u8>, edit: &Edit) {
 }
 
 fn snapshots_from_edits(len: usize, seed_byte: u8, edits: &[Edit]) -> Vec<Vec<u8>> {
-    let mut data: Vec<u8> =
-        (0..len).map(|i| seed_byte.wrapping_add((i / 7) as u8).wrapping_mul(13)).collect();
+    let mut data: Vec<u8> = (0..len)
+        .map(|i| seed_byte.wrapping_add((i / 7) as u8).wrapping_mul(13))
+        .collect();
     let mut snapshots = vec![data.clone()];
     for e in edits {
         apply(&snapshots, &mut data, e);
@@ -178,6 +185,37 @@ proptest! {
             let mut out = vec![0u8; rlen];
             reader.read_at(v as u32, off, &mut out).unwrap();
             prop_assert_eq!(&out[..], &snapshots[v][off..off + rlen]);
+        }
+    }
+
+    #[test]
+    fn random_access_reader_matches_chain_restore_for_every_method(
+        len in 100usize..2500,
+        seed in any::<u8>(),
+        edits in prop::collection::vec(edit_strategy(), 1..5),
+        method_idx in 0usize..4,
+        reads in prop::collection::vec((any::<u16>(), any::<u16>(), any::<u16>()), 1..16),
+    ) {
+        // Arbitrary (version, byte-range) random-access reads must be
+        // byte-equal to the corresponding slice of a full chain restore —
+        // for every method the reader supports.
+        let snapshots = snapshots_from_edits(len, seed, &edits);
+        let mut m: Box<dyn Checkpointer> = match method_idx {
+            0 => Box::new(TreeCheckpointer::new(Device::a100(), TreeConfig::new(32))),
+            1 => Box::new(ListCheckpointer::new(Device::a100(), TreeConfig::new(32))),
+            2 => Box::new(BasicCheckpointer::new(Device::a100(), 32)),
+            _ => Box::new(FullCheckpointer::new(Device::a100(), 32)),
+        };
+        let diffs: Vec<_> = snapshots.iter().map(|s| m.checkpoint(s).diff).collect();
+        let chain = restore_record(&diffs).expect("chain restore must succeed");
+        let reader = ckpt_dedup::RecordReader::build(&diffs).unwrap();
+        for (v, off, rlen) in reads {
+            let v = (v as usize) % chain.len();
+            let off = (off as usize) % len;
+            let rlen = (rlen as usize) % (len - off).max(1);
+            let mut out = vec![0u8; rlen];
+            reader.read_at(v as u32, off, &mut out).unwrap();
+            prop_assert_eq!(&out[..], &chain[v][off..off + rlen]);
         }
     }
 

@@ -20,7 +20,10 @@ impl CsrGraph {
     pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
         let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
         for &(a, b) in edges {
-            assert!((a as usize) < n && (b as usize) < n, "edge ({a},{b}) out of range");
+            assert!(
+                (a as usize) < n && (b as usize) < n,
+                "edge ({a},{b}) out of range"
+            );
             if a == b {
                 continue;
             }
@@ -79,7 +82,10 @@ impl CsrGraph {
 
     /// Maximum degree.
     pub fn max_degree(&self) -> usize {
-        (0..self.n_vertices() as u32).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.n_vertices() as u32)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Mean degree (arcs per vertex).
@@ -94,7 +100,11 @@ impl CsrGraph {
     /// Iterate all undirected edges `(a, b)` with `a < b`.
     pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
         (0..self.n_vertices() as u32).flat_map(move |v| {
-            self.neighbors(v).iter().copied().filter(move |&u| v < u).map(move |u| (v, u))
+            self.neighbors(v)
+                .iter()
+                .copied()
+                .filter(move |&u| v < u)
+                .map(move |u| (v, u))
         })
     }
 
@@ -111,8 +121,10 @@ impl CsrGraph {
                 fresh
             })
         });
-        let edges: Vec<(u32, u32)> =
-            self.edges().map(|(a, b)| (perm[a as usize], perm[b as usize])).collect();
+        let edges: Vec<(u32, u32)> = self
+            .edges()
+            .map(|(a, b)| (perm[a as usize], perm[b as usize]))
+            .collect();
         CsrGraph::from_edges(n, &edges)
     }
 

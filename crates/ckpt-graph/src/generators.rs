@@ -112,7 +112,7 @@ pub fn unstructured_mesh(n_target: usize, seed: u64) -> CsrGraph {
 pub fn road_network(n_target: usize, seed: u64) -> CsrGraph {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x4f534d);
     const SUBDIV: usize = 8; // intermediate vertices per road segment
-    // V = J + E_j * SUBDIV where E_j ≈ 2J (grid) → V ≈ J(1 + 2*SUBDIV).
+                             // V = J + E_j * SUBDIV where E_j ≈ 2J (grid) → V ≈ J(1 + 2*SUBDIV).
     let j_side = (((n_target as f64) / (1.0 + 2.0 * SUBDIV as f64)).sqrt() as usize).max(2);
     let n_junctions = j_side * j_side;
 
@@ -232,7 +232,9 @@ mod tests {
         // Table 1: 25.4M / 11.95M = 2.13.
         assert!((ratio(&g) - 2.13).abs() < 0.25, "ratio {}", ratio(&g));
         // Roads are chain-dominated: most vertices have degree 2.
-        let deg2 = (0..g.n_vertices() as u32).filter(|&v| g.degree(v) == 2).count();
+        let deg2 = (0..g.n_vertices() as u32)
+            .filter(|&v| g.degree(v) == 2)
+            .count();
         assert!(deg2 as f64 > 0.8 * g.n_vertices() as f64);
     }
 

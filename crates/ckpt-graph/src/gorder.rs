@@ -45,7 +45,12 @@ pub fn gorder(g: &CsrGraph, window: usize) -> Vec<u32> {
     // that the pop loop discards by comparing against the live score. A
     // decrement must also push, otherwise the vertex's only live entry may
     // be the stale higher one and it silently drops out of the queue.
-    let bump = |score: &mut [i64], heap: &mut BinaryHeap<(i64, u32)>, placed: &[bool], g: &CsrGraph, v: u32, delta: i64| {
+    let bump = |score: &mut [i64],
+                heap: &mut BinaryHeap<(i64, u32)>,
+                placed: &[bool],
+                g: &CsrGraph,
+                v: u32,
+                delta: i64| {
         for &u in g.neighbors(v) {
             if !placed[u as usize] {
                 score[u as usize] += delta;

@@ -58,7 +58,12 @@ pub fn rcm_order(g: &CsrGraph) -> Vec<u32> {
         while let Some(v) = queue.pop_front() {
             order.push(v);
             nbrs.clear();
-            nbrs.extend(g.neighbors(v).iter().copied().filter(|&u| !visited[u as usize]));
+            nbrs.extend(
+                g.neighbors(v)
+                    .iter()
+                    .copied()
+                    .filter(|&u| !visited[u as usize]),
+            );
             nbrs.sort_unstable_by_key(|&u| g.degree(u));
             for &u in &nbrs {
                 visited[u as usize] = true;
@@ -142,7 +147,10 @@ mod tests {
         let identity: Vec<u32> = (0..n).collect();
         let before = edge_locality(&scrambled, &identity);
         let after = edge_locality(&scrambled, &rcm_order(&scrambled));
-        assert!(after < 1.5, "rcm locality on a path should be ~1, got {after}");
+        assert!(
+            after < 1.5,
+            "rcm locality on a path should be ~1, got {after}"
+        );
         assert!(before > 10.0 * after);
     }
 
@@ -168,6 +176,9 @@ mod tests {
 
         assert!(l_rcm < l_degree / 4.0, "rcm {l_rcm} vs degree {l_degree}");
         assert!(l_bfs < l_degree / 2.0, "bfs {l_bfs} vs degree {l_degree}");
-        assert!(l_gorder < l_degree / 2.0, "gorder {l_gorder} vs degree {l_degree}");
+        assert!(
+            l_gorder < l_degree / 2.0,
+            "gorder {l_gorder} vs degree {l_degree}"
+        );
     }
 }

@@ -80,7 +80,10 @@ impl fmt::Display for Digest128 {
 impl From<u128> for Digest128 {
     #[inline]
     fn from(v: u128) -> Self {
-        Digest128 { h1: v as u64, h2: (v >> 64) as u64 }
+        Digest128 {
+            h1: v as u64,
+            h2: (v >> 64) as u64,
+        }
     }
 }
 

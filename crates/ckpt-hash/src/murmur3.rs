@@ -151,7 +151,10 @@ mod tests {
         let data = [0xabu8; 64];
         let mut seen = std::collections::HashSet::new();
         for n in 0..=48 {
-            assert!(seen.insert(murmur3_x64_128(&data[..n], 7)), "collision at len {n}");
+            assert!(
+                seen.insert(murmur3_x64_128(&data[..n], 7)),
+                "collision at len {n}"
+            );
         }
     }
 
@@ -164,7 +167,9 @@ mod tests {
 
     #[test]
     fn deterministic_across_calls() {
-        let data: Vec<u8> = (0..1024u32).map(|i| i.wrapping_mul(2654435761) as u8).collect();
+        let data: Vec<u8> = (0..1024u32)
+            .map(|i| i.wrapping_mul(2654435761) as u8)
+            .collect();
         assert_eq!(murmur3_x64_128(&data, 42), murmur3_x64_128(&data, 42));
     }
 
@@ -174,7 +179,11 @@ mod tests {
         let base = murmur3_x64_128(&data, 0);
         for byte in 0..data.len() {
             data[byte] ^= 1;
-            assert_ne!(murmur3_x64_128(&data, 0), base, "flip at byte {byte} undetected");
+            assert_ne!(
+                murmur3_x64_128(&data, 0),
+                base,
+                "flip at byte {byte} undetected"
+            );
             data[byte] ^= 1;
         }
     }

@@ -85,17 +85,14 @@ pub struct EsuScratch {
 
 impl EsuScratch {
     pub fn new(n_vertices: usize) -> Self {
-        EsuScratch { stamp: vec![0; n_vertices], generation: 0 }
+        EsuScratch {
+            stamp: vec![0; n_vertices],
+            generation: 0,
+        }
     }
 
     /// Run ESU from `root`, invoking `visit(sub, mask)` for each subgraph.
-    pub fn enumerate_from_root(
-        &mut self,
-        g: &CsrGraph,
-        root: u32,
-        k_max: usize,
-        visit: Visit<'_>,
-    ) {
+    pub fn enumerate_from_root(&mut self, g: &CsrGraph, root: u32, k_max: usize, visit: Visit<'_>) {
         assert!(k_max <= K_MAX, "k_max {k_max} exceeds supported {K_MAX}");
         // Two generations per root: `generation` marks live, generation-1
         // is the "unmarked" value used when backtracking.
@@ -232,7 +229,10 @@ mod tests {
         for root in 0..3 {
             scratch.enumerate_from_root(&g, root, 3, &mut |sub, mask| {
                 masks.push((sub.to_vec(), mask));
-                assert!(is_connected(mask, sub.len()), "visitor got disconnected mask");
+                assert!(
+                    is_connected(mask, sub.len()),
+                    "visitor got disconnected mask"
+                );
             });
         }
         // The triangle itself must appear with the full 3-vertex mask.

@@ -19,7 +19,10 @@ pub struct Gdv {
 impl Gdv {
     /// All-zero GDV for `n_vertices`.
     pub fn new(n_vertices: usize) -> Self {
-        Gdv { counts: vec![0u32; n_vertices * N_ORBITS], n_vertices }
+        Gdv {
+            counts: vec![0u32; n_vertices * N_ORBITS],
+            n_vertices,
+        }
     }
 
     #[inline]

@@ -156,8 +156,7 @@ impl OrbitTable {
                         }
                         class_of[i] = orbit_id;
                     }
-                    class_orbits
-                        .insert(mask, class_of.iter().map(|&o| o as u8).collect());
+                    class_orbits.insert(mask, class_of.iter().map(|&o| o as u8).collect());
                 }
                 // Map this mask's vertices through `to_canon` onto the
                 // canonical class's orbits.
@@ -171,7 +170,12 @@ impl OrbitTable {
             graphlet[k - 2] = gr_k;
         }
 
-        OrbitTable { orbit, graphlet, n_graphlets: next_graphlet, n_orbits: next_orbit }
+        OrbitTable {
+            orbit,
+            graphlet,
+            n_graphlets: next_graphlet,
+            n_orbits: next_orbit,
+        }
     }
 
     /// The process-wide table (built once, ~12 KiB).
@@ -213,7 +217,11 @@ mod tests {
     #[test]
     fn counts_match_the_taxonomy() {
         let t = OrbitTable::global();
-        assert_eq!(t.n_graphlets(), N_GRAPHLETS, "connected graphs on 2-5 vertices");
+        assert_eq!(
+            t.n_graphlets(),
+            N_GRAPHLETS,
+            "connected graphs on 2-5 vertices"
+        );
         assert_eq!(t.n_orbits(), N_ORBITS, "orbits across all graphlets");
     }
 
@@ -300,7 +308,10 @@ mod tests {
         assert!(o3.iter().all(|&o| (1..=3).contains(&o)));
         // Size-5 orbits all ≥ the size-4 maximum.
         let k5 = (1u16 << 10) - 1;
-        let max4 = (0..4).map(|i| t.orbit_of(4, (1 << 6) - 1, i)).max().unwrap();
+        let max4 = (0..4)
+            .map(|i| t.orbit_of(4, (1 << 6) - 1, i))
+            .max()
+            .unwrap();
         assert!(t.orbit_of(5, k5, 0) > max4);
     }
 

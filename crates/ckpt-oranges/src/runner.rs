@@ -83,12 +83,13 @@ impl<'g> OrangesRun<'g> {
         let mut seen = 0u64;
         for root in self.next_root..end {
             let gdv = &mut self.gdv;
-            self.scratch.enumerate_from_root(self.graph, root, 5, &mut |sub, mask| {
-                seen += 1;
-                for (i, &v) in sub.iter().enumerate() {
-                    gdv.bump(v, table.orbit_of(sub.len(), mask, i));
-                }
-            });
+            self.scratch
+                .enumerate_from_root(self.graph, root, 5, &mut |sub, mask| {
+                    seen += 1;
+                    for (i, &v) in sub.iter().enumerate() {
+                        gdv.bump(v, table.orbit_of(sub.len(), mask, i));
+                    }
+                });
         }
         let processed = (end - self.next_root) as usize;
         self.next_root = end;
@@ -115,23 +116,21 @@ impl<'g> OrangesRun<'g> {
         let graph = self.graph;
         let seen = AtomicU64::new(0);
         let counts = self.gdv.as_atomic();
-        (start..end)
-            .into_par_iter()
-            .for_each_init(
-                || EsuScratch::new(graph.n_vertices()),
-                |scratch, root| {
-                    let mut local = 0u64;
-                    scratch.enumerate_from_root(graph, root, 5, &mut |sub, mask| {
-                        local += 1;
-                        for (i, &v) in sub.iter().enumerate() {
-                            let orbit = table.orbit_of(sub.len(), mask, i) as usize;
-                            counts[v as usize * crate::orbits::N_ORBITS + orbit]
-                                .fetch_add(1, Ordering::Relaxed);
-                        }
-                    });
-                    seen.fetch_add(local, Ordering::Relaxed);
-                },
-            );
+        (start..end).into_par_iter().for_each_init(
+            || EsuScratch::new(graph.n_vertices()),
+            |scratch, root| {
+                let mut local = 0u64;
+                scratch.enumerate_from_root(graph, root, 5, &mut |sub, mask| {
+                    local += 1;
+                    for (i, &v) in sub.iter().enumerate() {
+                        let orbit = table.orbit_of(sub.len(), mask, i) as usize;
+                        counts[v as usize * crate::orbits::N_ORBITS + orbit]
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+                seen.fetch_add(local, Ordering::Relaxed);
+            },
+        );
         self.next_root = end;
         self.subgraphs_seen += seen.load(Ordering::Relaxed);
         (end - start) as usize

@@ -135,15 +135,19 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect()
     });
 
     let total_full_bytes = reports.iter().map(|r| r.stats.total_uncompressed()).sum();
     let total_stored_bytes = reports.iter().map(|r| r.stats.total_stored()).sum();
-    let max_rank_modeled_sec =
-        reports.iter().map(|r| r.modeled_sec).fold(0.0f64, f64::max);
-    let max_rank_measured_sec =
-        reports.iter().map(|r| r.measured_sec).fold(0.0f64, f64::max);
+    let max_rank_modeled_sec = reports.iter().map(|r| r.modeled_sec).fold(0.0f64, f64::max);
+    let max_rank_measured_sec = reports
+        .iter()
+        .map(|r| r.measured_sec)
+        .fold(0.0f64, f64::max);
     ScalingReport {
         method: cfg.method,
         n_ranks: cfg.n_ranks,
@@ -162,8 +166,9 @@ mod tests {
 
     fn snapshots(rank: u32, n: usize, len: usize) -> Vec<Vec<u8>> {
         // Sparse updates per checkpoint, deterministic per rank.
-        let mut data: Vec<u8> =
-            (0..len).map(|i| ((i as u64 * 31 + rank as u64 * 7) % 251) as u8).collect();
+        let mut data: Vec<u8> = (0..len)
+            .map(|i| ((i as u64 * 31 + rank as u64 * 7) % 251) as u8)
+            .collect();
         let mut out = vec![data.clone()];
         for k in 1..n {
             for j in 0..len / 200 {
@@ -180,9 +185,18 @@ mod tests {
         for n_ranks in [1usize, 4] {
             let rt_tree = AsyncRuntime::new();
             let rt_full = AsyncRuntime::new();
-            let mk = |method| ScalingConfig { method, n_ranks, gpus_per_node: 8, chunk_size: 64 };
-            let tree = run_scaling(mk(ScalingMethod::Tree), &rt_tree, |r| snapshots(r, 5, 64_000));
-            let full = run_scaling(mk(ScalingMethod::Full), &rt_full, |r| snapshots(r, 5, 64_000));
+            let mk = |method| ScalingConfig {
+                method,
+                n_ranks,
+                gpus_per_node: 8,
+                chunk_size: 64,
+            };
+            let tree = run_scaling(mk(ScalingMethod::Tree), &rt_tree, |r| {
+                snapshots(r, 5, 64_000)
+            });
+            let full = run_scaling(mk(ScalingMethod::Full), &rt_full, |r| {
+                snapshots(r, 5, 64_000)
+            });
             assert_eq!(tree.total_full_bytes, full.total_full_bytes);
             assert!(
                 tree.total_stored_bytes < full.total_stored_bytes / 2,
@@ -206,8 +220,9 @@ mod tests {
         };
         let report = run_scaling(cfg, &rt, |r| snapshots(r, 4, 32_000));
         assert_eq!(report.ranks.len(), 4);
-        let ids: Vec<(u32, u32)> =
-            (0..4u32).flat_map(|r| (0..4u32).map(move |k| (r, k))).collect();
+        let ids: Vec<(u32, u32)> = (0..4u32)
+            .flat_map(|r| (0..4u32).map(move |k| (r, k)))
+            .collect();
         rt.wait_durable(&ids);
         for rank in 0..4u32 {
             let versions = restore_rank(rt.tiers(), rank).unwrap();
@@ -227,7 +242,11 @@ mod tests {
             gpus_per_node: 1,
             chunk_size: 64,
         };
-        let crowded = ScalingConfig { gpus_per_node: 8, n_ranks: 8, ..base };
+        let crowded = ScalingConfig {
+            gpus_per_node: 8,
+            n_ranks: 8,
+            ..base
+        };
         let solo = run_scaling(base, &rt1, |r| snapshots(r, 3, 100_000));
         let packed = run_scaling(crowded, &rt8, |r| snapshots(r, 3, 100_000));
         let solo_rank = solo.max_rank_modeled_sec;

@@ -56,7 +56,9 @@ pub fn restore_rank(tiers: &TierChain, rank: u32) -> Result<Vec<Vec<u8>>, Lineag
         let diff = Diff::decode(bytes).map_err(|e| LineageError::Decode(k as u32, e))?;
         restorer.apply(&diff).map_err(LineageError::Restore)?;
     }
-    Ok((0..restorer.len()).map(|k| restorer.version(k).unwrap().to_vec()).collect())
+    Ok((0..restorer.len())
+        .map(|k| restorer.version(k).unwrap().to_vec())
+        .collect())
 }
 
 /// Materialize only the latest version of `rank`'s record (the restart path).
@@ -109,7 +111,10 @@ mod tests {
     #[test]
     fn empty_rank_errors() {
         let rt = AsyncRuntime::new();
-        assert!(matches!(restore_rank(rt.tiers(), 42), Err(LineageError::Empty)));
+        assert!(matches!(
+            restore_rank(rt.tiers(), 42),
+            Err(LineageError::Empty)
+        ));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! proceed.
 
 use crate::tier::{ObjectId, Tier, TierConfig, TierFull};
+use ckpt_telemetry::{Counter, Gauge, Histogram, Registry};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
@@ -38,7 +39,11 @@ impl TierChain {
     }
 
     pub fn with_configs(host: TierConfig, ssd: TierConfig, pfs: TierConfig) -> Self {
-        TierChain { host: Tier::new(host), ssd: Tier::new(ssd), pfs: Tier::new(pfs) }
+        TierChain {
+            host: Tier::new(host),
+            ssd: Tier::new(ssd),
+            pfs: Tier::new(pfs),
+        }
     }
 
     /// Find an object in the deepest tier holding it (PFS preferred: it is
@@ -62,9 +67,77 @@ enum Job {
     Shutdown,
 }
 
+/// Pre-resolved telemetry handles for the runtime's hot paths, shared
+/// between producers and the flusher thread so neither ever touches the
+/// registry lock after construction.
+///
+/// Metric inventory (all names are stable JSON keys):
+///
+/// | metric | kind | meaning |
+/// |---|---|---|
+/// | `runtime/submitted` | counter | checkpoints accepted into host staging |
+/// | `runtime/durable` | counter | checkpoints that reached the PFS |
+/// | `runtime/producer_stalls` | counter | blocking submissions that had to wait |
+/// | `runtime/producer_stall_ns` | counter | total wall time producers spent stalled |
+/// | `runtime/queue_depth` | gauge | flush jobs enqueued but not yet picked up |
+/// | `runtime/durable_lag` | gauge | submitted minus durable (in-flight objects) |
+/// | `tier/host/used_bytes` | gauge | host staging occupancy |
+/// | `tier/host/evictions`, `tier/ssd/evictions` | counter | drains that freed the tier above |
+/// | `tier/<t>/object_bytes` | histogram | object sizes written to tier `<t>` |
+/// | `tier/ssd/flush_ns`, `tier/pfs/flush_ns` | histogram | per-hop flush latency |
+struct RuntimeMetrics {
+    registry: Arc<Registry>,
+    submitted: Arc<Counter>,
+    durable: Arc<Counter>,
+    producer_stalls: Arc<Counter>,
+    producer_stall_ns: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    durable_lag: Arc<Gauge>,
+    host_used_bytes: Arc<Gauge>,
+    host_evictions: Arc<Counter>,
+    ssd_evictions: Arc<Counter>,
+    host_object_bytes: Arc<Histogram>,
+    ssd_object_bytes: Arc<Histogram>,
+    pfs_object_bytes: Arc<Histogram>,
+    ssd_flush_ns: Arc<Histogram>,
+    pfs_flush_ns: Arc<Histogram>,
+}
+
+impl RuntimeMetrics {
+    fn new(registry: Arc<Registry>) -> Self {
+        RuntimeMetrics {
+            submitted: registry.counter("runtime/submitted"),
+            durable: registry.counter("runtime/durable"),
+            producer_stalls: registry.counter("runtime/producer_stalls"),
+            producer_stall_ns: registry.counter("runtime/producer_stall_ns"),
+            queue_depth: registry.gauge("runtime/queue_depth"),
+            durable_lag: registry.gauge("runtime/durable_lag"),
+            host_used_bytes: registry.gauge("tier/host/used_bytes"),
+            host_evictions: registry.counter("tier/host/evictions"),
+            ssd_evictions: registry.counter("tier/ssd/evictions"),
+            host_object_bytes: registry.histogram("tier/host/object_bytes"),
+            ssd_object_bytes: registry.histogram("tier/ssd/object_bytes"),
+            pfs_object_bytes: registry.histogram("tier/pfs/object_bytes"),
+            ssd_flush_ns: registry.histogram("tier/ssd/flush_ns"),
+            pfs_flush_ns: registry.histogram("tier/pfs/flush_ns"),
+            registry,
+        }
+    }
+
+    /// Book-keeping for one accepted submission of `len` bytes.
+    fn on_submitted(&self, len: usize, host_used: u64) {
+        self.submitted.inc();
+        self.durable_lag.add(1);
+        self.queue_depth.add(1);
+        self.host_object_bytes.record(len as u64);
+        self.host_used_bytes.set(host_used as i64);
+    }
+}
+
 /// Asynchronous checkpoint flusher over a [`TierChain`].
 pub struct AsyncRuntime {
     tiers: Arc<TierChain>,
+    metrics: Arc<RuntimeMetrics>,
     tx: Sender<Job>,
     worker: Option<JoinHandle<()>>,
     killed: Arc<AtomicBool>,
@@ -90,7 +163,15 @@ impl AsyncRuntime {
     /// [`submit_blocking`](Self::submit_blocking) — the §1 high-frequency
     /// limitation this runtime exists to study.
     pub fn with_tiers_throttled(tiers: TierChain, time_scale: f64) -> Self {
+        Self::with_telemetry(tiers, time_scale, Arc::new(Registry::new()))
+    }
+
+    /// Like [`with_tiers_throttled`](Self::with_tiers_throttled), but
+    /// recording metrics into a caller-provided registry (so several
+    /// subsystems can share one report).
+    pub fn with_telemetry(tiers: TierChain, time_scale: f64, registry: Arc<Registry>) -> Self {
         let tiers = Arc::new(tiers);
+        let metrics = Arc::new(RuntimeMetrics::new(registry));
         let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
         let killed = Arc::new(AtomicBool::new(false));
         let space_freed: Arc<(Mutex<u64>, Condvar)> = Arc::new((Mutex::new(0), Condvar::new()));
@@ -98,6 +179,7 @@ impl AsyncRuntime {
             let tiers = Arc::clone(&tiers);
             let killed = Arc::clone(&killed);
             let space_freed = Arc::clone(&space_freed);
+            let m = Arc::clone(&metrics);
             std::thread::spawn(move || {
                 let throttle = |bytes: usize, bw: f64| {
                     if time_scale > 0.0 {
@@ -109,6 +191,7 @@ impl AsyncRuntime {
                     match job {
                         Job::Shutdown => break,
                         Job::Flush(id) => {
+                            m.queue_depth.sub(1);
                             if killed.load(Ordering::Relaxed) {
                                 // Simulated node failure: stop draining.
                                 break;
@@ -116,9 +199,15 @@ impl AsyncRuntime {
                             // host → ssd → pfs, evicting behind ourselves.
                             if let Some(bytes) = tiers.host.get(id) {
                                 let n = bytes.len();
+                                let hop = Instant::now();
                                 if tiers.ssd.put(id, bytes).is_ok() {
                                     throttle(n, tiers.ssd.config().bandwidth_bps);
-                                    tiers.host.evict(id);
+                                    m.ssd_flush_ns.record_duration(hop.elapsed());
+                                    m.ssd_object_bytes.record(n as u64);
+                                    if tiers.host.evict(id) {
+                                        m.host_evictions.inc();
+                                    }
+                                    m.host_used_bytes.set(tiers.host.used_bytes() as i64);
                                     let (gen, cv) = &*space_freed;
                                     *gen.lock() += 1;
                                     cv.notify_all();
@@ -129,9 +218,16 @@ impl AsyncRuntime {
                             }
                             if let Some(bytes) = tiers.ssd.get(id) {
                                 let n = bytes.len();
+                                let hop = Instant::now();
                                 if tiers.pfs.put(id, bytes).is_ok() {
                                     throttle(n, tiers.pfs.config().bandwidth_bps);
-                                    tiers.ssd.evict(id);
+                                    m.pfs_flush_ns.record_duration(hop.elapsed());
+                                    m.pfs_object_bytes.record(n as u64);
+                                    m.durable.inc();
+                                    m.durable_lag.sub(1);
+                                    if tiers.ssd.evict(id) {
+                                        m.ssd_evictions.inc();
+                                    }
                                 }
                             }
                         }
@@ -143,11 +239,24 @@ impl AsyncRuntime {
                 cv.notify_all();
             })
         };
-        AsyncRuntime { tiers, tx, worker: Some(worker), killed, space_freed }
+        AsyncRuntime {
+            tiers,
+            metrics,
+            tx,
+            worker: Some(worker),
+            killed,
+            space_freed,
+        }
     }
 
     pub fn tiers(&self) -> &TierChain {
         &self.tiers
+    }
+
+    /// The registry this runtime records into; snapshot with
+    /// [`Registry::snapshot_json`] for the `ckpt stats` report.
+    pub fn telemetry(&self) -> &Arc<Registry> {
+        &self.metrics.registry
     }
 
     /// Stage a checkpoint diff in host memory and schedule its background
@@ -155,7 +264,9 @@ impl AsyncRuntime {
     /// blocking time).
     pub fn submit(&self, rank: u32, ckpt_id: u32, bytes: Vec<u8>) -> Result<(), TierFull> {
         let id = (rank, ckpt_id);
+        let len = bytes.len();
         self.tiers.host.put(id, bytes)?;
+        self.metrics.on_submitted(len, self.tiers.host.used_bytes());
         // The send only fails after shutdown/kill; the object stays staged.
         let _ = self.tx.send(Job::Flush(id));
         Ok(())
@@ -175,15 +286,30 @@ impl AsyncRuntime {
     ) -> Result<Duration, TierFull> {
         let start = Instant::now();
         let id = (rank, ckpt_id);
+        let mut stalled = false;
         loop {
+            let len = bytes.len();
             match self.tiers.host.try_put(id, bytes) {
                 Ok(()) => {
+                    self.metrics.on_submitted(len, self.tiers.host.used_bytes());
+                    // Only submissions that found the host tier full count as
+                    // stalls — an unthrottled chain must report exactly zero.
+                    if stalled {
+                        let waited = start.elapsed();
+                        self.metrics.producer_stalls.inc();
+                        self.metrics
+                            .producer_stall_ns
+                            .add(waited.as_nanos().min(u64::MAX as u128) as u64);
+                    }
                     let _ = self.tx.send(Job::Flush(id));
                     return Ok(start.elapsed());
                 }
                 Err(returned) => {
+                    stalled = true;
                     if self.killed.load(Ordering::Relaxed) {
-                        return Err(TierFull { tier: self.tiers.host.name() });
+                        return Err(TierFull {
+                            tier: self.tiers.host.name(),
+                        });
                     }
                     bytes = returned;
                     // Wait for the flusher to evict something (bounded nap to
@@ -336,8 +462,16 @@ mod tests {
         // throttled pace, so a burst of 8 must stall the producer — and
         // every byte still lands durably.
         let tiers = TierChain::with_configs(
-            TierConfig { name: "host", bandwidth_bps: 25.0e9, capacity: 220 },
-            TierConfig { name: "ssd", bandwidth_bps: 1e6, capacity: u64::MAX },
+            TierConfig {
+                name: "host",
+                bandwidth_bps: 25.0e9,
+                capacity: 220,
+            },
+            TierConfig {
+                name: "ssd",
+                bandwidth_bps: 1e6,
+                capacity: u64::MAX,
+            },
             TierConfig::pfs(),
         );
         // 100 bytes at 1 MB/s modeled = 0.1 ms real per hop at scale 1.0.
@@ -366,7 +500,11 @@ mod tests {
     #[test]
     fn submit_blocking_errors_after_kill() {
         let tiers = TierChain::with_configs(
-            TierConfig { name: "host", bandwidth_bps: 25.0e9, capacity: 50 },
+            TierConfig {
+                name: "host",
+                bandwidth_bps: 25.0e9,
+                capacity: 50,
+            },
             TierConfig::ssd(),
             TierConfig::pfs(),
         );
@@ -377,6 +515,29 @@ mod tests {
         rt.submit(0, 0, vec![0; 40]).unwrap();
         // The host is full and nothing will free it: must error, not spin.
         assert!(rt.submit_blocking(0, 1, vec![0; 40]).is_err());
+    }
+
+    #[test]
+    fn telemetry_tracks_submissions_through_durability() {
+        let rt = AsyncRuntime::new();
+        for k in 0..3u32 {
+            rt.submit(0, k, vec![k as u8; 4096]).unwrap();
+        }
+        rt.wait_durable(&[(0, 0), (0, 1), (0, 2)]);
+        let reg = Arc::clone(rt.telemetry());
+        rt.shutdown(); // joins the flusher: all metric updates are visible
+        assert_eq!(reg.counter("runtime/submitted").get(), 3);
+        assert_eq!(reg.counter("runtime/durable").get(), 3);
+        assert_eq!(reg.gauge("runtime/durable_lag").get(), 0);
+        assert_eq!(reg.gauge("runtime/queue_depth").get(), 0);
+        assert_eq!(reg.counter("tier/host/evictions").get(), 3);
+        assert_eq!(reg.counter("tier/ssd/evictions").get(), 3);
+        assert_eq!(reg.gauge("tier/host/used_bytes").get(), 0);
+        assert_eq!(reg.histogram("tier/host/object_bytes").snapshot().count, 3);
+        assert_eq!(reg.histogram("tier/pfs/flush_ns").snapshot().count, 3);
+        // Unthrottled fast-path submissions never stall.
+        assert_eq!(reg.counter("runtime/producer_stalls").get(), 0);
+        assert_eq!(reg.counter("runtime/producer_stall_ns").get(), 0);
     }
 
     #[test]

@@ -28,17 +28,29 @@ pub struct TierConfig {
 impl TierConfig {
     /// Host DRAM staging: PCIe-fed, effectively one device link per rank.
     pub fn host() -> Self {
-        TierConfig { name: "host", bandwidth_bps: 25.0e9, capacity: 512 << 30 }
+        TierConfig {
+            name: "host",
+            bandwidth_bps: 25.0e9,
+            capacity: 512 << 30,
+        }
     }
 
     /// Node-local NVMe SSD (Polaris: two 1.6 TB drives).
     pub fn ssd() -> Self {
-        TierConfig { name: "ssd", bandwidth_bps: 2.0e9, capacity: 3200 << 30 }
+        TierConfig {
+            name: "ssd",
+            bandwidth_bps: 2.0e9,
+            capacity: 3200 << 30,
+        }
     }
 
     /// Lustre parallel file system (ThetaGPU: 250 GB/s aggregate).
     pub fn pfs() -> Self {
-        TierConfig { name: "pfs", bandwidth_bps: 250.0e9, capacity: u64::MAX }
+        TierConfig {
+            name: "pfs",
+            bandwidth_bps: 250.0e9,
+            capacity: u64::MAX,
+        }
     }
 }
 
@@ -87,7 +99,9 @@ impl Tier {
 
     /// Store an object, accounting capacity and modeled write time.
     pub fn put(&self, id: ObjectId, bytes: Vec<u8>) -> Result<(), TierFull> {
-        self.try_put(id, bytes).map_err(|_| TierFull { tier: self.cfg.name })
+        self.try_put(id, bytes).map_err(|_| TierFull {
+            tier: self.cfg.name,
+        })
     }
 
     /// Like [`put`](Self::put), but hands the payload back on a full tier so
@@ -171,7 +185,11 @@ mod tests {
 
     #[test]
     fn capacity_enforced() {
-        let t = Tier::new(TierConfig { name: "tiny", bandwidth_bps: 1e9, capacity: 10 });
+        let t = Tier::new(TierConfig {
+            name: "tiny",
+            bandwidth_bps: 1e9,
+            capacity: 10,
+        });
         t.put((0, 0), vec![0; 8]).unwrap();
         assert_eq!(t.put((0, 1), vec![0; 8]), Err(TierFull { tier: "tiny" }));
         // The failed write must not leak accounting.
@@ -191,7 +209,11 @@ mod tests {
 
     #[test]
     fn modeled_time_tracks_bandwidth() {
-        let t = Tier::new(TierConfig { name: "x", bandwidth_bps: 1e9, capacity: u64::MAX });
+        let t = Tier::new(TierConfig {
+            name: "x",
+            bandwidth_bps: 1e9,
+            capacity: u64::MAX,
+        });
         t.put((0, 0), vec![0; 1_000_000]).unwrap();
         assert!((t.modeled_busy_sec() - 1e-3).abs() < 1e-9);
     }

@@ -1,0 +1,157 @@
+//! Log₂-bucketed histograms for latencies (nanoseconds) and sizes (bytes).
+//!
+//! Bucket `k` counts values `v` with `2^(k-1) < v <= 2^k` (bucket 0 counts
+//! zeros and ones). 64 buckets cover the full `u64` range, so recording is a
+//! single `leading_zeros` plus one relaxed atomic increment.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const N_BUCKETS: usize = 64;
+
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; N_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [(); N_BUCKETS].map(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    // 0 and 1 land in bucket 0; otherwise the position of the highest bit
+    // of v-1 gives the smallest k with v <= 2^k.
+    if v <= 1 {
+        0
+    } else {
+        (64 - (v - 1).leading_zeros() as usize).min(N_BUCKETS - 1)
+    }
+}
+
+/// Upper bound (inclusive) of bucket `k`.
+fn bucket_bound(k: usize) -> u64 {
+    if k >= 63 {
+        u64::MAX
+    } else {
+        1u64 << k
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Record a duration with nanosecond resolution.
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count();
+        HistogramSnapshot {
+            count,
+            sum: self.sum(),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(k, c)| {
+                    let c = c.load(Ordering::Relaxed);
+                    (c > 0).then_some((bucket_bound(k), c))
+                })
+                .collect(),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time view of a histogram; `buckets` holds only occupied buckets
+/// as `(inclusive upper bound, count)` pairs in increasing bound order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub buckets: Vec<(u64, u64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(1025), 11);
+        assert_eq!(bucket_index(u64::MAX), 63);
+    }
+
+    #[test]
+    fn snapshot_reports_stats_and_occupied_buckets_only() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 900, 900, 1024] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1 + 2 + 900 + 900 + 1024);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1024);
+        // Buckets: 1→b0(le 1), 2→b1(le 2), 900,900,1024→b10(le 1024).
+        assert_eq!(s.buckets, vec![(1, 1), (2, 1), (1024, 3)]);
+        h.reset();
+        let s = h.snapshot();
+        assert_eq!((s.count, s.sum, s.min, s.max), (0, 0, 0, 0));
+        assert!(s.buckets.is_empty());
+    }
+}

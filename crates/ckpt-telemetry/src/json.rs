@@ -1,0 +1,193 @@
+//! A tiny hand-rolled JSON writer — the workspace builds offline, so no
+//! serde. Emission order is caller-controlled; the [`crate::Registry`]
+//! snapshot always walks its maps in key order, which is what makes the
+//! report schema stable and diffable.
+
+/// Incremental JSON writer. Handles commas, string escaping, and non-finite
+/// floats (emitted as `null`, which is what JSON has to offer).
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    // True when the next emission at the current nesting level needs a
+    // leading comma.
+    need_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    pub fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn pre_value(&mut self) {
+        if let Some(need) = self.need_comma.last_mut() {
+            if *need {
+                self.out.push(',');
+            }
+            *need = true;
+        }
+    }
+
+    pub fn begin_object(&mut self) -> &mut Self {
+        self.pre_value();
+        self.out.push('{');
+        self.need_comma.push(false);
+        self
+    }
+
+    pub fn end_object(&mut self) -> &mut Self {
+        self.need_comma.pop();
+        self.out.push('}');
+        self
+    }
+
+    pub fn begin_array(&mut self) -> &mut Self {
+        self.pre_value();
+        self.out.push('[');
+        self.need_comma.push(false);
+        self
+    }
+
+    pub fn end_array(&mut self) -> &mut Self {
+        self.need_comma.pop();
+        self.out.push(']');
+        self
+    }
+
+    /// Emit `"key":` — must be followed by exactly one value emission.
+    pub fn key(&mut self, key: &str) -> &mut Self {
+        self.pre_value();
+        self.push_escaped(key);
+        self.out.push(':');
+        // The value after a key must not get its own comma.
+        if let Some(need) = self.need_comma.last_mut() {
+            *need = false;
+        }
+        self
+    }
+
+    pub fn string(&mut self, v: &str) -> &mut Self {
+        self.pre_value();
+        self.push_escaped(v);
+        self
+    }
+
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.pre_value();
+        self.out.push_str(&v.to_string());
+        self
+    }
+
+    pub fn i64(&mut self, v: i64) -> &mut Self {
+        self.pre_value();
+        self.out.push_str(&v.to_string());
+        self
+    }
+
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.pre_value();
+        if v.is_finite() {
+            // Rust's shortest-round-trip formatting; integral values get a
+            // ".0" suffix so the value stays typed as a float on re-parse.
+            if v == v.trunc() && v.abs() < 1e15 {
+                self.out.push_str(&format!("{v:.1}"));
+            } else {
+                self.out.push_str(&format!("{v}"));
+            }
+        } else {
+            self.out.push_str("null");
+        }
+        self
+    }
+
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.pre_value();
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    fn push_escaped(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+}
+
+/// Minimal JSON scanner used by tests and the CLI's `--stats` plumbing to
+/// check key presence without a full parser: returns every object key seen
+/// anywhere in the document, in order of appearance.
+pub fn collect_keys(json: &str) -> Vec<String> {
+    let mut keys = Vec::new();
+    let bytes = json.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let start = i + 1;
+            let mut j = start;
+            while j < bytes.len() && bytes[j] != b'"' {
+                if bytes[j] == b'\\' {
+                    j += 1;
+                }
+                j += 1;
+            }
+            // A string immediately followed by ':' is a key.
+            let mut k = j + 1;
+            while k < bytes.len() && (bytes[k] == b' ' || bytes[k] == b'\n') {
+                k += 1;
+            }
+            if k < bytes.len() && bytes[k] == b':' {
+                keys.push(String::from_utf8_lossy(&bytes[start..j]).into_owned());
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_nested_structures_with_correct_commas() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("a").u64(1);
+        w.key("b").begin_array();
+        w.u64(1);
+        w.string("x\"y");
+        w.begin_object().key("c").f64(0.5);
+        w.end_object();
+        w.end_array();
+        w.key("d").f64(2.0);
+        w.key("e").f64(f64::NAN);
+        w.end_object();
+        assert_eq!(
+            w.finish(),
+            r#"{"a":1,"b":[1,"x\"y",{"c":0.5}],"d":2.0,"e":null}"#
+        );
+    }
+
+    #[test]
+    fn collect_keys_sees_only_keys() {
+        let keys = collect_keys(r#"{"a":1,"b":{"c":"not:akey","d":[{"e":2}]}}"#);
+        assert_eq!(keys, ["a", "b", "c", "d", "e"]);
+    }
+}

@@ -1,0 +1,274 @@
+//! The metric registry: owns named counters, gauges, histograms, and span
+//! aggregates; resets cleanly; snapshots to a stable JSON schema.
+
+use crate::histogram::Histogram;
+use crate::json::JsonWriter;
+use crate::metrics::{Counter, Gauge};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+/// Aggregate over all executions of a named span: call count plus total
+/// measured wall time and total modeled device time.
+#[derive(Debug, Default)]
+pub struct SpanStats {
+    count: AtomicU64,
+    measured_ns: AtomicU64,
+    /// Modeled time in femtoseconds, matching gpu-sim's resolution so tiny
+    /// kernels don't round to zero.
+    modeled_fs: AtomicU64,
+}
+
+const FS_PER_SEC: f64 = 1e15;
+
+impl SpanStats {
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn measured_sec(&self) -> f64 {
+        self.measured_ns.load(Ordering::Relaxed) as f64 * 1e-9
+    }
+
+    pub fn modeled_sec(&self) -> f64 {
+        self.modeled_fs.load(Ordering::Relaxed) as f64 / FS_PER_SEC
+    }
+
+    fn record(&self, measured: std::time::Duration, modeled_sec: f64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.measured_ns.fetch_add(
+            measured.as_nanos().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
+        if modeled_sec > 0.0 {
+            self.modeled_fs
+                .fetch_add((modeled_sec * FS_PER_SEC) as u64, Ordering::Relaxed);
+        }
+    }
+
+    fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.measured_ns.store(0, Ordering::Relaxed);
+        self.modeled_fs.store(0, Ordering::Relaxed);
+    }
+}
+
+/// RAII guard for one span execution. Wall time runs from creation to drop;
+/// modeled time is fed in with [`SpanGuard::add_modeled_sec`]. Nest spans by
+/// opening guards for `parent/child` names while the parent guard is live —
+/// names are hierarchical by convention (slash-separated), and aggregation
+/// is per-name, so nesting needs no runtime parent tracking.
+pub struct SpanGuard {
+    stats: Arc<SpanStats>,
+    started: Instant,
+    modeled_sec: f64,
+}
+
+impl SpanGuard {
+    pub fn add_modeled_sec(&mut self, sec: f64) {
+        self.modeled_sec += sec;
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.stats.record(self.started.elapsed(), self.modeled_sec);
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+    spans: BTreeMap<String, Arc<SpanStats>>,
+}
+
+/// Owns every metric of one subsystem (a runtime instance, a CLI run, a
+/// figure sweep). Handles are `Arc`s, so hot paths never touch the registry
+/// lock after acquisition.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Get or create the counter with this name.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut inner = self.lock();
+        inner.counters.entry(name.to_string()).or_default().clone()
+    }
+
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut inner = self.lock();
+        inner.gauges.entry(name.to_string()).or_default().clone()
+    }
+
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut inner = self.lock();
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    pub fn span_stats(&self, name: &str) -> Arc<SpanStats> {
+        let mut inner = self.lock();
+        inner.spans.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Open a span guard; wall time is measured until the guard drops.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        SpanGuard {
+            stats: self.span_stats(name),
+            started: Instant::now(),
+            modeled_sec: 0.0,
+        }
+    }
+
+    /// Zero every registered metric (names stay registered, handles stay
+    /// valid). The integration tests rely on this being complete.
+    pub fn reset(&self) {
+        let inner = self.lock();
+        inner.counters.values().for_each(|c| c.reset());
+        inner.gauges.values().for_each(|g| g.reset());
+        inner.histograms.values().for_each(|h| h.reset());
+        inner.spans.values().for_each(|s| s.reset());
+    }
+
+    /// Serialize every metric into the stable JSON schema (see crate docs).
+    /// Maps iterate in key order, so output is deterministic.
+    pub fn snapshot_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w);
+        w.finish()
+    }
+
+    /// Emit the registry as one JSON object onto an existing writer, so
+    /// callers can embed it in a larger report.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        let inner = self.lock();
+        w.begin_object();
+        w.key("counters").begin_object();
+        for (name, c) in &inner.counters {
+            w.key(name).u64(c.get());
+        }
+        w.end_object();
+        w.key("gauges").begin_object();
+        for (name, g) in &inner.gauges {
+            w.key(name).i64(g.get());
+        }
+        w.end_object();
+        w.key("histograms").begin_object();
+        for (name, h) in &inner.histograms {
+            let s = h.snapshot();
+            w.key(name).begin_object();
+            w.key("buckets").begin_array();
+            for (le, count) in &s.buckets {
+                w.begin_object();
+                w.key("count").u64(*count);
+                w.key("le").u64(*le);
+                w.end_object();
+            }
+            w.end_array();
+            w.key("count").u64(s.count);
+            w.key("max").u64(s.max);
+            w.key("min").u64(s.min);
+            w.key("sum").u64(s.sum);
+            w.end_object();
+        }
+        w.end_object();
+        w.key("spans").begin_object();
+        for (name, s) in &inner.spans {
+            w.key(name).begin_object();
+            w.key("count").u64(s.count());
+            w.key("measured_sec").f64(s.measured_sec());
+            w.key("modeled_sec").f64(s.modeled_sec());
+            w.end_object();
+        }
+        w.end_object();
+        w.end_object();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_and_reset_is_complete() {
+        let r = Registry::new();
+        let c1 = r.counter("x/events");
+        let c2 = r.counter("x/events");
+        c1.add(3);
+        c2.add(4);
+        assert_eq!(r.counter("x/events").get(), 7);
+        r.gauge("x/depth").set(-2);
+        r.histogram("x/lat_ns").record(100);
+        {
+            let mut span = r.span("x/work");
+            span.add_modeled_sec(0.5);
+        }
+        r.reset();
+        assert_eq!(r.counter("x/events").get(), 0);
+        assert_eq!(r.gauge("x/depth").get(), 0);
+        assert_eq!(r.histogram("x/lat_ns").snapshot().count, 0);
+        assert_eq!(r.span_stats("x/work").count(), 0);
+        assert_eq!(r.span_stats("x/work").modeled_sec(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_json_has_stable_schema_and_key_order() {
+        let r = Registry::new();
+        r.counter("b").inc();
+        r.counter("a").add(2);
+        r.gauge("lag").set(5);
+        r.histogram("size").record(4096);
+        {
+            let mut s = r.span("ckpt");
+            s.add_modeled_sec(0.001);
+        }
+        let json = r.snapshot_json();
+        // Registered names appear sorted; schema keys are fixed.
+        assert!(
+            json.starts_with(r#"{"counters":{"a":2,"b":1},"gauges":{"lag":5},"#),
+            "{json}"
+        );
+        assert!(json.contains(r#""histograms":{"size":{"buckets":[{"count":1,"le":4096}],"count":1,"max":4096,"min":4096,"sum":4096}}"#), "{json}");
+        assert!(json.contains(r#""spans":{"ckpt":{"count":1,"#), "{json}");
+        let keys = crate::json::collect_keys(&json);
+        for expect in ["counters", "gauges", "histograms", "spans"] {
+            assert!(
+                keys.iter().any(|k| k == expect),
+                "missing {expect} in {json}"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let r = Registry::new();
+        let c = r.counter("n");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+    }
+}

@@ -107,7 +107,11 @@ pub fn segmented_gather(src: &[u8], segments: &[Segment], dst: &mut [u8]) -> usi
     let lens: Vec<u64> = segments.iter().map(|&(_, len)| len as u64).collect();
     let mut offsets = vec![0u64; segments.len()];
     let total = exclusive_scan(&lens, &mut offsets) as usize;
-    assert!(dst.len() >= total, "gather destination too small: {} < {total}", dst.len());
+    assert!(
+        dst.len() >= total,
+        "gather destination too small: {} < {total}",
+        dst.len()
+    );
 
     // Partition `dst` into one disjoint mutable slice per segment.
     let mut parts: Vec<&mut [u8]> = Vec::with_capacity(segments.len());
@@ -131,7 +135,11 @@ pub fn segmented_gather(src: &[u8], segments: &[Segment], dst: &mut [u8]) -> usi
 /// `dst` — the inverse of [`segmented_gather`], used on restore.
 pub fn segmented_scatter(src: &[u8], segments: &[Segment], dst: &mut [u8]) -> usize {
     let total: usize = segments.iter().map(|&(_, len)| len).sum();
-    assert!(src.len() >= total, "scatter source too small: {} < {total}", src.len());
+    assert!(
+        src.len() >= total,
+        "scatter source too small: {} < {total}",
+        src.len()
+    );
 
     // Destination segments may be arbitrary; to stay safe we sort an index by
     // offset and verify disjointness, then split `dst` into disjoint parts.

@@ -106,14 +106,19 @@ impl ContentCache {
     /// Cache `bytes` under `digest` (first writer wins). Returns `false` when
     /// the probe window was exhausted (not cached).
     pub fn insert(&self, digest: &Digest128, bytes: &[u8]) -> bool {
-        assert!(bytes.len() <= self.chunk_size, "chunk exceeds cache slot size");
+        assert!(
+            bytes.len() <= self.chunk_size,
+            "chunk exceeds cache slot size"
+        );
         let start = self.start_index(digest);
         for probe in 0..PROBE_WINDOW.min(self.slots.len()) {
             let idx = (start + probe) & self.mask;
             let slot = &self.slots[idx];
             let mut state = slot.state.load(Ordering::Acquire);
             if state == EMPTY {
-                match slot.state.compare_exchange(EMPTY, BUSY, Ordering::AcqRel, Ordering::Acquire)
+                match slot
+                    .state
+                    .compare_exchange(EMPTY, BUSY, Ordering::AcqRel, Ordering::Acquire)
                 {
                     Ok(_) => {
                         // SAFETY: unique BUSY owner of slot `idx` and its
@@ -195,7 +200,10 @@ mod tests {
         assert!(cache.insert(&d, b"hello chunk"));
         assert_eq!(cache.verify(&d, b"hello chunk"), Verification::Match);
         assert_eq!(cache.verify(&d, b"other bytes"), Verification::Collision);
-        assert_eq!(cache.verify(&digest(2), b"hello chunk"), Verification::Unknown);
+        assert_eq!(
+            cache.verify(&digest(2), b"hello chunk"),
+            Verification::Unknown
+        );
         assert_eq!(cache.len(), 1);
     }
 
@@ -216,7 +224,10 @@ mod tests {
         let d = digest(4);
         cache.insert(&d, b"short");
         assert_eq!(cache.verify(&d, b"short"), Verification::Match);
-        assert_eq!(cache.verify(&d, b"short but longer"), Verification::Collision);
+        assert_eq!(
+            cache.verify(&d, b"short but longer"),
+            Verification::Collision
+        );
     }
 
     #[test]

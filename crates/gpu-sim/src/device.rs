@@ -24,12 +24,20 @@ impl KernelCost {
     /// A kernel that streams `bytes` once through memory with ~1 op/byte
     /// (hashing, copying, comparing).
     pub fn stream(bytes: u64) -> Self {
-        KernelCost { bytes_read: bytes, bytes_written: 0, flops: bytes }
+        KernelCost {
+            bytes_read: bytes,
+            bytes_written: 0,
+            flops: bytes,
+        }
     }
 
     /// A kernel that reads and writes `bytes` (gather/serialize).
     pub fn copy(bytes: u64) -> Self {
-        KernelCost { bytes_read: bytes, bytes_written: bytes, flops: bytes / 8 }
+        KernelCost {
+            bytes_read: bytes,
+            bytes_written: bytes,
+            flops: bytes / 8,
+        }
     }
 
     pub fn with_writes(mut self, bytes: u64) -> Self {
@@ -102,7 +110,10 @@ impl Device {
         } else {
             m.record_fused();
         }
-        let sec = self.inner.perf.kernel_sec(cost.bytes_read, cost.bytes_written, cost.flops);
+        let sec = self
+            .inner
+            .perf
+            .kernel_sec(cost.bytes_read, cost.bytes_written, cost.flops);
         m.record_kernel(cost.bytes_read, cost.bytes_written, sec);
     }
 
@@ -192,7 +203,9 @@ impl Device {
     /// introduce unacceptable latencies associated with submitting and
     /// executing new kernels").
     pub fn fused<R>(&self, _name: &str, f: impl FnOnce() -> R) -> R {
-        self.inner.metrics.record_launch_latency(self.inner.perf.launch_sec());
+        self.inner
+            .metrics
+            .record_launch_latency(self.inner.perf.launch_sec());
         self.inner.fused_depth.fetch_add(1, Ordering::Relaxed);
         let out = f();
         self.inner.fused_depth.fetch_sub(1, Ordering::Relaxed);
@@ -266,8 +279,8 @@ impl Device {
 
         let perf = &self.inner.perf;
         let kernel_sec = perf.kernel_sec(bytes, bytes, bytes / 8);
-        let share_sec = bytes as f64
-            / (perf.config().pcie_bytes_per_sec / self.contenders().max(1) as f64);
+        let share_sec =
+            bytes as f64 / (perf.config().pcie_bytes_per_sec / self.contenders().max(1) as f64);
         let pipelined = perf.streamed_pipeline_sec(kernel_sec, share_sec, n_slices);
         // Book the whole pipeline as one fused launch + one transfer whose
         // combined modeled time is the pipelined duration (kernel part under

@@ -45,7 +45,10 @@ impl MapEntry {
 
     #[inline]
     fn unpack(v: u64) -> Self {
-        MapEntry { node: v as u32, ckpt: (v >> 32) as u32 }
+        MapEntry {
+            node: v as u32,
+            ckpt: (v >> 32) as u32,
+        }
     }
 }
 
@@ -103,8 +106,15 @@ impl DistinctMap {
     /// factor ≤ 0.5 so linear probing stays short.
     pub fn with_capacity(capacity: usize) -> Self {
         let table = (capacity.max(1) * 2).next_power_of_two();
-        let slots = (0..table).map(|_| Slot::new()).collect::<Vec<_>>().into_boxed_slice();
-        DistinctMap { slots, mask: table - 1, len: AtomicUsize::new(0) }
+        let slots = (0..table)
+            .map(|_| Slot::new())
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        DistinctMap {
+            slots,
+            mask: table - 1,
+            len: AtomicUsize::new(0),
+        }
     }
 
     /// Number of digests stored.
@@ -138,12 +148,10 @@ impl DistinctMap {
             let slot = &self.slots[(start + probe) & self.mask];
             let mut state = slot.state.load(Ordering::Acquire);
             if state == EMPTY {
-                match slot.state.compare_exchange(
-                    EMPTY,
-                    BUSY,
-                    Ordering::AcqRel,
-                    Ordering::Acquire,
-                ) {
+                match slot
+                    .state
+                    .compare_exchange(EMPTY, BUSY, Ordering::AcqRel, Ordering::Acquire)
+                {
                     Ok(_) => {
                         // We own the slot: publish key+value, then FULL.
                         // SAFETY: unique writer (won the CAS), no reader
@@ -307,7 +315,10 @@ mod tests {
         let map = DistinctMap::with_capacity(16);
         let d = digest(2);
         assert!(map.insert(&d, MapEntry::new(1, 0)).inserted());
-        assert_eq!(map.insert(&d, MapEntry::new(99, 9)), InsertResult::Exists(MapEntry::new(1, 0)));
+        assert_eq!(
+            map.insert(&d, MapEntry::new(99, 9)),
+            InsertResult::Exists(MapEntry::new(1, 0))
+        );
         assert_eq!(map.get(&d), Some(MapEntry::new(1, 0)));
         assert_eq!(map.len(), 1);
     }

@@ -38,13 +38,17 @@ impl DeviceMetrics {
 
     pub(crate) fn record_kernel(&self, bytes_read: u64, bytes_written: u64, modeled_sec: f64) {
         self.kernels_launched.fetch_add(1, Ordering::Relaxed);
-        self.device_bytes_read.fetch_add(bytes_read, Ordering::Relaxed);
-        self.device_bytes_written.fetch_add(bytes_written, Ordering::Relaxed);
-        self.kernel_femtos.fetch_add(to_femtos(modeled_sec), Ordering::Relaxed);
+        self.device_bytes_read
+            .fetch_add(bytes_read, Ordering::Relaxed);
+        self.device_bytes_written
+            .fetch_add(bytes_written, Ordering::Relaxed);
+        self.kernel_femtos
+            .fetch_add(to_femtos(modeled_sec), Ordering::Relaxed);
     }
 
     pub(crate) fn record_launch_latency(&self, modeled_sec: f64) {
-        self.launch_femtos.fetch_add(to_femtos(modeled_sec), Ordering::Relaxed);
+        self.launch_femtos
+            .fetch_add(to_femtos(modeled_sec), Ordering::Relaxed);
     }
 
     pub(crate) fn record_fused(&self) {
@@ -53,12 +57,14 @@ impl DeviceMetrics {
 
     pub(crate) fn record_d2h(&self, bytes: u64, modeled_sec: f64) {
         self.d2h_bytes.fetch_add(bytes, Ordering::Relaxed);
-        self.transfer_femtos.fetch_add(to_femtos(modeled_sec), Ordering::Relaxed);
+        self.transfer_femtos
+            .fetch_add(to_femtos(modeled_sec), Ordering::Relaxed);
     }
 
     pub(crate) fn record_h2d(&self, bytes: u64, modeled_sec: f64) {
         self.h2d_bytes.fetch_add(bytes, Ordering::Relaxed);
-        self.transfer_femtos.fetch_add(to_femtos(modeled_sec), Ordering::Relaxed);
+        self.transfer_femtos
+            .fetch_add(to_femtos(modeled_sec), Ordering::Relaxed);
     }
 
     pub(crate) fn record_alloc(&self, bytes: u64) {

@@ -12,12 +12,19 @@ use gpu_dedup_ckpt::graph::{gorder, GraphStats, PaperGraph};
 use gpu_dedup_ckpt::oranges::OrangesRun;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(10_000);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(10_000);
 
     // 1. Input graph, pre-processed with Gorder (§3.2).
     let graph = PaperGraph::AsiaOsm.generate(n, 42);
     let graph = gorder::reorder(&graph);
-    println!("input: {} — {}", PaperGraph::AsiaOsm.name(), GraphStats::compute(&graph));
+    println!(
+        "input: {} — {}",
+        PaperGraph::AsiaOsm.name(),
+        GraphStats::compute(&graph)
+    );
 
     // 2. Run ORANGES, capturing 10 evenly spaced GDV checkpoints.
     let mut snapshots = Vec::new();
@@ -35,12 +42,33 @@ fn main() {
     // 3. Checkpoint the same record with all four methods.
     let chunk = 128;
     let methods: Vec<(&str, Box<dyn Checkpointer>)> = vec![
-        ("Full", Box::new(FullCheckpointer::new(Device::a100(), chunk))),
-        ("Basic", Box::new(BasicCheckpointer::new(Device::a100(), chunk))),
-        ("List", Box::new(ListCheckpointer::new(Device::a100(), TreeConfig::new(chunk)))),
-        ("Tree", Box::new(TreeCheckpointer::new(Device::a100(), TreeConfig::new(chunk)))),
+        (
+            "Full",
+            Box::new(FullCheckpointer::new(Device::a100(), chunk)),
+        ),
+        (
+            "Basic",
+            Box::new(BasicCheckpointer::new(Device::a100(), chunk)),
+        ),
+        (
+            "List",
+            Box::new(ListCheckpointer::new(
+                Device::a100(),
+                TreeConfig::new(chunk),
+            )),
+        ),
+        (
+            "Tree",
+            Box::new(TreeCheckpointer::new(
+                Device::a100(),
+                TreeConfig::new(chunk),
+            )),
+        ),
     ];
-    println!("{:<8} {:>14} {:>10} {:>14} {:>14}", "method", "record bytes", "ratio", "metadata", "modeled tp");
+    println!(
+        "{:<8} {:>14} {:>10} {:>14} {:>14}",
+        "method", "record bytes", "ratio", "metadata", "modeled tp"
+    );
     for (name, mut method) in methods {
         let rec = run_record(&mut *method, snapshots.iter().map(|s| s.as_slice()));
         let inc = rec.stats.excluding_first();

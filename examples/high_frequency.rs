@@ -14,8 +14,8 @@
 
 use gpu_dedup_ckpt::dedup::prelude::*;
 use gpu_dedup_ckpt::gpu_sim::Device;
-use gpu_dedup_ckpt::runtime::{AsyncRuntime, TierChain};
 use gpu_dedup_ckpt::runtime::tier::TierConfig;
+use gpu_dedup_ckpt::runtime::{AsyncRuntime, TierChain};
 
 const CKPTS: usize = 20;
 const STATE_BYTES: usize = 2 << 20;
@@ -37,7 +37,11 @@ fn snapshots() -> Vec<Vec<u8>> {
 fn drive(name: &str, mut method: Box<dyn Checkpointer>, snaps: &[Vec<u8>]) {
     let tiers = TierChain::with_configs(
         // Host staging: room for three full checkpoints only.
-        TierConfig { name: "host", bandwidth_bps: 25.0e9, capacity: (STATE_BYTES * 3) as u64 },
+        TierConfig {
+            name: "host",
+            bandwidth_bps: 25.0e9,
+            capacity: (STATE_BYTES * 3) as u64,
+        },
         TierConfig::ssd(),
         TierConfig::pfs(),
     );
@@ -51,7 +55,9 @@ fn drive(name: &str, mut method: Box<dyn Checkpointer>, snaps: &[Vec<u8>]) {
     for (k, snap) in snaps.iter().enumerate() {
         let diff = method.checkpoint(snap).diff;
         stored += diff.stored_bytes() as u64;
-        stall += rt.submit_blocking(0, k as u32, diff.encode()).expect("runtime alive");
+        stall += rt
+            .submit_blocking(0, k as u32, diff.encode())
+            .expect("runtime alive");
     }
     println!(
         "{name:<5} emitted {CKPTS} checkpoints in {:>6.0} ms — stalled {:>6.0} ms, \
@@ -69,7 +75,11 @@ fn main() {
         "burst of {CKPTS} checkpoints of {} MiB through a host tier that holds 3:\n",
         STATE_BYTES >> 20
     );
-    drive("Full", Box::new(FullCheckpointer::new(Device::a100(), 128)), &snaps);
+    drive(
+        "Full",
+        Box::new(FullCheckpointer::new(Device::a100(), 128)),
+        &snaps,
+    );
     drive(
         "Tree",
         Box::new(TreeCheckpointer::new(Device::a100(), TreeConfig::new(128))),

@@ -1,0 +1,14 @@
+//! Minimal offline stand-in for the subset of `crossbeam` 0.8 used here:
+//! `crossbeam::channel::{unbounded, Sender, Receiver}`. Backed by
+//! `std::sync::mpsc`, which (since Rust 1.72) has a `Sync` `Sender` and
+//! matching `send`/`recv`/`iter` semantics for this workspace's usage.
+
+pub mod channel {
+    pub use std::sync::mpsc::{
+        Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
+    };
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}

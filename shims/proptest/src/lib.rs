@@ -1,0 +1,140 @@
+//! Minimal offline stand-in for the subset of `proptest` 1.x this workspace
+//! uses: the `proptest!` macro, `Strategy` with `prop_map`/`boxed`, integer
+//! ranges and `any::<T>()` strategies, `Just`, `prop_oneof!`,
+//! `prop::collection::vec`, and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from the real crate, by design:
+//! - no shrinking — on failure the generated inputs are printed verbatim;
+//! - value generation is plain random sampling from a deterministic
+//!   per-test seed (override with `PROPTEST_SEED`);
+//! - `ProptestConfig` only honours `cases`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Namespace mirror so `prop::collection::vec(...)` resolves after a
+    /// glob import of the prelude, as in the real crate.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Assertion macros: without shrinking there is nothing to propagate, so
+/// they lower directly onto the std assertions.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skip the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return $crate::test_runner::CaseResult::Reject;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return $crate::test_runner::CaseResult::Reject;
+        }
+    };
+}
+
+/// Weightless `prop_oneof![a, b, ...]`: uniform choice among the arms.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// The `proptest!` block macro. Supports an optional leading
+/// `#![proptest_config(...)]` and one or more `#[test] fn name(arg in
+/// strategy, ...) { body }` items (args must be plain identifiers).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let mut case = 0u32;
+            let mut rejected = 0u32;
+            while case < config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample_value(&$strat, &mut rng);)+
+                let inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                    || -> $crate::test_runner::CaseResult {
+                        $body
+                        #[allow(unreachable_code)]
+                        return $crate::test_runner::CaseResult::Pass;
+                    },
+                ));
+                match outcome {
+                    Ok($crate::test_runner::CaseResult::Pass) => case += 1,
+                    Ok($crate::test_runner::CaseResult::Reject) => {
+                        rejected += 1;
+                        assert!(
+                            rejected < config.cases.saturating_mul(64).max(1024),
+                            "proptest: too many prop_assume! rejections in {}",
+                            stringify!($name),
+                        );
+                    }
+                    Err(payload) => {
+                        eprintln!(
+                            "proptest case {case} of {} failed with inputs: {inputs}",
+                            stringify!($name),
+                        );
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}

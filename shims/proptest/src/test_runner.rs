@@ -1,0 +1,61 @@
+//! Per-test configuration and the deterministic test RNG.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Outcome of a single generated case (used by the `proptest!` expansion).
+pub enum CaseResult {
+    Pass,
+    Reject,
+}
+
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic per-test RNG: seeded from a hash of the fully-qualified
+/// test name, XORed with `PROPTEST_SEED` when set so failures can be
+/// explored from other starting points.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test path gives a stable, distinct seed per test.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+            if let Ok(s) = seed.parse::<u64>() {
+                h ^= s;
+            }
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h),
+        }
+    }
+
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}

@@ -1,0 +1,234 @@
+//! Minimal offline stand-in for the subset of `rayon` 1.x this workspace
+//! uses. "Parallel iterators" here wrap plain sequential iterators; the
+//! side-effecting terminals (`for_each`, `for_each_init`) fan work out over
+//! scoped OS threads when the item count is large enough to amortize spawn
+//! cost, so concurrent code paths (atomic maps, shared-slice kernels) are
+//! still exercised under real parallelism. Value-producing terminals
+//! (`map`/`reduce`/`sum`/`collect`) run sequentially — same results, simpler
+//! code, and the simulator's modeled device time never depends on host
+//! parallelism.
+
+use std::ops::Range;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+/// Below this many items a terminal runs sequentially; above it, work is
+/// split so each spawned thread gets at least this many items.
+const ITEMS_PER_THREAD: usize = 2048;
+
+fn max_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+pub struct Par<I: Iterator>(I);
+
+pub trait IntoParallelIterator {
+    type Item;
+    type IntoIter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Par<Self::IntoIter>;
+}
+
+impl<I: Iterator> IntoParallelIterator for Par<I> {
+    type Item = I::Item;
+    type IntoIter = I;
+    fn into_par_iter(self) -> Par<I> {
+        self
+    }
+}
+
+impl<T> IntoParallelIterator for Range<T>
+where
+    Range<T>: Iterator<Item = T>,
+{
+    type Item = T;
+    type IntoIter = Range<T>;
+    fn into_par_iter(self) -> Par<Range<T>> {
+        Par(self)
+    }
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> Par<std::vec::IntoIter<T>> {
+        Par(self.into_iter())
+    }
+}
+
+pub trait ParallelSlice<T> {
+    fn par_iter(&self) -> Par<std::slice::Iter<'_, T>>;
+    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> Par<std::slice::Iter<'_, T>> {
+        Par(self.iter())
+    }
+    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>> {
+        Par(self.chunks(chunk_size))
+    }
+}
+
+pub trait ParallelSliceMut<T> {
+    fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>>;
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>> {
+        Par(self.iter_mut())
+    }
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+        Par(self.chunks_mut(chunk_size))
+    }
+}
+
+impl<I: Iterator> Par<I> {
+    pub fn map<O, F: Fn(I::Item) -> O>(self, f: F) -> Par<std::iter::Map<I, F>> {
+        Par(self.0.map(f))
+    }
+
+    pub fn filter<P: Fn(&I::Item) -> bool>(self, p: P) -> Par<std::iter::Filter<I, P>> {
+        Par(self.0.filter(p))
+    }
+
+    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+        Par(self.0.enumerate())
+    }
+
+    pub fn zip<J: IntoParallelIterator>(self, other: J) -> Par<std::iter::Zip<I, J::IntoIter>> {
+        Par(self.0.zip(other.into_par_iter().0))
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        I::Item: Send,
+        F: Fn(I::Item) + Sync,
+    {
+        run_spread(self.0.collect(), &|item| f(item));
+    }
+
+    pub fn for_each_init<T, INIT, F>(self, init: INIT, f: F)
+    where
+        I::Item: Send,
+        INIT: Fn() -> T + Sync,
+        F: Fn(&mut T, I::Item) + Sync,
+    {
+        let items: Vec<I::Item> = self.0.collect();
+        let chunks = split_chunks(items);
+        if chunks.len() == 1 {
+            let mut state = init();
+            for item in chunks.into_iter().flatten() {
+                f(&mut state, item);
+            }
+            return;
+        }
+        std::thread::scope(|scope| {
+            for chunk in chunks {
+                let (init, f) = (&init, &f);
+                scope.spawn(move || {
+                    let mut state = init();
+                    for item in chunk {
+                        f(&mut state, item);
+                    }
+                });
+            }
+        });
+    }
+
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+}
+
+/// Split an item vector into per-thread chunks (possibly just one).
+fn split_chunks<T>(items: Vec<T>) -> Vec<Vec<T>> {
+    let threads = (items.len() / ITEMS_PER_THREAD).clamp(1, max_threads());
+    if threads == 1 {
+        return vec![items];
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut rest = items;
+    let mut chunks = Vec::with_capacity(threads);
+    while rest.len() > chunk_len {
+        let tail = rest.split_off(rest.len() - chunk_len);
+        chunks.push(tail);
+    }
+    chunks.push(rest);
+    chunks
+}
+
+fn run_spread<T: Send>(items: Vec<T>, f: &(impl Fn(T) + Sync)) {
+    let chunks = split_chunks(items);
+    if chunks.len() == 1 {
+        for item in chunks.into_iter().flatten() {
+            f(item);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        for chunk in chunks {
+            scope.spawn(move || {
+                for item in chunk {
+                    f(item);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn for_each_covers_every_index_in_parallel() {
+        let n = 40_000usize;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        (0..n).into_par_iter().for_each(|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn map_reduce_and_chunked_zip_match_sequential() {
+        let n = 10_000u64;
+        let total: u64 = (0..n as usize)
+            .into_par_iter()
+            .map(|i| i as u64)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, n * (n - 1) / 2);
+
+        let input: Vec<u64> = (0..n).collect();
+        let mut out = vec![0u64; input.len()];
+        out.par_chunks_mut(128)
+            .zip(input.par_chunks(128))
+            .for_each(|(o, i)| {
+                o.copy_from_slice(i);
+            });
+        assert_eq!(out, input);
+    }
+}

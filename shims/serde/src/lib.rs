@@ -1,0 +1,4 @@
+//! Offline placeholder for `serde`. It exists only so that the optional,
+//! default-off `serde` feature of `ckpt-hash` resolves without touching the
+//! network. The derive macros are not provided; enabling that feature in an
+//! offline build is unsupported and will fail to compile.

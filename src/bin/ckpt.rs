@@ -2,9 +2,10 @@
 //!
 //! ```text
 //! ckpt create  --out <dir> [--method tree|list|basic|full] [--chunk N]
-//!              [--compress zstd|lz4|...] <snapshot files...>
+//!              [--compress zstd|lz4|...] [--stats] <snapshot files...>
 //! ckpt info    <dir>
-//! ckpt restore <dir> --version K --out <file>
+//! ckpt stats   <dir>
+//! ckpt restore <dir> --version K --out <file> [--stats]
 //! ckpt verify  <dir> <original snapshot files...>
 //! ```
 //!
@@ -12,30 +13,44 @@
 //! diff wire format of `ckpt_dedup::Diff`). All snapshots must have equal
 //! length (the engine checkpoints a fixed-size buffer, like the paper's GDV
 //! array).
+//!
+//! `--stats` (on `create` and `restore`) and the `stats` subcommand emit a
+//! one-line JSON telemetry report on stdout, prefixed with `stats: `. The
+//! schema is stable: `{"command", "method", ..., "breakdowns": [...],
+//! "metrics": {"counters", "gauges", "histograms", "spans"}}` (see
+//! `DESIGN.md` § Observability).
 
 use gpu_dedup_ckpt::dedup::prelude::*;
 use gpu_dedup_ckpt::dedup::Diff;
 use gpu_dedup_ckpt::gpu_sim::Device;
+use gpu_dedup_ckpt::telemetry::{JsonWriter, Registry, StageBreakdown};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  ckpt create  --out <dir> [--method tree|list|basic|full] [--chunk N] \
-         [--compress <codec>] [--verify-collisions] <snapshots...>\n  ckpt info    <dir>\n  \
-         ckpt restore <dir> --version K --out <file>\n  ckpt verify  <dir> <snapshots...>"
+         [--compress <codec>] [--verify-collisions] [--stats] <snapshots...>\n  \
+         ckpt info    <dir>\n  ckpt stats   <dir>\n  \
+         ckpt restore <dir> --version K --out <file> [--stats]\n  ckpt verify  <dir> <snapshots...>"
     );
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = args.first() else { return usage() };
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--stats` is a global flag: strip it wherever it appears.
+    let stats = args.iter().any(|a| a == "--stats");
+    args.retain(|a| a != "--stats");
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
     let rest = &args[1..];
     let result = match cmd.as_str() {
-        "create" => cmd_create(rest),
+        "create" => cmd_create(rest, stats),
         "info" => cmd_info(rest),
-        "restore" => cmd_restore(rest),
+        "stats" => cmd_stats(rest),
+        "restore" => cmd_restore(rest, stats),
         "verify" => cmd_verify(rest),
         _ => return usage(),
     };
@@ -71,7 +86,36 @@ fn load_record(dir: &Path) -> Result<Vec<Diff>, Box<dyn std::error::Error>> {
     Ok(diffs)
 }
 
-fn cmd_create(args: &[String]) -> CliResult {
+/// Print the one-line JSON telemetry report: the command-specific header
+/// fields, per-checkpoint stage breakdowns, and the registry snapshot.
+fn emit_stats_report(
+    command: &str,
+    header: &[(&str, u64)],
+    method: Option<&str>,
+    breakdowns: &[StageBreakdown],
+    registry: &Registry,
+) {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("command").string(command);
+    if let Some(m) = method {
+        w.key("method").string(m);
+    }
+    for (k, v) in header {
+        w.key(k).u64(*v);
+    }
+    w.key("breakdowns").begin_array();
+    for b in breakdowns {
+        b.write_json(&mut w);
+    }
+    w.end_array();
+    w.key("metrics");
+    registry.write_json(&mut w);
+    w.end_object();
+    println!("stats: {}", w.finish());
+}
+
+fn cmd_create(args: &[String], stats: bool) -> CliResult {
     let mut out_dir: Option<PathBuf> = None;
     let mut method = "tree".to_string();
     let mut chunk = 128usize;
@@ -129,11 +173,18 @@ fn cmd_create(args: &[String]) -> CliResult {
         other => return Err(format!("unknown method '{other}'").into()),
     };
 
+    let registry = Registry::new();
+    let mut breakdowns = Vec::new();
     let mut total_in = 0u64;
     let mut total_out = 0u64;
     for (version, path) in snapshots.iter().enumerate() {
         let data = std::fs::read(path)?;
+        let mut span = stats.then(|| registry.span("cli/checkpoint"));
         let out = ckpt.checkpoint(&data);
+        if let Some(s) = span.as_mut() {
+            s.add_modeled_sec(out.stats.modeled_sec);
+        }
+        drop(span);
         let encoded = out.diff.encode();
         std::fs::write(diff_path(&out_dir, version), &encoded)?;
         total_in += data.len() as u64;
@@ -145,6 +196,15 @@ fn cmd_create(args: &[String]) -> CliResult {
             out.stats.ratio(),
             path.display()
         );
+        if stats {
+            registry
+                .histogram("cli/snapshot_bytes")
+                .record(data.len() as u64);
+            registry
+                .histogram("cli/encoded_bytes")
+                .record(encoded.len() as u64);
+            breakdowns.push(out.breakdown);
+        }
     }
     println!(
         "record: {} versions, {total_in} -> {total_out} bytes ({:.2}x), modeled device time {:.3} ms",
@@ -152,6 +212,20 @@ fn cmd_create(args: &[String]) -> CliResult {
         total_in as f64 / total_out.max(1) as f64,
         device.metrics().modeled_sec() * 1e3,
     );
+    if stats {
+        registry.counter("cli/versions").add(snapshots.len() as u64);
+        emit_stats_report(
+            "create",
+            &[
+                ("versions", snapshots.len() as u64),
+                ("input_bytes", total_in),
+                ("stored_bytes", total_out),
+            ],
+            Some(ckpt.name()),
+            &breakdowns,
+            &registry,
+        );
+    }
     Ok(())
 }
 
@@ -177,15 +251,62 @@ fn cmd_info(args: &[String]) -> CliResult {
             d.metadata_bytes(),
             d.first_regions.len(),
             d.shift_regions.len(),
-            if d.payload_codec != 0 { "  [compressed]" } else { "" },
+            if d.payload_codec != 0 {
+                "  [compressed]"
+            } else {
+                ""
+            },
         );
     }
     let full = diffs[0].data_len * diffs.len() as u64;
-    println!("total stored {total} B vs {full} B full ({:.2}x)", full as f64 / total.max(1) as f64);
+    println!(
+        "total stored {total} B vs {full} B full ({:.2}x)",
+        full as f64 / total.max(1) as f64
+    );
     Ok(())
 }
 
-fn cmd_restore(args: &[String]) -> CliResult {
+/// `ckpt stats <dir>`: offline telemetry report over an existing record —
+/// per-version size distributions as histograms, plus record totals.
+fn cmd_stats(args: &[String]) -> CliResult {
+    let dir = PathBuf::from(args.first().ok_or("missing <dir>")?);
+    let diffs = load_record(&dir)?;
+    let registry = Registry::new();
+    let mut stored = 0u64;
+    for d in &diffs {
+        registry
+            .histogram("record/stored_bytes")
+            .record(d.stored_bytes() as u64);
+        registry
+            .histogram("record/payload_bytes")
+            .record(d.payload.len() as u64);
+        registry
+            .histogram("record/metadata_bytes")
+            .record(d.metadata_bytes() as u64);
+        registry
+            .counter("record/first_regions")
+            .add(d.first_regions.len() as u64);
+        registry
+            .counter("record/shift_regions")
+            .add(d.shift_regions.len() as u64);
+        stored += d.stored_bytes() as u64;
+    }
+    emit_stats_report(
+        "stats",
+        &[
+            ("versions", diffs.len() as u64),
+            ("data_len", diffs[0].data_len),
+            ("chunk_size", diffs[0].chunk_size as u64),
+            ("stored_bytes", stored),
+        ],
+        Some(diffs[0].kind.name()),
+        &[],
+        &registry,
+    );
+    Ok(())
+}
+
+fn cmd_restore(args: &[String], stats: bool) -> CliResult {
     let mut dir: Option<PathBuf> = None;
     let mut version: Option<usize> = None;
     let mut out: Option<PathBuf> = None;
@@ -214,10 +335,33 @@ fn cmd_restore(args: &[String]) -> CliResult {
         return Err(format!("version {version} not in record (0..{})", diffs.len() - 1).into());
     }
     // Random-access reader: restores without materializing every version.
+    let registry = Registry::new();
+    let mut span = stats.then(|| registry.span("cli/restore"));
     let reader = RecordReader::build(&diffs)?;
     let bytes = reader.read_version(version as u32)?;
+    drop(span.take());
     std::fs::write(&out, &bytes)?;
-    println!("restored v{version} ({} bytes) -> {}", bytes.len(), out.display());
+    println!(
+        "restored v{version} ({} bytes) -> {}",
+        bytes.len(),
+        out.display()
+    );
+    if stats {
+        registry
+            .histogram("cli/restored_bytes")
+            .record(bytes.len() as u64);
+        emit_stats_report(
+            "restore",
+            &[
+                ("versions", diffs.len() as u64),
+                ("version", version as u64),
+                ("restored_bytes", bytes.len() as u64),
+            ],
+            Some(diffs[0].kind.name()),
+            &[],
+            &registry,
+        );
+    }
     Ok(())
 }
 

@@ -12,4 +12,5 @@ pub use ckpt_graph as graph;
 pub use ckpt_hash as hash;
 pub use ckpt_oranges as oranges;
 pub use ckpt_runtime as runtime;
+pub use ckpt_telemetry as telemetry;
 pub use gpu_sim;

@@ -12,10 +12,7 @@ struct TempDir(PathBuf);
 
 impl TempDir {
     fn new(tag: &str) -> TempDir {
-        let dir = std::env::temp_dir().join(format!(
-            "ckpt-cli-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("ckpt-cli-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         TempDir(dir)
@@ -62,12 +59,19 @@ fn create_info_restore_verify_round_trip() {
         .args(snaps.iter().map(|p| p.to_str().unwrap()))
         .output()
         .unwrap();
-    assert!(out.status.success(), "create failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "create failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(record.join("0000.ckpt").exists());
     assert!(record.join("0002.ckpt").exists());
 
     // info
-    let out = ckpt().args(["info", record.to_str().unwrap()]).output().unwrap();
+    let out = ckpt()
+        .args(["info", record.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("3 versions"), "{text}");
@@ -86,8 +90,15 @@ fn create_info_restore_verify_round_trip() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
-    assert_eq!(std::fs::read(&restored).unwrap(), std::fs::read(&snaps[1]).unwrap());
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        std::fs::read(&restored).unwrap(),
+        std::fs::read(&snaps[1]).unwrap()
+    );
 
     // verify against all originals
     let out = ckpt()
@@ -95,7 +106,11 @@ fn create_info_restore_verify_round_trip() {
         .args(snaps.iter().map(|p| p.to_str().unwrap()))
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("verified bit-exact"));
 }
 
@@ -117,13 +132,175 @@ fn create_with_compression_and_other_methods() {
             .args(snaps.iter().map(|p| p.to_str().unwrap()))
             .output()
             .unwrap();
-        assert!(out.status.success(), "{tag}: {}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{tag}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         let out = ckpt()
             .args(["verify", record.to_str().unwrap()])
             .args(snaps.iter().map(|p| p.to_str().unwrap()))
             .output()
             .unwrap();
-        assert!(out.status.success(), "{tag}: {}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{tag}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+/// Extract the one-line JSON report from a command's stdout.
+fn stats_json(stdout: &[u8]) -> String {
+    let text = String::from_utf8_lossy(stdout);
+    let line = text
+        .lines()
+        .find(|l| l.starts_with("stats: "))
+        .unwrap_or_else(|| panic!("no stats line in output:\n{text}"));
+    line.trim_start_matches("stats: ").to_string()
+}
+
+/// Golden-key (not golden-value) test of the `--stats` JSON reports: the
+/// key set is the stable public schema (DESIGN.md § Observability);
+/// values vary run to run and are deliberately not pinned.
+#[test]
+fn stats_reports_have_stable_json_keys() {
+    let tmp = TempDir::new("stats");
+    let snaps = write_snapshots(tmp.path());
+    let record = tmp.path().join("record");
+
+    let out = ckpt()
+        .args([
+            "create",
+            "--stats",
+            "--out",
+            record.to_str().unwrap(),
+            "--chunk",
+            "64",
+        ])
+        .args(snaps.iter().map(|p| p.to_str().unwrap()))
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = stats_json(&out.stdout);
+    assert!(json.contains("\"command\":\"create\""), "{json}");
+    let keys = gpu_dedup_ckpt::telemetry::collect_keys(&json);
+    for k in [
+        // report envelope
+        "command",
+        "method",
+        "versions",
+        "input_bytes",
+        "stored_bytes",
+        "breakdowns",
+        "metrics",
+        // registry sections
+        "counters",
+        "gauges",
+        "histograms",
+        "spans",
+        // per-checkpoint stage breakdowns
+        "ckpt_id",
+        "stages",
+        "name",
+        "measured_sec",
+        "modeled_sec",
+        "total_measured_sec",
+        "total_modeled_sec",
+        // CLI metrics
+        "cli/versions",
+        "cli/snapshot_bytes",
+        "cli/encoded_bytes",
+        "cli/checkpoint",
+        // histogram snapshot schema
+        "buckets",
+        "count",
+        "le",
+        "sum",
+        "min",
+        "max",
+    ] {
+        assert!(
+            keys.iter().any(|have| have == k),
+            "create report missing key {k:?}: {json}"
+        );
+    }
+    // One stage breakdown per version, in order.
+    assert_eq!(keys.iter().filter(|k| *k == "ckpt_id").count(), snaps.len());
+
+    let restored = tmp.path().join("restored.bin");
+    let out = ckpt()
+        .args([
+            "restore",
+            "--stats",
+            record.to_str().unwrap(),
+            "--version",
+            "2",
+            "--out",
+            restored.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = stats_json(&out.stdout);
+    assert!(json.contains("\"command\":\"restore\""), "{json}");
+    let keys = gpu_dedup_ckpt::telemetry::collect_keys(&json);
+    for k in [
+        "command",
+        "method",
+        "versions",
+        "version",
+        "restored_bytes",
+        "breakdowns",
+        "metrics",
+        "cli/restore",
+        "cli/restored_bytes",
+        "count",
+        "measured_sec",
+        "modeled_sec",
+    ] {
+        assert!(
+            keys.iter().any(|have| have == k),
+            "restore report missing key {k:?}: {json}"
+        );
+    }
+
+    // The `stats` subcommand reports on an existing record.
+    let out = ckpt()
+        .args(["stats", record.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = stats_json(&out.stdout);
+    assert!(json.contains("\"command\":\"stats\""), "{json}");
+    let keys = gpu_dedup_ckpt::telemetry::collect_keys(&json);
+    for k in [
+        "versions",
+        "data_len",
+        "chunk_size",
+        "stored_bytes",
+        "record/stored_bytes",
+        "record/payload_bytes",
+        "record/metadata_bytes",
+        "record/first_regions",
+        "record/shift_regions",
+    ] {
+        assert!(
+            keys.iter().any(|have| have == k),
+            "stats report missing key {k:?}: {json}"
+        );
     }
 }
 
@@ -134,7 +311,10 @@ fn helpful_errors() {
     let out = ckpt().arg("bogus").output().unwrap();
     assert_eq!(out.status.code(), Some(2));
     // Missing record dir.
-    let out = ckpt().args(["info", tmp.path().join("nope").to_str().unwrap()]).output().unwrap();
+    let out = ckpt()
+        .args(["info", tmp.path().join("nope").to_str().unwrap()])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&out.stderr).contains("no checkpoints"));
     // Restoring a version that does not exist.

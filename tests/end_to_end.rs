@@ -53,7 +53,9 @@ fn crash_recovery_resumes_to_identical_result() {
             return;
         }
         let out = ckpt.checkpoint(bytes);
-        runtime.submit(7, out.diff.ckpt_id, out.diff.encode()).unwrap();
+        runtime
+            .submit(7, out.diff.ckpt_id, out.diff.encode())
+            .unwrap();
         progress.push(done);
         taken += 1;
     });
@@ -76,13 +78,15 @@ fn all_methods_agree_on_restored_content() {
         Box::new(BasicCheckpointer::new(Device::a100(), 64)),
         Box::new(ListCheckpointer::new(Device::a100(), TreeConfig::new(64))),
         Box::new(TreeCheckpointer::new(Device::a100(), TreeConfig::new(64))),
-        Box::new(NaiveTreeCheckpointer::new(Device::a100(), TreeConfig::new(64))),
+        Box::new(NaiveTreeCheckpointer::new(
+            Device::a100(),
+            TreeConfig::new(64),
+        )),
         Box::new(SerialTreeCheckpointer::new(64)),
     ];
     for mut m in methods {
         let rec = run_record(&mut *m, snaps.iter().map(|s| s.as_slice()));
-        let versions = restore_record(&rec.diffs)
-            .unwrap_or_else(|e| panic!("{}: {e}", m.name()));
+        let versions = restore_record(&rec.diffs).unwrap_or_else(|e| panic!("{}: {e}", m.name()));
         assert_eq!(versions, snaps, "{}", m.name());
     }
 }
@@ -97,8 +101,14 @@ fn dedup_ratio_ordering_holds_on_gdv_workloads() {
     };
     let full = ratio(Box::new(FullCheckpointer::new(Device::a100(), 32)));
     let basic = ratio(Box::new(BasicCheckpointer::new(Device::a100(), 32)));
-    let list = ratio(Box::new(ListCheckpointer::new(Device::a100(), TreeConfig::new(32))));
-    let tree = ratio(Box::new(TreeCheckpointer::new(Device::a100(), TreeConfig::new(32))));
+    let list = ratio(Box::new(ListCheckpointer::new(
+        Device::a100(),
+        TreeConfig::new(32),
+    )));
+    let tree = ratio(Box::new(TreeCheckpointer::new(
+        Device::a100(),
+        TreeConfig::new(32),
+    )));
 
     assert!((full - 1.0).abs() < 0.01, "full {full}");
     assert!(basic > 2.0 * full, "basic {basic}");
@@ -143,7 +153,10 @@ fn device_state_stays_bounded_across_record() {
         sizes.push(m.device_state_bytes());
     }
     // State is allocated once; repeated checkpoints reuse it.
-    assert!(sizes.windows(2).all(|w| w[0] == w[1]), "state grew: {sizes:?}");
+    assert!(
+        sizes.windows(2).all(|w| w[0] == w[1]),
+        "state grew: {sizes:?}"
+    );
     // Unique-hash record grows sub-linearly in checkpoints.
     assert!(m.record_len() > 0);
 }

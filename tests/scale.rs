@@ -16,8 +16,9 @@ use gpu_dedup_ckpt::gpu_sim::Device;
 fn tree_at_128_mib() {
     let len = 128 << 20;
     // High bits of a Weyl sequence: effectively unique, incompressible bytes.
-    let mut data: Vec<u8> =
-        (0..len).map(|i| ((i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 32) as u8).collect();
+    let mut data: Vec<u8> = (0..len)
+        .map(|i| ((i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 32) as u8)
+        .collect();
 
     let device = Device::a100();
     let mut ckpt = TreeCheckpointer::new(device.clone(), TreeConfig::new(128));
@@ -46,7 +47,11 @@ fn tree_at_128_mib() {
             out.stats.ratio(),
             t.elapsed().as_secs_f64()
         );
-        assert!(out.stats.ratio() > 100.0, "sparse update ratio {:.1}", out.stats.ratio());
+        assert!(
+            out.stats.ratio() > 100.0,
+            "sparse update ratio {:.1}",
+            out.stats.ratio()
+        );
         diffs.push(out.diff);
     }
 

@@ -8,8 +8,9 @@ use gpu_dedup_ckpt::runtime::{restore_rank, AsyncRuntime};
 
 fn rank_snapshots(rank: u32, n: usize) -> Vec<Vec<u8>> {
     let len = 16 * 1024;
-    let mut data: Vec<u8> =
-        (0..len).map(|i| ((i as u64 * 31 + rank as u64 * 1009) % 251) as u8).collect();
+    let mut data: Vec<u8> = (0..len)
+        .map(|i| ((i as u64 * 31 + rank as u64 * 1009) % 251) as u8)
+        .collect();
     let mut out = vec![data.clone()];
     for k in 1..n {
         for j in 0..24 {
@@ -34,8 +35,7 @@ fn concurrent_ranks_with_racing_crash_recover_cleanly() {
             for rank in 0..n_ranks {
                 let rt = &rt;
                 s.spawn(move || {
-                    let mut m =
-                        TreeCheckpointer::new(Device::a100(), TreeConfig::new(64));
+                    let mut m = TreeCheckpointer::new(Device::a100(), TreeConfig::new(64));
                     for (k, snap) in rank_snapshots(rank, n_ckpts).iter().enumerate() {
                         let diff = m.checkpoint(snap).diff;
                         // After a crash, staging may be full/dead — both are
@@ -82,13 +82,15 @@ fn graceful_shutdown_drains_everything() {
             s.spawn(move || {
                 let mut m = TreeCheckpointer::new(Device::a100(), TreeConfig::new(64));
                 for (k, snap) in rank_snapshots(rank, n_ckpts).iter().enumerate() {
-                    rt.submit(rank, k as u32, m.checkpoint(snap).diff.encode()).unwrap();
+                    rt.submit(rank, k as u32, m.checkpoint(snap).diff.encode())
+                        .unwrap();
                 }
             });
         }
     });
-    let ids: Vec<_> =
-        (0..n_ranks).flat_map(|r| (0..n_ckpts as u32).map(move |k| (r, k))).collect();
+    let ids: Vec<_> = (0..n_ranks)
+        .flat_map(|r| (0..n_ckpts as u32).map(move |k| (r, k)))
+        .collect();
     rt.wait_durable(&ids);
     for rank in 0..n_ranks {
         let versions = restore_rank(rt.tiers(), rank).unwrap();
