@@ -13,6 +13,8 @@
 //!   highfreq          E2: producer stall under storage backpressure (§1)
 //!   streaming         E3: checkpoint-level compute/transfer pipelining (§5)
 //!   adjoint           E5: adjoint reversal, revolve vs dedup store (§5)
+//!   host_scaling      thread-count sweep of the persistent host pool
+//!                     (writes BENCH_host_scaling.json)
 //!   ablation-hash     A1: Murmur3 vs MD5
 //!   ablation-metadata A2: Tree vs List metadata
 //!   ablation-waves    A3: two-stage vs naive wave ordering
@@ -25,8 +27,8 @@ use ckpt_bench::report;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures <table1|fig2|fig4|fig5|fig6|hybrid|highfreq|streaming|adjoint|ablation-hash|ablation-metadata|\
-         ablation-waves|ablation-gorder|ablation-fusion|all> [--scale N] [--rank-scale N] [--coverage F] [--seed N]"
+        "usage: figures <table1|fig2|fig4|fig5|fig6|hybrid|highfreq|streaming|adjoint|host_scaling|ablation-hash|\
+         ablation-metadata|ablation-waves|ablation-gorder|ablation-fusion|all> [--scale N] [--rank-scale N] [--coverage F] [--seed N] [--json-out PATH]"
     );
     std::process::exit(2);
 }
@@ -40,6 +42,7 @@ fn main() {
     let mut cfg = ExpConfig::default();
     let mut rank_scale = 4_000usize;
     let mut coverage = ckpt_bench::workload::SCALING_COVERAGE;
+    let mut json_out = String::from("BENCH_host_scaling.json");
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -62,6 +65,10 @@ fn main() {
                     .get(i + 1)
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--json-out" => {
+                json_out = args.get(i + 1).cloned().unwrap_or_else(|| usage());
                 i += 2;
             }
             "--seed" => {
@@ -113,6 +120,14 @@ fn main() {
     });
     run("adjoint", &mut || {
         report::render_adjoint(&experiments::adjoint(cfg))
+    });
+    run("host_scaling", &mut || {
+        let rep = experiments::host_scaling(cfg);
+        let json = report::render_host_scaling_json(&rep);
+        std::fs::write(&json_out, &json).unwrap_or_else(|e| panic!("write {json_out}: {e}"));
+        let mut text = report::render_host_scaling(&rep);
+        text.push_str(&format!("wrote {json_out}\n"));
+        text
     });
     run("ablation-hash", &mut || {
         report::render_hash(&experiments::ablation_hash(cfg))

@@ -258,6 +258,113 @@ pub fn fig6_with_ranks(
     out
 }
 
+// ---------------------------------------------------------- Host scaling
+
+/// One thread-count point of the host-throughput sweep.
+#[derive(Debug)]
+pub struct HostScalingPoint {
+    pub threads: usize,
+    /// Measured CPU wall time for the whole checkpoint record.
+    pub wall_sec: f64,
+    /// Modeled device time for the same record (thread-count independent).
+    pub modeled_sec: f64,
+    pub stored_bytes: u64,
+    /// Order-sensitive Murmur3 digest chained over every encoded diff;
+    /// equal digests mean bit-identical checkpoint records.
+    pub record_digest: (u64, u64),
+}
+
+/// The host-throughput sweep: Tree-method wall time vs pool thread count.
+#[derive(Debug)]
+pub struct HostScalingReport {
+    pub scale: usize,
+    pub snapshot_bytes: usize,
+    pub n_checkpoints: usize,
+    pub points: Vec<HostScalingPoint>,
+}
+
+impl HostScalingReport {
+    /// True when every sweep point produced bit-identical checkpoint bytes.
+    pub fn bit_identical(&self) -> bool {
+        self.points
+            .windows(2)
+            .all(|w| w[0].record_digest == w[1].record_digest)
+    }
+
+    pub fn speedup_vs_1(&self, p: &HostScalingPoint) -> f64 {
+        self.points[0].wall_sec / p.wall_sec.max(1e-12)
+    }
+}
+
+/// Checkpoints per thread-count point in the host-scaling sweep.
+pub const HOST_SCALING_CHECKPOINTS: usize = 8;
+
+/// Thread counts swept: 1, 2, 4, ... up to the pool's configured size
+/// (always at least 4 so the `>=2x at 4 threads` criterion is measurable
+/// even on small containers, via oversubscription).
+pub fn host_scaling_sweep() -> Vec<usize> {
+    let max = rayon::current_num_threads().max(4);
+    let mut sweep = vec![1usize];
+    while *sweep.last().unwrap() < max {
+        let next = (sweep.last().unwrap() * 2).min(max);
+        sweep.push(next);
+    }
+    sweep
+}
+
+/// Host-throughput benchmark: sweep the persistent pool's thread count and
+/// measure the Tree method end-to-end over the GDV workload. Modeled device
+/// time and checkpoint bytes must not move with the thread count — only CPU
+/// wall time may.
+pub fn host_scaling(cfg: ExpConfig) -> HostScalingReport {
+    use ckpt_hash::{Hasher128, Murmur3};
+    use rayon::prelude::*;
+
+    let w = gdv_snapshots(
+        PaperGraph::MessageRace,
+        cfg.scale,
+        HOST_SCALING_CHECKPOINTS,
+        cfg.seed,
+        true,
+    );
+    let hasher = Murmur3;
+    let mut points = Vec::new();
+    for threads in host_scaling_sweep() {
+        rayon::set_active_threads(threads);
+        // Warm the pool outside the timed region so worker spawns are not
+        // billed to the first checkpoint.
+        (0..(1usize << 16)).into_par_iter().for_each(|_| {});
+
+        let device = Device::a100();
+        let mut m = TreeCheckpointer::new(device.clone(), TreeConfig::new(FIG5_CHUNK));
+        let before = device.metrics().snapshot();
+        let t0 = std::time::Instant::now();
+        let mut stored = 0u64;
+        let mut digest = hasher.hash(b"host_scaling");
+        for snap in &w.snapshots {
+            let diff = m.checkpoint(snap).diff;
+            stored += diff.stored_bytes() as u64;
+            digest = hasher.combine(&digest, &hasher.hash(&diff.encode()));
+        }
+        let wall_sec = t0.elapsed().as_secs_f64();
+        let after = device.metrics().snapshot();
+        points.push(HostScalingPoint {
+            threads,
+            wall_sec,
+            modeled_sec: after.modeled_sec - before.modeled_sec,
+            stored_bytes: stored,
+            record_digest: (digest.h1, digest.h2),
+        });
+    }
+    rayon::set_active_threads(0);
+    HostScalingReport {
+        scale: cfg.scale,
+        snapshot_bytes: w.snapshot_bytes(),
+        n_checkpoints: HOST_SCALING_CHECKPOINTS,
+        points,
+    }
+}
+
 // ---------------------------------------------------------------- Ablations
 
 /// A2: metadata bytes per checkpoint, Tree vs List, across chunk sizes.
@@ -892,6 +999,24 @@ mod tests {
             tree.stall_sec
         );
         assert!(full.total_stored > 10 * tree.total_stored);
+    }
+
+    #[test]
+    fn host_scaling_sweeps_and_stays_bit_identical() {
+        let rep = host_scaling(tiny());
+        assert!(rep.points.len() >= 3, "sweep must cover 1, 2, 4 threads");
+        assert_eq!(rep.points[0].threads, 1);
+        assert!(rep.points.iter().any(|p| p.threads == 4));
+        assert!(
+            rep.bit_identical(),
+            "checkpoint bytes drifted across thread counts"
+        );
+        let stored0 = rep.points[0].stored_bytes;
+        for p in &rep.points {
+            assert_eq!(p.stored_bytes, stored0);
+            assert!((p.modeled_sec - rep.points[0].modeled_sec).abs() < 1e-9);
+            assert!(rep.speedup_vs_1(p).is_finite());
+        }
     }
 
     #[test]

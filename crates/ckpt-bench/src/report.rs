@@ -305,6 +305,65 @@ pub fn render_fusion(points: &[FusionPoint]) -> String {
     s
 }
 
+pub fn render_host_scaling(rep: &HostScalingReport) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "Host scaling: Tree method, {} checkpoints of {} each (persistent pool)\n",
+        rep.n_checkpoints,
+        fmt_bytes(rep.snapshot_bytes as u64),
+    ));
+    s.push_str(&format!(
+        "{:>8} {:>12} {:>12} {:>14} {:>10} {:>34}\n",
+        "threads", "wall", "modeled", "stored", "speedup", "record digest"
+    ));
+    for p in &rep.points {
+        s.push_str(&format!(
+            "{:>8} {:>9.2} ms {:>9.2} ms {:>14} {:>9.2}x {:>34}\n",
+            p.threads,
+            p.wall_sec * 1e3,
+            p.modeled_sec * 1e3,
+            fmt_bytes(p.stored_bytes),
+            rep.speedup_vs_1(p),
+            format!("{:016x}{:016x}", p.record_digest.0, p.record_digest.1),
+        ));
+    }
+    s.push_str(&format!(
+        "bit-identical across thread counts: {}\n",
+        rep.bit_identical()
+    ));
+    s
+}
+
+/// The machine-readable side of the host-scaling sweep
+/// (`BENCH_host_scaling.json`).
+pub fn render_host_scaling_json(rep: &HostScalingReport) -> String {
+    let mut w = ckpt_telemetry::JsonWriter::new();
+    w.begin_object();
+    w.key("host_scaling").begin_object();
+    w.key("scale").u64(rep.scale as u64);
+    w.key("snapshot_bytes").u64(rep.snapshot_bytes as u64);
+    w.key("n_checkpoints").u64(rep.n_checkpoints as u64);
+    w.key("bit_identical").bool(rep.bit_identical());
+    w.key("points").begin_array();
+    for p in &rep.points {
+        w.begin_object();
+        w.key("threads").u64(p.threads as u64);
+        w.key("wall_sec").f64(p.wall_sec);
+        w.key("modeled_sec").f64(p.modeled_sec);
+        w.key("stored_bytes").u64(p.stored_bytes);
+        w.key("speedup_vs_1").f64(rep.speedup_vs_1(p));
+        w.key("record_digest").string(&format!(
+            "{:016x}{:016x}",
+            p.record_digest.0, p.record_digest.1
+        ));
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.end_object();
+    w.finish()
+}
+
 pub fn render_hash(points: &[HashPoint]) -> String {
     let mut s = String::new();
     s.push_str("Ablation A1: hash function choice (chunk 128 B)\n");
@@ -329,6 +388,42 @@ mod tests {
         assert_eq!(fmt_bytes(2048), "2.00 KiB");
         assert_eq!(fmt_bytes(5 * 1024 * 1024), "5.00 MiB");
         assert_eq!(fmt_bytes((4.33 * (1u64 << 40) as f64) as u64), "4.33 TiB");
+    }
+
+    #[test]
+    fn host_scaling_json_has_expected_schema() {
+        use crate::experiments::{HostScalingPoint, HostScalingReport};
+        let rep = HostScalingReport {
+            scale: 1000,
+            snapshot_bytes: 292_000,
+            n_checkpoints: 8,
+            points: vec![HostScalingPoint {
+                threads: 1,
+                wall_sec: 0.5,
+                modeled_sec: 0.01,
+                stored_bytes: 123,
+                record_digest: (0xdead, 0xbeef),
+            }],
+        };
+        let json = render_host_scaling_json(&rep);
+        let keys = ckpt_telemetry::collect_keys(&json);
+        for k in [
+            "host_scaling",
+            "scale",
+            "snapshot_bytes",
+            "n_checkpoints",
+            "bit_identical",
+            "points",
+            "threads",
+            "wall_sec",
+            "modeled_sec",
+            "stored_bytes",
+            "speedup_vs_1",
+            "record_digest",
+        ] {
+            assert!(keys.iter().any(|have| have == k), "missing key {k}");
+        }
+        assert!(json.contains("000000000000dead000000000000beef"));
     }
 
     #[test]

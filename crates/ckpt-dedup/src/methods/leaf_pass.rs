@@ -48,16 +48,21 @@ pub(crate) fn run(
     let cost = KernelCost::stream(data.len() as u64)
         .with_writes((n * std::mem::size_of::<Digest128>()) as u64);
 
-    device.parallel_for("leaf_hash_and_classify", n, cost, |c| {
+    // Per-chunk kernel state: a batched map-insert handle (one shared
+    // `len` atomic update per chunk instead of per inserted digest) and a
+    // reusable salt-combine scratch buffer (no per-collision allocation).
+    let state = || (map.batch(), [0u8; 32]);
+    device.parallel_for_init("leaf_hash_and_classify", n, cost, state, |state, c| {
+        let (batch, scratch) = state;
         let leaf = shape.leaf_of_chunk(c);
         let chunk = chunking.chunk(data, c);
         let digest = hasher.hash(chunk);
         // A detected collision must not be referenced *or* become
         // referenceable: the chunk is stored as a first occurrence under a
         // digest salted with its position, which no other content hashes to.
-        let collide_to_first = |digest: &Digest128| {
+        let collide_to_first = |scratch: &mut [u8; 32], digest: &Digest128| {
             let salt = Digest128::new(leaf as u64, ckpt_id as u64 | 1 << 63);
-            let salted = hasher.combine(digest, &salt);
+            let salted = hasher.combine_with(digest, &salt, scratch);
             // SAFETY: leaf owned by this thread.
             unsafe { tree.write(leaf, salted) };
             labels.set(leaf, Label::FirstOcur);
@@ -70,7 +75,7 @@ pub(crate) fn run(
             // against the chunk having changed into a colliding value.
             match cache.map_or(Verification::Unknown, |c| c.verify(&digest, chunk)) {
                 Verification::Collision => {
-                    collide_to_first(&digest);
+                    collide_to_first(scratch, &digest);
                     return;
                 }
                 _ => {
@@ -92,7 +97,7 @@ pub(crate) fn run(
             cache.is_some_and(|c| c.verify(&digest, chunk) == Verification::Collision)
         };
 
-        match map.insert(&digest, MapEntry::new(leaf as u32, ckpt_id)) {
+        match batch.insert(&digest, MapEntry::new(leaf as u32, ckpt_id)) {
             InsertResult::Inserted => {
                 if let Some(c) = cache {
                     c.insert(&digest, chunk);
@@ -109,7 +114,9 @@ pub(crate) fn run(
                     labels.set(leaf, Label::ShiftDupl);
                 }
             }
-            InsertResult::Exists(_) if verified_collision(cache) => collide_to_first(&digest),
+            InsertResult::Exists(_) if verified_collision(cache) => {
+                collide_to_first(scratch, &digest)
+            }
             InsertResult::Exists(e) if e.ckpt == ckpt_id && earlier(leaf as u32, e.node) => {
                 // This leaf is earlier than the recorded occurrence in the
                 // same checkpoint: make it canonical (lines 13–16) and
@@ -149,18 +156,16 @@ pub(crate) fn run(
 /// Count leaves carrying each label (stats helper): returns
 /// `(first, fixed, shift)`.
 pub(crate) fn leaf_label_counts(shape: &TreeShape, labels: &LabelArray) -> (u64, u64, u64) {
-    let mut first = 0;
-    let mut fixed = 0;
-    let mut shift = 0;
-    for c in 0..shape.n_chunks() {
-        match labels.get(shape.leaf_of_chunk(c)) {
-            Label::FirstOcur => first += 1,
-            Label::FixedDupl => fixed += 1,
-            Label::ShiftDupl => shift += 1,
+    use rayon::prelude::*;
+    (0..shape.n_chunks())
+        .into_par_iter()
+        .map(|c| match labels.get(shape.leaf_of_chunk(c)) {
+            Label::FirstOcur => (1u64, 0u64, 0u64),
+            Label::FixedDupl => (0, 1, 0),
+            Label::ShiftDupl => (0, 0, 1),
             other => unreachable!("leaf with label {other:?} after leaf pass"),
-        }
-    }
-    (first, fixed, shift)
+        })
+        .reduce(|| (0, 0, 0), |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2))
 }
 
 #[cfg(test)]

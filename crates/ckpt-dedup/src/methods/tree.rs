@@ -205,17 +205,19 @@ pub(crate) fn first_ocur_pass(
     for (lo, hi) in shape.interior_levels_bottom_up() {
         let width = hi - lo;
         let cost = KernelCost::stream((width * 2 * 16) as u64).with_writes((width * 16) as u64);
-        device.parallel_for("consolidate_first_ocur", width, cost, |k| {
+        let state = || (map.batch(), [0u8; 32]);
+        device.parallel_for_init("consolidate_first_ocur", width, cost, state, |state, k| {
+            let (batch, scratch) = state;
             let node = lo + k;
             let (cl, cr) = (shape.left(node), shape.right(node));
             if labels.get(cl) == Label::FirstOcur && labels.get(cr) == Label::FirstOcur {
                 // SAFETY: children were finalized by the previous level's
                 // kernel (fork-join barrier); `node` is owned by this thread.
                 let (dl, dr) = unsafe { (tree.read(cl), tree.read(cr)) };
-                let combined = hasher.combine(&dl, &dr);
+                let combined = hasher.combine_with(&dl, &dr, scratch);
                 unsafe { tree.write(node, combined) };
                 let me = MapEntry::new(node as u32, ckpt_id);
-                match map.insert(&combined, me) {
+                match batch.insert(&combined, me) {
                     InsertResult::Inserted => {
                         labels.set(node, Label::FirstOcur);
                         // See the leaf pass: demote ourselves if an earlier
@@ -304,42 +306,50 @@ pub(crate) fn collect_pass(
         let cost = KernelCost::stream((width * 2 * 16) as u64);
 
         // Sub-kernel 1: combine shifted pairs and publish their digests.
-        device.parallel_for("consolidate_shift_publish", width, cost, |k| {
-            let node = lo + k;
-            if labels.get(node) != Label::None {
-                return; // consolidated in the first-occurrence pass
-            }
-            let (cl, cr) = (shape.left(node), shape.right(node));
-            if labels.get(cl) == Label::ShiftDupl && labels.get(cr) == Label::ShiftDupl {
-                // SAFETY: children finalized by previous levels; `node`
-                // owned by this thread.
-                let (dl, dr) = unsafe { (tree.read(cl), tree.read(cr)) };
-                let combined = hasher.combine(&dl, &dr);
-                unsafe { tree.write(node, combined) };
-                let me = MapEntry::new(node as u32, ckpt_id);
-                match map.insert(&combined, me) {
-                    InsertResult::Inserted | InsertResult::OutOfCapacity => {}
-                    // Keep the record pointing at the leftmost same-level
-                    // twin so the decision sub-kernel is deterministic (the
-                    // sequential reference processes nodes in ascending
-                    // order). Cross-level twins keep the deeper entry:
-                    // referencing it consolidates better than re-publishing.
-                    InsertResult::Exists(e)
-                        if e.ckpt == ckpt_id
-                            && (node as u32) < e.node
-                            && shape.depth(node) == shape.depth(e.node as usize) =>
-                    {
-                        map.update_with(&combined, |cur| {
-                            (cur.ckpt == ckpt_id
-                                && (node as u32) < cur.node
-                                && shape.depth(node) == shape.depth(cur.node as usize))
-                            .then_some(me)
-                        });
-                    }
-                    InsertResult::Exists(_) => {}
+        let state = || (map.batch(), [0u8; 32]);
+        device.parallel_for_init(
+            "consolidate_shift_publish",
+            width,
+            cost,
+            state,
+            |state, k| {
+                let (batch, scratch) = state;
+                let node = lo + k;
+                if labels.get(node) != Label::None {
+                    return; // consolidated in the first-occurrence pass
                 }
-            }
-        });
+                let (cl, cr) = (shape.left(node), shape.right(node));
+                if labels.get(cl) == Label::ShiftDupl && labels.get(cr) == Label::ShiftDupl {
+                    // SAFETY: children finalized by previous levels; `node`
+                    // owned by this thread.
+                    let (dl, dr) = unsafe { (tree.read(cl), tree.read(cr)) };
+                    let combined = hasher.combine_with(&dl, &dr, scratch);
+                    unsafe { tree.write(node, combined) };
+                    let me = MapEntry::new(node as u32, ckpt_id);
+                    match batch.insert(&combined, me) {
+                        InsertResult::Inserted | InsertResult::OutOfCapacity => {}
+                        // Keep the record pointing at the leftmost same-level
+                        // twin so the decision sub-kernel is deterministic (the
+                        // sequential reference processes nodes in ascending
+                        // order). Cross-level twins keep the deeper entry:
+                        // referencing it consolidates better than re-publishing.
+                        InsertResult::Exists(e)
+                            if e.ckpt == ckpt_id
+                                && (node as u32) < e.node
+                                && shape.depth(node) == shape.depth(e.node as usize) =>
+                        {
+                            map.update_with(&combined, |cur| {
+                                (cur.ckpt == ckpt_id
+                                    && (node as u32) < cur.node
+                                    && shape.depth(node) == shape.depth(cur.node as usize))
+                                .then_some(me)
+                            });
+                        }
+                        InsertResult::Exists(_) => {}
+                    }
+                }
+            },
+        );
 
         // Sub-kernel 2: decide labels and emit the regions that cannot
         // consolidate further.
@@ -391,12 +401,15 @@ pub(crate) fn collect_pass(
 /// Build the sorted region lists from per-node emission flags with two
 /// device compactions.
 pub(crate) fn compact_emissions(device: &Device, emit_flags: &[AtomicU8]) -> EmittedRegions {
+    use rayon::prelude::*;
+    // Parallel flag extraction: each element writes its own output slot, so
+    // `collect` preserves node order no matter how chunks are scheduled.
     let first_flags: Vec<u8> = emit_flags
-        .iter()
+        .par_iter()
         .map(|f| (f.load(AtomicOrdering::Relaxed) == 1) as u8)
         .collect();
     let shift_flags: Vec<u8> = emit_flags
-        .iter()
+        .par_iter()
         .map(|f| (f.load(AtomicOrdering::Relaxed) == 2) as u8)
         .collect();
     EmittedRegions {
@@ -413,21 +426,33 @@ pub(crate) fn resolve_shift_refs(
     shift_nodes: &[u32],
     first: &mut Vec<u32>,
 ) -> Vec<ShiftRegion> {
-    let mut out = Vec::with_capacity(shift_nodes.len());
-    for &node in shift_nodes {
-        let digest = digests[node as usize];
-        match map.get(&digest) {
-            Some(e) if !(e.node == node && e.ckpt == ckpt_id) => {
-                out.push(ShiftRegion {
+    use rayon::prelude::*;
+    // The map probes are the expensive part; do them in parallel into
+    // position-indexed results, then partition sequentially so both output
+    // lists keep the order the sequential reference produces.
+    let resolved: Vec<Result<ShiftRegion, u32>> = shift_nodes
+        .par_iter()
+        .map(|&node| {
+            let digest = digests[node as usize];
+            match map.get(&digest) {
+                Some(e) if !(e.node == node && e.ckpt == ckpt_id) => Ok(ShiftRegion {
                     node,
                     ref_node: e.node,
                     ref_ckpt: e.ckpt,
-                });
+                }),
+                // Defensive: a self-reference or vanished entry would make
+                // the diff unrestorable — store the data instead.
+                // Unreachable under the algorithm's invariants, cheap to
+                // keep as a safety net.
+                _ => Err(node),
             }
-            // Defensive: a self-reference or vanished entry would make the
-            // diff unrestorable — store the data instead. Unreachable under
-            // the algorithm's invariants, cheap to keep as a safety net.
-            _ => first.push(node),
+        })
+        .collect();
+    let mut out = Vec::with_capacity(shift_nodes.len());
+    for r in resolved {
+        match r {
+            Ok(region) => out.push(region),
+            Err(node) => first.push(node),
         }
     }
     first.sort_unstable();

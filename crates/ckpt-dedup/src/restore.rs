@@ -217,6 +217,53 @@ pub(crate) fn decoded_payload(diff: &Diff) -> Result<Cow<'_, [u8]>, RestoreError
         })
 }
 
+/// Copy `regions` — `(dst_offset, len, payload_offset)` triples, already
+/// bounds-checked by the caller — from `payload` into `buf`.
+///
+/// When the destinations are pairwise disjoint (every region from a
+/// well-formed diff is), the buffer is split into one mutable slice per
+/// region and the copies run on the thread pool; each region is a single
+/// streaming memcpy, mirroring the serializer's team-gather. Overlapping
+/// destinations (only reachable with corrupt input) fall back to the
+/// sequential in-table-order copy, preserving the old last-writer-wins
+/// behavior.
+fn copy_regions(buf: &mut [u8], payload: &[u8], regions: &[(usize, usize, usize)]) {
+    use rayon::prelude::*;
+    /// Below this many payload bytes the split/scheduling overhead wins.
+    const PAR_MIN_BYTES: usize = 64 * 1024;
+
+    let total: usize = regions.iter().map(|r| r.1).sum();
+    let mut order: Vec<usize> = (0..regions.len()).collect();
+    order.sort_unstable_by_key(|&i| regions[i].0);
+    let disjoint = order.windows(2).all(|w| {
+        let (a_off, a_len, _) = regions[w[0]];
+        a_off + a_len <= regions[w[1]].0
+    });
+    if total < PAR_MIN_BYTES || !disjoint {
+        for &(d, len, s) in regions {
+            buf[d..d + len].copy_from_slice(&payload[s..s + len]);
+        }
+        return;
+    }
+
+    // Split the buffer into disjoint parts in ascending destination order.
+    let mut parts: Vec<(&mut [u8], usize)> = Vec::with_capacity(regions.len());
+    let mut consumed = 0usize;
+    let mut rest = buf;
+    for &i in &order {
+        let (d, len, s) = regions[i];
+        let (_, tail) = rest.split_at_mut(d - consumed);
+        let (head, tail) = tail.split_at_mut(len);
+        parts.push((head, s));
+        consumed = d + len;
+        rest = tail;
+    }
+    parts.into_par_iter().for_each(|(part, s)| {
+        let len = part.len();
+        part.copy_from_slice(&payload[s..s + len]);
+    });
+}
+
 fn restore_full(diff: &Diff) -> Result<Vec<u8>, RestoreError> {
     let payload = decoded_payload(diff)?;
     if payload.len() != diff.data_len as usize {
@@ -234,6 +281,7 @@ fn restore_basic(diff: &Diff, prev: Option<&[u8]>) -> Result<Vec<u8>, RestoreErr
         Some(p) => p.to_vec(),
         None => vec![0u8; diff.data_len as usize],
     };
+    let mut regions: Vec<(usize, usize, usize)> = Vec::new();
     let mut cursor = 0usize;
     for c in 0..ck.n_chunks() {
         if bitmap::get(&diff.bitmap, c) {
@@ -244,10 +292,11 @@ fn restore_basic(diff: &Diff, prev: Option<&[u8]>) -> Result<Vec<u8>, RestoreErr
                     ckpt_id: diff.ckpt_id,
                 });
             }
-            buf[a..b].copy_from_slice(&payload[cursor..cursor + len]);
+            regions.push((a, len, cursor));
             cursor += len;
         }
     }
+    copy_regions(&mut buf, &payload, &regions);
     Ok(buf)
 }
 
@@ -267,8 +316,10 @@ fn restore_regions(
         None => vec![0u8; data_len],
     };
 
-    // First occurrences: payload slices in region-table order.
+    // First occurrences: payload slices in region-table order. Validate the
+    // whole table first, then copy all regions in parallel.
     let payload = decoded_payload(diff)?;
+    let mut regions: Vec<(usize, usize, usize)> = Vec::with_capacity(diff.first_regions.len());
     let mut cursor = 0usize;
     for &node in &diff.first_regions {
         let (clo, chi) = shape.chunk_range(node as usize);
@@ -279,9 +330,10 @@ fn restore_regions(
                 ckpt_id: diff.ckpt_id,
             });
         }
-        buf[a..b].copy_from_slice(&payload[cursor..cursor + len]);
+        regions.push((a, len, cursor));
         cursor += len;
     }
+    copy_regions(&mut buf, &payload, &regions);
 
     // Shifted duplicates. Chunk-granularity readiness: chunks under a
     // not-yet-applied same-checkpoint shift region are stale until that

@@ -1,0 +1,130 @@
+//! Thread-count determinism: the executor guarantees that every parallel
+//! terminal produces results in deterministic item order, so the encoded
+//! checkpoint bytes and the restored snapshots must be bit-identical no
+//! matter how many worker threads the pool runs.
+//!
+//! This file is its own test binary, so flipping the global thread-count
+//! override cannot race with unrelated tests; within the binary the
+//! override-touching tests share `THREAD_LOCK`.
+
+use ckpt_dedup::prelude::*;
+use gpu_sim::Device;
+use std::sync::Mutex;
+
+static THREAD_LOCK: Mutex<()> = Mutex::new(());
+
+/// Deterministic pseudo-random snapshot sequence with realistic structure:
+/// sparse point edits, block fills, region copies and one full revert, so
+/// all three chunk classes (first-occurrence, shifted-duplicate, repeat)
+/// appear.
+fn workload(len: usize, n_snapshots: usize) -> Vec<Vec<u8>> {
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut data: Vec<u8> = (0..len).map(|i| (i / 9) as u8).collect();
+    let mut snapshots = vec![data.clone()];
+    for v in 1..n_snapshots {
+        match v % 4 {
+            0 => {
+                // Sparse point edits.
+                for _ in 0..len / 50 {
+                    let at = (next() as usize) % len;
+                    data[at] = next() as u8;
+                }
+            }
+            1 => {
+                // Block fill.
+                let at = (next() as usize) % len;
+                let end = (at + len / 8).min(len);
+                data[at..end].fill(next() as u8);
+            }
+            2 => {
+                // Shift a region (creates shifted duplicates).
+                let src = (next() as usize) % (len / 2);
+                let dst = len / 2 + (next() as usize) % (len / 4);
+                let n = (len / 6).min(len - dst);
+                let tmp = data[src..src + n].to_vec();
+                data[dst..dst + n].copy_from_slice(&tmp);
+            }
+            _ => {
+                // Revert to the first snapshot (pure repeats).
+                data.copy_from_slice(&snapshots[0]);
+            }
+        }
+        snapshots.push(data.clone());
+    }
+    snapshots
+}
+
+fn encoded_record(method: &mut dyn Checkpointer, snapshots: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    snapshots
+        .iter()
+        .map(|s| method.checkpoint(s).diff.encode())
+        .collect()
+}
+
+fn run_method_at(
+    threads: usize,
+    make: &dyn Fn() -> Box<dyn Checkpointer>,
+    snapshots: &[Vec<u8>],
+) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
+    rayon::set_active_threads(threads);
+    let mut m = make();
+    let encoded = encoded_record(m.as_mut(), snapshots);
+    let diffs: Vec<ckpt_dedup::Diff> = encoded
+        .iter()
+        .map(|e| ckpt_dedup::Diff::decode(e).expect("decode"))
+        .collect();
+    let restored = restore_record(&diffs).expect("restore must succeed");
+    (encoded, restored)
+}
+
+fn assert_bit_identical_across_threads(name: &str, make: &dyn Fn() -> Box<dyn Checkpointer>) {
+    let _guard = THREAD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // Large enough that leaf kernels exceed the 1024-item sequential
+    // threshold and the pool genuinely runs multi-chunk jobs.
+    let snapshots = workload(200_000, 8);
+    let sweep = [1usize, 2, rayon::current_num_threads().max(4)];
+
+    let (ref_encoded, ref_restored) = run_method_at(sweep[0], make, &snapshots);
+    for (got, want) in ref_restored.iter().zip(&snapshots) {
+        assert_eq!(got, want, "{name}: restore diverged from source");
+    }
+    for &threads in &sweep[1..] {
+        let (encoded, restored) = run_method_at(threads, make, &snapshots);
+        assert_eq!(
+            encoded, ref_encoded,
+            "{name}: checkpoint bytes differ between 1 and {threads} threads"
+        );
+        assert_eq!(
+            restored, ref_restored,
+            "{name}: restored snapshots differ between 1 and {threads} threads"
+        );
+    }
+    rayon::set_active_threads(0);
+}
+
+#[test]
+fn tree_checkpoints_are_bit_identical_across_thread_counts() {
+    assert_bit_identical_across_threads("tree", &|| {
+        Box::new(TreeCheckpointer::new(Device::a100(), TreeConfig::new(128)))
+    });
+}
+
+#[test]
+fn list_checkpoints_are_bit_identical_across_thread_counts() {
+    assert_bit_identical_across_threads("list", &|| {
+        Box::new(ListCheckpointer::new(Device::a100(), TreeConfig::new(128)))
+    });
+}
+
+#[test]
+fn basic_checkpoints_are_bit_identical_across_thread_counts() {
+    assert_bit_identical_across_threads("basic", &|| {
+        Box::new(BasicCheckpointer::new(Device::a100(), 128))
+    });
+}

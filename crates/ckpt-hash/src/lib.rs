@@ -48,9 +48,24 @@ pub trait Hasher128: Send + Sync {
     #[inline]
     fn combine(&self, left: &Digest128, right: &Digest128) -> Digest128 {
         let mut buf = [0u8; 32];
-        buf[..16].copy_from_slice(&left.to_bytes());
-        buf[16..].copy_from_slice(&right.to_bytes());
-        self.hash(&buf)
+        self.combine_with(left, right, &mut buf)
+    }
+
+    /// [`combine`](Self::combine) with a caller-provided concatenation
+    /// buffer, producing the identical digest. Hot loops that combine many
+    /// digest pairs (interior Merkle levels, salted collision probes) thread
+    /// one scratch array through the whole kernel chunk instead of
+    /// materializing a fresh buffer per pair.
+    #[inline]
+    fn combine_with(
+        &self,
+        left: &Digest128,
+        right: &Digest128,
+        scratch: &mut [u8; 32],
+    ) -> Digest128 {
+        scratch[..16].copy_from_slice(&left.to_bytes());
+        scratch[16..].copy_from_slice(&right.to_bytes());
+        self.hash(&scratch[..])
     }
 
     /// Human-readable name, used in benchmark reports.
@@ -78,6 +93,19 @@ mod tests {
         cat.extend_from_slice(&a.to_bytes());
         cat.extend_from_slice(&b.to_bytes());
         assert_eq!(h.combine(&a, &b), h.hash(&cat));
+    }
+
+    #[test]
+    fn combine_with_reused_scratch_matches_combine() {
+        let h = Murmur3;
+        let mut scratch = [0xAAu8; 32]; // deliberately dirty
+        let digests: Vec<Digest128> = (0..16u64).map(|i| h.hash(&i.to_le_bytes())).collect();
+        for pair in digests.windows(2) {
+            assert_eq!(
+                h.combine_with(&pair[0], &pair[1], &mut scratch),
+                h.combine(&pair[0], &pair[1])
+            );
+        }
     }
 
     #[test]

@@ -136,6 +136,35 @@ impl Device {
         }
     }
 
+    /// Like [`parallel_for`](Self::parallel_for), but each executor chunk
+    /// first builds private state with `init` — the hook kernels use for
+    /// per-chunk scratch buffers and batched-atomic accumulators (shared
+    /// memory / registers in GPU terms). State granularity is per chunk,
+    /// never per item, and chunking is thread-count-independent, so kernels
+    /// whose state carries side effects (e.g. batched map inserts) stay
+    /// deterministic.
+    pub fn parallel_for_init<T, INIT, F>(
+        &self,
+        _name: &str,
+        n: usize,
+        cost: KernelCost,
+        init: INIT,
+        body: F,
+    ) where
+        INIT: Fn() -> T + Sync + Send,
+        F: Fn(&mut T, usize) + Sync + Send,
+    {
+        self.account_launch(cost);
+        if n < 1024 {
+            let mut state = init();
+            for i in 0..n {
+                body(&mut state, i);
+            }
+        } else {
+            (0..n).into_par_iter().for_each_init(init, body);
+        }
+    }
+
     /// Launch a parallel map-reduce over `0..n`.
     pub fn parallel_reduce<T, M, R>(
         &self,

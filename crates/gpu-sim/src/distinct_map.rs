@@ -143,6 +143,18 @@ impl DistinctMap {
     /// returns [`InsertResult::Inserted`], the rest return
     /// [`InsertResult::Exists`] with the winner's entry.
     pub fn insert(&self, digest: &Digest128, entry: MapEntry) -> InsertResult {
+        let r = self.insert_unaccounted(digest, entry);
+        if r.inserted() {
+            self.len.fetch_add(1, Ordering::Relaxed);
+        }
+        r
+    }
+
+    /// [`insert`](Self::insert) without bumping the shared length counter;
+    /// the caller owes one `len` increment per `Inserted` result. This is
+    /// the primitive under [`BatchedInserts`], which pays the shared-counter
+    /// atomic once per kernel chunk instead of once per inserted digest.
+    fn insert_unaccounted(&self, digest: &Digest128, entry: MapEntry) -> InsertResult {
         let start = self.start_index(digest);
         for probe in 0..self.slots.len() {
             let slot = &self.slots[(start + probe) & self.mask];
@@ -159,7 +171,6 @@ impl DistinctMap {
                         unsafe { *slot.key.get() = *digest };
                         slot.value.store(entry.pack(), Ordering::Relaxed);
                         slot.state.store(FULL, Ordering::Release);
-                        self.len.fetch_add(1, Ordering::Relaxed);
                         return InsertResult::Inserted;
                     }
                     Err(observed) => state = observed,
@@ -179,6 +190,23 @@ impl DistinctMap {
             }
         }
         InsertResult::OutOfCapacity
+    }
+
+    /// Start a batch of inserts that amortizes the shared length counter:
+    /// successful inserts are tallied locally and folded into `len` with a
+    /// single atomic when the batch flushes (explicitly or on drop). One
+    /// batch per kernel chunk turns O(inserted digests) contended
+    /// `fetch_add`s per wave into O(chunks).
+    ///
+    /// Insert-if-absent semantics are untouched — only `len` lags until the
+    /// flush, so concurrent readers of `len` during a wave may observe an
+    /// undercount. The pipeline only reads `len` between kernels, where all
+    /// batches have flushed.
+    pub fn batch(&self) -> BatchedInserts<'_> {
+        BatchedInserts {
+            map: self,
+            pending: 0,
+        }
     }
 
     /// Look up a digest.
@@ -279,6 +307,38 @@ impl DistinctMap {
     /// space-accounting reports; the paper keeps this structure GPU-resident).
     pub fn memory_bytes(&self) -> usize {
         self.slots.len() * std::mem::size_of::<Slot>()
+    }
+}
+
+/// Chunk-local insert handle from [`DistinctMap::batch`]; see there.
+pub struct BatchedInserts<'m> {
+    map: &'m DistinctMap,
+    pending: usize,
+}
+
+impl BatchedInserts<'_> {
+    /// Insert with the same semantics as [`DistinctMap::insert`], deferring
+    /// the shared length-counter update to the next [`flush`](Self::flush).
+    pub fn insert(&mut self, digest: &Digest128, entry: MapEntry) -> InsertResult {
+        let r = self.map.insert_unaccounted(digest, entry);
+        if r.inserted() {
+            self.pending += 1;
+        }
+        r
+    }
+
+    /// Fold the locally tallied insert count into the map's `len`.
+    pub fn flush(&mut self) {
+        if self.pending > 0 {
+            self.map.len.fetch_add(self.pending, Ordering::Relaxed);
+            self.pending = 0;
+        }
+    }
+}
+
+impl Drop for BatchedInserts<'_> {
+    fn drop(&mut self) {
+        self.flush();
     }
 }
 
@@ -451,6 +511,48 @@ mod tests {
             }
         });
         assert_eq!(map.get(&d), Some(MapEntry::new(0, 1)));
+    }
+
+    #[test]
+    fn batched_inserts_flush_len_once() {
+        let map = DistinctMap::with_capacity(64);
+        {
+            let mut batch = map.batch();
+            for i in 0..10 {
+                assert!(batch
+                    .insert(&digest(i), MapEntry::new(i as u32, 0))
+                    .inserted());
+            }
+            // Duplicates don't count toward the batch tally.
+            assert!(!batch.insert(&digest(0), MapEntry::new(9, 9)).inserted());
+            batch.flush();
+            assert_eq!(map.len(), 10);
+            // A drop after an explicit flush must not double-count.
+        }
+        assert_eq!(map.len(), 10);
+        // Drop without explicit flush also settles the counter.
+        {
+            let mut batch = map.batch();
+            assert!(batch.insert(&digest(100), MapEntry::new(1, 1)).inserted());
+        }
+        assert_eq!(map.len(), 11);
+    }
+
+    #[test]
+    fn concurrent_batched_inserts_settle_to_exact_len() {
+        let map = Arc::new(DistinctMap::with_capacity(10_000));
+        std::thread::scope(|s| {
+            for t in 0..8usize {
+                let map = Arc::clone(&map);
+                s.spawn(move || {
+                    let mut batch = map.batch();
+                    for i in 0..1000 {
+                        batch.insert(&digest((t * 1000 + i) as u64), MapEntry::new(i as u32, 0));
+                    }
+                });
+            }
+        });
+        assert_eq!(map.len(), 8000);
     }
 
     #[test]

@@ -38,6 +38,6 @@ pub mod perf;
 pub use buffer::DeviceBuffer;
 pub use content_cache::{ContentCache, Verification};
 pub use device::{Device, KernelCost};
-pub use distinct_map::{DistinctMap, InsertResult, MapEntry};
+pub use distinct_map::{BatchedInserts, DistinctMap, InsertResult, MapEntry};
 pub use metrics::DeviceMetrics;
 pub use perf::{DeviceConfig, PerfModel};

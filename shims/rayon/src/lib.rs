@@ -1,207 +1,562 @@
 //! Minimal offline stand-in for the subset of `rayon` 1.x this workspace
-//! uses. "Parallel iterators" here wrap plain sequential iterators; the
-//! side-effecting terminals (`for_each`, `for_each_init`) fan work out over
-//! scoped OS threads when the item count is large enough to amortize spawn
-//! cost, so concurrent code paths (atomic maps, shared-slice kernels) are
-//! still exercised under real parallelism. Value-producing terminals
-//! (`map`/`reduce`/`sum`/`collect`) run sequentially — same results, simpler
-//! code, and the simulator's modeled device time never depends on host
-//! parallelism.
+//! uses, backed by a persistent work-stealing thread pool ([`pool`]).
+//!
+//! Unlike the earlier shim — which wrapped sequential iterators and spawned
+//! fresh scoped threads per `for_each` — every terminal here (`for_each`,
+//! `map`+`collect`, `reduce`, `sum`, `count`) executes on the shared pool.
+//! Sources and adapters implement an indexed [`Producer`] model (length +
+//! random access by position), which is what makes *value-producing*
+//! terminals parallelizable with deterministic results:
+//!
+//! * `collect` writes each item into a pre-sized output slot at its source
+//!   position, so output order is independent of execution order;
+//! * `reduce`/`sum` compute one partial per executor chunk and combine the
+//!   partials in ascending chunk order. Chunk boundaries are a pure
+//!   function of the item count ([`pool::plan`]), never of the thread
+//!   count, so even non-associative combines (float sums, hash folds) are
+//!   bit-identical at 1, 2, or N threads.
+//!
+//! The modeled device time in `gpu-sim` is computed analytically and is
+//! unaffected by how many host threads execute a kernel; only wall time
+//! changes with [`set_active_threads`].
 
+use std::marker::PhantomData;
+use std::mem::{ManuallyDrop, MaybeUninit};
 use std::ops::Range;
+
+mod pool;
+
+pub use pool::{current_num_threads, pool_spawned_threads, set_active_threads, MAX_POOL_THREADS};
 
 pub mod prelude {
     pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
 }
 
-/// Below this many items a terminal runs sequentially; above it, work is
-/// split so each spawned thread gets at least this many items.
-const ITEMS_PER_THREAD: usize = 2048;
+/// A fixed-length source of work items with random access by position.
+///
+/// # Safety
+///
+/// Implementations must tolerate `item(i)` being called concurrently for
+/// distinct `i`, and terminals must call `item(i)` **at most once** per
+/// index — producers like [`VecProducer`] move values out by position.
+#[allow(clippy::len_without_is_empty)]
+pub unsafe trait Producer: Sync {
+    type Item: Send;
 
-fn max_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(8)
+    fn len(&self) -> usize;
+
+    /// Items per executor chunk below which splitting isn't worthwhile.
+    /// Must be a constant per producer *type* (heavier items → smaller
+    /// value): chunk boundaries derive from it, and cross-thread-count
+    /// determinism requires boundaries that depend only on the source
+    /// shape.
+    fn min_items_per_chunk(&self) -> usize {
+        1024
+    }
+
+    /// Produce the item at position `i`.
+    ///
+    /// # Safety
+    /// `i < self.len()`, called at most once per index per terminal, and
+    /// concurrent calls only for distinct indices.
+    unsafe fn item(&self, i: usize) -> Self::Item;
 }
 
-pub struct Par<I: Iterator>(I);
+pub struct Par<P>(P);
 
 pub trait IntoParallelIterator {
-    type Item;
-    type IntoIter: Iterator<Item = Self::Item>;
-    fn into_par_iter(self) -> Par<Self::IntoIter>;
+    type Item: Send;
+    type Producer: Producer<Item = Self::Item>;
+    fn into_par_iter(self) -> Par<Self::Producer>;
 }
 
-impl<I: Iterator> IntoParallelIterator for Par<I> {
-    type Item = I::Item;
-    type IntoIter = I;
-    fn into_par_iter(self) -> Par<I> {
+impl<P: Producer> IntoParallelIterator for Par<P> {
+    type Item = P::Item;
+    type Producer = P;
+    fn into_par_iter(self) -> Par<P> {
         self
     }
 }
 
-impl<T> IntoParallelIterator for Range<T>
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+pub struct RangeProducer<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! impl_range_producer {
+    ($($t:ty),*) => {$(
+        // SAFETY: indexing is pure arithmetic; items are `Copy`.
+        unsafe impl Producer for RangeProducer<$t> {
+            type Item = $t;
+            fn len(&self) -> usize {
+                self.len
+            }
+            unsafe fn item(&self, i: usize) -> $t {
+                self.start + i as $t
+            }
+        }
+
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Producer = RangeProducer<$t>;
+            fn into_par_iter(self) -> Par<RangeProducer<$t>> {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                Par(RangeProducer { start: self.start, len })
+            }
+        }
+    )*};
+}
+
+impl_range_producer!(usize, u32, u64);
+
+/// Owning producer over a `Vec`: items are moved out by position.
+pub struct VecProducer<T: Send> {
+    buf: *mut T,
+    len: usize,
+    cap: usize,
+}
+
+// SAFETY: access is index-disjoint per the `Producer` contract; `T: Send`
+// lets items cross to worker threads.
+unsafe impl<T: Send> Sync for VecProducer<T> {}
+unsafe impl<T: Send> Send for VecProducer<T> {}
+
+// SAFETY: each index read at most once (contract), so no double-move.
+unsafe impl<T: Send> Producer for VecProducer<T> {
+    type Item = T;
+    fn len(&self) -> usize {
+        self.len
+    }
+    /// Owned vectors in this workspace carry coarse items (gather segments,
+    /// whole sub-slices), so every item is its own unit of work.
+    fn min_items_per_chunk(&self) -> usize {
+        1
+    }
+    unsafe fn item(&self, i: usize) -> T {
+        unsafe { std::ptr::read(self.buf.add(i)) }
+    }
+}
+
+impl<T: Send> Drop for VecProducer<T> {
+    fn drop(&mut self) {
+        // Reclaims the allocation only: items were moved out by `item`. If
+        // a panicking terminal left indices unconsumed their values leak —
+        // the documented trade-off for lock-free by-index consumption.
+        unsafe { drop(Vec::from_raw_parts(self.buf, 0, self.cap)) };
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Producer = VecProducer<T>;
+    fn into_par_iter(self) -> Par<VecProducer<T>> {
+        let mut v = ManuallyDrop::new(self);
+        Par(VecProducer {
+            buf: v.as_mut_ptr(),
+            len: v.len(),
+            cap: v.capacity(),
+        })
+    }
+}
+
+pub struct SliceProducer<'a, T> {
+    slice: &'a [T],
+}
+
+// SAFETY: shared references to distinct (or even equal) indices are fine.
+unsafe impl<'a, T: Sync> Producer for SliceProducer<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    unsafe fn item(&self, i: usize) -> &'a T {
+        unsafe { self.slice.get_unchecked(i) }
+    }
+}
+
+pub struct ChunksProducer<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+// SAFETY: shared sub-slices; indexing bounded by `len()`.
+unsafe impl<'a, T: Sync> Producer for ChunksProducer<'a, T> {
+    type Item = &'a [T];
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn min_items_per_chunk(&self) -> usize {
+        1
+    }
+    unsafe fn item(&self, i: usize) -> &'a [T] {
+        let lo = i * self.size;
+        let hi = (lo + self.size).min(self.slice.len());
+        &self.slice[lo..hi]
+    }
+}
+
+pub struct SliceMutProducer<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: each index is handed out at most once (contract), so the `&mut`s
+// produced are disjoint; `T: Send` lets them cross threads.
+unsafe impl<T: Send> Sync for SliceMutProducer<'_, T> {}
+unsafe impl<T: Send> Send for SliceMutProducer<'_, T> {}
+
+// SAFETY: see `Sync` justification above.
+unsafe impl<'a, T: Send + 'a> Producer for SliceMutProducer<'a, T> {
+    type Item = &'a mut T;
+    fn len(&self) -> usize {
+        self.len
+    }
+    unsafe fn item(&self, i: usize) -> &'a mut T {
+        unsafe { &mut *self.ptr.add(i) }
+    }
+}
+
+pub struct ChunksMutProducer<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    size: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: as for `SliceMutProducer`; chunks at distinct indices are
+// disjoint sub-slices.
+unsafe impl<T: Send> Sync for ChunksMutProducer<'_, T> {}
+unsafe impl<T: Send> Send for ChunksMutProducer<'_, T> {}
+
+// SAFETY: see `Sync` justification above.
+unsafe impl<'a, T: Send + 'a> Producer for ChunksMutProducer<'a, T> {
+    type Item = &'a mut [T];
+    fn len(&self) -> usize {
+        self.len.div_ceil(self.size)
+    }
+    fn min_items_per_chunk(&self) -> usize {
+        1
+    }
+    unsafe fn item(&self, i: usize) -> &'a mut [T] {
+        let lo = i * self.size;
+        let n = self.size.min(self.len - lo);
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(lo), n) }
+    }
+}
+
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> Par<SliceProducer<'_, T>>;
+    fn par_chunks(&self, chunk_size: usize) -> Par<ChunksProducer<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> Par<SliceProducer<'_, T>> {
+        Par(SliceProducer { slice: self })
+    }
+    fn par_chunks(&self, chunk_size: usize) -> Par<ChunksProducer<'_, T>> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        Par(ChunksProducer {
+            slice: self,
+            size: chunk_size,
+        })
+    }
+}
+
+pub trait ParallelSliceMut<T: Send> {
+    fn par_iter_mut(&mut self) -> Par<SliceMutProducer<'_, T>>;
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<ChunksMutProducer<'_, T>>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> Par<SliceMutProducer<'_, T>> {
+        Par(SliceMutProducer {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            _marker: PhantomData,
+        })
+    }
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<ChunksMutProducer<'_, T>> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        Par(ChunksMutProducer {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            size: chunk_size,
+            _marker: PhantomData,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------------
+
+pub struct MapProducer<P, F> {
+    inner: P,
+    f: F,
+}
+
+// SAFETY: forwards the inner producer's guarantees; `f` is `Sync`.
+unsafe impl<P, O, F> Producer for MapProducer<P, F>
 where
-    Range<T>: Iterator<Item = T>,
+    P: Producer,
+    O: Send,
+    F: Fn(P::Item) -> O + Sync,
 {
-    type Item = T;
-    type IntoIter = Range<T>;
-    fn into_par_iter(self) -> Par<Range<T>> {
-        Par(self)
+    type Item = O;
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    fn min_items_per_chunk(&self) -> usize {
+        self.inner.min_items_per_chunk()
+    }
+    unsafe fn item(&self, i: usize) -> O {
+        (self.f)(unsafe { self.inner.item(i) })
     }
 }
 
-impl<T> IntoParallelIterator for Vec<T> {
-    type Item = T;
-    type IntoIter = std::vec::IntoIter<T>;
-    fn into_par_iter(self) -> Par<std::vec::IntoIter<T>> {
-        Par(self.into_iter())
+pub struct EnumerateProducer<P> {
+    inner: P,
+}
+
+// SAFETY: forwards the inner producer's guarantees.
+unsafe impl<P: Producer> Producer for EnumerateProducer<P> {
+    type Item = (usize, P::Item);
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    fn min_items_per_chunk(&self) -> usize {
+        self.inner.min_items_per_chunk()
+    }
+    unsafe fn item(&self, i: usize) -> (usize, P::Item) {
+        (i, unsafe { self.inner.item(i) })
     }
 }
 
-pub trait ParallelSlice<T> {
-    fn par_iter(&self) -> Par<std::slice::Iter<'_, T>>;
-    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>>;
+pub struct ZipProducer<A, B> {
+    a: A,
+    b: B,
 }
 
-impl<T> ParallelSlice<T> for [T] {
-    fn par_iter(&self) -> Par<std::slice::Iter<'_, T>> {
-        Par(self.iter())
+// SAFETY: forwards both producers' guarantees; length is the minimum, so
+// indices stay in bounds for both sides.
+unsafe impl<A: Producer, B: Producer> Producer for ZipProducer<A, B> {
+    type Item = (A::Item, B::Item);
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
     }
-    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>> {
-        Par(self.chunks(chunk_size))
+    fn min_items_per_chunk(&self) -> usize {
+        self.a
+            .min_items_per_chunk()
+            .min(self.b.min_items_per_chunk())
     }
-}
-
-pub trait ParallelSliceMut<T> {
-    fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>>;
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
-}
-
-impl<T> ParallelSliceMut<T> for [T] {
-    fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>> {
-        Par(self.iter_mut())
-    }
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
-        Par(self.chunks_mut(chunk_size))
+    unsafe fn item(&self, i: usize) -> (A::Item, B::Item) {
+        unsafe { (self.a.item(i), self.b.item(i)) }
     }
 }
 
-impl<I: Iterator> Par<I> {
-    pub fn map<O, F: Fn(I::Item) -> O>(self, f: F) -> Par<std::iter::Map<I, F>> {
-        Par(self.0.map(f))
+// ---------------------------------------------------------------------------
+// Terminals
+// ---------------------------------------------------------------------------
+
+/// Shared pointer into a pre-sized slot array; each slot is written by
+/// exactly one chunk/item, making concurrent writes disjoint.
+struct Slots<T>(*mut MaybeUninit<T>);
+// SAFETY: writes are index-disjoint (one writer per slot).
+unsafe impl<T: Send> Sync for Slots<T> {}
+
+impl<T> Slots<T> {
+    /// # Safety
+    /// `i` in bounds and written by exactly one thread.
+    unsafe fn write(&self, i: usize, value: T) {
+        unsafe { (*self.0.add(i)).write(value) };
+    }
+}
+
+/// Assume all `slots` are initialized and reinterpret as `Vec<T>`.
+///
+/// # Safety
+/// Every element must have been written.
+unsafe fn assume_init_vec<T>(slots: Vec<MaybeUninit<T>>) -> Vec<T> {
+    let mut s = ManuallyDrop::new(slots);
+    unsafe { Vec::from_raw_parts(s.as_mut_ptr() as *mut T, s.len(), s.capacity()) }
+}
+
+fn uninit_slots<T>(n: usize) -> Vec<MaybeUninit<T>> {
+    let mut v = Vec::with_capacity(n);
+    // SAFETY: `MaybeUninit` needs no initialization.
+    unsafe { v.set_len(n) };
+    v
+}
+
+impl<P: Producer> Par<P> {
+    pub fn map<O, F>(self, f: F) -> Par<MapProducer<P, F>>
+    where
+        O: Send,
+        F: Fn(P::Item) -> O + Sync,
+    {
+        Par(MapProducer { inner: self.0, f })
     }
 
-    pub fn filter<P: Fn(&I::Item) -> bool>(self, p: P) -> Par<std::iter::Filter<I, P>> {
-        Par(self.0.filter(p))
+    pub fn enumerate(self) -> Par<EnumerateProducer<P>> {
+        Par(EnumerateProducer { inner: self.0 })
     }
 
-    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
-        Par(self.0.enumerate())
-    }
-
-    pub fn zip<J: IntoParallelIterator>(self, other: J) -> Par<std::iter::Zip<I, J::IntoIter>> {
-        Par(self.0.zip(other.into_par_iter().0))
+    pub fn zip<J: IntoParallelIterator>(self, other: J) -> Par<ZipProducer<P, J::Producer>> {
+        Par(ZipProducer {
+            a: self.0,
+            b: other.into_par_iter().0,
+        })
     }
 
     pub fn for_each<F>(self, f: F)
     where
-        I::Item: Send,
-        F: Fn(I::Item) + Sync,
+        F: Fn(P::Item) + Sync,
     {
-        run_spread(self.0.collect(), &|item| f(item));
-    }
-
-    pub fn for_each_init<T, INIT, F>(self, init: INIT, f: F)
-    where
-        I::Item: Send,
-        INIT: Fn() -> T + Sync,
-        F: Fn(&mut T, I::Item) + Sync,
-    {
-        let items: Vec<I::Item> = self.0.collect();
-        let chunks = split_chunks(items);
-        if chunks.len() == 1 {
-            let mut state = init();
-            for item in chunks.into_iter().flatten() {
-                f(&mut state, item);
-            }
-            return;
-        }
-        std::thread::scope(|scope| {
-            for chunk in chunks {
-                let (init, f) = (&init, &f);
-                scope.spawn(move || {
-                    let mut state = init();
-                    for item in chunk {
-                        f(&mut state, item);
-                    }
-                });
+        let p = self.0;
+        let plan = pool::plan(p.len(), p.min_items_per_chunk());
+        let n = p.len();
+        pool::run_chunks(plan.n_chunks, &|c| {
+            let lo = c * plan.chunk_size;
+            let hi = (lo + plan.chunk_size).min(n);
+            for i in lo..hi {
+                // SAFETY: chunks partition 0..n; each index visited once.
+                f(unsafe { p.item(i) });
             }
         });
     }
 
-    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    /// Like `for_each`, but each executor chunk builds its own state with
+    /// `init` first — the hook kernels use for per-chunk scratch buffers
+    /// and batched-atomic accumulators.
+    pub fn for_each_init<T, INIT, F>(self, init: INIT, f: F)
     where
-        ID: Fn() -> I::Item,
-        OP: Fn(I::Item, I::Item) -> I::Item,
+        INIT: Fn() -> T + Sync,
+        F: Fn(&mut T, P::Item) + Sync,
     {
-        self.0.fold(identity(), op)
+        let p = self.0;
+        let plan = pool::plan(p.len(), p.min_items_per_chunk());
+        let n = p.len();
+        pool::run_chunks(plan.n_chunks, &|c| {
+            let lo = c * plan.chunk_size;
+            let hi = (lo + plan.chunk_size).min(n);
+            let mut state = init();
+            for i in lo..hi {
+                // SAFETY: chunks partition 0..n; each index visited once.
+                f(&mut state, unsafe { p.item(i) });
+            }
+        });
     }
 
-    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-        self.0.sum()
+    /// Parallel reduce with deterministic combine order: one partial per
+    /// chunk, folded left-to-right by ascending chunk index. Bit-identical
+    /// at any thread count, even for non-associative `op`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> P::Item
+    where
+        ID: Fn() -> P::Item + Sync,
+        OP: Fn(P::Item, P::Item) -> P::Item + Sync,
+    {
+        let p = self.0;
+        let n = p.len();
+        let plan = pool::plan(n, p.min_items_per_chunk());
+        if plan.n_chunks == 0 {
+            return identity();
+        }
+        let mut partials = uninit_slots::<P::Item>(plan.n_chunks);
+        let slots = Slots(partials.as_mut_ptr());
+        pool::run_chunks(plan.n_chunks, &|c| {
+            let lo = c * plan.chunk_size;
+            let hi = (lo + plan.chunk_size).min(n);
+            // SAFETY: chunks partition 0..n; indices consumed once each.
+            let mut acc = unsafe { p.item(lo) };
+            for i in lo + 1..hi {
+                acc = op(acc, unsafe { p.item(i) });
+            }
+            // SAFETY: slot `c` written exactly once, by this chunk.
+            unsafe { slots.write(c, acc) };
+        });
+        // SAFETY: run_chunks executed every chunk (a panic would have
+        // propagated), so every partial slot is initialized.
+        let partials = unsafe { assume_init_vec(partials) };
+        partials.into_iter().fold(identity(), &op)
+    }
+
+    /// Parallel sum via per-chunk partials combined in chunk order.
+    pub fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<P::Item> + std::iter::Sum<S>,
+    {
+        let p = self.0;
+        let n = p.len();
+        let plan = pool::plan(n, p.min_items_per_chunk());
+        if plan.n_chunks == 0 {
+            return std::iter::empty::<P::Item>().sum();
+        }
+        let mut partials = uninit_slots::<S>(plan.n_chunks);
+        let slots = Slots(partials.as_mut_ptr());
+        pool::run_chunks(plan.n_chunks, &|c| {
+            let lo = c * plan.chunk_size;
+            let hi = (lo + plan.chunk_size).min(n);
+            // SAFETY: chunks partition 0..n; indices consumed once each.
+            let part: S = (lo..hi).map(|i| unsafe { p.item(i) }).sum();
+            // SAFETY: slot `c` written exactly once, by this chunk.
+            unsafe { slots.write(c, part) };
+        });
+        // SAFETY: every chunk ran, so every partial is initialized.
+        let partials = unsafe { assume_init_vec(partials) };
+        partials.into_iter().sum()
     }
 
     pub fn count(self) -> usize {
-        self.0.count()
+        self.0.len()
     }
 
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.0.collect()
+    /// Parallel collect: each item is written into the output slot at its
+    /// source position, so the result order matches the source regardless
+    /// of which thread produced which item.
+    pub fn collect<C: FromIterator<P::Item>>(self) -> C {
+        let p = self.0;
+        let n = p.len();
+        let mut out = uninit_slots::<P::Item>(n);
+        let slots = Slots(out.as_mut_ptr());
+        let plan = pool::plan(n, p.min_items_per_chunk());
+        pool::run_chunks(plan.n_chunks, &|c| {
+            let lo = c * plan.chunk_size;
+            let hi = (lo + plan.chunk_size).min(n);
+            for i in lo..hi {
+                // SAFETY: chunks partition 0..n — slot `i` written exactly
+                // once, and `item(i)` consumed exactly once.
+                unsafe { slots.write(i, p.item(i)) };
+            }
+        });
+        // SAFETY: every chunk ran, so every slot is initialized.
+        let items = unsafe { assume_init_vec(out) };
+        items.into_iter().collect()
     }
-}
-
-/// Split an item vector into per-thread chunks (possibly just one).
-fn split_chunks<T>(items: Vec<T>) -> Vec<Vec<T>> {
-    let threads = (items.len() / ITEMS_PER_THREAD).clamp(1, max_threads());
-    if threads == 1 {
-        return vec![items];
-    }
-    let chunk_len = items.len().div_ceil(threads);
-    let mut rest = items;
-    let mut chunks = Vec::with_capacity(threads);
-    while rest.len() > chunk_len {
-        let tail = rest.split_off(rest.len() - chunk_len);
-        chunks.push(tail);
-    }
-    chunks.push(rest);
-    chunks
-}
-
-fn run_spread<T: Send>(items: Vec<T>, f: &(impl Fn(T) + Sync)) {
-    let chunks = split_chunks(items);
-    if chunks.len() == 1 {
-        for item in chunks.into_iter().flatten() {
-            f(item);
-        }
-        return;
-    }
-    std::thread::scope(|scope| {
-        for chunk in chunks {
-            scope.spawn(move || {
-                for item in chunk {
-                    f(item);
-                }
-            });
-        }
-    });
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use super::{current_num_threads, pool_spawned_threads, set_active_threads};
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    /// Tests that touch the global thread-count override or assert on pool
+    /// spawn counts serialize through this lock.
+    static POOL_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        POOL_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
 
     #[test]
     fn for_each_covers_every_index_in_parallel() {
@@ -230,5 +585,201 @@ mod tests {
                 o.copy_from_slice(i);
             });
         assert_eq!(out, input);
+    }
+
+    #[test]
+    fn collect_preserves_source_order_at_many_threads() {
+        let _g = locked();
+        for threads in [1, 2, 5, 16] {
+            set_active_threads(threads);
+            let v: Vec<u64> = (0..100_000usize)
+                .into_par_iter()
+                .map(|i| i as u64 * 7)
+                .collect();
+            assert_eq!(v.len(), 100_000);
+            assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64 * 7));
+        }
+        set_active_threads(0);
+    }
+
+    #[test]
+    fn nonassociative_reduce_is_bit_identical_across_thread_counts() {
+        let _g = locked();
+        // Float addition is not associative: any thread-count-dependent
+        // combine order would change low-order bits.
+        let run = || -> f64 {
+            (0..200_000usize)
+                .into_par_iter()
+                .map(|i| 1.0f64 / (i as f64 + 1.0))
+                .reduce(|| 0.0, |a, b| a + b)
+        };
+        set_active_threads(1);
+        let base = run();
+        for threads in [2, 3, 8, 32] {
+            set_active_threads(threads);
+            assert_eq!(run().to_bits(), base.to_bits(), "threads={threads}");
+        }
+        set_active_threads(0);
+    }
+
+    #[test]
+    fn pool_is_reused_after_warmup() {
+        let _g = locked();
+        set_active_threads(4);
+        let work = || {
+            (0..100_000usize).into_par_iter().for_each(|i| {
+                std::hint::black_box(i.wrapping_mul(0x9e37_79b9));
+            });
+        };
+        work(); // warmup: spawns up to 3 workers
+        let warm = pool_spawned_threads();
+        for _ in 0..20 {
+            work();
+        }
+        assert_eq!(
+            pool_spawned_threads(),
+            warm,
+            "persistent pool must not spawn threads after warmup"
+        );
+        set_active_threads(0);
+    }
+
+    #[test]
+    fn panic_in_worker_chunk_propagates_to_caller() {
+        let _g = locked();
+        set_active_threads(4);
+        let r = std::panic::catch_unwind(|| {
+            (0..100_000usize).into_par_iter().for_each(|i| {
+                if i == 67_123 {
+                    panic!("boom at {i}");
+                }
+            });
+        });
+        set_active_threads(0);
+        let payload = r.expect_err("panic must propagate out of for_each");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("boom"), "unexpected payload: {msg:?}");
+    }
+
+    #[test]
+    fn panic_on_inline_path_propagates_too() {
+        // Small n runs inline on the caller with no catch_unwind wrapper.
+        let r = std::panic::catch_unwind(|| {
+            (0..10usize).into_par_iter().for_each(|i| {
+                if i == 3 {
+                    panic!("inline boom");
+                }
+            });
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn empty_and_single_item_terminals() {
+        let hits = AtomicUsize::new(0);
+        (0..0usize).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 0);
+        let v: Vec<u32> = (0..0u32).into_par_iter().collect();
+        assert!(v.is_empty());
+        let s: u64 = (0..0usize).into_par_iter().map(|i| i as u64).sum();
+        assert_eq!(s, 0);
+        let r: u64 = (0..0usize)
+            .into_par_iter()
+            .map(|i| i as u64)
+            .reduce(|| 99, |a, b| a + b);
+        assert_eq!(r, 99, "empty reduce yields the identity");
+
+        (0..1usize).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+        let v: Vec<u32> = (5..6u32).into_par_iter().collect();
+        assert_eq!(v, vec![5]);
+        let r: u64 = (7..8usize)
+            .into_par_iter()
+            .map(|i| i as u64)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(r, 7);
+        assert_eq!((0..1usize).into_par_iter().count(), 1);
+    }
+
+    #[test]
+    fn for_each_init_builds_state_per_chunk_not_per_item() {
+        let inits = AtomicUsize::new(0);
+        let n = 50_000usize;
+        (0..n).into_par_iter().for_each_init(
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0u64
+            },
+            |state, i| {
+                *state += i as u64;
+            },
+        );
+        let count = inits.load(Ordering::Relaxed);
+        assert!(count >= 1 && count <= n / 1024 + 1, "inits={count}");
+    }
+
+    #[test]
+    fn vec_into_par_iter_moves_items() {
+        let src: Vec<String> = (0..5000).map(|i| format!("s{i}")).collect();
+        let out: Vec<String> = src.into_par_iter().map(|s| s + "!").collect();
+        assert_eq!(out.len(), 5000);
+        assert!(out.iter().enumerate().all(|(i, s)| *s == format!("s{i}!")));
+    }
+
+    #[test]
+    fn enumerate_and_nested_zip_shapes() {
+        let data: Vec<u32> = (0..10_000).collect();
+        let sum: u64 = data
+            .par_iter()
+            .enumerate()
+            .map(|(i, &v)| (i as u64) ^ (v as u64))
+            .sum();
+        assert_eq!(sum, 0, "index equals value, so xor is zero everywhere");
+
+        let a: Vec<u64> = (0..4096).collect();
+        let b: Vec<u64> = (0..4096).map(|i| i * 2).collect();
+        let mut out = vec![0u64; 4096];
+        out.par_chunks_mut(64)
+            .zip(a.par_chunks(64))
+            .zip(b.par_iter())
+            .for_each(|((o, x), _)| o.copy_from_slice(x));
+        assert_eq!(out, a);
+    }
+
+    #[test]
+    fn nested_parallel_terminals_run_inline_without_deadlock() {
+        let _g = locked();
+        set_active_threads(4);
+        // A Vec producer treats every item as a work unit, so the outer
+        // terminal really submits to the pool; the inner ones must detect
+        // the parallel context and run inline instead of deadlocking.
+        let outer: Vec<usize> = (0..64).collect();
+        let total: u64 = outer
+            .into_par_iter()
+            .map(|_| {
+                (0..10_000usize)
+                    .into_par_iter()
+                    .map(|j| j as u64)
+                    .sum::<u64>()
+            })
+            .sum();
+        set_active_threads(0);
+        assert_eq!(total, 64 * (9_999 * 10_000 / 2));
+    }
+
+    #[test]
+    fn thread_count_override_roundtrip() {
+        let _g = locked();
+        set_active_threads(3);
+        assert_eq!(current_num_threads(), 3);
+        set_active_threads(0);
+        assert!(current_num_threads() >= 1);
     }
 }
