@@ -37,6 +37,7 @@
 
 pub mod chunking;
 pub mod diff;
+pub mod frame;
 pub mod labels;
 pub mod methods;
 pub mod random_access;
@@ -49,6 +50,10 @@ pub(crate) mod util;
 pub use chunking::Chunking;
 pub use ckpt_telemetry::{StageBreakdown, StageSample};
 pub use diff::{Diff, MethodKind, ShiftRegion};
+pub use frame::{
+    decode_frame, encode_frame, looks_framed, verify_frame, FrameError, FrameHeader,
+    FRAME_HEADER_LEN, FRAME_MAGIC, FRAME_VERSION,
+};
 pub use labels::Label;
 pub use methods::basic::BasicCheckpointer;
 pub use methods::full::FullCheckpointer;

@@ -262,4 +262,29 @@ proptest! {
         let mut m = NaiveTreeCheckpointer::new(Device::a100(), TreeConfig::new(32));
         assert_roundtrip(&mut m, &snapshots);
     }
+
+    /// Integrity frames round-trip any payload, reject relocation to a
+    /// wrong slot, and detect truncation at *every* byte offset — the
+    /// artifact a torn write leaves behind.
+    #[test]
+    fn frame_round_trips_and_any_truncation_fails(
+        rank in any::<u32>(),
+        ckpt in any::<u32>(),
+        payload in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let framed = ckpt_dedup::encode_frame(rank, ckpt, &payload);
+        prop_assert_eq!(
+            ckpt_dedup::verify_frame(&framed, Some((rank, ckpt))).unwrap(),
+            &payload[..]
+        );
+        prop_assert!(
+            ckpt_dedup::verify_frame(&framed, Some((rank, ckpt.wrapping_add(1)))).is_err()
+        );
+        for cut in 0..framed.len() {
+            prop_assert!(
+                ckpt_dedup::decode_frame(&framed[..cut]).is_err(),
+                "truncation to {} bytes went undetected", cut
+            );
+        }
+    }
 }

@@ -8,17 +8,29 @@
 //! recovering the durable prefix of each rank's record after a failure and
 //! replaying it back into checkpoint contents.
 //!
-//! * [`tier`] — simulated storage tiers with bandwidth/capacity accounting;
-//! * [`runtime`] — the asynchronous flusher with failure injection;
+//! * [`tier`] — simulated storage tiers with bandwidth/capacity accounting
+//!   and integrity framing;
+//! * [`fault`] — deterministic, seedable fault injection;
+//! * [`integrity`] — frame-verification counters and recovery reports;
+//! * [`runtime`] — the asynchronous flusher with retry/degradation and
+//!   failure injection;
 //! * [`lineage`] — record collection and restoration;
 //! * [`coordinator`] — the multi-rank strong-scaling harness (Fig. 6).
 
 pub mod coordinator;
+pub mod fault;
+pub mod integrity;
 pub mod lineage;
 pub mod runtime;
 pub mod tier;
 
 pub use coordinator::{run_scaling, ScalingConfig, ScalingMethod, ScalingReport};
-pub use lineage::{restore_rank, restore_rank_latest};
+pub use fault::{
+    FaultKind, FaultPlan, FaultPlanBuilder, FaultSpec, FiredFault, OpKind, SplitMix64,
+};
+pub use integrity::{
+    IntegrityCounters, ObjectStatus, RankRecovery, RecoveredObject, RecoveryReport,
+};
+pub use lineage::{restore_rank, restore_rank_latest, restore_rank_with_report};
 pub use runtime::{AsyncRuntime, TierChain};
-pub use tier::{Tier, TierConfig};
+pub use tier::{FrameState, StoreError, StoreErrorKind, Tier, TierConfig};

@@ -5,6 +5,7 @@
 //! decodes them and replays the de-duplication diffs through
 //! [`ckpt_dedup::restore_record`].
 
+use crate::integrity::RecoveryReport;
 use crate::runtime::TierChain;
 use ckpt_dedup::diff::{DecodeError, Diff};
 use ckpt_dedup::restore::{RestoreError, Restorer};
@@ -34,6 +35,11 @@ impl std::error::Error for LineageError {}
 
 /// Collect the contiguous prefix of encoded diffs available for `rank`,
 /// searching every tier (durable copies preferred).
+///
+/// Frames that fail verification are *skipped*, never returned: a corrupt
+/// shallow copy cannot shadow a valid deeper one (see
+/// [`TierChain::locate`]). An id whose every copy is corrupt terminates
+/// the prefix — later diffs are unusable without their predecessors.
 pub fn collect_record(tiers: &TierChain, rank: u32) -> Vec<Vec<u8>> {
     let mut out = Vec::new();
     for k in 0u32.. {
@@ -45,9 +51,8 @@ pub fn collect_record(tiers: &TierChain, rank: u32) -> Vec<Vec<u8>> {
     out
 }
 
-/// Materialize every version of `rank`'s record.
-pub fn restore_rank(tiers: &TierChain, rank: u32) -> Result<Vec<Vec<u8>>, LineageError> {
-    let encoded = collect_record(tiers, rank);
+/// Replay a sequence of encoded diffs into materialized versions.
+fn replay(encoded: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, LineageError> {
     if encoded.is_empty() {
         return Err(LineageError::Empty);
     }
@@ -59,6 +64,30 @@ pub fn restore_rank(tiers: &TierChain, rank: u32) -> Result<Vec<Vec<u8>>, Lineag
     Ok((0..restorer.len())
         .map(|k| restorer.version(k).unwrap().to_vec())
         .collect())
+}
+
+/// The restart path with full accounting: run chain-level recovery (which
+/// verifies, repairs, and quarantines — see [`TierChain::recover_report`]),
+/// then materialize `rank`'s durable prefix. The report covers *all* ranks
+/// so callers can log cluster-wide damage while restoring one rank.
+pub fn restore_rank_with_report(
+    tiers: &TierChain,
+    rank: u32,
+) -> Result<(Vec<Vec<u8>>, RecoveryReport), LineageError> {
+    let report = tiers.recover_report();
+    let encoded: Vec<Vec<u8>> = report
+        .ranks
+        .iter()
+        .find(|r| r.rank == rank)
+        .map(|r| r.payloads.clone())
+        .unwrap_or_default();
+    let versions = replay(&encoded)?;
+    Ok((versions, report))
+}
+
+/// Materialize every version of `rank`'s record.
+pub fn restore_rank(tiers: &TierChain, rank: u32) -> Result<Vec<Vec<u8>>, LineageError> {
+    replay(&collect_record(tiers, rank))
 }
 
 /// Materialize only the latest version of `rank`'s record (the restart path).
@@ -109,12 +138,72 @@ mod tests {
     }
 
     #[test]
+    fn restore_with_report_accounts_for_every_object() {
+        let rt = AsyncRuntime::new();
+        let dev = gpu_sim::Device::a100();
+        let mut ckpt = ListCheckpointer::new(dev, TreeConfig::new(64));
+        let mut data: Vec<u8> = (0..4096u32).map(|i| (i % 199) as u8).collect();
+        let mut snapshots = Vec::new();
+        for k in 0..3u32 {
+            if k > 0 {
+                data[k as usize * 31] ^= 0xff;
+            }
+            snapshots.push(data.clone());
+            let out = ckpt.checkpoint(&data);
+            rt.submit(0, k, out.diff.encode()).unwrap();
+        }
+        rt.wait_durable(&[(0, 0), (0, 1), (0, 2)]);
+        let (versions, report) = restore_rank_with_report(rt.tiers(), 0).unwrap();
+        assert_eq!(versions, snapshots);
+        assert_eq!(report.total_verified(), 3);
+        assert_eq!(report.total_lost(), 0);
+        assert_eq!(report.total_durable_prefix(), 3);
+        rt.shutdown();
+    }
+
+    #[test]
     fn empty_rank_errors() {
         let rt = AsyncRuntime::new();
         assert!(matches!(
             restore_rank(rt.tiers(), 42),
             Err(LineageError::Empty)
         ));
+    }
+
+    #[test]
+    fn corrupt_shallow_copy_is_skipped_for_deeper_valid_one() {
+        use crate::fault::{FaultKind, FaultPlan};
+        // The second *host* put is bit-flipped; the PFS holds valid copies
+        // of both diffs. The record must come back whole (the corrupt host
+        // copy is skipped, not returned) and the host copy gets repaired.
+        let plan = FaultPlan::builder()
+            .on_put("host", 1, FaultKind::BitFlip { bit: 40 })
+            .build();
+        let tiers = crate::runtime::TierChain::with_faults(plan);
+        tiers.pfs.put((0, 0), vec![1, 2, 3]).unwrap();
+        tiers.pfs.put((0, 1), vec![4, 5]).unwrap();
+        tiers.host.put((0, 0), vec![1, 2, 3]).unwrap();
+        tiers.host.put((0, 1), vec![4, 5]).unwrap(); // corrupted by the plan
+        assert_eq!(collect_record(&tiers, 0), vec![vec![1, 2, 3], vec![4, 5]]);
+        assert_eq!(tiers.integrity().corrupt_count(), 1);
+        assert_eq!(tiers.integrity().repaired_count(), 1);
+        assert_eq!(tiers.host.get((0, 1)), Some(vec![4, 5]));
+    }
+
+    #[test]
+    fn record_stops_at_unrepairable_corruption() {
+        use crate::fault::{FaultKind, FaultPlan};
+        // ckpt 1's only copy is corrupt: the usable record is just ckpt 0,
+        // even though a valid ckpt 2 exists beyond the gap.
+        let plan = FaultPlan::builder()
+            .on_put("pfs", 1, FaultKind::TornWrite { keep_bytes: 12 })
+            .build();
+        let tiers = crate::runtime::TierChain::with_faults(plan);
+        tiers.pfs.put((0, 0), vec![1]).unwrap();
+        tiers.pfs.put((0, 1), vec![2]).unwrap(); // torn
+        tiers.pfs.put((0, 2), vec![3]).unwrap();
+        assert_eq!(collect_record(&tiers, 0), vec![vec![1]]);
+        assert_eq!(tiers.pfs.quarantined(), vec![(0, 1)]);
     }
 
     #[test]

@@ -7,35 +7,54 @@
 //! host → SSD → PFS, evicting from the upper tier once the object is safe
 //! one level down. A checkpoint is *durable* once it reaches the PFS.
 //!
-//! Failure injection for the restart tests: [`AsyncRuntime::kill`] abandons
-//! the flusher mid-stream; [`AsyncRuntime::recover`] then reports, per rank,
-//! the longest durable prefix of the record from which a restart can
-//! proceed.
+//! # Failure model
+//!
+//! Every stored object is integrity-framed (see [`crate::tier`]); the
+//! drain loop verifies frames on read, retries transient tier errors with
+//! bounded exponential backoff, and *degrades* past a tier that refuses an
+//! object after retry exhaustion (host → PFS directly, skipping a failed
+//! SSD). [`AsyncRuntime::kill`] simulates a node crash: it halts the
+//! flusher and joins it, so when `kill` returns the tiers are in a
+//! well-defined state (no write is ever half-applied; see the torn-write
+//! contract on [`Tier::put`]). [`AsyncRuntime::recover`] /
+//! [`TierChain::recover_report`] then enumerate, per rank, which objects
+//! verified, which were repaired from a redundant copy, and which are lost
+//! — instead of silently returning a partial chain.
 
-use crate::tier::{ObjectId, Tier, TierConfig, TierFull};
+use crate::fault::FaultPlan;
+use crate::integrity::{
+    group_by_rank, IntegrityCounters, ObjectStatus, RankRecovery, RecoveredObject, RecoveryReport,
+};
+use crate::tier::{FrameState, ObjectId, StoreErrorKind, Tier, TierConfig, TierFull};
 use ckpt_telemetry::{Counter, Gauge, Histogram, Registry};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Max attempts for a tier write before the flusher gives up on that tier
+/// (1 initial try + 3 retries).
+const MAX_STORE_ATTEMPTS: u32 = 4;
+/// Max attempts for a tier read (transient errors only).
+const MAX_READ_ATTEMPTS: u32 = 3;
+/// Base backoff between retries; doubles per attempt (50 µs, 100 µs, …) so
+/// retry exhaustion stays well under a millisecond in tests.
+const RETRY_BACKOFF: Duration = Duration::from_micros(50);
 
 /// The three-tier hierarchy under the GPU.
 pub struct TierChain {
     pub host: Tier,
     pub ssd: Tier,
     pub pfs: Tier,
+    integrity: IntegrityCounters,
 }
 
 impl TierChain {
     pub fn new() -> Self {
-        TierChain {
-            host: Tier::new(TierConfig::host()),
-            ssd: Tier::new(TierConfig::ssd()),
-            pfs: Tier::new(TierConfig::pfs()),
-        }
+        Self::with_configs(TierConfig::host(), TierConfig::ssd(), TierConfig::pfs())
     }
 
     pub fn with_configs(host: TierConfig, ssd: TierConfig, pfs: TierConfig) -> Self {
@@ -43,16 +62,164 @@ impl TierChain {
             host: Tier::new(host),
             ssd: Tier::new(ssd),
             pfs: Tier::new(pfs),
+            integrity: IntegrityCounters::detached(),
         }
     }
 
-    /// Find an object in the deepest tier holding it (PFS preferred: it is
-    /// the durable copy).
+    /// Default-configured chain whose tiers all consult `plan` (the
+    /// fault-injection hook; specs are keyed by tier name).
+    pub fn with_faults(plan: Arc<FaultPlan>) -> Self {
+        Self::with_configs_and_faults(
+            TierConfig::host(),
+            TierConfig::ssd(),
+            TierConfig::pfs(),
+            plan,
+        )
+    }
+
+    pub fn with_configs_and_faults(
+        host: TierConfig,
+        ssd: TierConfig,
+        pfs: TierConfig,
+        plan: Arc<FaultPlan>,
+    ) -> Self {
+        TierChain {
+            host: Tier::with_faults(host, Arc::clone(&plan)),
+            ssd: Tier::with_faults(ssd, Arc::clone(&plan)),
+            pfs: Tier::with_faults(pfs, plan),
+            integrity: IntegrityCounters::detached(),
+        }
+    }
+
+    /// Route integrity counters into `registry` (done by the runtime at
+    /// construction so `integrity/frames_*` land in its report).
+    pub fn bind_telemetry(&mut self, registry: Arc<Registry>) {
+        self.integrity = IntegrityCounters::bound(registry);
+    }
+
+    /// Integrity counters for this chain (verified / corrupt / repaired).
+    pub fn integrity(&self) -> &IntegrityCounters {
+        &self.integrity
+    }
+
+    /// Read-and-verify with bounded retry of injected transient errors.
+    fn inspect_retry(tier: &Tier, id: ObjectId) -> FrameState {
+        for attempt in 0..MAX_READ_ATTEMPTS {
+            match tier.inspect(id) {
+                FrameState::TransientIo if attempt + 1 < MAX_READ_ATTEMPTS => {
+                    std::thread::sleep(RETRY_BACKOFF * (1 << attempt));
+                }
+                state => return state,
+            }
+        }
+        FrameState::TransientIo
+    }
+
+    /// Find a *verified* copy of an object in the deepest tier holding one
+    /// (PFS preferred: it is the durable copy). Copies whose frame fails
+    /// verification are skipped — a bit-flipped host copy can never shadow
+    /// a good SSD copy — then quarantined, and transparently repaired from
+    /// the surviving valid copy when one exists.
     pub fn locate(&self, id: ObjectId) -> Option<Vec<u8>> {
-        self.pfs
-            .get(id)
-            .or_else(|| self.ssd.get(id))
-            .or_else(|| self.host.get(id))
+        let order = [&self.pfs, &self.ssd, &self.host];
+        let mut payload: Option<Vec<u8>> = None;
+        let mut corrupt: Vec<&Tier> = Vec::new();
+        for tier in order {
+            match Self::inspect_retry(tier, id) {
+                FrameState::Valid(p) => {
+                    self.integrity.on_verified();
+                    if payload.is_none() {
+                        payload = Some(p);
+                    }
+                }
+                FrameState::Corrupt(_) => {
+                    self.integrity.on_corrupt();
+                    tier.quarantine(id);
+                    corrupt.push(tier);
+                }
+                FrameState::Missing | FrameState::TransientIo => {}
+            }
+        }
+        if let Some(p) = &payload {
+            for tier in corrupt {
+                if tier.store(id, p.clone()).is_ok() {
+                    self.integrity.on_repaired();
+                }
+            }
+        }
+        payload
+    }
+
+    /// Classify one object for recovery; returns its status and, when
+    /// durable, the verified payload.
+    fn recover_object(&self, id: ObjectId) -> (ObjectStatus, Option<Vec<u8>>) {
+        match Self::inspect_retry(&self.pfs, id) {
+            FrameState::Valid(p) => {
+                self.integrity.on_verified();
+                (ObjectStatus::Verified, Some(p))
+            }
+            FrameState::Corrupt(_) => {
+                self.integrity.on_corrupt();
+                self.pfs.quarantine(id);
+                // Repair from a redundant copy in a higher tier.
+                for tier in [&self.ssd, &self.host] {
+                    if let FrameState::Valid(p) = Self::inspect_retry(tier, id) {
+                        self.integrity.on_verified();
+                        if self.pfs.store(id, p.clone()).is_ok() {
+                            self.integrity.on_repaired();
+                            return (ObjectStatus::Repaired, Some(p));
+                        }
+                    }
+                }
+                (ObjectStatus::LostCorrupt, None)
+            }
+            FrameState::Missing | FrameState::TransientIo => {
+                // Never durable: copies above the PFS are volatile.
+                (ObjectStatus::LostVolatile, None)
+            }
+        }
+    }
+
+    /// Post-crash recovery with full accounting: every object known to any
+    /// tier (including quarantined ones) is classified as verified,
+    /// repaired, or lost, and each rank's contiguous durable prefix is
+    /// extracted. See [`RecoveryReport`].
+    pub fn recover_report(&self) -> RecoveryReport {
+        let mut ids: Vec<ObjectId> = Vec::new();
+        for tier in [&self.pfs, &self.ssd, &self.host] {
+            ids.extend(tier.resident());
+            ids.extend(tier.quarantined());
+        }
+        let by_rank = group_by_rank(ids);
+        let mut ranks: Vec<RankRecovery> = by_rank
+            .into_iter()
+            .map(|(rank, ckpts)| {
+                let mut objects = Vec::with_capacity(ckpts.len());
+                let mut payloads = Vec::new();
+                let mut prefix_len = 0usize;
+                let mut prefix_open = true;
+                for ckpt_id in ckpts {
+                    let (status, payload) = self.recover_object((rank, ckpt_id));
+                    // The usable prefix needs consecutive durable ids from 0
+                    // (later diffs are unusable without their predecessors).
+                    if prefix_open && status.is_durable() && ckpt_id as usize == prefix_len {
+                        payloads.push(payload.expect("durable object carries payload"));
+                        prefix_len += 1;
+                    } else {
+                        prefix_open = false;
+                    }
+                    objects.push(RecoveredObject { ckpt_id, status });
+                }
+                RankRecovery {
+                    rank,
+                    objects,
+                    prefix_len,
+                    payloads,
+                }
+            })
+            .collect();
+        ranks.sort_by_key(|r| r.rank);
+        RecoveryReport { ranks }
     }
 }
 
@@ -79,12 +246,18 @@ enum Job {
 /// | `runtime/durable` | counter | checkpoints that reached the PFS |
 /// | `runtime/producer_stalls` | counter | blocking submissions that had to wait |
 /// | `runtime/producer_stall_ns` | counter | total wall time producers spent stalled |
+/// | `runtime/retries` | counter | flusher retries after transient tier errors (lazy) |
+/// | `runtime/degraded_flushes` | counter | flushes that skipped a failed tier (lazy) |
 /// | `runtime/queue_depth` | gauge | flush jobs enqueued but not yet picked up |
 /// | `runtime/durable_lag` | gauge | submitted minus durable (in-flight objects) |
 /// | `tier/host/used_bytes` | gauge | host staging occupancy |
 /// | `tier/host/evictions`, `tier/ssd/evictions` | counter | drains that freed the tier above |
 /// | `tier/<t>/object_bytes` | histogram | object sizes written to tier `<t>` |
 /// | `tier/ssd/flush_ns`, `tier/pfs/flush_ns` | histogram | per-hop flush latency |
+/// | `integrity/frames_*` | counter | see [`crate::integrity`] (lazy) |
+///
+/// Lazy counters only register on their first event so fault-free runs
+/// export exactly the pre-existing metric schema.
 struct RuntimeMetrics {
     registry: Arc<Registry>,
     submitted: Arc<Counter>,
@@ -101,6 +274,8 @@ struct RuntimeMetrics {
     pfs_object_bytes: Arc<Histogram>,
     ssd_flush_ns: Arc<Histogram>,
     pfs_flush_ns: Arc<Histogram>,
+    retries: OnceLock<Arc<Counter>>,
+    degraded_flushes: OnceLock<Arc<Counter>>,
 }
 
 impl RuntimeMetrics {
@@ -120,6 +295,8 @@ impl RuntimeMetrics {
             pfs_object_bytes: registry.histogram("tier/pfs/object_bytes"),
             ssd_flush_ns: registry.histogram("tier/ssd/flush_ns"),
             pfs_flush_ns: registry.histogram("tier/pfs/flush_ns"),
+            retries: OnceLock::new(),
+            degraded_flushes: OnceLock::new(),
             registry,
         }
     }
@@ -132,6 +309,206 @@ impl RuntimeMetrics {
         self.host_object_bytes.record(len as u64);
         self.host_used_bytes.set(host_used as i64);
     }
+
+    fn on_retry(&self) {
+        self.retries
+            .get_or_init(|| self.registry.counter("runtime/retries"))
+            .inc();
+    }
+
+    fn on_degraded_flush(&self) {
+        self.degraded_flushes
+            .get_or_init(|| self.registry.counter("runtime/degraded_flushes"))
+            .inc();
+    }
+}
+
+/// The flusher thread's working set.
+struct Flusher {
+    tiers: Arc<TierChain>,
+    m: Arc<RuntimeMetrics>,
+    killed: Arc<AtomicBool>,
+    space_freed: Arc<(Mutex<u64>, Condvar)>,
+    /// Objects the flusher has given up on (never durable without outside
+    /// help); lets `wait_durable` terminate instead of spinning forever.
+    undrainable: Arc<Mutex<HashSet<ObjectId>>>,
+    time_scale: f64,
+}
+
+impl Flusher {
+    fn throttle(&self, bytes: usize, bw: f64) {
+        if self.time_scale > 0.0 {
+            let sec = bytes as f64 / bw * self.time_scale;
+            std::thread::sleep(Duration::from_secs_f64(sec));
+        }
+    }
+
+    /// Write with bounded retry + exponential backoff for transient
+    /// errors. A full tier fails fast (retrying cannot free space — the
+    /// caller degrades instead). Returns the payload on failure.
+    fn store_with_retry(&self, tier: &Tier, id: ObjectId, payload: Vec<u8>) -> Result<(), Vec<u8>> {
+        let mut payload = payload;
+        for attempt in 0..MAX_STORE_ATTEMPTS {
+            match tier.store(id, payload) {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    if e.kind == StoreErrorKind::Full || attempt + 1 == MAX_STORE_ATTEMPTS {
+                        return Err(e.payload);
+                    }
+                    self.m.on_retry();
+                    std::thread::sleep(RETRY_BACKOFF * (1 << attempt));
+                    payload = e.payload;
+                }
+            }
+        }
+        unreachable!("loop returns on last attempt")
+    }
+
+    /// Read with bounded retry of transient errors, counting retries.
+    fn read_with_retry(&self, tier: &Tier, id: ObjectId) -> FrameState {
+        for attempt in 0..MAX_READ_ATTEMPTS {
+            match tier.inspect(id) {
+                FrameState::TransientIo if attempt + 1 < MAX_READ_ATTEMPTS => {
+                    self.m.on_retry();
+                    std::thread::sleep(RETRY_BACKOFF * (1 << attempt));
+                }
+                state => return state,
+            }
+        }
+        FrameState::TransientIo
+    }
+
+    /// Evict the host copy once the object is safe below, then wake any
+    /// producers stalled on host capacity.
+    fn free_host(&self, id: ObjectId) {
+        if self.tiers.host.evict(id) {
+            self.m.host_evictions.inc();
+        }
+        self.m
+            .host_used_bytes
+            .set(self.tiers.host.used_bytes() as i64);
+        let (gen, cv) = &*self.space_freed;
+        *gen.lock() += 1;
+        cv.notify_all();
+    }
+
+    fn mark_undrainable(&self, id: ObjectId) {
+        self.undrainable.lock().insert(id);
+    }
+
+    fn on_durable(&self) {
+        self.m.durable.inc();
+        self.m.durable_lag.sub(1);
+    }
+
+    /// Drain one object host → SSD → PFS, with retry, degradation and
+    /// integrity handling at every hop.
+    fn flush(&self, id: ObjectId) {
+        let t = &self.tiers;
+        // Hop 1: host → SSD, degrading host → PFS if the SSD refuses the
+        // object after retry exhaustion (full or persistently erroring).
+        match self.read_with_retry(&t.host, id) {
+            FrameState::Valid(payload) => {
+                let n = payload.len();
+                let hop = Instant::now();
+                match self.store_with_retry(&t.ssd, id, payload) {
+                    Ok(()) => {
+                        self.throttle(n, t.ssd.config().bandwidth_bps);
+                        self.m.ssd_flush_ns.record_duration(hop.elapsed());
+                        self.m.ssd_object_bytes.record(n as u64);
+                        self.free_host(id);
+                    }
+                    Err(payload) => {
+                        self.m.on_degraded_flush();
+                        let hop = Instant::now();
+                        match self.store_with_retry(&t.pfs, id, payload) {
+                            Ok(()) => {
+                                self.throttle(n, t.pfs.config().bandwidth_bps);
+                                self.m.pfs_flush_ns.record_duration(hop.elapsed());
+                                self.m.pfs_object_bytes.record(n as u64);
+                                self.on_durable();
+                                self.free_host(id);
+                            }
+                            Err(_) => self.mark_undrainable(id),
+                        }
+                        return; // degraded objects skip the SSD hop
+                    }
+                }
+            }
+            FrameState::Corrupt(_) => {
+                // A corrupt staged copy can never drain; only a deeper copy
+                // can still make this object durable.
+                t.integrity.on_corrupt();
+                t.host.quarantine(id);
+                if !t.ssd.contains(id) && !t.pfs.contains(id) {
+                    self.mark_undrainable(id);
+                    return;
+                }
+            }
+            FrameState::TransientIo => {
+                if !t.ssd.contains(id) && !t.pfs.contains(id) {
+                    self.mark_undrainable(id);
+                    return;
+                }
+            }
+            FrameState::Missing => {}
+        }
+        if self.killed.load(Ordering::Relaxed) {
+            return;
+        }
+        // Hop 2: SSD → PFS.
+        match self.read_with_retry(&t.ssd, id) {
+            FrameState::Valid(payload) => {
+                let n = payload.len();
+                let hop = Instant::now();
+                match self.store_with_retry(&t.pfs, id, payload) {
+                    Ok(()) => {
+                        self.throttle(n, t.pfs.config().bandwidth_bps);
+                        self.m.pfs_flush_ns.record_duration(hop.elapsed());
+                        self.m.pfs_object_bytes.record(n as u64);
+                        self.on_durable();
+                        if t.ssd.evict(id) {
+                            self.m.ssd_evictions.inc();
+                        }
+                    }
+                    Err(_) => self.mark_undrainable(id),
+                }
+            }
+            FrameState::Corrupt(_) => {
+                t.integrity.on_corrupt();
+                t.ssd.quarantine(id);
+                if !t.pfs.contains(id) {
+                    self.mark_undrainable(id);
+                }
+            }
+            FrameState::TransientIo => {
+                if !t.pfs.contains(id) {
+                    self.mark_undrainable(id);
+                }
+            }
+            FrameState::Missing => {}
+        }
+    }
+
+    fn run(&self, rx: Receiver<Job>) {
+        for job in rx.iter() {
+            match job {
+                Job::Shutdown => break,
+                Job::Flush(id) => {
+                    self.m.queue_depth.sub(1);
+                    if self.killed.load(Ordering::Relaxed) {
+                        // Simulated node failure: stop draining.
+                        break;
+                    }
+                    self.flush(id);
+                }
+            }
+        }
+        // Unblock any stalled producers on exit.
+        let (gen, cv) = &*self.space_freed;
+        *gen.lock() += 1;
+        cv.notify_all();
+    }
 }
 
 /// Asynchronous checkpoint flusher over a [`TierChain`].
@@ -139,11 +516,12 @@ pub struct AsyncRuntime {
     tiers: Arc<TierChain>,
     metrics: Arc<RuntimeMetrics>,
     tx: Sender<Job>,
-    worker: Option<JoinHandle<()>>,
+    worker: Mutex<Option<JoinHandle<()>>>,
     killed: Arc<AtomicBool>,
     /// Signaled after the flusher evicts from the host tier, unblocking
     /// producers stalled in [`submit_blocking`](Self::submit_blocking).
     space_freed: Arc<(Mutex<u64>, Condvar)>,
+    undrainable: Arc<Mutex<HashSet<ObjectId>>>,
 }
 
 impl AsyncRuntime {
@@ -169,83 +547,31 @@ impl AsyncRuntime {
     /// Like [`with_tiers_throttled`](Self::with_tiers_throttled), but
     /// recording metrics into a caller-provided registry (so several
     /// subsystems can share one report).
-    pub fn with_telemetry(tiers: TierChain, time_scale: f64, registry: Arc<Registry>) -> Self {
+    pub fn with_telemetry(mut tiers: TierChain, time_scale: f64, registry: Arc<Registry>) -> Self {
+        tiers.bind_telemetry(Arc::clone(&registry));
         let tiers = Arc::new(tiers);
         let metrics = Arc::new(RuntimeMetrics::new(registry));
         let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
         let killed = Arc::new(AtomicBool::new(false));
         let space_freed: Arc<(Mutex<u64>, Condvar)> = Arc::new((Mutex::new(0), Condvar::new()));
-        let worker = {
-            let tiers = Arc::clone(&tiers);
-            let killed = Arc::clone(&killed);
-            let space_freed = Arc::clone(&space_freed);
-            let m = Arc::clone(&metrics);
-            std::thread::spawn(move || {
-                let throttle = |bytes: usize, bw: f64| {
-                    if time_scale > 0.0 {
-                        let sec = bytes as f64 / bw * time_scale;
-                        std::thread::sleep(Duration::from_secs_f64(sec));
-                    }
-                };
-                for job in rx.iter() {
-                    match job {
-                        Job::Shutdown => break,
-                        Job::Flush(id) => {
-                            m.queue_depth.sub(1);
-                            if killed.load(Ordering::Relaxed) {
-                                // Simulated node failure: stop draining.
-                                break;
-                            }
-                            // host → ssd → pfs, evicting behind ourselves.
-                            if let Some(bytes) = tiers.host.get(id) {
-                                let n = bytes.len();
-                                let hop = Instant::now();
-                                if tiers.ssd.put(id, bytes).is_ok() {
-                                    throttle(n, tiers.ssd.config().bandwidth_bps);
-                                    m.ssd_flush_ns.record_duration(hop.elapsed());
-                                    m.ssd_object_bytes.record(n as u64);
-                                    if tiers.host.evict(id) {
-                                        m.host_evictions.inc();
-                                    }
-                                    m.host_used_bytes.set(tiers.host.used_bytes() as i64);
-                                    let (gen, cv) = &*space_freed;
-                                    *gen.lock() += 1;
-                                    cv.notify_all();
-                                }
-                            }
-                            if killed.load(Ordering::Relaxed) {
-                                break;
-                            }
-                            if let Some(bytes) = tiers.ssd.get(id) {
-                                let n = bytes.len();
-                                let hop = Instant::now();
-                                if tiers.pfs.put(id, bytes).is_ok() {
-                                    throttle(n, tiers.pfs.config().bandwidth_bps);
-                                    m.pfs_flush_ns.record_duration(hop.elapsed());
-                                    m.pfs_object_bytes.record(n as u64);
-                                    m.durable.inc();
-                                    m.durable_lag.sub(1);
-                                    if tiers.ssd.evict(id) {
-                                        m.ssd_evictions.inc();
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
-                // Unblock any stalled producers on exit.
-                let (gen, cv) = &*space_freed;
-                *gen.lock() += 1;
-                cv.notify_all();
-            })
+        let undrainable: Arc<Mutex<HashSet<ObjectId>>> = Arc::new(Mutex::new(HashSet::new()));
+        let flusher = Flusher {
+            tiers: Arc::clone(&tiers),
+            m: Arc::clone(&metrics),
+            killed: Arc::clone(&killed),
+            space_freed: Arc::clone(&space_freed),
+            undrainable: Arc::clone(&undrainable),
+            time_scale,
         };
+        let worker = std::thread::spawn(move || flusher.run(rx));
         AsyncRuntime {
             tiers,
             metrics,
             tx,
-            worker: Some(worker),
+            worker: Mutex::new(Some(worker)),
             killed,
             space_freed,
+            undrainable,
         }
     }
 
@@ -257,6 +583,15 @@ impl AsyncRuntime {
     /// [`Registry::snapshot_json`] for the `ckpt stats` report.
     pub fn telemetry(&self) -> &Arc<Registry> {
         &self.metrics.registry
+    }
+
+    /// Objects the flusher has given up on (corrupt with no redundant
+    /// copy, or every lower tier refused them through retries and
+    /// degradation). Sorted for deterministic assertions.
+    pub fn undrainable(&self) -> Vec<ObjectId> {
+        let mut ids: Vec<ObjectId> = self.undrainable.lock().iter().copied().collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// Stage a checkpoint diff in host memory and schedule its background
@@ -322,11 +657,17 @@ impl AsyncRuntime {
         }
     }
 
-    /// Block until every submitted checkpoint so far has drained to the PFS,
+    /// Block until every given checkpoint has either drained to the PFS or
+    /// been abandoned by the flusher (see [`undrainable`](Self::undrainable)),
     /// then return. (Polling keeps the flusher honest about ordering.)
     pub fn wait_durable(&self, ids: &[ObjectId]) {
         loop {
-            if ids.iter().all(|&id| self.tiers.pfs.contains(id)) {
+            let settled = {
+                let undrainable = self.undrainable.lock();
+                ids.iter()
+                    .all(|id| self.tiers.pfs.contains(*id) || undrainable.contains(id))
+            };
+            if settled {
                 return;
             }
             if self.killed.load(Ordering::Relaxed) {
@@ -336,46 +677,47 @@ impl AsyncRuntime {
         }
     }
 
+    fn join_worker(&self) {
+        let handle = self.worker.lock().take();
+        if let Some(w) = handle {
+            let _ = w.join();
+        }
+    }
+
     /// Simulate a crash: the flusher stops mid-stream; staged objects above
     /// the PFS are lost (host/SSD contents are considered volatile).
+    ///
+    /// `kill` *joins* the flusher before returning, so afterwards the tiers
+    /// are in a well-defined state: no further mutations happen, and since
+    /// every tier write is atomic (the torn-write contract on
+    /// [`Tier::put`]), each object is either fully present in a tier or
+    /// absent — any partial frame observed later was injected by a
+    /// [`FaultPlan`], never left by a half-applied `try_put`.
     pub fn kill(&self) {
         self.killed.store(true, Ordering::Relaxed);
         let _ = self.tx.send(Job::Shutdown);
+        self.join_worker();
     }
 
     /// After a crash: the durable record per rank — the longest prefix
-    /// `0..=k` of checkpoint ids fully present on the PFS. Restart must
-    /// resume from these (later diffs may exist but are unusable without
-    /// their predecessors).
+    /// `0..=k` of checkpoint ids fully present (and verified) on the PFS.
+    /// Restart must resume from these (later diffs may exist but are
+    /// unusable without their predecessors). See
+    /// [`recover_report`](Self::recover_report) for per-object accounting.
     pub fn recover(&self) -> HashMap<u32, Vec<Vec<u8>>> {
-        let mut by_rank: HashMap<u32, Vec<(u32, Vec<u8>)>> = HashMap::new();
-        for id in self.tiers.pfs.resident() {
-            if let Some(bytes) = self.tiers.pfs.get(id) {
-                by_rank.entry(id.0).or_default().push((id.1, bytes));
-            }
-        }
-        by_rank
-            .into_iter()
-            .map(|(rank, mut objs)| {
-                objs.sort_unstable_by_key(|(ckpt, _)| *ckpt);
-                let mut prefix = Vec::new();
-                for (expect, (ckpt, bytes)) in objs.into_iter().enumerate() {
-                    if ckpt as usize != expect {
-                        break;
-                    }
-                    prefix.push(bytes);
-                }
-                (rank, prefix)
-            })
-            .collect()
+        self.recover_report().into_prefixes()
+    }
+
+    /// Post-crash recovery with per-object verified/repaired/lost
+    /// accounting (see [`RecoveryReport`]).
+    pub fn recover_report(&self) -> RecoveryReport {
+        self.tiers.recover_report()
     }
 
     /// Graceful shutdown: drain everything, then join the worker.
-    pub fn shutdown(mut self) {
+    pub fn shutdown(self) {
         let _ = self.tx.send(Job::Shutdown);
-        if let Some(w) = self.worker.take() {
-            let _ = w.join();
-        }
+        self.join_worker();
     }
 }
 
@@ -388,15 +730,14 @@ impl Default for AsyncRuntime {
 impl Drop for AsyncRuntime {
     fn drop(&mut self) {
         let _ = self.tx.send(Job::Shutdown);
-        if let Some(w) = self.worker.take() {
-            let _ = w.join();
-        }
+        self.join_worker();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultKind, FaultPlan};
 
     #[test]
     fn submit_drains_to_pfs_and_evicts_above() {
@@ -538,6 +879,9 @@ mod tests {
         // Unthrottled fast-path submissions never stall.
         assert_eq!(reg.counter("runtime/producer_stalls").get(), 0);
         assert_eq!(reg.counter("runtime/producer_stall_ns").get(), 0);
+        // Fault-free runs never retry or degrade.
+        assert_eq!(reg.counter("runtime/retries").get(), 0);
+        assert_eq!(reg.counter("runtime/degraded_flushes").get(), 0);
     }
 
     #[test]
@@ -555,5 +899,170 @@ mod tests {
             assert!(rt.tiers().pfs.contains(id));
         }
         rt.shutdown();
+    }
+
+    #[test]
+    fn transient_put_errors_are_retried_to_durability() {
+        // The first two SSD puts and the first PFS put fail transiently;
+        // the drain must still land everything, with retries counted.
+        let plan = FaultPlan::builder()
+            .on_put("ssd", 0, FaultKind::TransientIo)
+            .on_put("ssd", 1, FaultKind::TransientIo)
+            .on_put("pfs", 0, FaultKind::TransientIo)
+            .build();
+        let rt = AsyncRuntime::with_tiers(TierChain::with_faults(plan));
+        for k in 0..3u32 {
+            rt.submit(0, k, vec![k as u8; 128]).unwrap();
+        }
+        let ids = [(0, 0), (0, 1), (0, 2)];
+        rt.wait_durable(&ids);
+        for id in ids {
+            assert_eq!(rt.tiers().pfs.get(id), Some(vec![id.1 as u8; 128]));
+        }
+        let reg = Arc::clone(rt.telemetry());
+        assert!(rt.undrainable().is_empty());
+        rt.shutdown();
+        assert_eq!(reg.counter("runtime/retries").get(), 3);
+        assert_eq!(reg.counter("runtime/durable").get(), 3);
+        assert_eq!(reg.counter("runtime/degraded_flushes").get(), 0);
+    }
+
+    #[test]
+    fn exhausted_ssd_degrades_to_pfs() {
+        // Every SSD put fails: after retry exhaustion the flusher must
+        // degrade host → PFS directly, and the object still becomes durable.
+        let mut b = FaultPlan::builder();
+        for op in 0..64 {
+            b = b.on_put("ssd", op, FaultKind::TransientIo);
+        }
+        let rt = AsyncRuntime::with_tiers(TierChain::with_faults(b.build()));
+        rt.submit(0, 0, vec![5; 256]).unwrap();
+        rt.wait_durable(&[(0, 0)]);
+        assert_eq!(rt.tiers().pfs.get((0, 0)), Some(vec![5; 256]));
+        assert!(!rt.tiers().ssd.contains((0, 0)));
+        assert!(!rt.tiers().host.contains((0, 0)));
+        let reg = Arc::clone(rt.telemetry());
+        rt.shutdown();
+        assert_eq!(reg.counter("runtime/degraded_flushes").get(), 1);
+        assert_eq!(reg.counter("runtime/durable").get(), 1);
+        assert!(reg.counter("runtime/retries").get() >= 3);
+    }
+
+    #[test]
+    fn full_ssd_degrades_without_retrying() {
+        // A zero-capacity SSD refuses everything; objects must reach the
+        // PFS via degradation with no pointless retries.
+        let tiers = TierChain::with_configs(
+            TierConfig::host(),
+            TierConfig {
+                name: "ssd",
+                bandwidth_bps: 2.0e9,
+                capacity: 0,
+            },
+            TierConfig::pfs(),
+        );
+        let rt = AsyncRuntime::with_tiers(tiers);
+        rt.submit(0, 0, vec![1; 64]).unwrap();
+        rt.wait_durable(&[(0, 0)]);
+        assert_eq!(rt.tiers().pfs.get((0, 0)), Some(vec![1; 64]));
+        let reg = Arc::clone(rt.telemetry());
+        rt.shutdown();
+        assert_eq!(reg.counter("runtime/degraded_flushes").get(), 1);
+        assert_eq!(reg.counter("runtime/retries").get(), 0);
+    }
+
+    #[test]
+    fn corrupt_staged_copy_is_quarantined_and_reported() {
+        // A torn host write can never drain: the flusher must quarantine
+        // it, mark it undrainable (so wait_durable terminates), and the
+        // recovery report must call it lost.
+        let plan = FaultPlan::builder()
+            .on_put("host", 0, FaultKind::TornWrite { keep_bytes: 8 })
+            .build();
+        let rt = AsyncRuntime::with_tiers(TierChain::with_faults(plan));
+        rt.submit(0, 0, vec![9; 512]).unwrap();
+        rt.submit(0, 1, vec![8; 512]).unwrap();
+        rt.wait_durable(&[(0, 0), (0, 1)]);
+        assert_eq!(rt.undrainable(), vec![(0, 0)]);
+        assert_eq!(rt.tiers().pfs.get((0, 1)), Some(vec![8; 512]));
+        let report = rt.recover_report();
+        assert_eq!(report.total(ObjectStatus::LostVolatile), 1);
+        // ckpt 0 lost ⇒ the durable prefix is empty even though ckpt 1
+        // itself is durable and verified.
+        assert_eq!(report.ranks[0].prefix_len, 0);
+        assert_eq!(report.total_verified(), 1);
+        let reg = Arc::clone(rt.telemetry());
+        assert!(reg.counter("integrity/frames_corrupt").get() >= 1);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn locate_skips_corrupt_copy_and_repairs_it() {
+        // Bit-flip the SSD copy of an object that also exists (valid) on
+        // the host: locate must return the good host bytes, quarantine the
+        // flipped SSD copy, and repair the SSD from the host copy.
+        let plan = FaultPlan::builder()
+            .on_put("ssd", 0, FaultKind::BitFlip { bit: 321 })
+            .build();
+        let tiers = TierChain::with_faults(plan);
+        tiers.host.put((0, 0), vec![3; 128]).unwrap();
+        tiers.ssd.put((0, 0), vec![3; 128]).unwrap(); // corrupted by the plan
+        assert_eq!(tiers.locate((0, 0)), Some(vec![3; 128]));
+        assert_eq!(tiers.integrity().corrupt_count(), 1);
+        assert_eq!(tiers.integrity().repaired_count(), 1);
+        // The repaired SSD copy now verifies.
+        assert_eq!(tiers.ssd.get((0, 0)), Some(vec![3; 128]));
+        assert_eq!(tiers.ssd.quarantined(), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn recover_repairs_corrupt_pfs_copy_from_higher_tier() {
+        // The PFS copy is bit-flipped but the SSD still holds a valid
+        // copy: recovery must repair the durable copy and report it.
+        let plan = FaultPlan::builder()
+            .on_put("pfs", 0, FaultKind::BitFlip { bit: 100 })
+            .build();
+        let tiers = TierChain::with_faults(plan);
+        tiers.pfs.put((2, 0), vec![6; 200]).unwrap(); // corrupted
+        tiers.ssd.put((2, 0), vec![6; 200]).unwrap(); // redundant good copy
+        let report = tiers.recover_report();
+        assert_eq!(report.total_repaired(), 1);
+        assert_eq!(report.total_lost(), 0);
+        assert_eq!(report.ranks[0].prefix_len, 1);
+        assert_eq!(report.ranks[0].payloads[0], vec![6; 200]);
+        // The PFS copy has been rewritten and now verifies.
+        assert_eq!(tiers.pfs.get((2, 0)), Some(vec![6; 200]));
+        assert_eq!(tiers.integrity().repaired_count(), 1);
+    }
+
+    #[test]
+    fn corrupt_pfs_copy_without_redundancy_is_lost() {
+        let plan = FaultPlan::builder()
+            .on_put("pfs", 0, FaultKind::BitFlip { bit: 7 })
+            .build();
+        let tiers = TierChain::with_faults(plan);
+        tiers.pfs.put((0, 0), vec![1; 64]).unwrap();
+        let report = tiers.recover_report();
+        assert_eq!(report.total(ObjectStatus::LostCorrupt), 1);
+        assert_eq!(report.total_durable_prefix(), 0);
+        assert_eq!(tiers.pfs.quarantined(), vec![(0, 0)]);
+        // The legacy view simply has no usable prefix.
+        assert_eq!(
+            tiers.recover_report().into_prefixes()[&0],
+            Vec::<Vec<u8>>::new()
+        );
+    }
+
+    #[test]
+    fn kill_joins_the_flusher() {
+        let rt = AsyncRuntime::new();
+        rt.submit(0, 0, vec![1; 64]).unwrap();
+        rt.kill();
+        // After kill() the worker is joined: no handle remains.
+        assert!(rt.worker.lock().is_none());
+        // Tier state is frozen now; recover sees a consistent snapshot.
+        let before = rt.recover_report().total_objects();
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(rt.recover_report().total_objects(), before);
     }
 }

@@ -7,10 +7,35 @@
 //! writer, which is exactly the contention the paper describes for the
 //! PFS), plus capacity accounting so experiments can observe tiers filling
 //! up.
+//!
+//! # Integrity framing
+//!
+//! Every stored object is wrapped in a self-describing
+//! [`ckpt_dedup::frame`] (magic, rank/ckpt ids, payload length, 64-bit
+//! checksum) at [`put`](Tier::put) time and verified at read time.
+//! [`get`](Tier::get) returns only payloads whose frame verifies;
+//! [`inspect`](Tier::inspect) additionally distinguishes missing from
+//! corrupt objects so chain-level code can quarantine and repair. Capacity,
+//! bandwidth and byte accounting remain *payload-based* (the 32-byte header
+//! is bookkeeping, not modeled I/O).
+//!
+//! # Torn-write contract
+//!
+//! `put`/`try_put`/`store` are **atomic**: the object map is updated under
+//! a lock only after the frame is fully materialized, so a concurrent
+//! reader (or a crash via [`AsyncRuntime::kill`](crate::AsyncRuntime::kill))
+//! observes either the complete framed object or nothing — never a
+//! half-applied write. The *only* source of partial frames is an injected
+//! [`FaultKind::TornWrite`](crate::fault::FaultKind::TornWrite), which
+//! atomically installs a prefix of the framed bytes to model a write racing
+//! a crash; frame verification detects it at the next read.
 
+use crate::fault::{apply_latency, FaultKind, FaultPlan, OpKind};
+use ckpt_dedup::frame;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Identifies one checkpoint object: `(rank, ckpt_id)`.
 pub type ObjectId = (u32, u32);
@@ -57,11 +82,16 @@ impl TierConfig {
 /// One simulated storage tier.
 pub struct Tier {
     cfg: TierConfig,
+    /// Framed objects (header + payload).
     objects: Mutex<HashMap<ObjectId, Vec<u8>>>,
+    /// Corrupt frames pulled out of circulation, kept for forensics.
+    quarantined: Mutex<HashMap<ObjectId, Vec<u8>>>,
     used: AtomicU64,
     bytes_written: AtomicU64,
     /// Modeled cumulative busy time in femtoseconds.
     busy_femtos: AtomicU64,
+    /// Optional fault-injection hook (see [`crate::fault`]).
+    faults: Option<Arc<FaultPlan>>,
 }
 
 /// Error for writes that exceed tier capacity.
@@ -78,14 +108,64 @@ impl std::fmt::Display for TierFull {
 
 impl std::error::Error for TierFull {}
 
+/// Why a [`Tier::store`] failed. The payload is handed back so the caller
+/// can retry without copying.
+#[derive(Debug)]
+pub struct StoreError {
+    pub kind: StoreErrorKind,
+    pub payload: Vec<u8>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreErrorKind {
+    /// The tier is out of capacity (retry is pointless until eviction).
+    Full,
+    /// An injected transient I/O error (retry is expected to succeed).
+    TransientIo,
+}
+
+/// The verified state of one object slot, as seen by [`Tier::inspect`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameState {
+    /// No object stored under this id.
+    Missing,
+    /// Frame verified; the decoded payload.
+    Valid(Vec<u8>),
+    /// An object is stored but its frame fails verification.
+    Corrupt(frame::FrameError),
+    /// An injected transient read error; retry is expected to succeed.
+    TransientIo,
+}
+
+impl FrameState {
+    pub fn into_payload(self) -> Option<Vec<u8>> {
+        match self {
+            FrameState::Valid(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
 impl Tier {
     pub fn new(cfg: TierConfig) -> Self {
+        Self::with_fault_hook(cfg, None)
+    }
+
+    /// A tier whose operations consult `plan` (keyed by this tier's name)
+    /// before executing — the fault-injection hook.
+    pub fn with_faults(cfg: TierConfig, plan: Arc<FaultPlan>) -> Self {
+        Self::with_fault_hook(cfg, Some(plan))
+    }
+
+    fn with_fault_hook(cfg: TierConfig, faults: Option<Arc<FaultPlan>>) -> Self {
         Tier {
             cfg,
             objects: Mutex::new(HashMap::new()),
+            quarantined: Mutex::new(HashMap::new()),
             used: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
             busy_femtos: AtomicU64::new(0),
+            faults,
         }
     }
 
@@ -97,35 +177,123 @@ impl Tier {
         &self.cfg
     }
 
+    /// The charge an object's stored bytes incur against capacity/byte
+    /// accounting: the payload portion only (zero for a sub-header torn
+    /// stub).
+    fn charged_bytes(stored: &[u8]) -> u64 {
+        stored.len().saturating_sub(frame::FRAME_HEADER_LEN) as u64
+    }
+
     /// Store an object, accounting capacity and modeled write time.
     pub fn put(&self, id: ObjectId, bytes: Vec<u8>) -> Result<(), TierFull> {
-        self.try_put(id, bytes).map_err(|_| TierFull {
+        self.store(id, bytes).map_err(|_| TierFull {
             tier: self.cfg.name,
         })
     }
 
-    /// Like [`put`](Self::put), but hands the payload back on a full tier so
+    /// Like [`put`](Self::put), but hands the payload back on failure so
     /// the caller can retry (backpressure path).
     pub fn try_put(&self, id: ObjectId, bytes: Vec<u8>) -> Result<(), Vec<u8>> {
-        let len = bytes.len() as u64;
+        self.store(id, bytes).map_err(|e| e.payload)
+    }
+
+    /// Store `payload` under `id`, framed, reporting *why* on failure so
+    /// the drain loop can distinguish a full tier (degrade) from a
+    /// transient I/O error (retry with backoff).
+    pub fn store(&self, id: ObjectId, payload: Vec<u8>) -> Result<(), StoreError> {
+        // Fault hook: consult the plan before any side effect so a
+        // transient error leaves no trace in the accounting.
+        let fault = self
+            .faults
+            .as_ref()
+            .and_then(|p| p.next_op(self.cfg.name, OpKind::Put));
+        if let Some(kind) = &fault {
+            apply_latency(kind);
+            if *kind == FaultKind::TransientIo {
+                return Err(StoreError {
+                    kind: StoreErrorKind::TransientIo,
+                    payload,
+                });
+            }
+        }
+
+        let len = payload.len() as u64;
         // Reserve capacity optimistically; roll back on overflow.
         let prev = self.used.fetch_add(len, Ordering::Relaxed);
         if prev + len > self.cfg.capacity {
             self.used.fetch_sub(len, Ordering::Relaxed);
-            return Err(bytes);
+            return Err(StoreError {
+                kind: StoreErrorKind::Full,
+                payload,
+            });
         }
-        self.bytes_written.fetch_add(len, Ordering::Relaxed);
-        let femtos = (len as f64 / self.cfg.bandwidth_bps * 1e15) as u64;
+
+        let mut framed = frame::encode_frame(id.0, id.1, &payload);
+        // Storage faults mutate the framed bytes *before* the atomic
+        // insert: readers see the complete (corrupt) object, never a
+        // half-applied write.
+        match fault {
+            Some(FaultKind::TornWrite { keep_bytes }) => {
+                framed.truncate((keep_bytes as usize).min(framed.len().saturating_sub(1)));
+            }
+            Some(FaultKind::BitFlip { bit }) => {
+                let nbits = (framed.len() * 8) as u64;
+                if nbits > 0 {
+                    let at = (bit % nbits) as usize;
+                    framed[at / 8] ^= 1 << (at % 8);
+                }
+            }
+            _ => {}
+        }
+
+        // Re-charge to what actually landed (a torn write stores less than
+        // was reserved).
+        let charged = Self::charged_bytes(&framed);
+        if charged < len {
+            self.used.fetch_sub(len - charged, Ordering::Relaxed);
+        }
+        self.bytes_written.fetch_add(charged, Ordering::Relaxed);
+        let femtos = (charged as f64 / self.cfg.bandwidth_bps * 1e15) as u64;
         self.busy_femtos.fetch_add(femtos, Ordering::Relaxed);
-        let replaced = self.objects.lock().insert(id, bytes);
+        let replaced = self.objects.lock().insert(id, framed);
         if let Some(old) = replaced {
-            self.used.fetch_sub(old.len() as u64, Ordering::Relaxed);
+            self.used
+                .fetch_sub(Self::charged_bytes(&old), Ordering::Relaxed);
         }
         Ok(())
     }
 
-    /// Fetch a copy of an object.
+    /// Fetch a verified copy of an object's payload. Corrupt, missing and
+    /// transiently-unreadable objects all read as `None`; use
+    /// [`inspect`](Self::inspect) to tell them apart.
     pub fn get(&self, id: ObjectId) -> Option<Vec<u8>> {
+        self.inspect(id).into_payload()
+    }
+
+    /// Read and verify an object's frame, distinguishing every outcome.
+    pub fn inspect(&self, id: ObjectId) -> FrameState {
+        let fault = self
+            .faults
+            .as_ref()
+            .and_then(|p| p.next_op(self.cfg.name, OpKind::Get));
+        if let Some(kind) = &fault {
+            apply_latency(kind);
+            if *kind == FaultKind::TransientIo {
+                return FrameState::TransientIo;
+            }
+        }
+        let framed = match self.objects.lock().get(&id) {
+            Some(bytes) => bytes.clone(),
+            None => return FrameState::Missing,
+        };
+        match frame::verify_frame(&framed, Some(id)) {
+            Ok(payload) => FrameState::Valid(payload.to_vec()),
+            Err(e) => FrameState::Corrupt(e),
+        }
+    }
+
+    /// The raw framed bytes, unverified and fault-free (diagnostics only).
+    pub fn raw(&self, id: ObjectId) -> Option<Vec<u8>> {
         self.objects.lock().get(&id).cloned()
     }
 
@@ -137,11 +305,34 @@ impl Tier {
     pub fn evict(&self, id: ObjectId) -> bool {
         match self.objects.lock().remove(&id) {
             Some(bytes) => {
-                self.used.fetch_sub(bytes.len() as u64, Ordering::Relaxed);
+                self.used
+                    .fetch_sub(Self::charged_bytes(&bytes), Ordering::Relaxed);
                 true
             }
             None => false,
         }
+    }
+
+    /// Pull a corrupt object out of circulation: it stops counting against
+    /// capacity and no longer resolves via `get`/`contains`, but its bytes
+    /// are retained for forensics. Returns whether an object was present.
+    pub fn quarantine(&self, id: ObjectId) -> bool {
+        match self.objects.lock().remove(&id) {
+            Some(bytes) => {
+                self.used
+                    .fetch_sub(Self::charged_bytes(&bytes), Ordering::Relaxed);
+                self.quarantined.lock().insert(id, bytes);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Ids currently quarantined (sorted, for deterministic tests).
+    pub fn quarantined(&self) -> Vec<ObjectId> {
+        let mut ids: Vec<ObjectId> = self.quarantined.lock().keys().copied().collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// All object ids currently resident (sorted, for deterministic tests).
@@ -170,6 +361,7 @@ impl Tier {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlanBuilder;
 
     #[test]
     fn put_get_evict() {
@@ -225,5 +417,82 @@ mod tests {
         t.put((0, 2), vec![0]).unwrap();
         t.put((0, 1), vec![0]).unwrap();
         assert_eq!(t.resident(), vec![(0, 1), (0, 2), (1, 0)]);
+    }
+
+    #[test]
+    fn stored_objects_are_framed_and_verified() {
+        let t = Tier::new(TierConfig::host());
+        t.put((3, 9), vec![5; 64]).unwrap();
+        let raw = t.raw((3, 9)).unwrap();
+        assert_eq!(raw.len(), 64 + ckpt_dedup::frame::FRAME_HEADER_LEN);
+        assert!(ckpt_dedup::frame::looks_framed(&raw));
+        // get strips and verifies the frame.
+        assert_eq!(t.get((3, 9)), Some(vec![5; 64]));
+        assert_eq!(t.inspect((3, 9)), FrameState::Valid(vec![5; 64]));
+        assert_eq!(t.inspect((3, 8)), FrameState::Missing);
+    }
+
+    #[test]
+    fn torn_write_is_detected_and_quarantinable() {
+        let plan = FaultPlanBuilder::new()
+            .on_put("host", 0, FaultKind::TornWrite { keep_bytes: 10 })
+            .build();
+        let t = Tier::with_faults(TierConfig::host(), Arc::clone(&plan));
+        t.put((0, 0), vec![7; 100]).unwrap();
+        assert!(t.contains((0, 0)));
+        assert_eq!(t.get((0, 0)), None);
+        assert!(matches!(t.inspect((0, 0)), FrameState::Corrupt(_)));
+        // Sub-header stub charges nothing.
+        assert_eq!(t.used_bytes(), 0);
+        assert!(t.quarantine((0, 0)));
+        assert!(!t.contains((0, 0)));
+        assert_eq!(t.quarantined(), vec![(0, 0)]);
+        assert_eq!(plan.fired().len(), 1);
+        // The next put is clean.
+        t.put((0, 1), vec![7; 100]).unwrap();
+        assert_eq!(t.get((0, 1)), Some(vec![7; 100]));
+    }
+
+    #[test]
+    fn bit_flip_is_detected() {
+        let plan = FaultPlanBuilder::new()
+            .on_put("host", 0, FaultKind::BitFlip { bit: 999 })
+            .build();
+        let t = Tier::with_faults(TierConfig::host(), plan);
+        t.put((0, 0), vec![1; 50]).unwrap();
+        assert!(matches!(t.inspect((0, 0)), FrameState::Corrupt(_)));
+        // Accounting still sees the full payload (the flip corrupts, it
+        // does not shrink).
+        assert_eq!(t.used_bytes(), 50);
+    }
+
+    #[test]
+    fn transient_io_errors_fire_once_and_leave_no_trace() {
+        let plan = FaultPlanBuilder::new()
+            .on_put("host", 0, FaultKind::TransientIo)
+            .on_get("host", 1, FaultKind::TransientIo)
+            .build();
+        let t = Tier::with_faults(TierConfig::host(), plan);
+        let err = t.store((0, 0), vec![9; 30]).unwrap_err();
+        assert_eq!(err.kind, StoreErrorKind::TransientIo);
+        assert_eq!(err.payload, vec![9; 30]);
+        assert_eq!(t.used_bytes(), 0);
+        assert_eq!(t.bytes_written(), 0);
+        // Retry (op 1) succeeds.
+        t.store((0, 0), err.payload).unwrap();
+        // Get op 0 fine, op 1 faulted, op 2 fine.
+        assert_eq!(t.get((0, 0)), Some(vec![9; 30]));
+        assert_eq!(t.inspect((0, 0)), FrameState::TransientIo);
+        assert_eq!(t.get((0, 0)), Some(vec![9; 30]));
+    }
+
+    #[test]
+    fn misplaced_frame_fails_verification() {
+        // Two tiers; copy raw framed bytes of (0,0) into slot (0,1).
+        let t = Tier::new(TierConfig::host());
+        t.put((0, 0), vec![4; 16]).unwrap();
+        let raw = t.raw((0, 0)).unwrap();
+        t.objects.lock().insert((0, 1), raw);
+        assert!(matches!(t.inspect((0, 1)), FrameState::Corrupt(_)));
     }
 }
