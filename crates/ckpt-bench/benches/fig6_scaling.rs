@@ -21,7 +21,7 @@ fn bench_scaling(c: &mut Criterion) {
                 &n_ranks,
                 |b, &n_ranks| {
                     b.iter(|| {
-                        let rt = AsyncRuntime::new();
+                        let rt = std::sync::Arc::new(AsyncRuntime::new());
                         let cfg = ScalingConfig {
                             method,
                             n_ranks,

@@ -13,8 +13,8 @@
 //!   highfreq          E2: producer stall under storage backpressure (§1)
 //!   streaming         E3: checkpoint-level compute/transfer pipelining (§5)
 //!   adjoint           E5: adjoint reversal, revolve vs dedup store (§5)
-//!   host_scaling      thread-count sweep of the persistent host pool
-//!                     (writes BENCH_host_scaling.json)
+//!   host_scaling      scale x thread-count sweep of the persistent host
+//!                     pool (writes BENCH_host_scaling.json; see --scales)
 //!   ablation-hash     A1: Murmur3 vs MD5
 //!   ablation-metadata A2: Tree vs List metadata
 //!   ablation-waves    A3: two-stage vs naive wave ordering
@@ -28,7 +28,7 @@ use ckpt_bench::report;
 fn usage() -> ! {
     eprintln!(
         "usage: figures <table1|fig2|fig4|fig5|fig6|hybrid|highfreq|streaming|adjoint|host_scaling|ablation-hash|\
-         ablation-metadata|ablation-waves|ablation-gorder|ablation-fusion|all> [--scale N] [--rank-scale N] [--coverage F] [--seed N] [--json-out PATH]"
+         ablation-metadata|ablation-waves|ablation-gorder|ablation-fusion|all> [--scale N] [--scales A,B,C] [--rank-scale N] [--coverage F] [--seed N] [--json-out PATH]"
     );
     std::process::exit(2);
 }
@@ -43,6 +43,7 @@ fn main() {
     let mut rank_scale = 4_000usize;
     let mut coverage = ckpt_bench::workload::SCALING_COVERAGE;
     let mut json_out = String::from("BENCH_host_scaling.json");
+    let mut scales: Vec<usize> = experiments::HOST_SCALING_SCALES.to_vec();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -64,6 +65,18 @@ fn main() {
                 coverage = args
                     .get(i + 1)
                     .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--scales" => {
+                scales = args
+                    .get(i + 1)
+                    .map(|v| {
+                        v.split(',')
+                            .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                            .collect()
+                    })
+                    .filter(|v: &Vec<usize>| !v.is_empty())
                     .unwrap_or_else(|| usage());
                 i += 2;
             }
@@ -122,7 +135,7 @@ fn main() {
         report::render_adjoint(&experiments::adjoint(cfg))
     });
     run("host_scaling", &mut || {
-        let rep = experiments::host_scaling(cfg);
+        let rep = experiments::host_scaling_at(&scales, cfg.seed);
         let json = report::render_host_scaling_json(&rep);
         std::fs::write(&json_out, &json).unwrap_or_else(|e| panic!("write {json_out}: {e}"));
         let mut text = report::render_host_scaling(&rep);

@@ -308,29 +308,36 @@ pub fn render_fusion(points: &[FusionPoint]) -> String {
 pub fn render_host_scaling(rep: &HostScalingReport) -> String {
     let mut s = String::new();
     s.push_str(&format!(
-        "Host scaling: Tree method, {} checkpoints of {} each (persistent pool)\n",
+        "Host scaling: Tree method, {} checkpoints per point (persistent pool)\n",
         rep.n_checkpoints,
-        fmt_bytes(rep.snapshot_bytes as u64),
     ));
-    s.push_str(&format!(
-        "{:>8} {:>12} {:>12} {:>14} {:>10} {:>34}\n",
-        "threads", "wall", "modeled", "stored", "speedup", "record digest"
-    ));
-    for p in &rep.points {
+    for sc in &rep.scales {
         s.push_str(&format!(
-            "{:>8} {:>9.2} ms {:>9.2} ms {:>14} {:>9.2}x {:>34}\n",
-            p.threads,
-            p.wall_sec * 1e3,
-            p.modeled_sec * 1e3,
-            fmt_bytes(p.stored_bytes),
-            rep.speedup_vs_1(p),
-            format!("{:016x}{:016x}", p.record_digest.0, p.record_digest.1),
+            "scale {} ({} per snapshot)\n",
+            sc.scale,
+            fmt_bytes(sc.snapshot_bytes as u64),
+        ));
+        s.push_str(&format!(
+            "{:>8} {:>12} {:>12} {:>12} {:>14} {:>10} {:>34}\n",
+            "threads", "wall", "host-model", "dev-model", "stored", "speedup", "record digest"
+        ));
+        for p in &sc.points {
+            s.push_str(&format!(
+                "{:>8} {:>9.2} ms {:>9.2} ms {:>9.2} ms {:>14} {:>9.2}x {:>34}\n",
+                p.threads,
+                p.wall_sec * 1e3,
+                p.host_modeled_sec * 1e3,
+                p.modeled_sec * 1e3,
+                fmt_bytes(p.stored_bytes),
+                sc.speedup_vs_1(p),
+                format!("{:016x}{:016x}", p.record_digest.0, p.record_digest.1),
+            ));
+        }
+        s.push_str(&format!(
+            "bit-identical across thread counts: {}\n",
+            sc.bit_identical()
         ));
     }
-    s.push_str(&format!(
-        "bit-identical across thread counts: {}\n",
-        rep.bit_identical()
-    ));
     s
 }
 
@@ -340,22 +347,41 @@ pub fn render_host_scaling_json(rep: &HostScalingReport) -> String {
     let mut w = ckpt_telemetry::JsonWriter::new();
     w.begin_object();
     w.key("host_scaling").begin_object();
-    w.key("scale").u64(rep.scale as u64);
-    w.key("snapshot_bytes").u64(rep.snapshot_bytes as u64);
     w.key("n_checkpoints").u64(rep.n_checkpoints as u64);
     w.key("bit_identical").bool(rep.bit_identical());
-    w.key("points").begin_array();
-    for p in &rep.points {
+    w.key("scales").begin_array();
+    for sc in &rep.scales {
         w.begin_object();
-        w.key("threads").u64(p.threads as u64);
-        w.key("wall_sec").f64(p.wall_sec);
-        w.key("modeled_sec").f64(p.modeled_sec);
-        w.key("stored_bytes").u64(p.stored_bytes);
-        w.key("speedup_vs_1").f64(rep.speedup_vs_1(p));
-        w.key("record_digest").string(&format!(
-            "{:016x}{:016x}",
-            p.record_digest.0, p.record_digest.1
-        ));
+        w.key("scale").u64(sc.scale as u64);
+        w.key("snapshot_bytes").u64(sc.snapshot_bytes as u64);
+        w.key("bit_identical").bool(sc.bit_identical());
+        w.key("points").begin_array();
+        for p in &sc.points {
+            w.begin_object();
+            w.key("threads").u64(p.threads as u64);
+            w.key("wall_sec").f64(p.wall_sec);
+            w.key("host_modeled_sec").f64(p.host_modeled_sec);
+            w.key("real_parallel_sec").f64(p.real_parallel_sec);
+            w.key("modeled_parallel_sec").f64(p.modeled_parallel_sec);
+            w.key("modeled_sec").f64(p.modeled_sec);
+            w.key("stored_bytes").u64(p.stored_bytes);
+            w.key("speedup_vs_1").f64(sc.speedup_vs_1(p));
+            w.key("record_digest").string(&format!(
+                "{:016x}{:016x}",
+                p.record_digest.0, p.record_digest.1
+            ));
+            w.key("stages").begin_array();
+            for (name, measured, modeled) in &p.stages {
+                w.begin_object();
+                w.key("stage").string(name);
+                w.key("measured_sec").f64(*measured);
+                w.key("modeled_sec").f64(*modeled);
+                w.end_object();
+            }
+            w.end_array();
+            w.end_object();
+        }
+        w.end_array();
         w.end_object();
     }
     w.end_array();
@@ -392,23 +418,30 @@ mod tests {
 
     #[test]
     fn host_scaling_json_has_expected_schema() {
-        use crate::experiments::{HostScalingPoint, HostScalingReport};
+        use crate::experiments::{HostScalingPoint, HostScalingReport, HostScalingScale};
         let rep = HostScalingReport {
-            scale: 1000,
-            snapshot_bytes: 292_000,
             n_checkpoints: 8,
-            points: vec![HostScalingPoint {
-                threads: 1,
-                wall_sec: 0.5,
-                modeled_sec: 0.01,
-                stored_bytes: 123,
-                record_digest: (0xdead, 0xbeef),
+            scales: vec![HostScalingScale {
+                scale: 1000,
+                snapshot_bytes: 292_000,
+                points: vec![HostScalingPoint {
+                    threads: 1,
+                    wall_sec: 0.5,
+                    host_modeled_sec: 0.4,
+                    real_parallel_sec: 0.3,
+                    modeled_parallel_sec: 0.2,
+                    modeled_sec: 0.01,
+                    stored_bytes: 123,
+                    record_digest: (0xdead, 0xbeef),
+                    stages: vec![("leaf_hash".to_string(), 0.1, 0.005)],
+                }],
             }],
         };
         let json = render_host_scaling_json(&rep);
         let keys = ckpt_telemetry::collect_keys(&json);
         for k in [
             "host_scaling",
+            "scales",
             "scale",
             "snapshot_bytes",
             "n_checkpoints",
@@ -416,14 +449,21 @@ mod tests {
             "points",
             "threads",
             "wall_sec",
+            "host_modeled_sec",
+            "real_parallel_sec",
+            "modeled_parallel_sec",
             "modeled_sec",
             "stored_bytes",
             "speedup_vs_1",
             "record_digest",
+            "stages",
+            "stage",
+            "measured_sec",
         ] {
             assert!(keys.iter().any(|have| have == k), "missing key {k}");
         }
         assert!(json.contains("000000000000dead000000000000beef"));
+        assert!(json.contains("leaf_hash"));
     }
 
     #[test]

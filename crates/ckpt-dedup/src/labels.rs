@@ -84,11 +84,16 @@ impl LabelArray {
         self.labels[node].store(label as u8, Ordering::Relaxed);
     }
 
-    /// Reset all labels to [`Label::None`].
+    /// Reset all labels to [`Label::None`]. Runs as a blocked parallel
+    /// fill (a device-side memset): the label array is persistent state on
+    /// the per-checkpoint hot path, so its reset must not serialize it.
     pub fn clear(&mut self) {
-        for l in self.labels.iter_mut() {
-            *l.get_mut() = 0;
-        }
+        use rayon::prelude::*;
+        self.labels.par_chunks_mut(16 * 1024).for_each(|chunk| {
+            for l in chunk {
+                *l.get_mut() = 0;
+            }
+        });
     }
 
     /// Count nodes carrying `label` (test/metrics helper).

@@ -23,6 +23,7 @@ pub struct BasicCheckpointer {
     fused: bool,
     state: Option<State>,
     ckpt_id: u32,
+    buffer_reuse: bool,
 }
 
 struct State {
@@ -40,6 +41,7 @@ impl BasicCheckpointer {
             fused: true,
             state: None,
             ckpt_id: 0,
+            buffer_reuse: true,
         }
     }
 }
@@ -53,6 +55,9 @@ impl Checkpointer for BasicCheckpointer {
         let device = self.device.clone();
         let ckpt_id = self.ckpt_id;
         let timer = Timer::start(&device);
+        if !self.buffer_reuse {
+            device.arena().trim();
+        }
         if self.state.is_none() {
             let chunking = Chunking::new(data.len(), self.chunk_size);
             self.state = Some(State {
@@ -70,7 +75,23 @@ impl Checkpointer for BasicCheckpointer {
         let chunking = state.chunking;
         let n = chunking.n_chunks();
 
-        let changed: Vec<AtomicU8> = (0..n).map(|_| AtomicU8::new(0)).collect();
+        // Per-checkpoint change flags come from the device arena; the lease
+        // carries whatever the previous checkpoint left, so clear explicitly
+        // (fresh allocations are zeroed the same way — pooled and unpooled
+        // runs stay bit-identical).
+        let mut changed = device.arena().lease::<AtomicU8>("basic/changed", n);
+        {
+            use rayon::prelude::*;
+            changed
+                .as_mut_slice()
+                .par_chunks_mut(16 * 1024)
+                .for_each(|chunk| {
+                    for f in chunk {
+                        *f.get_mut() = 0;
+                    }
+                });
+        }
+        let changed = changed;
         let prev = crate::util::SharedSliceMut::new(&mut state.prev);
 
         let mut recorder = super::StageRecorder::start(&device);
@@ -93,25 +114,49 @@ impl Checkpointer for BasicCheckpointer {
 
             // Build the bitmap and gather changed chunks. The bitmap is this
             // method's (uncompacted) metadata, so its construction is the
-            // analogue of the Tree method's compaction stage.
+            // analogue of the Tree method's compaction stage. Each bitmap
+            // byte is owned by one work item (8 chunks), so the build is a
+            // data-parallel kernel; the segment list comes from a device
+            // stream compaction over the same flags.
             let mut bm = vec![0u8; bitmap::bytes_for(n)];
-            let mut segments = Vec::new();
-            for (c, flag) in changed.iter().enumerate() {
-                if flag.load(Ordering::Relaxed) == 1 {
-                    bitmap::set(&mut bm, c);
-                    let (a, b) = chunking.byte_range(c);
-                    segments.push((a, b - a));
-                }
+            {
+                use rayon::prelude::*;
+                bm.par_iter_mut().enumerate().for_each(|(byte, out)| {
+                    let mut v = 0u8;
+                    for bit in 0..8 {
+                        let c = byte * 8 + bit;
+                        if c < n && changed[c].load(Ordering::Relaxed) == 1 {
+                            v |= 1 << bit;
+                        }
+                    }
+                    *out = v;
+                });
+            }
+            let changed_idx = device.compact_where("basic_changed_chunks", n, |c| {
+                changed[c].load(Ordering::Relaxed) == 1
+            });
+            let mut segments = device.arena().lease_with_floor::<(usize, usize)>(
+                "basic/segments",
+                changed_idx.len(),
+                n,
+            );
+            for (seg, &c) in segments.as_mut_slice().iter_mut().zip(changed_idx.iter()) {
+                let (a, b) = chunking.byte_range(c as usize);
+                *seg = (a, b - a);
             }
             rec.mark("metadata_compact");
             let payload_len: usize = segments.iter().map(|s| s.1).sum();
-            let mut staging = device.alloc::<u8>(payload_len);
+            let mut staging =
+                device
+                    .arena()
+                    .lease_with_floor::<u8>("basic/staging", payload_len, data.len());
             device.team_gather("basic_serialize", data, &segments, staging.as_mut_slice());
             rec.mark("gather_serialize");
-            let payload = staging.copy_prefix_to_host(payload_len);
+            device.account_d2h_bytes(payload_len as u64);
+            let payload = staging[..payload_len].to_vec();
             device.account_d2h_bytes(bm.len() as u64);
             rec.mark("d2h");
-            (bm, payload, segments.len())
+            (bm, payload, changed_idx.len())
         };
 
         let (bm, payload, n_changed) = if self.fused {
@@ -156,5 +201,28 @@ impl Checkpointer for BasicCheckpointer {
 
     fn device_state_bytes(&self) -> usize {
         self.state.as_ref().map_or(0, |s| s.prev.len() * 16)
+    }
+
+    /// Restarting the record only needs the id reset: at `ckpt_id == 0` the
+    /// hash-compare kernel marks every chunk changed regardless of `prev`.
+    fn reset_record(&mut self) {
+        self.ckpt_id = 0;
+    }
+
+    fn set_buffer_reuse(&mut self, on: bool) {
+        self.buffer_reuse = on;
+    }
+
+    fn memory_stats(&self) -> super::MemoryStats {
+        let a = self.device.arena().stats();
+        // Basic keeps no historical record; the map counters stay zero.
+        super::MemoryStats {
+            device_bytes_leased: a.bytes_leased,
+            device_bytes_allocated: a.bytes_allocated,
+            arena_hits: a.hits,
+            arena_misses: a.misses,
+            map_generation_bumps: 0,
+            map_rehash_rebuilds: 0,
+        }
     }
 }

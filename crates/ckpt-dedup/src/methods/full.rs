@@ -77,4 +77,8 @@ impl Checkpointer for FullCheckpointer {
         self.ckpt_id += 1;
         CheckpointOutput::with_total_breakdown(diff, stats)
     }
+
+    fn reset_record(&mut self) {
+        self.ckpt_id = 0;
+    }
 }

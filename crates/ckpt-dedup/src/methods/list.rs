@@ -25,6 +25,7 @@ pub struct ListCheckpointer {
     config: TreeConfig,
     state: Option<State>,
     ckpt_id: u32,
+    buffer_reuse: bool,
 }
 
 struct State {
@@ -44,6 +45,7 @@ impl ListCheckpointer {
             config,
             state: None,
             ckpt_id: 0,
+            buffer_reuse: true,
         }
     }
 
@@ -61,6 +63,9 @@ impl Checkpointer for ListCheckpointer {
         let device = self.device.clone();
         let ckpt_id = self.ckpt_id;
         let timer = Timer::start(&device);
+        if !self.buffer_reuse {
+            device.arena().trim();
+        }
         if self.state.is_none() {
             let chunking = Chunking::new(data.len(), self.config.chunk_size);
             let shape = TreeShape::new(chunking.n_chunks());
@@ -101,18 +106,27 @@ impl Checkpointer for ListCheckpointer {
                 None,
             );
             rec.mark("leaf_hash");
-            // No consolidation: every non-fixed leaf is its own region.
-            let mut first = Vec::new();
-            let mut shift_nodes = Vec::new();
-            for c in 0..chunking.n_chunks() {
-                let leaf = shape.leaf_of_chunk(c) as u32;
-                match state.labels.get(leaf as usize) {
-                    Label::FirstOcur => first.push(leaf),
-                    Label::ShiftDupl => shift_nodes.push(leaf),
-                    Label::FixedDupl => {}
-                    other => unreachable!("leaf labeled {other:?} after leaf pass"),
-                }
-            }
+            // No consolidation: every non-fixed leaf is its own region. The
+            // per-leaf lists are built with device stream compactions over
+            // the settled labels (chunk order), mapped to leaf ids and
+            // sorted — the same output the sequential per-chunk loop
+            // produced, without serializing on the region-list build.
+            let labels = &state.labels;
+            let n_chunks = chunking.n_chunks();
+            let mut first: Vec<u32> = device
+                .compact_where("list_first_chunks", n_chunks, |c| {
+                    labels.get(shape.leaf_of_chunk(c)) == Label::FirstOcur
+                })
+                .into_iter()
+                .map(|c| shape.leaf_of_chunk(c as usize) as u32)
+                .collect();
+            let mut shift_nodes: Vec<u32> = device
+                .compact_where("list_shift_chunks", n_chunks, |c| {
+                    labels.get(shape.leaf_of_chunk(c)) == Label::ShiftDupl
+                })
+                .into_iter()
+                .map(|c| shape.leaf_of_chunk(c as usize) as u32)
+                .collect();
             first.sort_unstable();
             shift_nodes.sort_unstable();
             let shift = resolve_shift_refs(
@@ -175,5 +189,33 @@ impl Checkpointer for ListCheckpointer {
             // Only leaf digests are live for List.
             s.chunking.n_chunks() * 16 + s.labels.len() + s.map.memory_bytes()
         })
+    }
+
+    fn reset_record(&mut self) {
+        self.ckpt_id = 0;
+        if let Some(state) = self.state.as_mut() {
+            state.labels.clear();
+            let occupancy = state.map.len();
+            state.map.reset_with_hint(occupancy);
+        }
+    }
+
+    fn set_buffer_reuse(&mut self, on: bool) {
+        self.buffer_reuse = on;
+    }
+
+    fn memory_stats(&self) -> super::MemoryStats {
+        let a = self.device.arena().stats();
+        let (bumps, rebuilds) = self.state.as_ref().map_or((0, 0), |s| {
+            (s.map.generation_bumps(), s.map.rehash_rebuilds())
+        });
+        super::MemoryStats {
+            device_bytes_leased: a.bytes_leased,
+            device_bytes_allocated: a.bytes_allocated,
+            arena_hits: a.hits,
+            arena_misses: a.misses,
+            map_generation_bumps: bumps,
+            map_rehash_rebuilds: rebuilds,
+        }
     }
 }

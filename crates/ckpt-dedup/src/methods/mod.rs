@@ -62,6 +62,26 @@ impl CheckpointOutput {
     }
 }
 
+/// Steady-state memory counters for one checkpointer: the device arena's
+/// lease/allocation tallies plus the historical record's reset/rebuild
+/// counts. The zero-allocation tests assert that after a warm-up checkpoint
+/// `arena_misses` and `map_rehash_rebuilds` stay flat.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Bytes handed out by the device arena (hits and misses).
+    pub device_bytes_leased: u64,
+    /// Bytes of fresh device backing storage allocated (misses only).
+    pub device_bytes_allocated: u64,
+    /// Arena leases satisfied without allocating.
+    pub arena_hits: u64,
+    /// Arena leases that allocated or grew storage.
+    pub arena_misses: u64,
+    /// O(1) generation-bump resets of the historical record.
+    pub map_generation_bumps: u64,
+    /// Capacity-growth rebuilds of the historical record.
+    pub map_rehash_rebuilds: u64,
+}
+
 /// A checkpointing method with internal state accumulated across a record.
 ///
 /// Implementations require every checkpoint in a record to have the same
@@ -84,6 +104,26 @@ pub trait Checkpointer: Send {
     /// in §2.1.
     fn device_state_bytes(&self) -> usize {
         0
+    }
+
+    /// Start a new checkpoint record without tearing down device state:
+    /// checkpoint ids restart at 0 and the historical record is reset (an
+    /// O(1) generation bump, pre-sized from the outgoing record's occupancy)
+    /// while arenas, trees and label arrays stay warm. The scaling benchmark
+    /// uses this to sweep thread counts over one persistent checkpointer.
+    fn reset_record(&mut self) {
+        panic!("{} does not support record reset", self.name());
+    }
+
+    /// Toggle device-arena buffer reuse. `false` trims the arena before each
+    /// checkpoint so every lease allocates fresh — the "unpooled" reference
+    /// path the determinism tests compare against. Default: reuse on.
+    fn set_buffer_reuse(&mut self, _on: bool) {}
+
+    /// Steady-state memory counters (zeros for methods without device
+    /// scratch or a historical record).
+    fn memory_stats(&self) -> MemoryStats {
+        MemoryStats::default()
     }
 }
 

@@ -118,6 +118,7 @@ pub struct TreeCheckpointer {
     codec: Option<(u8, Box<dyn ckpt_compress::Codec>)>,
     state: Option<State>,
     ckpt_id: u32,
+    buffer_reuse: bool,
 }
 
 struct State {
@@ -148,6 +149,7 @@ impl TreeCheckpointer {
             codec,
             state: None,
             ckpt_id: 0,
+            buffer_reuse: true,
         }
     }
 
@@ -286,12 +288,30 @@ pub(crate) fn collect_pass(
     labels: &LabelArray,
     map: &DistinctMap,
     ckpt_id: u32,
-) -> Vec<AtomicU8> {
+) -> gpu_sim::ArenaLease<AtomicU8> {
     let tree = SharedSliceMut::new(digests);
     // Lock-free emission, GPU style: kernels set a per-node flag (1 = first
     // occurrence region, 2 = shifted region) and the lists are built
     // afterwards by stream compaction — no mutex exists in a real kernel.
-    let emit_flags: Vec<AtomicU8> = (0..shape.n_nodes()).map(|_| AtomicU8::new(0)).collect();
+    // The flag buffer is leased from the device arena (steady-state
+    // zero-allocation) and cleared explicitly: arena contents are whatever
+    // the previous checkpoint left, and a fresh allocation is zeroed the
+    // same way, so pooled and unpooled runs stay bit-identical.
+    let mut emit_flags = device
+        .arena()
+        .lease::<AtomicU8>("dedup/emit_flags", shape.n_nodes());
+    {
+        use rayon::prelude::*;
+        emit_flags
+            .as_mut_slice()
+            .par_chunks_mut(16 * 1024)
+            .for_each(|chunk| {
+                for f in chunk {
+                    *f.get_mut() = 0;
+                }
+            });
+    }
+    let emit_flags = emit_flags;
     let emit = |node: usize| match labels.get(node) {
         Label::FirstOcur => emit_flags[node].store(1, AtomicOrdering::Relaxed),
         Label::ShiftDupl => emit_flags[node].store(2, AtomicOrdering::Relaxed),
@@ -399,22 +419,17 @@ pub(crate) fn collect_pass(
 }
 
 /// Build the sorted region lists from per-node emission flags with two
-/// device compactions.
+/// device compactions. The compaction predicate reads the settled flags
+/// directly — no intermediate flag vectors, no scratch allocation.
 pub(crate) fn compact_emissions(device: &Device, emit_flags: &[AtomicU8]) -> EmittedRegions {
-    use rayon::prelude::*;
-    // Parallel flag extraction: each element writes its own output slot, so
-    // `collect` preserves node order no matter how chunks are scheduled.
-    let first_flags: Vec<u8> = emit_flags
-        .par_iter()
-        .map(|f| (f.load(AtomicOrdering::Relaxed) == 1) as u8)
-        .collect();
-    let shift_flags: Vec<u8> = emit_flags
-        .par_iter()
-        .map(|f| (f.load(AtomicOrdering::Relaxed) == 2) as u8)
-        .collect();
+    let n = emit_flags.len();
     EmittedRegions {
-        first: device.compact_indices("compact_first_regions", &first_flags),
-        shift_nodes: device.compact_indices("compact_shift_regions", &shift_flags),
+        first: device.compact_where("compact_first_regions", n, |i| {
+            emit_flags[i].load(AtomicOrdering::Relaxed) == 1
+        }),
+        shift_nodes: device.compact_where("compact_shift_regions", n, |i| {
+            emit_flags[i].load(AtomicOrdering::Relaxed) == 2
+        }),
     }
 }
 
@@ -474,14 +489,21 @@ pub(crate) fn serialize_diff(
     streamed_slices: Option<u32>,
     mut stages: Option<&mut super::StageRecorder<'_>>,
 ) -> Diff {
-    let segments: Vec<(usize, usize)> = first
-        .iter()
-        .map(|&node| {
-            let (clo, chi) = shape.chunk_range(node as usize);
-            let (a, b) = chunking.byte_range_of_chunks(clo, chi);
-            (a, b - a)
-        })
-        .collect();
+    // Scratch comes from the device arena with worst-case floors (regions
+    // are disjoint chunk ranges, so there are at most `n_chunks` segments
+    // covering at most the whole snapshot): after the warm-up checkpoint
+    // every lease is a pool hit regardless of how the diff size fluctuates.
+    let arena = device.arena();
+    let mut segments = arena.lease_with_floor::<(usize, usize)>(
+        "dedup/segments",
+        first.len(),
+        chunking.n_chunks(),
+    );
+    for (seg, &node) in segments.as_mut_slice().iter_mut().zip(first.iter()) {
+        let (clo, chi) = shape.chunk_range(node as usize);
+        let (a, b) = chunking.byte_range_of_chunks(clo, chi);
+        *seg = (a, b - a);
+    }
     let payload_len: usize = segments.iter().map(|s| s.1).sum();
 
     if let Some(n_slices) = streamed_slices {
@@ -511,8 +533,11 @@ pub(crate) fn serialize_diff(
     }
 
     // Consolidate scattered regions into one contiguous device buffer with
-    // team-cooperative copies, then one device-to-host transfer (§2.1).
-    let mut staging = device.alloc::<u8>(payload_len);
+    // team-cooperative copies, then one device-to-host transfer (§2.1). The
+    // staging buffer is an arena lease floored at the full snapshot size;
+    // the gather overwrites exactly the prefix the transfer reads, so stale
+    // pool contents are never observable.
+    let mut staging = arena.lease_with_floor::<u8>("dedup/staging", payload_len, data.len());
     device.team_gather("serialize_payload", data, &segments, staging.as_mut_slice());
 
     // Optional §5 hybrid: compress the consolidated first occurrences on the
@@ -543,7 +568,10 @@ pub(crate) fn serialize_diff(
             device.account_d2h_bytes(packed.len() as u64);
             (id, packed)
         }
-        None => (0, staging.copy_prefix_to_host(payload_len)),
+        None => {
+            device.account_d2h_bytes(payload_len as u64);
+            (0, staging[..payload_len].to_vec())
+        }
     };
     // The metadata tables ride along in the same consolidated transfer.
     device.account_d2h_bytes((first.len() * 4 + shift.len() * 12) as u64);
@@ -573,6 +601,10 @@ impl Checkpointer for TreeCheckpointer {
         let device = self.device.clone();
         let ckpt_id = self.ckpt_id;
         let timer = Timer::start(&device);
+        if !self.buffer_reuse {
+            // Unpooled reference path: every lease below allocates fresh.
+            device.arena().trim();
+        }
         if self.state.is_none() {
             self.init_state(data.len());
         }
@@ -683,5 +715,47 @@ impl Checkpointer for TreeCheckpointer {
         self.state.as_ref().map_or(0, |s| {
             s.tree.memory_bytes() + s.labels.len() + s.map.memory_bytes()
         })
+    }
+
+    /// Start a new record with warm device state. Checkpoint ids restart at
+    /// 0 and the historical record resets via an O(1) generation bump,
+    /// pre-sized from the outgoing record's occupancy. Stale Merkle digests
+    /// are safe to keep: every digest read in a checkpoint was written
+    /// earlier in the *same* checkpoint (leaves are always rewritten at
+    /// `ckpt_id == 0` since the fixed-duplicate shortcut requires
+    /// `ckpt_id > 0`, and interior digests are only read after the wave that
+    /// wrote them), so no pass can observe a previous record's tree.
+    fn reset_record(&mut self) {
+        self.ckpt_id = 0;
+        if let Some(state) = self.state.as_mut() {
+            state.labels.clear();
+            let occupancy = state.map.len();
+            state.map.reset_with_hint(occupancy);
+            if let Some(cache) = state.cache.as_mut() {
+                *cache = gpu_sim::ContentCache::new(
+                    2 * state.chunking.n_chunks(),
+                    self.config.chunk_size,
+                );
+            }
+        }
+    }
+
+    fn set_buffer_reuse(&mut self, on: bool) {
+        self.buffer_reuse = on;
+    }
+
+    fn memory_stats(&self) -> super::MemoryStats {
+        let a = self.device.arena().stats();
+        let (bumps, rebuilds) = self.state.as_ref().map_or((0, 0), |s| {
+            (s.map.generation_bumps(), s.map.rehash_rebuilds())
+        });
+        super::MemoryStats {
+            device_bytes_leased: a.bytes_leased,
+            device_bytes_allocated: a.bytes_allocated,
+            arena_hits: a.hits,
+            arena_misses: a.misses,
+            map_generation_bumps: bumps,
+            map_rehash_rebuilds: rebuilds,
+        }
     }
 }

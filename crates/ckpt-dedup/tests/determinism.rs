@@ -108,6 +108,44 @@ fn assert_bit_identical_across_threads(name: &str, make: &dyn Fn() -> Box<dyn Ch
     rayon::set_active_threads(0);
 }
 
+/// Device-arena pooling must be invisible in the output: a checkpointer
+/// reusing leased buffers (the default) and one trimming the arena before
+/// every checkpoint (every lease allocates fresh) must produce the same
+/// bytes at every thread count.
+fn assert_pooled_matches_unpooled(name: &str, make: &dyn Fn() -> Box<dyn Checkpointer>) {
+    let _guard = THREAD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let snapshots = workload(200_000, 8);
+    for threads in [1usize, 2, rayon::current_num_threads().max(4)] {
+        rayon::set_active_threads(threads);
+        let mut pooled = make();
+        let mut unpooled = make();
+        unpooled.set_buffer_reuse(false);
+        let a = encoded_record(pooled.as_mut(), &snapshots);
+        let b = encoded_record(unpooled.as_mut(), &snapshots);
+        assert_eq!(
+            a, b,
+            "{name}: pooled and unpooled checkpoints differ at {threads} threads"
+        );
+    }
+    rayon::set_active_threads(0);
+}
+
+/// `reset_record` must be equivalent to a fresh checkpointer: replaying the
+/// same snapshots after a reset yields bit-identical records even though
+/// arenas stay warm and the hash map only bumped its generation.
+fn assert_reset_record_repeats(name: &str, make: &dyn Fn() -> Box<dyn Checkpointer>) {
+    let _guard = THREAD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let snapshots = workload(120_000, 6);
+    let mut m = make();
+    let first = encoded_record(m.as_mut(), &snapshots);
+    m.reset_record();
+    let second = encoded_record(m.as_mut(), &snapshots);
+    assert_eq!(
+        first, second,
+        "{name}: record replay after reset_record diverged"
+    );
+}
+
 #[test]
 fn tree_checkpoints_are_bit_identical_across_thread_counts() {
     assert_bit_identical_across_threads("tree", &|| {
@@ -125,6 +163,48 @@ fn list_checkpoints_are_bit_identical_across_thread_counts() {
 #[test]
 fn basic_checkpoints_are_bit_identical_across_thread_counts() {
     assert_bit_identical_across_threads("basic", &|| {
+        Box::new(BasicCheckpointer::new(Device::a100(), 128))
+    });
+}
+
+#[test]
+fn tree_pooled_matches_unpooled() {
+    assert_pooled_matches_unpooled("tree", &|| {
+        Box::new(TreeCheckpointer::new(Device::a100(), TreeConfig::new(128)))
+    });
+}
+
+#[test]
+fn list_pooled_matches_unpooled() {
+    assert_pooled_matches_unpooled("list", &|| {
+        Box::new(ListCheckpointer::new(Device::a100(), TreeConfig::new(128)))
+    });
+}
+
+#[test]
+fn basic_pooled_matches_unpooled() {
+    assert_pooled_matches_unpooled("basic", &|| {
+        Box::new(BasicCheckpointer::new(Device::a100(), 128))
+    });
+}
+
+#[test]
+fn tree_reset_record_replays_bit_identically() {
+    assert_reset_record_repeats("tree", &|| {
+        Box::new(TreeCheckpointer::new(Device::a100(), TreeConfig::new(128)))
+    });
+}
+
+#[test]
+fn list_reset_record_replays_bit_identically() {
+    assert_reset_record_repeats("list", &|| {
+        Box::new(ListCheckpointer::new(Device::a100(), TreeConfig::new(128)))
+    });
+}
+
+#[test]
+fn basic_reset_record_replays_bit_identically() {
+    assert_reset_record_repeats("basic", &|| {
         Box::new(BasicCheckpointer::new(Device::a100(), 128))
     });
 }

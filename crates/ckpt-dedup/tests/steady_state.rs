@@ -1,0 +1,125 @@
+//! Zero-allocation steady state: after one warm-up checkpoint, the hot path
+//! must run entirely out of the device arena and the generation-tagged hash
+//! map — no arena lease may allocate or grow, and the historical record must
+//! never rebuild.
+//!
+//! The first checkpoint of a record is the warm-up: every lease misses once
+//! and reserves its worst-case floor (`lease_with_floor`), so all later
+//! leases are hits by construction. The assertions here are deltas against
+//! the post-warm-up counters, making the test insensitive to how many
+//! buffers a method leases.
+
+use ckpt_dedup::prelude::*;
+use gpu_sim::Device;
+
+/// Snapshot sequence with churn in every class (new data, shifts, repeats)
+/// so each checkpoint exercises the full pipeline, with payload sizes that
+/// vary checkpoint-to-checkpoint (catching floors that were sized to the
+/// first checkpoint instead of the worst case).
+fn snapshots(len: usize, n: usize) -> Vec<Vec<u8>> {
+    let mut data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+    let mut out = vec![data.clone()];
+    for v in 1..n {
+        let stride = 3 + v;
+        for j in (v % 7..len).step_by(stride * 97) {
+            data[j] = data[j].wrapping_add(v as u8);
+        }
+        if v % 3 == 0 {
+            let half = len / 2;
+            let shift = len / 8;
+            let tmp = data[..half - shift].to_vec();
+            data[shift..half].copy_from_slice(&tmp);
+        }
+        out.push(data.clone());
+    }
+    out
+}
+
+fn assert_zero_alloc_steady_state(name: &str, mut m: Box<dyn Checkpointer>) {
+    let snaps = snapshots(160_000, 7);
+
+    // Warm-up: first checkpoint populates arenas and the map.
+    m.checkpoint(&snaps[0]);
+    let warm = m.memory_stats();
+    assert!(
+        warm.device_bytes_allocated > 0,
+        "{name}: warm-up should allocate arena storage"
+    );
+
+    for snap in &snaps[1..] {
+        m.checkpoint(snap);
+    }
+    let end = m.memory_stats();
+
+    assert_eq!(
+        end.arena_misses, warm.arena_misses,
+        "{name}: steady-state checkpoints must not miss in the arena"
+    );
+    assert_eq!(
+        end.device_bytes_allocated, warm.device_bytes_allocated,
+        "{name}: steady-state checkpoints must not allocate device storage"
+    );
+    assert_eq!(
+        end.map_rehash_rebuilds, warm.map_rehash_rebuilds,
+        "{name}: steady-state checkpoints must not rebuild the hash map"
+    );
+    assert!(
+        end.arena_hits > warm.arena_hits,
+        "{name}: steady-state leases should be arena hits"
+    );
+    assert!(
+        end.device_bytes_leased > warm.device_bytes_leased,
+        "{name}: steady-state checkpoints still lease buffers"
+    );
+}
+
+#[test]
+fn tree_is_allocation_free_after_warmup() {
+    assert_zero_alloc_steady_state(
+        "tree",
+        Box::new(TreeCheckpointer::new(Device::a100(), TreeConfig::new(128))),
+    );
+}
+
+#[test]
+fn list_is_allocation_free_after_warmup() {
+    assert_zero_alloc_steady_state(
+        "list",
+        Box::new(ListCheckpointer::new(Device::a100(), TreeConfig::new(128))),
+    );
+}
+
+#[test]
+fn basic_is_allocation_free_after_warmup() {
+    assert_zero_alloc_steady_state(
+        "basic",
+        Box::new(BasicCheckpointer::new(Device::a100(), 128)),
+    );
+}
+
+/// `reset_record` must also stay allocation-free: restarting a record on a
+/// warm checkpointer is a generation bump plus cleared labels, not a
+/// teardown. This is what lets the scaling benchmark sweep thread counts
+/// over one persistent instance.
+#[test]
+fn reset_record_keeps_the_steady_state() {
+    let snaps = snapshots(120_000, 4);
+    let mut m = TreeCheckpointer::new(Device::a100(), TreeConfig::new(128));
+    for snap in &snaps {
+        m.checkpoint(snap);
+    }
+    let warm = m.memory_stats();
+    m.reset_record();
+    for snap in &snaps {
+        m.checkpoint(snap);
+    }
+    let end = m.memory_stats();
+    assert_eq!(end.arena_misses, warm.arena_misses);
+    assert_eq!(end.device_bytes_allocated, warm.device_bytes_allocated);
+    assert_eq!(end.map_rehash_rebuilds, warm.map_rehash_rebuilds);
+    assert_eq!(
+        end.map_generation_bumps,
+        warm.map_generation_bumps + 1,
+        "reset must be one O(1) generation bump"
+    );
+}

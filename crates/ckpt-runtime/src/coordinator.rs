@@ -10,9 +10,11 @@
 //! to the number of co-located GPUs on its node (8 per ThetaGPU node), its
 //! own checkpointer state, and a share of one [`AsyncRuntime`].
 
+use crate::pipeline::CheckpointPipeline;
 use crate::runtime::AsyncRuntime;
 use ckpt_dedup::prelude::*;
 use gpu_sim::Device;
+use std::sync::Arc;
 
 /// Which method a scaling run uses (Fig. 6 compares Tree vs Full).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,7 +105,15 @@ impl ScalingReport {
 /// Run the scaling experiment. `snapshots_for(rank)` supplies each rank's
 /// checkpoint sequence (each rank owns an equal partition of the problem, so
 /// per-rank data shrinks as ranks grow — strong scaling).
-pub fn run_scaling<F>(cfg: ScalingConfig, runtime: &AsyncRuntime, snapshots_for: F) -> ScalingReport
+///
+/// Each rank submits through its own [`CheckpointPipeline`], so checkpoint
+/// *k*'s encode + host staging overlaps checkpoint *k+1*'s de-duplication —
+/// the double-buffered tail the telemetry's `pipeline/*` series records.
+pub fn run_scaling<F>(
+    cfg: ScalingConfig,
+    runtime: &Arc<AsyncRuntime>,
+    snapshots_for: F,
+) -> ScalingReport
 where
     F: Fn(u32) -> Vec<Vec<u8>> + Sync,
 {
@@ -118,18 +128,21 @@ where
                     let mut method = cfg.method.build(device.clone(), cfg.chunk_size);
                     let snapshots = snapshots_for(rank);
                     let mut stats = RecordStats::new();
+                    let pipe = CheckpointPipeline::new(Arc::clone(runtime));
                     let t0 = std::time::Instant::now();
                     for (k, snap) in snapshots.iter().enumerate() {
                         let out = method.checkpoint(snap);
                         stats.push(out.stats);
-                        runtime
-                            .submit(rank, k as u32, out.diff.encode())
-                            .expect("host staging full");
+                        let diff = out.diff;
+                        pipe.submit_with(rank, k as u32, Box::new(move || diff.encode()));
                     }
+                    let measured_sec = t0.elapsed().as_secs_f64();
+                    let pstats = pipe.close();
+                    assert_eq!(pstats.aborted, 0, "rank {rank}: host staging full");
                     RankReport {
                         rank,
                         modeled_sec: stats.total_modeled_sec(),
-                        measured_sec: t0.elapsed().as_secs_f64(),
+                        measured_sec,
                         stats,
                     }
                 })
@@ -183,8 +196,8 @@ mod tests {
     #[test]
     fn tree_beats_full_at_every_rank_count() {
         for n_ranks in [1usize, 4] {
-            let rt_tree = AsyncRuntime::new();
-            let rt_full = AsyncRuntime::new();
+            let rt_tree = Arc::new(AsyncRuntime::new());
+            let rt_full = Arc::new(AsyncRuntime::new());
             let mk = |method| ScalingConfig {
                 method,
                 n_ranks,
@@ -211,7 +224,7 @@ mod tests {
 
     #[test]
     fn every_rank_record_restores_through_the_runtime() {
-        let rt = AsyncRuntime::new();
+        let rt = Arc::new(AsyncRuntime::new());
         let cfg = ScalingConfig {
             method: ScalingMethod::Tree,
             n_ranks: 4,
@@ -234,8 +247,8 @@ mod tests {
     #[test]
     fn contention_reflects_gpus_per_node() {
         // Same work, more contenders -> larger modeled time per rank.
-        let rt1 = AsyncRuntime::new();
-        let rt8 = AsyncRuntime::new();
+        let rt1 = Arc::new(AsyncRuntime::new());
+        let rt8 = Arc::new(AsyncRuntime::new());
         let base = ScalingConfig {
             method: ScalingMethod::Full,
             n_ranks: 2,

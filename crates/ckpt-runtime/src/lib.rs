@@ -14,6 +14,8 @@
 //! * [`integrity`] — frame-verification counters and recovery reports;
 //! * [`runtime`] — the asynchronous flusher with retry/degradation and
 //!   failure injection;
+//! * [`pipeline`] — the double-buffered submit tail that overlaps one
+//!   checkpoint's serialize/D2H/submit with the next one's hashing;
 //! * [`lineage`] — record collection and restoration;
 //! * [`coordinator`] — the multi-rank strong-scaling harness (Fig. 6).
 
@@ -21,6 +23,7 @@ pub mod coordinator;
 pub mod fault;
 pub mod integrity;
 pub mod lineage;
+pub mod pipeline;
 pub mod runtime;
 pub mod tier;
 
@@ -32,5 +35,6 @@ pub use integrity::{
     IntegrityCounters, ObjectStatus, RankRecovery, RecoveredObject, RecoveryReport,
 };
 pub use lineage::{restore_rank, restore_rank_latest, restore_rank_with_report};
+pub use pipeline::{CheckpointPipeline, PipelineStats, ProduceFn};
 pub use runtime::{AsyncRuntime, TierChain};
 pub use tier::{FrameState, StoreError, StoreErrorKind, Tier, TierConfig};

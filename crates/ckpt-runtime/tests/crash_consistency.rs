@@ -284,6 +284,84 @@ fn fault_free_schedules_lose_nothing() {
     }
 }
 
+/// A crash landing inside the double-buffered submit window: checkpoints
+/// are handed to a [`CheckpointPipeline`] whose produce closures hold live
+/// device-arena leases and encode slowly (so the overlap window — one tail
+/// in flight, one parked in the channel — is genuinely open when the kill
+/// lands). Afterwards: no leased buffer may remain outstanding, every
+/// handoff must be accounted exactly once, and whatever the runtime claims
+/// durable must still replay bit-exact.
+#[test]
+fn kill_during_double_buffered_submit_leaks_nothing() {
+    use ckpt_runtime::CheckpointPipeline;
+    use std::time::Duration;
+
+    for method_idx in 0..3 {
+        let sched = Schedule::build(1, 4, 600, 99 + method_idx as u64, method_idx);
+        let rt = Arc::new(AsyncRuntime::with_tiers(TierChain::with_faults(
+            FaultPlan::empty(),
+        )));
+        let device = Device::a100();
+        let pipe = CheckpointPipeline::new(Arc::clone(&rt));
+        for k in 0..sched.ckpts {
+            let bytes = sched.diffs[0][k as usize].clone();
+            let lease = device
+                .arena()
+                .lease::<u8>("pipeline/encode_scratch", bytes.len().max(1));
+            pipe.submit_with(
+                0,
+                k,
+                Box::new(move || {
+                    let _scratch = lease;
+                    std::thread::sleep(Duration::from_millis(10));
+                    bytes
+                }),
+            );
+            if k == 1 {
+                // Both buffer slots are (or were moments ago) occupied:
+                // crash inside the overlap window.
+                rt.kill();
+            }
+        }
+        let stats = pipe.close();
+        assert_eq!(
+            stats.submitted + stats.aborted,
+            sched.ckpts as u64,
+            "method {method_idx}: every handoff accounted exactly once"
+        );
+        assert_eq!(
+            device.arena().outstanding(),
+            0,
+            "method {method_idx}: a leased arena buffer leaked across the kill"
+        );
+        // Invariant 1 still holds: the durable prefix replays bit-exact.
+        let report = rt.recover_report();
+        for rr in &report.ranks {
+            for (k, payload) in rr.payloads.iter().enumerate() {
+                assert_eq!(
+                    payload, &sched.diffs[0][k],
+                    "method {method_idx} ckpt {k}: durable payload corrupted"
+                );
+            }
+            if rr.prefix_len == 0 {
+                continue;
+            }
+            let decoded: Vec<Diff> = rr
+                .payloads
+                .iter()
+                .map(|b| Diff::decode(b).expect("verified payload must decode"))
+                .collect();
+            let versions = restore_record(&decoded).expect("durable prefix must replay");
+            for (k, v) in versions.iter().enumerate() {
+                assert_eq!(
+                    v, &sched.snapshots[0][k],
+                    "method {method_idx} version {k} not bit-exact after mid-overlap kill"
+                );
+            }
+        }
+    }
+}
+
 /// Restore-under-corruption, per method: the durable copy of checkpoint 2
 /// is bit-flipped (its redundant copies already evicted), so recovery must
 /// stop the prefix there — and versions 0–1 must still restore bit-exact.

@@ -93,6 +93,64 @@ pub fn compact_indices(flags: &[u8]) -> Vec<u32> {
     out
 }
 
+/// Stream compaction over a predicate: collect the indices `i in 0..n` where
+/// `pred(i)`, in ascending order, without materializing a flag array.
+///
+/// Blocked three-pass structure (per-block count → scan of block counts →
+/// per-block writes into disjoint output ranges), the same decomposition as
+/// [`compact_indices`] but with the predicate evaluated in-register — the
+/// fused form the de-duplication pipeline uses to emit region lists straight
+/// from settled label arrays.
+pub fn compact_where<P>(n: usize, pred: P) -> Vec<u32>
+where
+    P: Fn(usize) -> bool + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    if n <= SCAN_BLOCK {
+        return (0..n).filter(|&i| pred(i)).map(|i| i as u32).collect();
+    }
+
+    let n_blocks = n.div_ceil(SCAN_BLOCK);
+    // Pass 1: per-block survivor counts.
+    let counts: Vec<u64> = (0..n_blocks)
+        .into_par_iter()
+        .map(|b| {
+            let lo = b * SCAN_BLOCK;
+            let hi = (lo + SCAN_BLOCK).min(n);
+            (lo..hi).filter(|&i| pred(i)).count() as u64
+        })
+        .collect();
+
+    // Pass 2: block output offsets (cheap, sequential).
+    let mut offsets = vec![0u64; n_blocks];
+    let total = exclusive_scan(&counts, &mut offsets) as usize;
+
+    // Pass 3: each block writes its own disjoint output range.
+    let mut out = vec![0u32; total];
+    let mut parts: Vec<&mut [u32]> = Vec::with_capacity(n_blocks);
+    let mut rest = &mut out[..];
+    for &c in &counts {
+        let (head, tail) = rest.split_at_mut(c as usize);
+        parts.push(head);
+        rest = tail;
+    }
+    parts.into_par_iter().enumerate().for_each(|(b, part)| {
+        let lo = b * SCAN_BLOCK;
+        let hi = (lo + SCAN_BLOCK).min(n);
+        let mut k = 0usize;
+        for i in lo..hi {
+            if pred(i) {
+                part[k] = i as u32;
+                k += 1;
+            }
+        }
+        debug_assert_eq!(k, part.len());
+    });
+    out
+}
+
 /// A source region to gather: `(offset, len)` into the source buffer.
 pub type Segment = (usize, usize);
 
@@ -226,6 +284,22 @@ mod tests {
         assert!(compact_indices(&[0, 0, 0]).is_empty());
         assert_eq!(compact_indices(&[1, 1, 1]), vec![0, 1, 2]);
         assert_eq!(compact_indices(&[0, 2, 0, 255]), vec![1, 3]);
+    }
+
+    #[test]
+    fn compact_where_matches_compact_indices() {
+        let n = SCAN_BLOCK * 2 + 31;
+        let flags: Vec<u8> = (0..n).map(|i| (i % 5 == 0 || i % 977 == 3) as u8).collect();
+        assert_eq!(compact_where(n, |i| flags[i] != 0), compact_indices(&flags));
+    }
+
+    #[test]
+    fn compact_where_edge_cases() {
+        assert!(compact_where(0, |_| true).is_empty());
+        assert!(compact_where(100, |_| false).is_empty());
+        assert_eq!(compact_where(3, |_| true), vec![0, 1, 2]);
+        let n = SCAN_BLOCK + 1;
+        assert_eq!(compact_where(n, |i| i == n - 1), vec![(n - 1) as u32]);
     }
 
     #[test]

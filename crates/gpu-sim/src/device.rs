@@ -1,5 +1,6 @@
 //! The simulated device: kernel launches, fused regions, transfers.
 
+use crate::arena::DeviceArena;
 use crate::buffer::DeviceBuffer;
 use crate::collectives;
 use crate::metrics::DeviceMetrics;
@@ -54,6 +55,9 @@ struct DeviceInner {
     fused_depth: AtomicU32,
     /// Co-located devices contending for the host link (Fig. 6 model).
     contenders: AtomicU32,
+    /// Persistent buffer pool for per-checkpoint scratch (steady-state
+    /// zero-allocation; see the `arena` module).
+    arena: DeviceArena,
 }
 
 /// A simulated GPU. Cheap to clone (shared handle).
@@ -74,6 +78,7 @@ impl Device {
                 metrics: DeviceMetrics::new(),
                 fused_depth: AtomicU32::new(0),
                 contenders: AtomicU32::new(1),
+                arena: DeviceArena::new(),
             }),
         }
     }
@@ -91,6 +96,12 @@ impl Device {
     /// The performance model in use.
     pub fn perf(&self) -> &PerfModel {
         &self.inner.perf
+    }
+
+    /// The device's persistent scratch-buffer pool. One arena per device,
+    /// shared by every pipeline running on it.
+    pub fn arena(&self) -> &DeviceArena {
+        &self.inner.arena
     }
 
     /// Set how many co-located devices share this device's host link
@@ -209,6 +220,19 @@ impl Device {
     pub fn compact_indices(&self, _name: &str, flags: &[u8]) -> Vec<u32> {
         self.account_launch(KernelCost::stream(2 * flags.len() as u64));
         collectives::compact_indices(flags)
+    }
+
+    /// Stream compaction over a predicate: indices `i in 0..n` where
+    /// `pred(i)`, ascending, with no intermediate flag buffer — the fused
+    /// form of [`compact_indices`](Self::compact_indices) used to emit
+    /// region lists straight from settled label arrays. Same modeled cost
+    /// (the flag read is replaced by the predicate's source read).
+    pub fn compact_where<P>(&self, _name: &str, n: usize, pred: P) -> Vec<u32>
+    where
+        P: Fn(usize) -> bool + Sync + Send,
+    {
+        self.account_launch(KernelCost::stream(2 * n as u64));
+        collectives::compact_where(n, pred)
     }
 
     /// Team-cooperative gather of scattered `segments` of `src` into `dst`

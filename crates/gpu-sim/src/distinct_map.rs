@@ -5,24 +5,42 @@
 //! modified chunk from thousands of GPU threads concurrently, and relies on
 //! insert-if-absent semantics: exactly one inserting thread wins, every other
 //! thread observes the winner's entry. This implementation provides that with
-//! an open-addressing table of fixed capacity whose slots are claimed with a
-//! single compare-and-swap on a state byte (EMPTY → BUSY), published with a
+//! an open-addressing table whose slots are claimed with a single
+//! compare-and-swap on a tag word (effective-EMPTY → BUSY), published with a
 //! release store (BUSY → FULL), and probed linearly. There are no locks; the
 //! only waiting is a bounded spin while a concurrently-claimed slot finishes
 //! publishing its key.
 //!
-//! The table is sized once (like the paper's per-process GPU-resident record,
-//! bounded by 2× the number of leaf chunks) and never rehashes; `insert`
-//! reports exhaustion instead, which callers treat as "de-duplication
-//! deactivated" exactly as §2.4 describes for fully-changed checkpoints.
+//! Slots are **generation-tagged**: each tag word packs the table generation
+//! with the slot state, and a slot whose generation differs from the map's
+//! current one reads as EMPTY. [`reset`](DistinctMap::reset) is therefore an
+//! O(1) generation bump — no table-sized clear on the per-record hot path —
+//! and leaves probe behavior structurally identical to a freshly-zeroed
+//! table. Capacity is normally sized once (like the paper's per-process
+//! GPU-resident record, bounded by 2× the number of leaf chunks); `insert`
+//! reports exhaustion instead of growing, which callers treat as
+//! "de-duplication deactivated" exactly as §2.4 describes for fully-changed
+//! checkpoints. Callers that *want* growth between records use
+//! [`ensure_capacity`](DistinctMap::ensure_capacity), which rebuilds (and
+//! counts the rebuild) only when the requested capacity exceeds the table.
 
 use ckpt_hash::Digest128;
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-const EMPTY: u8 = 0;
-const BUSY: u8 = 1;
-const FULL: u8 = 2;
+const EMPTY: u64 = 0;
+const BUSY: u64 = 1;
+const FULL: u64 = 2;
+const STATE_BITS: u32 = 2;
+const STATE_MASK: u64 = (1 << STATE_BITS) - 1;
+/// Generations live in the tag's upper 62 bits; past this the map falls back
+/// to one physical clear and restarts the epoch counter.
+const MAX_GENERATION: u64 = (1 << (64 - STATE_BITS)) - 1;
+
+#[inline]
+fn tag(generation: u64, state: u64) -> u64 {
+    (generation << STATE_BITS) | state
+}
 
 /// Value stored per unique digest: where it first occurred.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -72,21 +90,25 @@ impl InsertResult {
 }
 
 struct Slot {
-    state: AtomicU8,
+    /// `(generation << 2) | state`. A slot tagged with a stale generation is
+    /// effectively EMPTY regardless of its state bits.
+    tag: AtomicU64,
     value: AtomicU64,
     key: UnsafeCell<Digest128>,
 }
 
-// SAFETY: `key` is written exactly once, by the unique thread that won the
-// EMPTY→BUSY CAS, strictly before the release store of FULL; it is read only
-// after an acquire load observes FULL. The release/acquire pair on `state`
-// makes the key write happen-before every read.
+// SAFETY: `key` is written exactly once per generation, by the unique thread
+// that won the effective-EMPTY→BUSY CAS on `tag`, strictly before the release
+// store of FULL; it is read only after an acquire load observes the current
+// generation's FULL. The release/acquire pair on `tag` makes the key write
+// happen-before every read. Generation bumps require `&mut self`, so no
+// concurrent access straddles an epoch change.
 unsafe impl Sync for Slot {}
 
 impl Slot {
     fn new() -> Self {
         Slot {
-            state: AtomicU8::new(EMPTY),
+            tag: AtomicU64::new(tag(0, EMPTY)),
             value: AtomicU64::new(0),
             key: UnsafeCell::new(Digest128::ZERO),
         }
@@ -98,6 +120,11 @@ pub struct DistinctMap {
     slots: Box<[Slot]>,
     mask: usize,
     len: AtomicUsize,
+    /// Current epoch. Only mutated under `&mut self` (reset / rebuild), so
+    /// every shared-access operation sees it frozen.
+    generation: u64,
+    generation_bumps: u64,
+    rehash_rebuilds: u64,
 }
 
 impl DistinctMap {
@@ -114,6 +141,9 @@ impl DistinctMap {
             slots,
             mask: table - 1,
             len: AtomicUsize::new(0),
+            generation: 0,
+            generation_bumps: 0,
+            rehash_rebuilds: 0,
         }
     }
 
@@ -131,10 +161,29 @@ impl DistinctMap {
         self.slots.len()
     }
 
+    /// O(1) resets performed so far (epoch bumps, including the rare
+    /// physical fallback at generation wrap).
+    pub fn generation_bumps(&self) -> u64 {
+        self.generation_bumps
+    }
+
+    /// Table rebuilds performed by [`ensure_capacity`](Self::ensure_capacity).
+    /// Zero in steady state — the invariant the zero-allocation tests pin.
+    pub fn rehash_rebuilds(&self) -> u64 {
+        self.rehash_rebuilds
+    }
+
     #[inline]
     fn start_index(&self, digest: &Digest128) -> usize {
         // The digest is already a high-quality hash; fold the halves and mask.
         (digest.h1 ^ digest.h2.rotate_left(32)) as usize & self.mask
+    }
+
+    /// Whether `t` reads as EMPTY under the current generation: either truly
+    /// unclaimed or left over from a previous epoch.
+    #[inline]
+    fn is_effective_empty(&self, t: u64) -> bool {
+        (t >> STATE_BITS) != self.generation || (t & STATE_MASK) == EMPTY
     }
 
     /// Insert `digest → entry` if absent.
@@ -155,33 +204,38 @@ impl DistinctMap {
     /// the primitive under [`BatchedInserts`], which pays the shared-counter
     /// atomic once per kernel chunk instead of once per inserted digest.
     fn insert_unaccounted(&self, digest: &Digest128, entry: MapEntry) -> InsertResult {
+        let busy = tag(self.generation, BUSY);
+        let full = tag(self.generation, FULL);
         let start = self.start_index(digest);
         for probe in 0..self.slots.len() {
             let slot = &self.slots[(start + probe) & self.mask];
-            let mut state = slot.state.load(Ordering::Acquire);
-            if state == EMPTY {
+            let mut t = slot.tag.load(Ordering::Acquire);
+            if self.is_effective_empty(t) {
                 match slot
-                    .state
-                    .compare_exchange(EMPTY, BUSY, Ordering::AcqRel, Ordering::Acquire)
+                    .tag
+                    .compare_exchange(t, busy, Ordering::AcqRel, Ordering::Acquire)
                 {
                     Ok(_) => {
                         // We own the slot: publish key+value, then FULL.
                         // SAFETY: unique writer (won the CAS), no reader
-                        // touches `key` until FULL is visible.
+                        // touches `key` until this generation's FULL is
+                        // visible.
                         unsafe { *slot.key.get() = *digest };
                         slot.value.store(entry.pack(), Ordering::Relaxed);
-                        slot.state.store(FULL, Ordering::Release);
+                        slot.tag.store(full, Ordering::Release);
                         return InsertResult::Inserted;
                     }
-                    Err(observed) => state = observed,
+                    // The only shared-access transitions are effective-EMPTY
+                    // → BUSY → FULL, so a failed CAS observed a live claim.
+                    Err(observed) => t = observed,
                 }
             }
             // Somebody claimed this slot; wait until its key is readable.
-            while state == BUSY {
+            while t == busy {
                 std::hint::spin_loop();
-                state = slot.state.load(Ordering::Acquire);
+                t = slot.tag.load(Ordering::Acquire);
             }
-            debug_assert_eq!(state, FULL);
+            debug_assert_eq!(t, full);
             // SAFETY: acquire load of FULL synchronizes with the release
             // store after the key write.
             let key = unsafe { *slot.key.get() };
@@ -211,16 +265,17 @@ impl DistinctMap {
 
     /// Look up a digest.
     pub fn get(&self, digest: &Digest128) -> Option<MapEntry> {
+        let busy = tag(self.generation, BUSY);
         let start = self.start_index(digest);
         for probe in 0..self.slots.len() {
             let slot = &self.slots[(start + probe) & self.mask];
-            let mut state = slot.state.load(Ordering::Acquire);
-            if state == EMPTY {
+            let mut t = slot.tag.load(Ordering::Acquire);
+            if self.is_effective_empty(t) {
                 return None;
             }
-            while state == BUSY {
+            while t == busy {
                 std::hint::spin_loop();
-                state = slot.state.load(Ordering::Acquire);
+                t = slot.tag.load(Ordering::Acquire);
             }
             // SAFETY: as in `insert`.
             let key = unsafe { *slot.key.get() };
@@ -253,16 +308,17 @@ impl DistinctMap {
         digest: &Digest128,
         f: impl Fn(MapEntry) -> Option<MapEntry>,
     ) -> Option<(MapEntry, MapEntry)> {
+        let busy = tag(self.generation, BUSY);
         let start = self.start_index(digest);
         for probe in 0..self.slots.len() {
             let slot = &self.slots[(start + probe) & self.mask];
-            let mut state = slot.state.load(Ordering::Acquire);
-            if state == EMPTY {
+            let mut t = slot.tag.load(Ordering::Acquire);
+            if self.is_effective_empty(t) {
                 return None;
             }
-            while state == BUSY {
+            while t == busy {
                 std::hint::spin_loop();
-                state = slot.state.load(Ordering::Acquire);
+                t = slot.tag.load(Ordering::Acquire);
             }
             // SAFETY: as in `insert`.
             let key = unsafe { *slot.key.get() };
@@ -292,15 +348,69 @@ impl DistinctMap {
         None
     }
 
-    /// Reset the map to empty. Requires exclusive access, so no concurrent
-    /// protocol is needed.
-    pub fn clear(&mut self) {
-        for slot in self.slots.iter_mut() {
-            *slot.state.get_mut() = EMPTY;
-            *slot.value.get_mut() = 0;
-            *slot.key.get_mut() = Digest128::ZERO;
+    /// Reset the map to empty in O(1): bump the generation so every slot
+    /// reads as EMPTY. Requires exclusive access, so no concurrent protocol
+    /// is needed. Probe behavior afterwards is structurally identical to a
+    /// freshly-allocated table — the determinism tests rely on that.
+    pub fn reset(&mut self) {
+        self.generation_bumps += 1;
+        if self.generation == MAX_GENERATION {
+            // Epoch counter exhausted (2^62 resets): fall back to one
+            // physical clear and restart the epochs.
+            for slot in self.slots.iter_mut() {
+                *slot.tag.get_mut() = tag(0, EMPTY);
+                *slot.value.get_mut() = 0;
+                *slot.key.get_mut() = Digest128::ZERO;
+            }
+            self.generation = 0;
+        } else {
+            self.generation += 1;
         }
         *self.len.get_mut() = 0;
+    }
+
+    /// Reset the map to empty. Alias of [`reset`](Self::reset), kept for the
+    /// original API; no longer a table-sized wipe.
+    pub fn clear(&mut self) {
+        self.reset();
+    }
+
+    /// Grow the backing table to hold at least `capacity` digests at load
+    /// factor ≤ 0.5, rehashing live entries. No-op (and not counted) when the
+    /// table already suffices; otherwise one `rehash_rebuilds` is recorded.
+    pub fn ensure_capacity(&mut self, capacity: usize) {
+        let want = (capacity.max(1) * 2).next_power_of_two();
+        if want <= self.slots.len() {
+            return;
+        }
+        self.rehash_rebuilds += 1;
+        let gen_full = tag(self.generation, FULL);
+        let live: Vec<(Digest128, MapEntry)> = self
+            .slots
+            .iter_mut()
+            .filter_map(|s| {
+                (*s.tag.get_mut() == gen_full)
+                    .then(|| (*s.key.get_mut(), MapEntry::unpack(*s.value.get_mut())))
+            })
+            .collect();
+        self.slots = (0..want)
+            .map(|_| Slot::new())
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        self.mask = want - 1;
+        self.generation = 0;
+        *self.len.get_mut() = 0;
+        for (key, entry) in live {
+            self.insert(&key, entry);
+        }
+    }
+
+    /// Record-boundary reset: O(1) epoch bump plus a capacity pre-size from
+    /// the previous record's observed occupancy (`hint`). In steady state the
+    /// hint never exceeds the table, so this stays allocation-free.
+    pub fn reset_with_hint(&mut self, hint: usize) {
+        self.reset();
+        self.ensure_capacity(hint);
     }
 
     /// Approximate bytes of device memory this record occupies (for the
@@ -347,6 +457,7 @@ impl std::fmt::Debug for DistinctMap {
         f.debug_struct("DistinctMap")
             .field("len", &self.len())
             .field("table_size", &self.table_size())
+            .field("generation", &self.generation)
             .finish()
     }
 }
@@ -432,6 +543,83 @@ mod tests {
     }
 
     #[test]
+    fn reset_is_a_generation_bump_not_a_wipe() {
+        let mut map = DistinctMap::with_capacity(8);
+        for i in 0..8 {
+            map.insert(&digest(i), MapEntry::new(i as u32, 0));
+        }
+        assert_eq!(map.generation_bumps(), 0);
+        map.reset();
+        assert_eq!(map.generation_bumps(), 1);
+        assert!(map.is_empty());
+        for i in 0..8u64 {
+            assert_eq!(map.get(&digest(i)), None, "stale entries must be gone");
+        }
+        // Fresh epoch accepts re-inserts of the same keys with new values.
+        for i in 0..8 {
+            assert!(map
+                .insert(&digest(i), MapEntry::new(100 + i as u32, 7))
+                .inserted());
+        }
+        assert_eq!(map.get(&digest(3)), Some(MapEntry::new(103, 7)));
+        assert_eq!(map.rehash_rebuilds(), 0);
+    }
+
+    #[test]
+    fn repeated_resets_behave_like_fresh_tables() {
+        let mut map = DistinctMap::with_capacity(32);
+        for round in 0..100u64 {
+            for i in 0..20 {
+                assert!(map
+                    .insert(
+                        &digest(round * 1000 + i),
+                        MapEntry::new(i as u32, round as u32)
+                    )
+                    .inserted());
+            }
+            assert_eq!(map.len(), 20);
+            // Previous round's keys are invisible.
+            if round > 0 {
+                assert_eq!(map.get(&digest((round - 1) * 1000)), None);
+            }
+            map.reset();
+        }
+        assert_eq!(map.generation_bumps(), 100);
+    }
+
+    #[test]
+    fn ensure_capacity_noop_within_table_grows_beyond() {
+        let mut map = DistinctMap::with_capacity(8); // table = 16
+        for i in 0..10 {
+            map.insert(&digest(i), MapEntry::new(i as u32, 2));
+        }
+        map.ensure_capacity(8); // fits: not a rebuild
+        assert_eq!(map.rehash_rebuilds(), 0);
+        assert_eq!(map.table_size(), 16);
+
+        map.ensure_capacity(100); // must grow and rehash live entries
+        assert_eq!(map.rehash_rebuilds(), 1);
+        assert!(map.table_size() >= 200);
+        assert_eq!(map.len(), 10);
+        for i in 0..10u64 {
+            assert_eq!(map.get(&digest(i)), Some(MapEntry::new(i as u32, 2)));
+        }
+    }
+
+    #[test]
+    fn reset_with_hint_presizes_without_steady_state_rebuilds() {
+        let mut map = DistinctMap::with_capacity(64);
+        for i in 0..50 {
+            map.insert(&digest(i), MapEntry::new(i as u32, 0));
+        }
+        let occupancy = map.len();
+        map.reset_with_hint(occupancy);
+        assert!(map.is_empty());
+        assert_eq!(map.rehash_rebuilds(), 0, "hint within capacity: no rebuild");
+        assert_eq!(map.generation_bumps(), 1);
+    }
+
+    #[test]
     fn concurrent_distinct_inserts_all_land() {
         let map = Arc::new(DistinctMap::with_capacity(10_000));
         let threads = 8;
@@ -451,6 +639,31 @@ mod tests {
         for k in 0..(threads * per_thread) as u64 {
             assert!(map.contains(&digest(k)));
         }
+    }
+
+    #[test]
+    fn concurrent_inserts_after_reset_see_no_ghosts() {
+        let mut owned = DistinctMap::with_capacity(10_000);
+        for i in 0..5000u64 {
+            owned.insert(&digest(i), MapEntry::new(i as u32, 0));
+        }
+        owned.reset();
+        let map = Arc::new(owned);
+        std::thread::scope(|s| {
+            for t in 0..8usize {
+                let map = Arc::clone(&map);
+                s.spawn(move || {
+                    for i in 0..625 {
+                        let k = (t * 625 + i) as u64;
+                        // Same keys as the stale epoch: every insert must win.
+                        assert!(map
+                            .insert(&digest(k), MapEntry::new(k as u32, 1))
+                            .inserted());
+                    }
+                });
+            }
+        });
+        assert_eq!(map.len(), 5000);
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! copies. The only simulated parts are the clock (the analytical model) and
 //! the executor (a thread pool instead of warps).
 
+pub mod arena;
 pub mod buffer;
 pub mod collectives;
 pub mod content_cache;
@@ -35,6 +36,7 @@ pub mod distinct_map;
 pub mod metrics;
 pub mod perf;
 
+pub use arena::{ArenaLease, ArenaStats, DeviceArena};
 pub use buffer::DeviceBuffer;
 pub use content_cache::{ContentCache, Verification};
 pub use device::{Device, KernelCost};

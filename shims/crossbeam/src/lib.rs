@@ -1,14 +1,26 @@
 //! Minimal offline stand-in for the subset of `crossbeam` 0.8 used here:
-//! `crossbeam::channel::{unbounded, Sender, Receiver}`. Backed by
+//! `crossbeam::channel::{unbounded, bounded, Sender, Receiver}`. Backed by
 //! `std::sync::mpsc`, which (since Rust 1.72) has a `Sync` `Sender` and
 //! matching `send`/`recv`/`iter` semantics for this workspace's usage.
+//!
+//! One divergence: real crossbeam has a single `Sender` type for bounded
+//! and unbounded channels; std splits them, so [`channel::bounded`] returns
+//! the re-exported [`channel::SyncSender`] (same `send`-blocks-when-full
+//! contract as crossbeam's bounded sender).
 
 pub mod channel {
     pub use std::sync::mpsc::{
-        Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
+        Receiver, RecvError, RecvTimeoutError, SendError, Sender, SyncSender, TryRecvError,
     };
 
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         std::sync::mpsc::channel()
+    }
+
+    /// A channel holding at most `cap` queued messages; `send` blocks while
+    /// full. `cap = 1` is the double-buffer handoff used by the checkpoint
+    /// pipeline.
+    pub fn bounded<T>(cap: usize) -> (SyncSender<T>, Receiver<T>) {
+        std::sync::mpsc::sync_channel(cap)
     }
 }

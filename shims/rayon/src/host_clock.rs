@@ -1,0 +1,143 @@
+//! A modeled *host clock* for scaling studies on machines whose physical
+//! core count can't express the parallelism under test.
+//!
+//! The simulated device already separates the executor from the clock: kernels
+//! run wherever they run, while modeled A100 time accrues analytically. This
+//! module applies the same idea to the *host* side of the pipeline. When
+//! enabled, every top-level parallel region records, per executor chunk, the
+//! chunk's **thread CPU time** (immune to preemption and oversubscription —
+//! on a 1-core container, wall-clock time of interleaved workers double-counts
+//! every context switch, CPU time doesn't). A region that measured total work
+//! `W` and longest chunk `S` with `k` participants is then modeled at
+//!
+//! ```text
+//! T_k = max(W / k, S)
+//! ```
+//!
+//! the classic greedy-scheduler makespan bound (work/span with perfect
+//! balance; `S` caps the speedup exactly as the critical path does). The
+//! benchmark reconstructs a point's modeled host time as
+//! `wall − Σ real_region + Σ T_k`: serial glue is measured, parallel regions
+//! are modeled. Chunk boundaries are a pure function of the item count, so
+//! the *computation* is identical at every thread count — only the clock
+//! differs — and reports carry both `wall_sec` (measured) and the modeled
+//! time, clearly labeled.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static REGIONS: AtomicU64 = AtomicU64::new(0);
+static REAL_NS: AtomicU64 = AtomicU64::new(0);
+static MODELED_NS: AtomicU64 = AtomicU64::new(0);
+static WORK_NS: AtomicU64 = AtomicU64::new(0);
+static SPAN_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Accumulated host-clock readings since the last [`host_clock_take`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HostClockSample {
+    /// Top-level parallel regions observed.
+    pub regions: u64,
+    /// Measured wall time spent inside those regions.
+    pub real_parallel_sec: f64,
+    /// Modeled makespan of those regions: Σ max(work/k, span).
+    pub modeled_parallel_sec: f64,
+    /// Total chunk CPU time (the regions' sequential work).
+    pub work_sec: f64,
+    /// Σ per-region longest chunk (the critical-path floor).
+    pub span_sec: f64,
+}
+
+/// Turn region recording on or off. Off (the default) adds a single relaxed
+/// atomic load to each parallel terminal and nothing else.
+pub fn host_clock_enable(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+pub(crate) fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Read and reset the accumulated sample. The clock is process-global:
+/// benchmarks bracket each measured phase with a `take` on either side.
+pub fn host_clock_take() -> HostClockSample {
+    HostClockSample {
+        regions: REGIONS.swap(0, Ordering::Relaxed),
+        real_parallel_sec: REAL_NS.swap(0, Ordering::Relaxed) as f64 * 1e-9,
+        modeled_parallel_sec: MODELED_NS.swap(0, Ordering::Relaxed) as f64 * 1e-9,
+        work_sec: WORK_NS.swap(0, Ordering::Relaxed) as f64 * 1e-9,
+        span_sec: SPAN_NS.swap(0, Ordering::Relaxed) as f64 * 1e-9,
+    }
+}
+
+pub(crate) fn record_region(work_ns: u64, span_ns: u64, real_ns: u64, participants: u64) {
+    let k = participants.max(1);
+    let modeled = (work_ns / k).max(span_ns);
+    REGIONS.fetch_add(1, Ordering::Relaxed);
+    REAL_NS.fetch_add(real_ns, Ordering::Relaxed);
+    MODELED_NS.fetch_add(modeled, Ordering::Relaxed);
+    WORK_NS.fetch_add(work_ns, Ordering::Relaxed);
+    SPAN_NS.fetch_add(span_ns, Ordering::Relaxed);
+}
+
+/// Per-thread CPU time in nanoseconds (scheduler-independent), falling back
+/// to wall time where the clock is unavailable.
+#[cfg(target_os = "linux")]
+pub(crate) fn thread_cpu_ns() -> u64 {
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+    extern "C" {
+        fn clock_gettime(clk_id: i32, tp: *mut Timespec) -> i32;
+    }
+    const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+    let mut ts = Timespec {
+        tv_sec: 0,
+        tv_nsec: 0,
+    };
+    // SAFETY: `ts` is a valid, writable timespec; the clock id is a Linux
+    // constant. On failure we fall through to zero, which only under-counts.
+    let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+    if rc != 0 {
+        return 0;
+    }
+    (ts.tv_sec as u64).saturating_mul(1_000_000_000) + ts.tv_nsec as u64
+}
+
+#[cfg(not(target_os = "linux"))]
+pub(crate) fn thread_cpu_ns() -> u64 {
+    use std::time::Instant;
+    static EPOCH: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_cpu_time_advances_with_work() {
+        let t0 = thread_cpu_ns();
+        let mut acc = 0u64;
+        for i in 0..2_000_000u64 {
+            acc = acc.wrapping_add(i.wrapping_mul(2654435761));
+        }
+        std::hint::black_box(acc);
+        assert!(thread_cpu_ns() > t0, "CPU clock must advance");
+    }
+
+    #[test]
+    fn makespan_takes_the_larger_of_work_over_k_and_span() {
+        host_clock_take();
+        host_clock_enable(true);
+        record_region(8_000, 1_000, 9_000, 4); // work-bound: 2000
+        record_region(8_000, 5_000, 9_000, 4); // span-bound: 5000
+        host_clock_enable(false);
+        let s = host_clock_take();
+        assert_eq!(s.regions, 2);
+        assert!((s.modeled_parallel_sec - 7_000e-9).abs() < 1e-12);
+        assert!((s.real_parallel_sec - 18_000e-9).abs() < 1e-12);
+        assert!((s.work_sec - 16_000e-9).abs() < 1e-12);
+    }
+}

@@ -24,8 +24,10 @@ use std::marker::PhantomData;
 use std::mem::{ManuallyDrop, MaybeUninit};
 use std::ops::Range;
 
+pub mod host_clock;
 mod pool;
 
+pub use host_clock::{host_clock_enable, host_clock_take, HostClockSample};
 pub use pool::{current_num_threads, pool_spawned_threads, set_active_threads, MAX_POOL_THREADS};
 
 pub mod prelude {

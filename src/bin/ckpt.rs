@@ -240,6 +240,23 @@ fn cmd_create(args: &[String], stats: bool) -> CliResult {
     );
     if stats {
         registry.counter("cli/versions").add(snapshots.len() as u64);
+        // Steady-state memory counters: device-arena lease traffic and
+        // historical-record reset/rebuild counts for the whole record.
+        let mem = ckpt.memory_stats();
+        registry
+            .counter("alloc/device_bytes_leased")
+            .add(mem.device_bytes_leased);
+        registry
+            .counter("alloc/device_bytes_allocated")
+            .add(mem.device_bytes_allocated);
+        registry.counter("alloc/arena_hits").add(mem.arena_hits);
+        registry.counter("alloc/arena_misses").add(mem.arena_misses);
+        registry
+            .counter("map/generation_bumps")
+            .add(mem.map_generation_bumps);
+        registry
+            .counter("map/rehash_rebuilds")
+            .add(mem.map_rehash_rebuilds);
         emit_stats_report(
             "create",
             &[
