@@ -2,7 +2,7 @@
 //! asynchronous runtime, Tree vs Full, as the rank count grows.
 
 use ckpt_bench::workload::scaling_snapshots;
-use ckpt_runtime::{run_scaling, AsyncRuntime, ScalingConfig, ScalingMethod};
+use ckpt_runtime::{run_scaling, AsyncRuntime, RebasePolicy, ScalingConfig, ScalingMethod};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_scaling(c: &mut Criterion) {
@@ -27,6 +27,7 @@ fn bench_scaling(c: &mut Criterion) {
                             n_ranks,
                             gpus_per_node: 8,
                             chunk_size: 128,
+                            rebase: RebasePolicy::Never,
                         };
                         run_scaling(cfg, &rt, |rank| snapshots[rank as usize].clone())
                     })

@@ -15,6 +15,9 @@
 //!   adjoint           E5: adjoint reversal, revolve vs dedup store (§5)
 //!   host_scaling      scale x thread-count sweep of the persistent host
 //!                     pool (writes BENCH_host_scaling.json; see --scales)
+//!   restart_latency   sequential replay vs single-pass parallel restart,
+//!                     chain length x method x threads (writes
+//!                     BENCH_restart_latency.json; see --chain-lens)
 //!   ablation-hash     A1: Murmur3 vs MD5
 //!   ablation-metadata A2: Tree vs List metadata
 //!   ablation-waves    A3: two-stage vs naive wave ordering
@@ -27,8 +30,9 @@ use ckpt_bench::report;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures <table1|fig2|fig4|fig5|fig6|hybrid|highfreq|streaming|adjoint|host_scaling|ablation-hash|\
-         ablation-metadata|ablation-waves|ablation-gorder|ablation-fusion|all> [--scale N] [--scales A,B,C] [--rank-scale N] [--coverage F] [--seed N] [--json-out PATH]"
+        "usage: figures <table1|fig2|fig4|fig5|fig6|hybrid|highfreq|streaming|adjoint|host_scaling|restart_latency|\
+         ablation-hash|ablation-metadata|ablation-waves|ablation-gorder|ablation-fusion|all> \
+         [--scale N] [--scales A,B,C] [--chain-lens A,B] [--rank-scale N] [--coverage F] [--seed N] [--json-out PATH]"
     );
     std::process::exit(2);
 }
@@ -42,8 +46,9 @@ fn main() {
     let mut cfg = ExpConfig::default();
     let mut rank_scale = 4_000usize;
     let mut coverage = ckpt_bench::workload::SCALING_COVERAGE;
-    let mut json_out = String::from("BENCH_host_scaling.json");
+    let mut json_out: Option<String> = None;
     let mut scales: Vec<usize> = experiments::HOST_SCALING_SCALES.to_vec();
+    let mut chain_lens: Vec<usize> = experiments::RESTART_CHAIN_LENS.to_vec();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -80,8 +85,20 @@ fn main() {
                     .unwrap_or_else(|| usage());
                 i += 2;
             }
+            "--chain-lens" => {
+                chain_lens = args
+                    .get(i + 1)
+                    .map(|v| {
+                        v.split(',')
+                            .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                            .collect()
+                    })
+                    .filter(|v: &Vec<usize>| !v.is_empty())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
             "--json-out" => {
-                json_out = args.get(i + 1).cloned().unwrap_or_else(|| usage());
+                json_out = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
                 i += 2;
             }
             "--seed" => {
@@ -137,9 +154,23 @@ fn main() {
     run("host_scaling", &mut || {
         let rep = experiments::host_scaling_at(&scales, cfg.seed);
         let json = report::render_host_scaling_json(&rep);
-        std::fs::write(&json_out, &json).unwrap_or_else(|e| panic!("write {json_out}: {e}"));
+        let out = json_out
+            .clone()
+            .unwrap_or_else(|| "BENCH_host_scaling.json".into());
+        std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
         let mut text = report::render_host_scaling(&rep);
-        text.push_str(&format!("wrote {json_out}\n"));
+        text.push_str(&format!("wrote {out}\n"));
+        text
+    });
+    run("restart_latency", &mut || {
+        let rep = experiments::restart_latency_at(&chain_lens, cfg.scale, cfg.seed);
+        let json = report::render_restart_latency_json(&rep);
+        let out = json_out
+            .clone()
+            .unwrap_or_else(|| "BENCH_restart_latency.json".into());
+        std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+        let mut text = report::render_restart_latency(&rep);
+        text.push_str(&format!("wrote {out}\n"));
         text
     });
     run("ablation-hash", &mut || {

@@ -11,7 +11,7 @@ use crate::workload::gdv_snapshots;
 use ckpt_compress::all_codecs;
 use ckpt_dedup::prelude::*;
 use ckpt_graph::{GraphStats, PaperGraph};
-use ckpt_runtime::{run_scaling, AsyncRuntime, ScalingConfig, ScalingMethod};
+use ckpt_runtime::{run_scaling, AsyncRuntime, RebasePolicy, ScalingConfig, ScalingMethod};
 use gpu_sim::Device;
 
 /// Shared experiment knobs (scaled-down defaults; the paper's 11–18 M-vertex
@@ -243,6 +243,7 @@ pub fn fig6_with_ranks(
                 n_ranks,
                 gpus_per_node: 8,
                 chunk_size: 128,
+                rebase: RebasePolicy::Never,
             };
             let report = run_scaling(cfg, &rt, |rank| snapshots[rank as usize].clone());
             out.push(Fig6Point {
@@ -446,6 +447,165 @@ pub fn host_scaling_at(scales: &[usize], seed: u64) -> HostScalingReport {
         n_checkpoints: HOST_SCALING_CHECKPOINTS,
         scales: out,
     }
+}
+
+// ---------------------------------------------------------- Restart latency
+
+/// One thread-count point of the restart-latency sweep: sequential replay
+/// vs the single-pass parallel restart engine over the same chain.
+#[derive(Debug)]
+pub struct RestartLatencyPoint {
+    pub threads: usize,
+    /// Wall time of the sequential full replay (thread-count independent;
+    /// re-measured per point so both engines share a clock window).
+    pub seq_wall_sec: f64,
+    pub par_wall_sec: f64,
+    /// Host-modeled time with shim-pool wall time swapped for modeled
+    /// parallel time — the cross-machine comparable number.
+    pub seq_host_modeled_sec: f64,
+    pub par_host_modeled_sec: f64,
+    /// Murmur3 digest of the restored latest snapshot, per engine; equal
+    /// digests mean bit-identical restored bytes.
+    pub seq_digest: (u64, u64),
+    pub par_digest: (u64, u64),
+    /// Records the single-pass walk actually visited (≤ chain length;
+    /// shorter when a rebase record short-circuits the walk).
+    pub records_visited: u32,
+    /// Bytes the single-pass engine copied into the restored buffer.
+    pub bytes_copied: u64,
+}
+
+/// One (method, chain-length) cell of the restart-latency sweep.
+#[derive(Debug)]
+pub struct RestartLatencyCell {
+    pub method: &'static str,
+    pub chain_len: usize,
+    pub snapshot_bytes: usize,
+    pub points: Vec<RestartLatencyPoint>,
+}
+
+impl RestartLatencyCell {
+    /// True when both engines produced identical bytes at every thread
+    /// count (one digest per cell — the chain is fixed across points).
+    pub fn bit_identical(&self) -> bool {
+        self.points.iter().all(|p| p.seq_digest == p.par_digest)
+            && self
+                .points
+                .windows(2)
+                .all(|w| w[0].par_digest == w[1].par_digest)
+    }
+
+    /// Host-modeled speedup of the parallel engine over the sequential
+    /// replay at the same point.
+    pub fn speedup(&self, p: &RestartLatencyPoint) -> f64 {
+        p.seq_host_modeled_sec / p.par_host_modeled_sec.max(1e-12)
+    }
+
+    /// The cell's best speedup across the thread sweep.
+    pub fn best_speedup(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|p| self.speedup(p))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The restart-latency sweep: chain length x method x pool threads.
+#[derive(Debug)]
+pub struct RestartLatencyReport {
+    pub scale: usize,
+    pub cells: Vec<RestartLatencyCell>,
+}
+
+impl RestartLatencyReport {
+    pub fn bit_identical(&self) -> bool {
+        self.cells.iter().all(|c| c.bit_identical())
+    }
+}
+
+/// Chain lengths swept by [`restart_latency_at`]: a short chain where the
+/// walk overhead shows, and the paper-shaped 32-record chain the ≥2x
+/// speedup acceptance gate runs against.
+pub const RESTART_CHAIN_LENS: [usize; 2] = [8, 32];
+
+/// Restart-latency benchmark over the default chain lengths. See
+/// [`restart_latency_at`].
+pub fn restart_latency(cfg: ExpConfig) -> RestartLatencyReport {
+    restart_latency_at(&RESTART_CHAIN_LENS, cfg.scale, cfg.seed)
+}
+
+/// Restart-latency benchmark: for each (chain length, method) cell, build
+/// a checkpoint chain over the GDV workload, then sweep the persistent
+/// pool's thread count restoring the *latest* version two ways — the
+/// sequential full replay (`restore_latest`) and the single-pass parallel
+/// engine (`restore_latest_single_pass`). Both run inside host-clock
+/// windows so shim-pool wall time is swapped for modeled parallel time;
+/// restored bytes are digested outside the timed windows and must be
+/// bit-identical across engines and thread counts.
+pub fn restart_latency_at(chain_lens: &[usize], scale: usize, seed: u64) -> RestartLatencyReport {
+    use ckpt_hash::{Hasher128, Murmur3};
+    use rayon::prelude::*;
+
+    let hasher = Murmur3;
+    let mut cells = Vec::new();
+    for &chain_len in chain_lens {
+        let w = gdv_snapshots(PaperGraph::MessageRace, scale, chain_len, seed, true);
+        for (name, mut m) in dedup_methods(FIG5_CHUNK) {
+            let diffs: Vec<_> = w.snapshots.iter().map(|s| m.checkpoint(s).diff).collect();
+            let device = Device::a100();
+            let mut points = Vec::new();
+            for &threads in &HOST_SCALING_THREADS {
+                rayon::set_active_threads(threads);
+                // Warm the pool outside both timed regions so worker
+                // spawns are not billed to either engine.
+                (0..(1usize << 16)).into_par_iter().for_each(|_| {});
+
+                rayon::host_clock_enable(true);
+                let _ = rayon::host_clock_take();
+                let t0 = std::time::Instant::now();
+                let seq = restore_latest(&diffs).expect("sequential replay");
+                let seq_wall_sec = t0.elapsed().as_secs_f64();
+                let seq_clock = rayon::host_clock_take();
+
+                let t1 = std::time::Instant::now();
+                let (par, stats) =
+                    restore_latest_single_pass(&device, 0, &diffs).expect("single-pass restart");
+                let par_wall_sec = t1.elapsed().as_secs_f64();
+                let par_clock = rayon::host_clock_take();
+                rayon::host_clock_enable(false);
+
+                points.push(RestartLatencyPoint {
+                    threads,
+                    seq_wall_sec,
+                    par_wall_sec,
+                    seq_host_modeled_sec: (seq_wall_sec - seq_clock.real_parallel_sec
+                        + seq_clock.modeled_parallel_sec)
+                        .max(0.0),
+                    par_host_modeled_sec: (par_wall_sec - par_clock.real_parallel_sec
+                        + par_clock.modeled_parallel_sec)
+                        .max(0.0),
+                    seq_digest: {
+                        let d = hasher.hash(&seq);
+                        (d.h1, d.h2)
+                    },
+                    par_digest: {
+                        let d = hasher.hash(&par);
+                        (d.h1, d.h2)
+                    },
+                    records_visited: stats.records_visited,
+                    bytes_copied: stats.bytes_copied,
+                });
+            }
+            cells.push(RestartLatencyCell {
+                method: name,
+                chain_len,
+                snapshot_bytes: w.snapshot_bytes(),
+                points,
+            });
+        }
+    }
+    rayon::set_active_threads(0);
+    RestartLatencyReport { scale, cells }
 }
 
 // ---------------------------------------------------------------- Ablations

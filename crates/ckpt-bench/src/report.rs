@@ -390,6 +390,84 @@ pub fn render_host_scaling_json(rep: &HostScalingReport) -> String {
     w.finish()
 }
 
+pub fn render_restart_latency(rep: &RestartLatencyReport) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "Restart latency: sequential replay vs single-pass parallel engine (scale {})\n",
+        rep.scale,
+    ));
+    for cell in &rep.cells {
+        s.push_str(&format!(
+            "{} chain, {} records ({} per snapshot)\n",
+            cell.method,
+            cell.chain_len,
+            fmt_bytes(cell.snapshot_bytes as u64),
+        ));
+        s.push_str(&format!(
+            "{:>8} {:>14} {:>14} {:>10} {:>10} {:>14}\n",
+            "threads", "seq host-model", "par host-model", "speedup", "visited", "copied"
+        ));
+        for p in &cell.points {
+            s.push_str(&format!(
+                "{:>8} {:>11.2} ms {:>11.2} ms {:>9.2}x {:>10} {:>14}\n",
+                p.threads,
+                p.seq_host_modeled_sec * 1e3,
+                p.par_host_modeled_sec * 1e3,
+                cell.speedup(p),
+                p.records_visited,
+                fmt_bytes(p.bytes_copied),
+            ));
+        }
+        s.push_str(&format!(
+            "bit-identical to sequential replay: {}\n",
+            cell.bit_identical()
+        ));
+    }
+    s
+}
+
+/// The machine-readable side of the restart-latency sweep
+/// (`BENCH_restart_latency.json`).
+pub fn render_restart_latency_json(rep: &RestartLatencyReport) -> String {
+    let mut w = ckpt_telemetry::JsonWriter::new();
+    w.begin_object();
+    w.key("restart_latency").begin_object();
+    w.key("scale").u64(rep.scale as u64);
+    w.key("bit_identical").bool(rep.bit_identical());
+    w.key("cells").begin_array();
+    for cell in &rep.cells {
+        w.begin_object();
+        w.key("method").string(cell.method);
+        w.key("chain_len").u64(cell.chain_len as u64);
+        w.key("snapshot_bytes").u64(cell.snapshot_bytes as u64);
+        w.key("bit_identical").bool(cell.bit_identical());
+        w.key("best_speedup").f64(cell.best_speedup());
+        w.key("points").begin_array();
+        for p in &cell.points {
+            w.begin_object();
+            w.key("threads").u64(p.threads as u64);
+            w.key("seq_wall_sec").f64(p.seq_wall_sec);
+            w.key("par_wall_sec").f64(p.par_wall_sec);
+            w.key("seq_host_modeled_sec").f64(p.seq_host_modeled_sec);
+            w.key("par_host_modeled_sec").f64(p.par_host_modeled_sec);
+            w.key("speedup").f64(cell.speedup(p));
+            w.key("seq_digest")
+                .string(&format!("{:016x}{:016x}", p.seq_digest.0, p.seq_digest.1));
+            w.key("par_digest")
+                .string(&format!("{:016x}{:016x}", p.par_digest.0, p.par_digest.1));
+            w.key("records_visited").u64(p.records_visited as u64);
+            w.key("bytes_copied").u64(p.bytes_copied);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.end_object();
+    w.finish()
+}
+
 pub fn render_hash(points: &[HashPoint]) -> String {
     let mut s = String::new();
     s.push_str("Ablation A1: hash function choice (chunk 128 B)\n");
@@ -464,6 +542,58 @@ mod tests {
         }
         assert!(json.contains("000000000000dead000000000000beef"));
         assert!(json.contains("leaf_hash"));
+    }
+
+    #[test]
+    fn restart_latency_json_has_expected_schema() {
+        use crate::experiments::{RestartLatencyCell, RestartLatencyPoint, RestartLatencyReport};
+        let rep = RestartLatencyReport {
+            scale: 4000,
+            cells: vec![RestartLatencyCell {
+                method: "Tree",
+                chain_len: 32,
+                snapshot_bytes: 292_000,
+                points: vec![RestartLatencyPoint {
+                    threads: 8,
+                    seq_wall_sec: 0.5,
+                    par_wall_sec: 0.1,
+                    seq_host_modeled_sec: 0.4,
+                    par_host_modeled_sec: 0.1,
+                    seq_digest: (0xdead, 0xbeef),
+                    par_digest: (0xdead, 0xbeef),
+                    records_visited: 32,
+                    bytes_copied: 292_000,
+                }],
+            }],
+        };
+        assert!(rep.bit_identical());
+        let json = render_restart_latency_json(&rep);
+        let keys = ckpt_telemetry::collect_keys(&json);
+        for k in [
+            "restart_latency",
+            "scale",
+            "bit_identical",
+            "cells",
+            "method",
+            "chain_len",
+            "snapshot_bytes",
+            "best_speedup",
+            "points",
+            "threads",
+            "seq_wall_sec",
+            "par_wall_sec",
+            "seq_host_modeled_sec",
+            "par_host_modeled_sec",
+            "speedup",
+            "seq_digest",
+            "par_digest",
+            "records_visited",
+            "bytes_copied",
+        ] {
+            assert!(keys.iter().any(|have| have == k), "missing key {k}");
+        }
+        assert!(json.contains("000000000000dead000000000000beef"));
+        assert!(json.contains("\"Tree\""));
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod labels;
 pub mod methods;
 pub mod random_access;
 pub mod record;
+pub mod restart;
 pub mod restore;
 pub mod stats;
 pub mod tree;
@@ -64,7 +65,11 @@ pub use methods::tree_serial::SerialTreeCheckpointer;
 pub use methods::{CheckpointOutput, Checkpointer};
 pub use random_access::RecordReader;
 pub use record::{run_record, CheckpointRecord};
-pub use restore::{restore_latest, restore_record, Restorer};
+pub use restart::{
+    is_self_contained, restore_latest_single_pass, restore_version_single_pass, RestartStats,
+    SinglePassRestore,
+};
+pub use restore::{restore_latest, restore_record, restore_record_from, RestoreError, Restorer};
 pub use stats::{CheckpointStats, RecordStats};
 pub use tree::{MerkleTree, TreeShape};
 
@@ -79,7 +84,11 @@ pub mod prelude {
     pub use crate::methods::{CheckpointOutput, Checkpointer};
     pub use crate::random_access::RecordReader;
     pub use crate::record::{run_record, CheckpointRecord};
-    pub use crate::restore::{restore_latest, restore_record, Restorer};
+    pub use crate::restart::{
+        is_self_contained, restore_latest_single_pass, restore_version_single_pass,
+        SinglePassRestore,
+    };
+    pub use crate::restore::{restore_latest, restore_record, restore_record_from, Restorer};
     pub use crate::stats::{CheckpointStats, RecordStats};
     pub use crate::MethodKind;
 }

@@ -24,6 +24,8 @@ pub struct BasicCheckpointer {
     state: Option<State>,
     ckpt_id: u32,
     buffer_reuse: bool,
+    /// Rebase mode for the current checkpoint: mark every chunk changed.
+    force_all: bool,
 }
 
 struct State {
@@ -42,6 +44,7 @@ impl BasicCheckpointer {
             state: None,
             ckpt_id: 0,
             buffer_reuse: true,
+            force_all: false,
         }
     }
 }
@@ -66,6 +69,7 @@ impl Checkpointer for BasicCheckpointer {
             });
         }
         let hasher = &*self.hasher;
+        let force_all = self.force_all;
         let state = self.state.as_mut().unwrap();
         assert_eq!(
             data.len(),
@@ -104,7 +108,7 @@ impl Checkpointer for BasicCheckpointer {
                     let digest = hasher.hash(chunking.chunk(data, c));
                     // SAFETY: chunk index owned by this thread.
                     let old = unsafe { prev.read(c) };
-                    if ckpt_id == 0 || digest != old {
+                    if force_all || ckpt_id == 0 || digest != old {
                         changed[c].store(1, Ordering::Relaxed);
                         unsafe { prev.write(c, digest) };
                     }
@@ -197,6 +201,16 @@ impl Checkpointer for BasicCheckpointer {
             stats,
             breakdown,
         }
+    }
+
+    /// Rebase: one checkpoint with every chunk stored (bitmap all ones).
+    /// `prev` is still refreshed by the kernel, so the next incremental
+    /// checkpoint diffs against the rebase content as usual.
+    fn rebase_checkpoint(&mut self, data: &[u8]) -> CheckpointOutput {
+        self.force_all = true;
+        let out = self.checkpoint(data);
+        self.force_all = false;
+        out
     }
 
     fn device_state_bytes(&self) -> usize {

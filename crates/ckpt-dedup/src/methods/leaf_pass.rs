@@ -28,6 +28,10 @@ use gpu_sim::{
 ///   cached bytes differ are *collisions* and are stored instead of
 ///   referenced, under a salted digest so no ancestor consolidates on the
 ///   colliding value.
+/// * `force_all` — rebase mode: disable the fixed-duplicate shortcut so every
+///   chunk re-enters the (freshly reset) historical record. With the record
+///   reset beforehand, every emitted reference lands inside this checkpoint,
+///   making the resulting diff self-contained.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run(
     device: &Device,
@@ -40,6 +44,7 @@ pub(crate) fn run(
     map: &DistinctMap,
     ckpt_id: u32,
     cache: Option<&ContentCache>,
+    force_all: bool,
 ) {
     debug_assert_eq!(data.len(), chunking.data_len());
     debug_assert_eq!(shape.n_chunks(), chunking.n_chunks());
@@ -70,7 +75,7 @@ pub(crate) fn run(
         // SAFETY: leaf index owned by this thread for this kernel (the
         // chunk→leaf map is a bijection).
         let prev = unsafe { tree.read(leaf) };
-        if ckpt_id > 0 && digest == prev {
+        if !force_all && ckpt_id > 0 && digest == prev {
             // Same digest at the same position. With verification on, guard
             // against the chunk having changed into a colliding value.
             match cache.map_or(Verification::Unknown, |c| c.verify(&digest, chunk)) {
@@ -200,6 +205,7 @@ mod tests {
             &map,
             0,
             None,
+            false,
         );
 
         let (first, fixed, shift) = leaf_label_counts(&shape, &labels);
@@ -227,6 +233,7 @@ mod tests {
             &map,
             0,
             None,
+            false,
         );
 
         let d = Murmur3.hash(&data[0..32]);
@@ -259,6 +266,7 @@ mod tests {
             &map,
             0,
             None,
+            false,
         );
 
         // Second checkpoint: chunk 2 modified, rest unchanged.
@@ -275,6 +283,7 @@ mod tests {
             &map,
             1,
             None,
+            false,
         );
         let (first, fixed, shift) = leaf_label_counts(&shape, &labels);
         assert_eq!(fixed, 3);
@@ -303,6 +312,7 @@ mod tests {
             &map,
             0,
             None,
+            false,
         );
 
         // Chunk 0 now holds chunk 3's old content: shifted duplicate.
@@ -319,6 +329,7 @@ mod tests {
             &map,
             1,
             None,
+            false,
         );
         let leaf0 = shape.leaf_of_chunk(0);
         assert_eq!(labels.get(leaf0), Label::ShiftDupl);
@@ -347,6 +358,7 @@ mod tests {
             &map,
             0,
             None,
+            false,
         );
         let (first, fixed, shift) = leaf_label_counts(&shape, &labels);
         // All chunks distinct; whatever did not fit became FirstOcur anyway.

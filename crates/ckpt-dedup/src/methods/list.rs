@@ -26,6 +26,8 @@ pub struct ListCheckpointer {
     state: Option<State>,
     ckpt_id: u32,
     buffer_reuse: bool,
+    /// Rebase mode for the current checkpoint: no fixed-duplicate shortcut.
+    force_all: bool,
 }
 
 struct State {
@@ -46,6 +48,7 @@ impl ListCheckpointer {
             state: None,
             ckpt_id: 0,
             buffer_reuse: true,
+            force_all: false,
         }
     }
 
@@ -81,6 +84,7 @@ impl Checkpointer for ListCheckpointer {
         }
         let hasher = &*self.hasher;
         let fused = self.config.fused;
+        let force_all = self.force_all;
         let state = self.state.as_mut().unwrap();
         assert_eq!(
             data.len(),
@@ -104,6 +108,7 @@ impl Checkpointer for ListCheckpointer {
                 &state.map,
                 ckpt_id,
                 None,
+                force_all,
             );
             rec.mark("leaf_hash");
             // No consolidation: every non-fixed leaf is its own region. The
@@ -182,6 +187,20 @@ impl Checkpointer for ListCheckpointer {
             stats,
             breakdown,
         }
+    }
+
+    /// Rebase: reset the historical record and disable the fixed-duplicate
+    /// shortcut for one checkpoint, so every reference lands inside it (see
+    /// [`TreeCheckpointer::rebase_checkpoint`]).
+    fn rebase_checkpoint(&mut self, data: &[u8]) -> CheckpointOutput {
+        if let Some(state) = self.state.as_mut() {
+            let occupancy = state.map.len();
+            state.map.reset_with_hint(occupancy);
+        }
+        self.force_all = true;
+        let out = self.checkpoint(data);
+        self.force_all = false;
+        out
     }
 
     fn device_state_bytes(&self) -> usize {

@@ -99,6 +99,19 @@ pub trait Checkpointer: Send {
     /// Capture the next checkpoint of `data`, producing its diff and stats.
     fn checkpoint(&mut self, data: &[u8]) -> CheckpointOutput;
 
+    /// Capture the next checkpoint as a **rebase record**: a self-contained
+    /// checkpoint that references no earlier checkpoint, while keeping the
+    /// record's checkpoint ids consecutive. After a rebase at id *r*, a
+    /// restore of any checkpoint ≥ *r* only needs records `r..`, so the
+    /// coordinator may garbage-collect everything below *r* (chain
+    /// compaction). Methods with historical state suppress fixed-duplicate
+    /// detection and reset their hash record for this one checkpoint; the
+    /// default is correct for methods whose every checkpoint is already
+    /// self-contained (Full).
+    fn rebase_checkpoint(&mut self, data: &[u8]) -> CheckpointOutput {
+        self.checkpoint(data)
+    }
+
     /// Bytes of device memory held by the method's persistent state (hash
     /// record, trees, label arrays) — the space overhead the paper discusses
     /// in §2.1.

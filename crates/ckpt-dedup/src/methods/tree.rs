@@ -119,6 +119,9 @@ pub struct TreeCheckpointer {
     state: Option<State>,
     ckpt_id: u32,
     buffer_reuse: bool,
+    /// Rebase mode for the current checkpoint: no fixed-duplicate shortcut,
+    /// so every reference resolves inside this checkpoint.
+    force_all: bool,
 }
 
 struct State {
@@ -150,6 +153,7 @@ impl TreeCheckpointer {
             state: None,
             ckpt_id: 0,
             buffer_reuse: true,
+            force_all: false,
         }
     }
 
@@ -612,6 +616,7 @@ impl Checkpointer for TreeCheckpointer {
         let fused = self.config.fused;
         let codec = self.codec.as_ref();
         let streamed = self.config.streamed_slices;
+        let force_all = self.force_all;
         let state = self.state.as_mut().unwrap();
         assert_eq!(
             data.len(),
@@ -635,6 +640,7 @@ impl Checkpointer for TreeCheckpointer {
                 &state.map,
                 ckpt_id,
                 state.cache.as_ref(),
+                force_all,
             );
             rec.mark("leaf_hash");
             first_ocur_pass(
@@ -709,6 +715,23 @@ impl Checkpointer for TreeCheckpointer {
             stats,
             breakdown,
         }
+    }
+
+    /// Rebase: reset the historical record (O(1) generation bump) and take
+    /// one checkpoint with the fixed-duplicate shortcut disabled, so every
+    /// chunk re-registers and every emitted reference points inside this
+    /// checkpoint. The record afterwards holds exactly this checkpoint's
+    /// digests, so subsequent incremental checkpoints de-duplicate against
+    /// the rebase content — checkpoint ids stay consecutive.
+    fn rebase_checkpoint(&mut self, data: &[u8]) -> CheckpointOutput {
+        if let Some(state) = self.state.as_mut() {
+            let occupancy = state.map.len();
+            state.map.reset_with_hint(occupancy);
+        }
+        self.force_all = true;
+        let out = self.checkpoint(data);
+        self.force_all = false;
+        out
     }
 
     fn device_state_bytes(&self) -> usize {

@@ -222,6 +222,7 @@ impl Checkpointer for NaiveTreeCheckpointer {
                 &state.map,
                 ckpt_id,
                 None,
+                false,
             );
             let mut regions = naive_sweep(
                 &device,

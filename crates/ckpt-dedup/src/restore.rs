@@ -37,6 +37,14 @@ pub enum RestoreError {
     PayloadTruncated { ckpt_id: u32 },
     /// A shifted duplicate referenced a checkpoint that does not exist yet.
     ForwardReference { ckpt_id: u32, ref_ckpt: u32 },
+    /// A shifted duplicate referenced a checkpoint below the record's base —
+    /// the chain was compacted (rebased) but a record still points into the
+    /// garbage-collected region, so the reference cannot be materialized.
+    RefBelowBase {
+        ckpt_id: u32,
+        ref_ckpt: u32,
+        base: u32,
+    },
     /// A shifted duplicate's source span does not match its target span.
     SpanMismatch { node: u32, ref_node: u32 },
     /// Same-checkpoint shifted duplicates could not be resolved (cycle or
@@ -72,6 +80,17 @@ impl std::fmt::Display for RestoreError {
                     "checkpoint {ckpt_id} references future checkpoint {ref_ckpt}"
                 )
             }
+            RestoreError::RefBelowBase {
+                ckpt_id,
+                ref_ckpt,
+                base,
+            } => {
+                write!(
+                    f,
+                    "checkpoint {ckpt_id} references checkpoint {ref_ckpt} below the \
+                     record base {base} (compacted away)"
+                )
+            }
             RestoreError::SpanMismatch { node, ref_node } => {
                 write!(f, "shift region {node} has mismatched source {ref_node}")
             }
@@ -102,15 +121,28 @@ pub struct Restorer {
     kind: Option<MethodKind>,
     data_len: usize,
     chunk_size: usize,
+    /// First checkpoint id of the record. Non-zero for compacted chains
+    /// whose records below a rebase point were garbage-collected: the first
+    /// diff applied must carry `ckpt_id == base` and be self-contained.
+    base: u32,
     versions: Vec<Vec<u8>>,
 }
 
 impl Restorer {
     pub fn new() -> Self {
+        Self::with_base(0)
+    }
+
+    /// A restorer for a compacted record whose first surviving checkpoint id
+    /// is `base` (a rebase point). Version `k` of the record is checkpoint
+    /// `base + k`; references below `base` are rejected as
+    /// [`RestoreError::RefBelowBase`].
+    pub fn with_base(base: u32) -> Self {
         Restorer {
             kind: None,
             data_len: 0,
             chunk_size: 0,
+            base,
             versions: Vec::new(),
         }
     }
@@ -137,7 +169,7 @@ impl Restorer {
     /// Apply the next diff in sequence, materializing its version.
     pub fn apply(&mut self, diff: &Diff) -> Result<&[u8], RestoreError> {
         let index = self.versions.len();
-        if diff.ckpt_id as usize != index {
+        if diff.ckpt_id as usize != self.base as usize + index {
             return Err(RestoreError::OutOfOrder {
                 index,
                 ckpt_id: diff.ckpt_id,
@@ -168,7 +200,9 @@ impl Restorer {
         let buf = match diff.kind {
             MethodKind::Full => restore_full(diff)?,
             MethodKind::Basic => restore_basic(diff, prev)?,
-            MethodKind::List | MethodKind::Tree => restore_regions(diff, prev, &self.versions)?,
+            MethodKind::List | MethodKind::Tree => {
+                restore_regions(diff, prev, &self.versions, self.base)?
+            }
         };
         self.versions.push(buf);
         Ok(self.versions.last().unwrap())
@@ -183,7 +217,13 @@ impl Default for Restorer {
 
 /// Materialize every version of a record.
 pub fn restore_record(diffs: &[Diff]) -> Result<Vec<Vec<u8>>, RestoreError> {
-    let mut r = Restorer::new();
+    restore_record_from(0, diffs)
+}
+
+/// Materialize every version of a compacted record whose first surviving
+/// checkpoint id is `base`.
+pub fn restore_record_from(base: u32, diffs: &[Diff]) -> Result<Vec<Vec<u8>>, RestoreError> {
+    let mut r = Restorer::with_base(base);
     for d in diffs {
         r.apply(d)?;
     }
@@ -227,7 +267,7 @@ pub(crate) fn decoded_payload(diff: &Diff) -> Result<Cow<'_, [u8]>, RestoreError
 /// destinations (only reachable with corrupt input) fall back to the
 /// sequential in-table-order copy, preserving the old last-writer-wins
 /// behavior.
-fn copy_regions(buf: &mut [u8], payload: &[u8], regions: &[(usize, usize, usize)]) {
+pub(crate) fn copy_regions(buf: &mut [u8], payload: &[u8], regions: &[(usize, usize, usize)]) {
     use rayon::prelude::*;
     /// Below this many payload bytes the split/scheduling overhead wins.
     const PAR_MIN_BYTES: usize = 64 * 1024;
@@ -304,6 +344,7 @@ fn restore_regions(
     diff: &Diff,
     prev: Option<&[u8]>,
     versions: &[Vec<u8>],
+    base: u32,
 ) -> Result<Vec<u8>, RestoreError> {
     let data_len = diff.data_len as usize;
     let ck = Chunking::new(data_len, diff.chunk_size as usize);
@@ -363,8 +404,13 @@ fn restore_regions(
                 let src = buf[sa..sb].to_vec();
                 buf[da..db].copy_from_slice(&src);
             } else {
-                // Historical source: the referenced version is materialized.
-                let Some(src_ver) = versions.get(s.ref_ckpt as usize) else {
+                // Historical source: the referenced version is materialized
+                // (indexed relative to the record base for compacted chains).
+                let Some(src_ver) = s
+                    .ref_ckpt
+                    .checked_sub(base)
+                    .and_then(|i| versions.get(i as usize))
+                else {
                     return true; // reported below as unresolvable/forward
                 };
                 let (sa, sb) = ck.byte_range_of_chunks(slo, shi);
@@ -384,6 +430,13 @@ fn restore_regions(
                 return Err(RestoreError::ForwardReference {
                     ckpt_id: diff.ckpt_id,
                     ref_ckpt: s.ref_ckpt,
+                });
+            }
+            if s.ref_ckpt < base {
+                return Err(RestoreError::RefBelowBase {
+                    ckpt_id: diff.ckpt_id,
+                    ref_ckpt: s.ref_ckpt,
+                    base,
                 });
             }
             let (dlo, dhi) = shape.chunk_range(s.node as usize);

@@ -11,7 +11,7 @@
 //! own checkpointer state, and a share of one [`AsyncRuntime`].
 
 use crate::pipeline::CheckpointPipeline;
-use crate::runtime::AsyncRuntime;
+use crate::runtime::{AsyncRuntime, TierChain};
 use ckpt_dedup::prelude::*;
 use gpu_sim::Device;
 use std::sync::Arc;
@@ -49,6 +49,35 @@ impl ScalingMethod {
     }
 }
 
+/// When the coordinator emits a **rebase** checkpoint: a self-contained
+/// record that references nothing earlier, so it is a legal restart chain
+/// head and every record below it becomes garbage-collectable. Bounds the
+/// chain a restart must walk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RebasePolicy {
+    /// The chain grows unboundedly for the lifetime of the run.
+    Never,
+    /// Rebase every `n`-th checkpoint after the last rebase point.
+    EveryN(u32),
+    /// Rebase when the modeled restart read time of the accumulated chain
+    /// (chain bytes over PFS bandwidth) exceeds this budget.
+    RestoreBudget { modeled_sec: f64 },
+}
+
+impl RebasePolicy {
+    /// Decide at distance `since` checkpoints after the last rebase point,
+    /// with `chain_bytes` stored since then, read back at `read_bps`.
+    fn due(&self, since: u32, chain_bytes: u64, read_bps: f64) -> bool {
+        match *self {
+            RebasePolicy::Never => false,
+            RebasePolicy::EveryN(n) => since >= n.max(1),
+            RebasePolicy::RestoreBudget { modeled_sec } => {
+                chain_bytes as f64 / read_bps > modeled_sec
+            }
+        }
+    }
+}
+
 /// Configuration of one strong-scaling run.
 #[derive(Debug, Clone, Copy)]
 pub struct ScalingConfig {
@@ -57,6 +86,8 @@ pub struct ScalingConfig {
     /// GPUs per node (PCIe contenders); ThetaGPU has 8.
     pub gpus_per_node: usize,
     pub chunk_size: usize,
+    /// Chain-compaction policy (see [`RebasePolicy`]).
+    pub rebase: RebasePolicy,
 }
 
 /// Per-rank outcome.
@@ -67,6 +98,10 @@ pub struct RankReport {
     /// Modeled device seconds spent producing + transferring diffs.
     pub modeled_sec: f64,
     pub measured_sec: f64,
+    /// Rebase records this rank emitted (see [`RebasePolicy`]).
+    pub rebases: u32,
+    /// Records garbage-collected below the last durable rebase point.
+    pub gc_evicted: usize,
 }
 
 /// Aggregate outcome of a scaling run.
@@ -129,21 +164,46 @@ where
                     let snapshots = snapshots_for(rank);
                     let mut stats = RecordStats::new();
                     let pipe = CheckpointPipeline::new(Arc::clone(runtime));
+                    let read_bps = runtime.tiers().pfs.config().bandwidth_bps;
+                    let mut last_rebase = 0u32;
+                    let mut chain_bytes = 0u64;
+                    let mut rebases = 0u32;
                     let t0 = std::time::Instant::now();
                     for (k, snap) in snapshots.iter().enumerate() {
-                        let out = method.checkpoint(snap);
+                        let k = k as u32;
+                        let due = k > 0 && cfg.rebase.due(k - last_rebase, chain_bytes, read_bps);
+                        let out = if due {
+                            rebases += 1;
+                            last_rebase = k;
+                            chain_bytes = 0;
+                            method.rebase_checkpoint(snap)
+                        } else {
+                            method.checkpoint(snap)
+                        };
+                        chain_bytes += out.stats.stored_bytes;
                         stats.push(out.stats);
                         let diff = out.diff;
-                        pipe.submit_with(rank, k as u32, Box::new(move || diff.encode()));
+                        pipe.submit_with(rank, k, Box::new(move || diff.encode()));
                     }
                     let measured_sec = t0.elapsed().as_secs_f64();
                     let pstats = pipe.close();
                     assert_eq!(pstats.aborted, 0, "rank {rank}: host staging full");
+                    // Chain compaction: only after the rebase record is
+                    // durable may the records below it be dropped — a crash
+                    // in between must still find a restorable chain.
+                    let gc_evicted = if last_rebase > 0 {
+                        runtime.wait_durable(&[(rank, last_rebase)]);
+                        compact_below(runtime.tiers(), rank, last_rebase)
+                    } else {
+                        0
+                    };
                     RankReport {
                         rank,
                         modeled_sec: stats.total_modeled_sec(),
                         measured_sec,
                         stats,
+                        rebases,
+                        gc_evicted,
                     }
                 })
             })
@@ -170,6 +230,23 @@ where
         max_rank_measured_sec,
         ranks: reports,
     }
+}
+
+/// Garbage-collect every record of `rank` below a **durable** rebase
+/// point: evict ids `0..rebase_id` from all tiers. The caller must have
+/// confirmed durability of `(rank, rebase_id)` first — compaction that
+/// races a crash must err on keeping the old chain (see the
+/// kill-during-compaction crash schedule). Returns evictions performed.
+pub fn compact_below(tiers: &TierChain, rank: u32, rebase_id: u32) -> usize {
+    let mut evicted = 0;
+    for tier in [&tiers.pfs, &tiers.ssd, &tiers.host] {
+        for (r, k) in tier.resident() {
+            if r == rank && k < rebase_id && tier.evict((r, k)) {
+                evicted += 1;
+            }
+        }
+    }
+    evicted
 }
 
 #[cfg(test)]
@@ -203,6 +280,7 @@ mod tests {
                 n_ranks,
                 gpus_per_node: 8,
                 chunk_size: 64,
+                rebase: RebasePolicy::Never,
             };
             let tree = run_scaling(mk(ScalingMethod::Tree), &rt_tree, |r| {
                 snapshots(r, 5, 64_000)
@@ -230,6 +308,7 @@ mod tests {
             n_ranks: 4,
             gpus_per_node: 8,
             chunk_size: 64,
+            rebase: RebasePolicy::Never,
         };
         let report = run_scaling(cfg, &rt, |r| snapshots(r, 4, 32_000));
         assert_eq!(report.ranks.len(), 4);
@@ -238,9 +317,37 @@ mod tests {
             .collect();
         rt.wait_durable(&ids);
         for rank in 0..4u32 {
-            let versions = restore_rank(rt.tiers(), rank).unwrap();
+            let (base, versions) = restore_rank(rt.tiers(), rank).unwrap();
+            assert_eq!(base, 0);
             let expect = snapshots(rank, 4, 32_000);
             assert_eq!(versions, expect, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn rebase_policy_compacts_and_still_restores_latest() {
+        let rt = Arc::new(AsyncRuntime::new());
+        let cfg = ScalingConfig {
+            method: ScalingMethod::Tree,
+            n_ranks: 2,
+            gpus_per_node: 8,
+            chunk_size: 64,
+            rebase: RebasePolicy::EveryN(3),
+        };
+        let report = run_scaling(cfg, &rt, |r| snapshots(r, 8, 32_000));
+        for rr in &report.ranks {
+            // Checkpoints 3 and 6 are rebase points; everything below the
+            // last durable rebase (id 6) was garbage-collected.
+            assert_eq!(rr.rebases, 2, "rank {}", rr.rank);
+            assert!(rr.gc_evicted > 0, "rank {}", rr.rank);
+        }
+        for rank in 0..2u32 {
+            let (base, versions) = restore_rank(rt.tiers(), rank).unwrap();
+            assert_eq!(base, 6, "rank {rank}");
+            let expect = snapshots(rank, 8, 32_000);
+            assert_eq!(versions.len(), 2);
+            assert_eq!(&versions[0], &expect[6], "rank {rank}");
+            assert_eq!(&versions[1], &expect[7], "rank {rank}");
         }
     }
 
@@ -254,6 +361,7 @@ mod tests {
             n_ranks: 2,
             gpus_per_node: 1,
             chunk_size: 64,
+            rebase: RebasePolicy::Never,
         };
         let crowded = ScalingConfig {
             gpus_per_node: 8,

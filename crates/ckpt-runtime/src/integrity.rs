@@ -114,15 +114,19 @@ pub struct RecoveredObject {
 }
 
 /// Recovery outcome for one rank: every known object's status plus the
-/// usable durable prefix (`0..prefix_len` all durable, in order).
+/// newest usable chain (`base..base + prefix_len` all durable, in order).
 #[derive(Debug, Clone)]
 pub struct RankRecovery {
     pub rank: u32,
     /// All objects observed for this rank, sorted by checkpoint id.
     pub objects: Vec<RecoveredObject>,
-    /// Length of the contiguous durable prefix starting at checkpoint 0.
+    /// First checkpoint id of the usable chain. 0 unless chain compaction
+    /// garbage-collected everything below a self-contained rebase record.
+    pub base: u32,
+    /// Length of the contiguous durable run starting at `base`.
     pub prefix_len: usize,
-    /// Decoded (unframed) payloads of the durable prefix, in order.
+    /// Decoded (unframed) payloads of the usable chain, in order
+    /// (`payloads[i]` is checkpoint `base + i`).
     pub payloads: Vec<Vec<u8>>,
 }
 
@@ -193,6 +197,7 @@ impl RecoveryReport {
         for r in &self.ranks {
             w.begin_object();
             w.key("rank").u64(r.rank as u64);
+            w.key("base").u64(r.base as u64);
             w.key("prefix_len").u64(r.prefix_len as u64);
             w.key("objects").begin_array();
             for o in &r.objects {
@@ -271,6 +276,7 @@ mod tests {
                         status: ObjectStatus::LostVolatile,
                     },
                 ],
+                base: 0,
                 prefix_len: 2,
                 payloads: vec![vec![1], vec![2]],
             }],

@@ -16,7 +16,9 @@
 //!   failure injection;
 //! * [`pipeline`] — the double-buffered submit tail that overlaps one
 //!   checkpoint's serialize/D2H/submit with the next one's hashing;
-//! * [`lineage`] — record collection and restoration;
+//! * [`lineage`] — record collection and sequential restoration;
+//! * [`restore`] — the parallel restart engine: prefetched tier reads
+//!   feeding a single-pass resolution walk;
 //! * [`coordinator`] — the multi-rank strong-scaling harness (Fig. 6).
 
 pub mod coordinator;
@@ -24,17 +26,23 @@ pub mod fault;
 pub mod integrity;
 pub mod lineage;
 pub mod pipeline;
+pub mod restore;
 pub mod runtime;
 pub mod tier;
 
-pub use coordinator::{run_scaling, ScalingConfig, ScalingMethod, ScalingReport};
+pub use coordinator::{
+    compact_below, run_scaling, RebasePolicy, ScalingConfig, ScalingMethod, ScalingReport,
+};
 pub use fault::{
     FaultKind, FaultPlan, FaultPlanBuilder, FaultSpec, FiredFault, OpKind, SplitMix64,
 };
 pub use integrity::{
     IntegrityCounters, ObjectStatus, RankRecovery, RecoveredObject, RecoveryReport,
 };
-pub use lineage::{restore_rank, restore_rank_latest, restore_rank_with_report};
+pub use lineage::{
+    collect_record, restore_rank, restore_rank_latest, restore_rank_with_report, LineageError,
+};
 pub use pipeline::{CheckpointPipeline, PipelineStats, ProduceFn};
+pub use restore::{restore_rank_latest_parallel, ParallelRestoreOutcome};
 pub use runtime::{AsyncRuntime, TierChain};
 pub use tier::{FrameState, StoreError, StoreErrorKind, Tier, TierConfig};

@@ -8,14 +8,27 @@
 use crate::integrity::RecoveryReport;
 use crate::runtime::TierChain;
 use ckpt_dedup::diff::{DecodeError, Diff};
+use ckpt_dedup::restart::is_self_contained;
 use ckpt_dedup::restore::{RestoreError, Restorer};
+use std::collections::BTreeMap;
 
 /// Errors when reading a rank's lineage back.
 #[derive(Debug)]
 pub enum LineageError {
     /// No checkpoints stored for this rank.
     Empty,
-    /// A diff failed to decode.
+    /// The newest surviving run of checkpoints is incremental, but its
+    /// predecessor is gone from every tier (missing or corrupt beyond
+    /// repair). The run cannot be replayed; restoring an older state
+    /// silently would hide the data loss, so this is a typed error.
+    Hole {
+        rank: u32,
+        /// The id every copy of which is missing or corrupt.
+        missing: u32,
+        /// First id of the surviving (but unusable) newer run.
+        present_above: u32,
+    },
+    /// A diff failed to decode (the `u32` is its checkpoint id).
     Decode(u32, DecodeError),
     /// The diff chain failed to replay.
     Restore(RestoreError),
@@ -25,6 +38,15 @@ impl std::fmt::Display for LineageError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LineageError::Empty => write!(f, "no checkpoints for rank"),
+            LineageError::Hole {
+                rank,
+                missing,
+                present_above,
+            } => write!(
+                f,
+                "rank {rank}: checkpoint {missing} lost below surviving \
+                 checkpoints {present_above}.. (not a rebase point)"
+            ),
             LineageError::Decode(k, e) => write!(f, "checkpoint {k} corrupt: {e}"),
             LineageError::Restore(e) => write!(f, "restore failed: {e}"),
         }
@@ -33,32 +55,68 @@ impl std::fmt::Display for LineageError {
 
 impl std::error::Error for LineageError {}
 
-/// Collect the contiguous prefix of encoded diffs available for `rank`,
-/// searching every tier (durable copies preferred).
+/// Collect the newest restorable chain of encoded diffs for `rank`,
+/// searching every tier (durable copies preferred). Returns the chain's
+/// base checkpoint id and the encoded diffs `base, base+1, …` in order.
 ///
 /// Frames that fail verification are *skipped*, never returned: a corrupt
 /// shallow copy cannot shadow a valid deeper one (see
-/// [`TierChain::locate`]). An id whose every copy is corrupt terminates
-/// the prefix — later diffs are unusable without their predecessors.
-pub fn collect_record(tiers: &TierChain, rank: u32) -> Vec<Vec<u8>> {
-    let mut out = Vec::new();
-    for k in 0u32.. {
-        match tiers.locate((rank, k)) {
-            Some(bytes) => out.push(bytes),
-            None => break,
+/// [`TierChain::locate`]). The chain is the maximal contiguous run ending
+/// at the newest surviving id; a base above 0 is legal only when that
+/// record is self-contained (a rebase record whose predecessors were
+/// compacted away). Otherwise the run has a genuine hole — an id whose
+/// every copy is lost below the durable suffix — and that is surfaced as
+/// [`LineageError::Hole`] instead of silently restoring stale state.
+pub fn collect_record(tiers: &TierChain, rank: u32) -> Result<(u32, Vec<Vec<u8>>), LineageError> {
+    let mut present: BTreeMap<u32, Vec<u8>> = BTreeMap::new();
+    for tier in [&tiers.pfs, &tiers.ssd, &tiers.host] {
+        for (r, k) in tier.resident().into_iter().chain(tier.quarantined()) {
+            if r == rank && !present.contains_key(&k) {
+                if let Some(bytes) = tiers.locate((rank, k)) {
+                    present.insert(k, bytes);
+                }
+            }
         }
     }
-    out
+    let Some(&max) = present.keys().next_back() else {
+        return Err(LineageError::Empty);
+    };
+    let mut base = max;
+    while base > 0 && present.contains_key(&(base - 1)) {
+        base -= 1;
+    }
+    if base > 0 {
+        // The run does not reach checkpoint 0: it is only replayable from
+        // a self-contained rebase record. Use the lowest one in the run
+        // (keeping the most versions); with none, the run is stranded
+        // above a genuine hole.
+        let head = (base..=max).find(|k| {
+            Diff::decode(&present[k])
+                .map(|d| is_self_contained(&d))
+                .unwrap_or(false)
+        });
+        let Some(head) = head else {
+            return Err(LineageError::Hole {
+                rank,
+                missing: base - 1,
+                present_above: base,
+            });
+        };
+        base = head;
+    }
+    let chain = (base..=max).map(|k| present.remove(&k).unwrap()).collect();
+    Ok((base, chain))
 }
 
-/// Replay a sequence of encoded diffs into materialized versions.
-fn replay(encoded: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, LineageError> {
+/// Replay a base-offset sequence of encoded diffs into materialized
+/// versions (version `i` of the result is checkpoint `base + i`).
+fn replay(base: u32, encoded: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, LineageError> {
     if encoded.is_empty() {
         return Err(LineageError::Empty);
     }
-    let mut restorer = Restorer::new();
-    for (k, bytes) in encoded.iter().enumerate() {
-        let diff = Diff::decode(bytes).map_err(|e| LineageError::Decode(k as u32, e))?;
+    let mut restorer = Restorer::with_base(base);
+    for (i, bytes) in encoded.iter().enumerate() {
+        let diff = Diff::decode(bytes).map_err(|e| LineageError::Decode(base + i as u32, e))?;
         restorer.apply(&diff).map_err(LineageError::Restore)?;
     }
     Ok((0..restorer.len())
@@ -68,32 +126,35 @@ fn replay(encoded: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, LineageError> {
 
 /// The restart path with full accounting: run chain-level recovery (which
 /// verifies, repairs, and quarantines — see [`TierChain::recover_report`]),
-/// then materialize `rank`'s durable prefix. The report covers *all* ranks
+/// then materialize `rank`'s usable chain. The report covers *all* ranks
 /// so callers can log cluster-wide damage while restoring one rank.
 pub fn restore_rank_with_report(
     tiers: &TierChain,
     rank: u32,
-) -> Result<(Vec<Vec<u8>>, RecoveryReport), LineageError> {
+) -> Result<(u32, Vec<Vec<u8>>, RecoveryReport), LineageError> {
     let report = tiers.recover_report();
-    let encoded: Vec<Vec<u8>> = report
+    let (base, encoded) = report
         .ranks
         .iter()
         .find(|r| r.rank == rank)
-        .map(|r| r.payloads.clone())
-        .unwrap_or_default();
-    let versions = replay(&encoded)?;
-    Ok((versions, report))
+        .map(|r| (r.base, r.payloads.clone()))
+        .unwrap_or((0, Vec::new()));
+    let versions = replay(base, &encoded)?;
+    Ok((base, versions, report))
 }
 
-/// Materialize every version of `rank`'s record.
-pub fn restore_rank(tiers: &TierChain, rank: u32) -> Result<Vec<Vec<u8>>, LineageError> {
-    replay(&collect_record(tiers, rank))
+/// Materialize every surviving version of `rank`'s record. Returns the
+/// base checkpoint id (0 unless the chain was compacted) and the versions
+/// `base, base+1, …` in order.
+pub fn restore_rank(tiers: &TierChain, rank: u32) -> Result<(u32, Vec<Vec<u8>>), LineageError> {
+    let (base, encoded) = collect_record(tiers, rank)?;
+    Ok((base, replay(base, &encoded)?))
 }
 
 /// Materialize only the latest version of `rank`'s record (the restart path).
 pub fn restore_rank_latest(tiers: &TierChain, rank: u32) -> Result<(u32, Vec<u8>), LineageError> {
-    let versions = restore_rank(tiers, rank)?;
-    let last = versions.len() as u32 - 1;
+    let (base, versions) = restore_rank(tiers, rank)?;
+    let last = base + versions.len() as u32 - 1;
     Ok((last, versions.into_iter().next_back().unwrap()))
 }
 
@@ -126,7 +187,8 @@ mod tests {
         }
         rt.wait_durable(&ids);
 
-        let versions = restore_rank(rt.tiers(), 0).unwrap();
+        let (base, versions) = restore_rank(rt.tiers(), 0).unwrap();
+        assert_eq!(base, 0);
         assert_eq!(versions.len(), 4);
         for (v, s) in versions.iter().zip(&snapshots) {
             assert_eq!(v, s);
@@ -153,7 +215,8 @@ mod tests {
             rt.submit(0, k, out.diff.encode()).unwrap();
         }
         rt.wait_durable(&[(0, 0), (0, 1), (0, 2)]);
-        let (versions, report) = restore_rank_with_report(rt.tiers(), 0).unwrap();
+        let (base, versions, report) = restore_rank_with_report(rt.tiers(), 0).unwrap();
+        assert_eq!(base, 0);
         assert_eq!(versions, snapshots);
         assert_eq!(report.total_verified(), 3);
         assert_eq!(report.total_lost(), 0);
@@ -184,26 +247,74 @@ mod tests {
         tiers.pfs.put((0, 1), vec![4, 5]).unwrap();
         tiers.host.put((0, 0), vec![1, 2, 3]).unwrap();
         tiers.host.put((0, 1), vec![4, 5]).unwrap(); // corrupted by the plan
-        assert_eq!(collect_record(&tiers, 0), vec![vec![1, 2, 3], vec![4, 5]]);
+        assert_eq!(
+            collect_record(&tiers, 0).unwrap(),
+            (0, vec![vec![1, 2, 3], vec![4, 5]])
+        );
         assert_eq!(tiers.integrity().corrupt_count(), 1);
         assert_eq!(tiers.integrity().repaired_count(), 1);
         assert_eq!(tiers.host.get((0, 1)), Some(vec![4, 5]));
     }
 
     #[test]
-    fn record_stops_at_unrepairable_corruption() {
+    fn unrepairable_mid_chain_corruption_is_a_typed_hole() {
         use crate::fault::{FaultKind, FaultPlan};
-        // ckpt 1's only copy is corrupt: the usable record is just ckpt 0,
-        // even though a valid ckpt 2 exists beyond the gap.
+        // ckpt 1's only copy is corrupt; ckpt 2 survives but is an
+        // incremental diff, unusable without its predecessor. The old
+        // behavior silently returned the stale prefix [ckpt 0]; the loss
+        // must now surface as a typed hole.
         let plan = FaultPlan::builder()
             .on_put("pfs", 1, FaultKind::TornWrite { keep_bytes: 12 })
             .build();
         let tiers = crate::runtime::TierChain::with_faults(plan);
-        tiers.pfs.put((0, 0), vec![1]).unwrap();
-        tiers.pfs.put((0, 1), vec![2]).unwrap(); // torn
-        tiers.pfs.put((0, 2), vec![3]).unwrap();
-        assert_eq!(collect_record(&tiers, 0), vec![vec![1]]);
+        let dev = gpu_sim::Device::a100();
+        let mut ckpt = TreeCheckpointer::new(dev, TreeConfig::new(64));
+        let mut data: Vec<u8> = (0..4096u32).map(|i| (i % 239) as u8).collect();
+        for k in 0..3u32 {
+            if k > 0 {
+                data[k as usize * 101] ^= 0xff;
+            }
+            let out = ckpt.checkpoint(&data);
+            tiers.pfs.put((0, k), out.diff.encode()).unwrap(); // #1 torn
+        }
+        match collect_record(&tiers, 0) {
+            Err(LineageError::Hole {
+                rank: 0,
+                missing: 1,
+                present_above: 2,
+            }) => {}
+            other => panic!("expected a typed hole, got {other:?}"),
+        }
         assert_eq!(tiers.pfs.quarantined(), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn compacted_chain_collects_from_the_rebase_base() {
+        // GC below a rebase record: ids 0–1 evicted, 2 is self-contained.
+        let tiers = crate::runtime::TierChain::new();
+        let dev = gpu_sim::Device::a100();
+        let mut ckpt = TreeCheckpointer::new(dev, TreeConfig::new(64));
+        let mut data: Vec<u8> = (0..4096u32).map(|i| (i % 233) as u8).collect();
+        let mut snapshots = Vec::new();
+        for k in 0..4u32 {
+            if k > 0 {
+                data[k as usize * 97] ^= 0xa5;
+            }
+            snapshots.push(data.clone());
+            let out = if k == 2 {
+                ckpt.rebase_checkpoint(&data)
+            } else {
+                ckpt.checkpoint(&data)
+            };
+            tiers.pfs.put((0, k), out.diff.encode()).unwrap();
+        }
+        assert!(tiers.pfs.evict((0, 0)));
+        assert!(tiers.pfs.evict((0, 1)));
+        let (base, chain) = collect_record(&tiers, 0).unwrap();
+        assert_eq!((base, chain.len()), (2, 2));
+        let (last, latest) = restore_rank_latest(&tiers, 0).unwrap();
+        assert_eq!(last, 3);
+        assert_eq!(&latest, &snapshots[3]);
     }
 
     #[test]

@@ -29,7 +29,7 @@ use crate::tier::{FrameState, ObjectId, StoreErrorKind, Tier, TierConfig, TierFu
 use ckpt_telemetry::{Counter, Gauge, Histogram, Registry};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
@@ -195,25 +195,20 @@ impl TierChain {
             .into_iter()
             .map(|(rank, ckpts)| {
                 let mut objects = Vec::with_capacity(ckpts.len());
-                let mut payloads = Vec::new();
-                let mut prefix_len = 0usize;
-                let mut prefix_open = true;
+                let mut durable: BTreeMap<u32, Vec<u8>> = BTreeMap::new();
                 for ckpt_id in ckpts {
                     let (status, payload) = self.recover_object((rank, ckpt_id));
-                    // The usable prefix needs consecutive durable ids from 0
-                    // (later diffs are unusable without their predecessors).
-                    if prefix_open && status.is_durable() && ckpt_id as usize == prefix_len {
-                        payloads.push(payload.expect("durable object carries payload"));
-                        prefix_len += 1;
-                    } else {
-                        prefix_open = false;
+                    if status.is_durable() {
+                        durable.insert(ckpt_id, payload.expect("durable object carries payload"));
                     }
                     objects.push(RecoveredObject { ckpt_id, status });
                 }
+                let (base, payloads) = usable_chain(&mut durable);
                 RankRecovery {
                     rank,
                     objects,
-                    prefix_len,
+                    base,
+                    prefix_len: payloads.len(),
                     payloads,
                 }
             })
@@ -221,6 +216,42 @@ impl TierChain {
         ranks.sort_by_key(|r| r.rank);
         RecoveryReport { ranks }
     }
+}
+
+/// The newest restorable chain among a rank's durable objects: the
+/// contiguous run with the greatest top id whose first record either is
+/// checkpoint 0 or is structurally self-contained (a rebase record, the
+/// legal chain head after compaction garbage-collected its predecessors).
+/// An incremental run stranded above a hole is skipped in favor of an
+/// older replayable run; with none, the chain is empty.
+fn usable_chain(durable: &mut BTreeMap<u32, Vec<u8>>) -> (u32, Vec<Vec<u8>>) {
+    let ids: Vec<u32> = durable.keys().copied().collect();
+    // Contiguous runs, newest first.
+    let mut runs: Vec<(u32, u32)> = Vec::new();
+    for &id in &ids {
+        match runs.last_mut() {
+            Some((_, hi)) if *hi + 1 == id => *hi = id,
+            _ => runs.push((id, id)),
+        }
+    }
+    for &(lo, hi) in runs.iter().rev() {
+        // A run reaching checkpoint 0 replays whole; otherwise it replays
+        // from its lowest self-contained rebase record, if any.
+        let head = if lo == 0 {
+            Some(0)
+        } else {
+            (lo..=hi).find(|k| {
+                ckpt_dedup::Diff::decode(&durable[k])
+                    .map(|d| ckpt_dedup::is_self_contained(&d))
+                    .unwrap_or(false)
+            })
+        };
+        if let Some(head) = head {
+            let payloads = (head..=hi).map(|k| durable.remove(&k).unwrap()).collect();
+            return (head, payloads);
+        }
+    }
+    (0, Vec::new())
 }
 
 impl Default for TierChain {
@@ -255,6 +286,12 @@ enum Job {
 /// | `tier/<t>/object_bytes` | histogram | object sizes written to tier `<t>` |
 /// | `tier/ssd/flush_ns`, `tier/pfs/flush_ns` | histogram | per-hop flush latency |
 /// | `integrity/frames_*` | counter | see [`crate::integrity`] (lazy) |
+/// | `restore/chains_restored` | counter | parallel restarts completed (lazy) |
+/// | `restore/records_read` | counter | encoded diffs fetched by restart walks (lazy) |
+/// | `restore/bytes_read` | counter | encoded bytes fetched by restart walks (lazy) |
+/// | `restore/regions_copied` | counter | copy regions materialized by restarts (lazy) |
+/// | `restore/bytes_copied` | counter | payload bytes gathered by restarts (lazy) |
+/// | `restore/fetch_wait_ns` | counter | restart time blocked on tier prefetch (lazy) |
 ///
 /// Lazy counters only register on their first event so fault-free runs
 /// export exactly the pre-existing metric schema.

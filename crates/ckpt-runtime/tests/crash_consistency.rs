@@ -70,6 +70,19 @@ struct Schedule {
 
 impl Schedule {
     fn build(ranks: u32, ckpts: u32, len: usize, data_seed: u64, method_idx: usize) -> Schedule {
+        Self::build_with_rebase(ranks, ckpts, len, data_seed, method_idx, None)
+    }
+
+    /// Like [`build`](Self::build), but checkpoint `rebase_at` is emitted
+    /// as a self-contained rebase record (the chain-compaction head).
+    fn build_with_rebase(
+        ranks: u32,
+        ckpts: u32,
+        len: usize,
+        data_seed: u64,
+        method_idx: usize,
+        rebase_at: Option<u32>,
+    ) -> Schedule {
         let mut snapshots = Vec::new();
         let mut diffs = Vec::new();
         for r in 0..ranks {
@@ -78,7 +91,14 @@ impl Schedule {
             diffs.push(
                 snaps
                     .iter()
-                    .map(|s| ckpt.checkpoint(s).diff.encode())
+                    .enumerate()
+                    .map(|(k, s)| {
+                        if rebase_at == Some(k as u32) {
+                            ckpt.rebase_checkpoint(s).diff.encode()
+                        } else {
+                            ckpt.checkpoint(s).diff.encode()
+                        }
+                    })
                     .collect(),
             );
             snapshots.push(snaps);
@@ -281,6 +301,169 @@ fn fault_free_schedules_lose_nothing() {
         assert_eq!(out.report.total_durable_prefix(), 8, "method {method_idx}");
         assert_eq!(out.durable_counter, 8);
         check_outcome(&sched, &out, 0);
+    }
+}
+
+/// A crash anywhere in the chain-compaction window must leave a
+/// restorable chain, for every method. The protocol under test: the
+/// rebase record is submitted like any checkpoint, and garbage collection
+/// below it may only run after it is durable. Three kill points:
+///
+/// * before the rebase record drained — the original chain restores;
+/// * after it is durable but before GC — the full chain restores from 0
+///   (the rebase record replays in place like any diff);
+/// * after GC — the compacted chain restores from the rebase base.
+#[test]
+fn kill_in_the_compaction_window_keeps_a_restorable_chain() {
+    use ckpt_dedup::restore::restore_record_from;
+    use ckpt_runtime::compact_below;
+
+    let rebase_at = 4u32;
+    for method_idx in 0..3 {
+        let sched = Schedule::build_with_rebase(
+            1,
+            6,
+            700,
+            7 + method_idx as u64,
+            method_idx,
+            Some(rebase_at),
+        );
+        let replay_against_truth = |rr: &ckpt_runtime::RankRecovery| {
+            let decoded: Vec<Diff> = rr
+                .payloads
+                .iter()
+                .map(|b| Diff::decode(b).expect("durable payload must decode"))
+                .collect();
+            let versions =
+                restore_record_from(rr.base, &decoded).expect("usable chain must replay");
+            for (i, v) in versions.iter().enumerate() {
+                assert_eq!(
+                    v,
+                    &sched.snapshots[0][rr.base as usize + i],
+                    "method {method_idx}: version {} not bit-exact",
+                    rr.base as usize + i
+                );
+            }
+            versions.len()
+        };
+
+        // Kill point 1: the rebase record was submitted but never drained
+        // (no durability wait, flusher killed immediately). GC must not
+        // have run, and the original prefix restores.
+        {
+            let rt = AsyncRuntime::with_tiers(TierChain::with_faults(FaultPlan::empty()));
+            let pre: Vec<ObjectId> = (0..rebase_at).map(|k| (0, k)).collect();
+            for k in 0..rebase_at {
+                rt.submit(0, k, sched.diffs[0][k as usize].clone()).unwrap();
+            }
+            rt.wait_durable(&pre);
+            rt.kill();
+            let _ = rt.submit(0, rebase_at, sched.diffs[0][rebase_at as usize].clone());
+            let report = rt.recover_report();
+            let rr = &report.ranks[0];
+            assert_eq!(rr.base, 0, "method {method_idx}");
+            assert!(
+                rr.prefix_len >= rebase_at as usize,
+                "method {method_idx}: pre-rebase chain lost"
+            );
+            replay_against_truth(rr);
+        }
+
+        // Kill points 2 and 3: rebase durable; crash lands between the
+        // rebase and the GC (2), then the GC runs on the recovered tiers
+        // and the compacted chain must still restore (3).
+        {
+            let rt = AsyncRuntime::with_tiers(TierChain::with_faults(FaultPlan::empty()));
+            let all: Vec<ObjectId> = (0..6).map(|k| (0, k)).collect();
+            for k in 0..6u32 {
+                rt.submit(0, k, sched.diffs[0][k as usize].clone()).unwrap();
+            }
+            rt.wait_durable(&all);
+            rt.kill();
+
+            let report = rt.recover_report();
+            let rr = &report.ranks[0];
+            assert_eq!((rr.base, rr.prefix_len), (0, 6), "method {method_idx}");
+            assert_eq!(replay_against_truth(rr), 6);
+
+            let evicted = compact_below(rt.tiers(), 0, rebase_at);
+            assert!(evicted >= rebase_at as usize, "method {method_idx}");
+            let report = rt.recover_report();
+            let rr = &report.ranks[0];
+            assert_eq!(
+                (rr.base, rr.prefix_len),
+                (rebase_at, 2),
+                "method {method_idx}"
+            );
+            assert_eq!(replay_against_truth(rr), 2);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Compaction under randomized crash points: with a rebase record in
+    /// the schedule and a kill landing anywhere (including between the
+    /// rebase submit and the GC), whatever chain recovery reports usable
+    /// replays bit-exact against the original snapshots from its base.
+    #[test]
+    fn randomized_compaction_crashes_keep_a_restorable_chain(
+        ckpts in 4u32..7,
+        rebase_frac in 0u32..100,
+        len in 256usize..1024,
+        data_seed in any::<u64>(),
+        method_idx in 0usize..3,
+        kill_frac in 0u32..120,
+    ) {
+        use ckpt_dedup::restore::restore_record_from;
+        use ckpt_runtime::compact_below;
+
+        let rebase_at = 1 + rebase_frac % (ckpts - 1);
+        let sched =
+            Schedule::build_with_rebase(1, ckpts, len, data_seed, method_idx, Some(rebase_at));
+        let total = ckpts as usize;
+        let kill_after = (kill_frac as usize * (total + 1)) / 120;
+        let out = run_schedule(&sched, FaultPlan::empty(), kill_after);
+        check_outcome(&sched, &out, 0);
+
+        // GC below the rebase point if (and only if) it came back durable,
+        // then re-check: the compacted chain must still replay bit-exact.
+        let rt = AsyncRuntime::with_tiers(TierChain::with_faults(FaultPlan::empty()));
+        for (k, bytes) in sched.diffs[0].iter().take(kill_after.min(total)).enumerate() {
+            let _ = rt.submit(0, k as u32, bytes.clone());
+        }
+        let ids: Vec<ObjectId> = (0..kill_after.min(total) as u32).map(|k| (0, k)).collect();
+        rt.wait_durable(&ids);
+        rt.kill();
+        let rebase_durable = out
+            .report
+            .ranks
+            .first()
+            .map(|rr| {
+                rr.objects
+                    .iter()
+                    .any(|o| o.ckpt_id == rebase_at && o.status.is_durable())
+            })
+            .unwrap_or(false);
+        if rebase_durable {
+            compact_below(rt.tiers(), 0, rebase_at);
+        }
+        let report = rt.recover_report();
+        if let Some(rr) = report.ranks.first() {
+            let decoded: Vec<Diff> = rr
+                .payloads
+                .iter()
+                .map(|b| Diff::decode(b).expect("durable payload must decode"))
+                .collect();
+            if !decoded.is_empty() {
+                let versions =
+                    restore_record_from(rr.base, &decoded).expect("usable chain must replay");
+                for (i, v) in versions.iter().enumerate() {
+                    prop_assert_eq!(v, &sched.snapshots[0][rr.base as usize + i]);
+                }
+            }
+        }
     }
 }
 

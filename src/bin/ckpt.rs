@@ -5,7 +5,7 @@
 //!              [--compress zstd|lz4|...] [--stats] <snapshot files...>
 //! ckpt info    <dir>
 //! ckpt stats   <dir>
-//! ckpt restore <dir> --version K --out <file> [--stats]
+//! ckpt restore <dir> --version K --out <file> [--parallel] [--stats]
 //! ckpt verify  <dir> <original snapshot files...>
 //! ```
 //!
@@ -15,6 +15,16 @@
 //! unframed records are still readable (detected by the magic sniff). All
 //! snapshots must have equal length (the engine checkpoints a fixed-size
 //! buffer, like the paper's GDV array).
+//!
+//! A *compacted* record (chain-compaction GC deleted the files below a
+//! rebase point) starts at `NNNN.ckpt` for some `NNNN > 0`; every command
+//! detects the base automatically and requires the head record to be
+//! self-contained. `--version` always takes absolute checkpoint ids.
+//!
+//! `ckpt restore --parallel` uses the single-pass restart engine: one
+//! newest-to-oldest walk resolves every chunk's provenance, then each
+//! resolved region is copied exactly once — bit-identical to sequential
+//! replay at any thread count.
 //!
 //! `ckpt verify <dir>` with no originals runs in *integrity mode*: every
 //! frame is checksum-verified and the whole restore chain replayed, without
@@ -38,7 +48,7 @@ fn usage() -> ExitCode {
         "usage:\n  ckpt create  --out <dir> [--method tree|list|basic|full] [--chunk N] \
          [--compress <codec>] [--verify-collisions] [--stats] <snapshots...>\n  \
          ckpt info    <dir>\n  ckpt stats   <dir>\n  \
-         ckpt restore <dir> --version K --out <file> [--stats]\n  \
+         ckpt restore <dir> --version K --out <file> [--parallel] [--stats]\n  \
          ckpt verify  <dir> [<snapshots...>]   (no snapshots: integrity-only mode)"
     );
     ExitCode::from(2)
@@ -88,10 +98,33 @@ fn unframe<'a>(bytes: &'a [u8], version: usize, path: &Path) -> Result<&'a [u8],
     }
 }
 
+/// The lowest `NNNN.ckpt` version present in a record directory: 0 for a
+/// full record, the rebase point for a chain whose prefix was compacted
+/// away by GC.
+fn record_base(dir: &Path) -> Result<usize, Box<dyn std::error::Error>> {
+    let mut base: Option<usize> = None;
+    let entries =
+        std::fs::read_dir(dir).map_err(|_| format!("no checkpoints found in {}", dir.display()))?;
+    for entry in entries {
+        let name = entry?.file_name();
+        let Some(stem) = name.to_str().and_then(|n| n.strip_suffix(".ckpt")) else {
+            continue;
+        };
+        if let Ok(v) = stem.parse::<usize>() {
+            base = Some(base.map_or(v, |b: usize| b.min(v)));
+        }
+    }
+    base.ok_or_else(|| format!("no checkpoints found in {}", dir.display()).into())
+}
+
 /// Load the record's diffs in version order, verifying integrity frames.
-fn load_record(dir: &Path) -> Result<Vec<Diff>, Box<dyn std::error::Error>> {
+/// Returns `(base, diffs)` where `base` is the first surviving version: a
+/// compacted record starts at its rebase point, whose head record must be
+/// self-contained (it replays with no reference below itself).
+fn load_record(dir: &Path) -> Result<(usize, Vec<Diff>), Box<dyn std::error::Error>> {
+    let base = record_base(dir)?;
     let mut diffs = Vec::new();
-    for version in 0.. {
+    for version in base.. {
         let path = diff_path(dir, version);
         if !path.exists() {
             break;
@@ -100,10 +133,14 @@ fn load_record(dir: &Path) -> Result<Vec<Diff>, Box<dyn std::error::Error>> {
         let payload = unframe(&bytes, version, &path)?;
         diffs.push(Diff::decode(payload).map_err(|e| format!("{}: {e}", path.display()))?);
     }
-    if diffs.is_empty() {
-        return Err(format!("no checkpoints found in {}", dir.display()).into());
+    if base > 0 && !is_self_contained(&diffs[0]) {
+        return Err(format!(
+            "record is compacted at v{base:04} but that record is not self-contained \
+             (not a rebase point); the chain cannot replay"
+        )
+        .into());
     }
-    Ok(diffs)
+    Ok((base, diffs))
 }
 
 /// Print the one-line JSON telemetry report: the command-specific header
@@ -274,11 +311,16 @@ fn cmd_create(args: &[String], stats: bool) -> CliResult {
 
 fn cmd_info(args: &[String]) -> CliResult {
     let dir = PathBuf::from(args.first().ok_or("missing <dir>")?);
-    let diffs = load_record(&dir)?;
+    let (base, diffs) = load_record(&dir)?;
     println!(
-        "record {}: {} versions, method {}, chunk {} B, buffer {} bytes",
+        "record {}: {} versions{}, method {}, chunk {} B, buffer {} bytes",
         dir.display(),
         diffs.len(),
+        if base > 0 {
+            format!(" (compacted, base v{base:04})")
+        } else {
+            String::new()
+        },
         diffs[0].kind.name(),
         diffs[0].chunk_size,
         diffs[0].data_len,
@@ -313,7 +355,7 @@ fn cmd_info(args: &[String]) -> CliResult {
 /// per-version size distributions as histograms, plus record totals.
 fn cmd_stats(args: &[String]) -> CliResult {
     let dir = PathBuf::from(args.first().ok_or("missing <dir>")?);
-    let diffs = load_record(&dir)?;
+    let (base, diffs) = load_record(&dir)?;
     let registry = Registry::new();
     let mut stored = 0u64;
     for d in &diffs {
@@ -338,6 +380,7 @@ fn cmd_stats(args: &[String]) -> CliResult {
         "stats",
         &[
             ("versions", diffs.len() as u64),
+            ("base", base as u64),
             ("data_len", diffs[0].data_len),
             ("chunk_size", diffs[0].chunk_size as u64),
             ("stored_bytes", stored),
@@ -353,6 +396,7 @@ fn cmd_restore(args: &[String], stats: bool) -> CliResult {
     let mut dir: Option<PathBuf> = None;
     let mut version: Option<usize> = None;
     let mut out: Option<PathBuf> = None;
+    let mut parallel = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -364,6 +408,10 @@ fn cmd_restore(args: &[String], stats: bool) -> CliResult {
                 out = Some(PathBuf::from(args.get(i + 1).ok_or("--out needs a value")?));
                 i += 2;
             }
+            "--parallel" => {
+                parallel = true;
+                i += 1;
+            }
             other => {
                 dir = Some(PathBuf::from(other));
                 i += 1;
@@ -372,16 +420,47 @@ fn cmd_restore(args: &[String], stats: bool) -> CliResult {
     }
     let dir = dir.ok_or("missing <dir>")?;
     let out = out.ok_or("missing --out <file>")?;
-    let diffs = load_record(&dir)?;
-    let version = version.unwrap_or(diffs.len() - 1);
-    if version >= diffs.len() {
-        return Err(format!("version {version} not in record (0..{})", diffs.len() - 1).into());
+    let (base, diffs) = load_record(&dir)?;
+    let last = base + diffs.len() - 1;
+    let version = version.unwrap_or(last);
+    if version < base || version > last {
+        return Err(format!("version {version} not in record ({base}..{last})").into());
     }
-    // Random-access reader: restores without materializing every version.
+    let index = version - base;
     let registry = Registry::new();
     let mut span = stats.then(|| registry.span("cli/restore"));
-    let reader = RecordReader::build(&diffs)?;
-    let bytes = reader.read_version(version as u32)?;
+    let bytes = if parallel {
+        // Single-pass parallel restart: walk the chain newest -> oldest,
+        // resolve every chunk's provenance, then copy each resolved
+        // region exactly once — no intermediate version materialized.
+        let device = Device::a100();
+        let (bytes, rstats) = restore_version_single_pass(&device, base as u32, &diffs, index)?;
+        if stats {
+            registry.counter("restore/chains_restored").inc();
+            registry
+                .counter("restore/records_read")
+                .add(rstats.records_visited as u64);
+            registry
+                .counter("restore/regions_copied")
+                .add(rstats.regions_copied);
+            registry
+                .counter("restore/bytes_copied")
+                .add(rstats.bytes_copied);
+            registry
+                .counter("restore/zero_chunks")
+                .add(rstats.zero_chunks);
+        }
+        bytes
+    } else if base == 0 {
+        // Random-access reader: restores without materializing every
+        // version (requires an uncompacted record, ids from 0).
+        let reader = RecordReader::build(&diffs)?;
+        reader.read_version(version as u32)?
+    } else {
+        // Compacted record: sequential replay from the rebase base.
+        let mut versions = restore_record_from(base as u32, &diffs)?;
+        versions.swap_remove(index)
+    };
     drop(span.take());
     std::fs::write(&out, &bytes)?;
     println!(
@@ -397,6 +476,7 @@ fn cmd_restore(args: &[String], stats: bool) -> CliResult {
             "restore",
             &[
                 ("versions", diffs.len() as u64),
+                ("base", base as u64),
                 ("version", version as u64),
                 ("restored_bytes", bytes.len() as u64),
             ],
@@ -411,9 +491,13 @@ fn cmd_restore(args: &[String], stats: bool) -> CliResult {
 /// Integrity-only verification: checksum every frame and replay the whole
 /// restore chain, reporting per-version outcomes. No originals needed.
 fn verify_integrity(dir: &Path) -> CliResult {
+    let base = record_base(dir)?;
+    if base > 0 {
+        println!("record is compacted: first surviving version is v{base:04} (rebase point)");
+    }
     let mut diffs = Vec::new();
     let mut bad = 0usize;
-    let mut version = 0usize;
+    let mut version = base;
     loop {
         let path = diff_path(dir, version);
         if !path.exists() {
@@ -446,16 +530,24 @@ fn verify_integrity(dir: &Path) -> CliResult {
         }
         version += 1;
     }
-    if version == 0 {
+    let total = version - base;
+    if total == 0 {
         return Err(format!("no checkpoints found in {}", dir.display()).into());
     }
     if bad > 0 {
-        return Err(format!("{bad} of {version} checkpoint files failed verification").into());
+        return Err(format!("{bad} of {total} checkpoint files failed verification").into());
     }
-    // Frames are intact; prove the chain also replays end to end.
-    let versions = restore_record(&diffs)?;
+    // Frames are intact; prove the chain also replays end to end. A
+    // compacted record must open with a self-contained rebase record.
+    if base > 0 && !is_self_contained(&diffs[0]) {
+        return Err(format!(
+            "v{base:04} heads a compacted record but is not self-contained (not a rebase point)"
+        )
+        .into());
+    }
+    let versions = restore_record_from(base as u32, &diffs)?;
     println!(
-        "record integrity ok: {} versions, restore chain replays cleanly",
+        "record integrity ok: {} versions, restore chain replays cleanly from v{base:04}",
         versions.len()
     );
     Ok(())
@@ -467,22 +559,22 @@ fn cmd_verify(args: &[String]) -> CliResult {
     if originals.is_empty() {
         return verify_integrity(&dir);
     }
-    let diffs = load_record(&dir)?;
+    let (base, diffs) = load_record(&dir)?;
     if originals.len() != diffs.len() {
         return Err(format!(
-            "record has {} versions but {} originals were given",
+            "record has {} versions (from v{base:04}) but {} originals were given",
             diffs.len(),
             originals.len()
         )
         .into());
     }
-    let versions = restore_record(&diffs)?;
+    let versions = restore_record_from(base as u32, &diffs)?;
     for (k, (restored, path)) in versions.iter().zip(originals).enumerate() {
         let original = std::fs::read(path)?;
         if restored != &original {
-            return Err(format!("version {k} does not match {path}").into());
+            return Err(format!("version {} does not match {path}", base + k).into());
         }
-        println!("v{k:04} ok  {path}");
+        println!("v{:04} ok  {path}", base + k);
     }
     println!("all {} versions verified bit-exact", versions.len());
     Ok(())

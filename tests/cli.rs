@@ -422,3 +422,192 @@ fn helpful_errors() {
     assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&out.stderr).contains("not in record"));
 }
+
+/// `ckpt restore --parallel`: the single-pass restart engine restores the
+/// same bytes as the sequential reader for every version, and `--stats`
+/// reports the `restore/*` counters.
+#[test]
+fn parallel_restore_matches_sequential_and_counts() {
+    let tmp = TempDir::new("parallel");
+    let snaps = write_snapshots(tmp.path());
+    let record = tmp.path().join("record");
+    assert!(ckpt()
+        .args(["create", "--out", record.to_str().unwrap(), "--chunk", "64"])
+        .args(snaps.iter().map(|p| p.to_str().unwrap()))
+        .status()
+        .unwrap()
+        .success());
+
+    for (version, snap) in snaps.iter().enumerate() {
+        let seq = tmp.path().join(format!("seq{version}.bin"));
+        let par = tmp.path().join(format!("par{version}.bin"));
+        let v = version.to_string();
+        for (flag, out_path) in [(None, &seq), (Some("--parallel"), &par)] {
+            let mut args = vec![
+                "restore",
+                record.to_str().unwrap(),
+                "--version",
+                &v,
+                "--out",
+                out_path.to_str().unwrap(),
+            ];
+            args.extend(flag);
+            let out = ckpt().args(&args).output().unwrap();
+            assert!(
+                out.status.success(),
+                "restore v{version} ({flag:?}): {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+        }
+        assert_eq!(
+            std::fs::read(&par).unwrap(),
+            std::fs::read(&seq).unwrap(),
+            "version {version}"
+        );
+        assert_eq!(
+            std::fs::read(&par).unwrap(),
+            std::fs::read(snap).unwrap(),
+            "version {version}"
+        );
+    }
+
+    // --stats on the parallel path reports the restore/* counters.
+    let out = ckpt()
+        .args([
+            "restore",
+            record.to_str().unwrap(),
+            "--out",
+            tmp.path().join("latest.bin").to_str().unwrap(),
+            "--parallel",
+            "--stats",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let json = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("stats: "))
+        .expect("stats line");
+    for key in [
+        "restore/chains_restored",
+        "restore/records_read",
+        "restore/regions_copied",
+        "restore/bytes_copied",
+        "restore/zero_chunks",
+    ] {
+        assert!(
+            json.contains(&format!("\"{key}\"")),
+            "missing {key}: {json}"
+        );
+    }
+}
+
+/// A compacted record (GC removed the files below a self-contained head):
+/// info/restore/verify all detect the non-zero base, keep absolute version
+/// ids, and refuse a compacted record whose head is not self-contained.
+#[test]
+fn compacted_record_round_trip_and_head_check() {
+    let tmp = TempDir::new("compacted");
+    let snaps = write_snapshots(tmp.path());
+
+    // Full-method records are self-contained at every version, so dropping
+    // the prefix leaves a valid compacted record with base v0001.
+    let record = tmp.path().join("full");
+    assert!(ckpt()
+        .args([
+            "create",
+            "--out",
+            record.to_str().unwrap(),
+            "--method",
+            "full"
+        ])
+        .args(snaps.iter().map(|p| p.to_str().unwrap()))
+        .status()
+        .unwrap()
+        .success());
+    std::fs::remove_file(record.join("0000.ckpt")).unwrap();
+
+    let out = ckpt()
+        .args(["info", record.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("2 versions (compacted, base v0001)"),
+        "{text}"
+    );
+
+    // --version is an absolute id: v2 still restores, v0 is gone.
+    let restored = tmp.path().join("v2.bin");
+    let out = ckpt()
+        .args([
+            "restore",
+            record.to_str().unwrap(),
+            "--version",
+            "2",
+            "--out",
+            restored.to_str().unwrap(),
+            "--parallel",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        std::fs::read(&restored).unwrap(),
+        std::fs::read(&snaps[2]).unwrap()
+    );
+    let out = ckpt()
+        .args([
+            "restore",
+            record.to_str().unwrap(),
+            "--version",
+            "0",
+            "--out",
+            tmp.path().join("v0.bin").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not in record (1..2)"));
+
+    // Integrity mode replays the surviving chain from the base.
+    let out = ckpt()
+        .args(["verify", record.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("first surviving version is v0001"), "{text}");
+    assert!(text.contains("replays cleanly from v0001"), "{text}");
+
+    // A Tree record's incremental v0001 is NOT self-contained: deleting
+    // v0000 must be rejected, not silently replayed against zeros.
+    let tree = tmp.path().join("tree");
+    assert!(ckpt()
+        .args(["create", "--out", tree.to_str().unwrap()])
+        .args(snaps.iter().map(|p| p.to_str().unwrap()))
+        .status()
+        .unwrap()
+        .success());
+    std::fs::remove_file(tree.join("0000.ckpt")).unwrap();
+    let out = ckpt()
+        .args(["info", tree.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("not self-contained"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

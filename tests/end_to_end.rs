@@ -32,7 +32,8 @@ fn oranges_to_dedup_to_runtime_round_trip() {
     }
     runtime.wait_durable(&ids);
 
-    let versions = restore_rank(runtime.tiers(), 0).unwrap();
+    let (base, versions) = restore_rank(runtime.tiers(), 0).unwrap();
+    assert_eq!(base, 0);
     assert_eq!(versions, snaps);
 }
 

@@ -59,8 +59,9 @@ fn concurrent_ranks_with_racing_crash_recover_cleanly() {
             if prefix.is_empty() {
                 continue;
             }
-            let versions = restore_rank(rt.tiers(), *rank)
+            let (base, versions) = restore_rank(rt.tiers(), *rank)
                 .unwrap_or_else(|e| panic!("round {round} rank {rank}: {e}"));
+            assert_eq!(base, 0, "round {round} rank {rank}");
             let originals = rank_snapshots(*rank, n_ckpts);
             for (k, v) in versions.iter().enumerate() {
                 assert_eq!(v, &originals[k], "round {round} rank {rank} version {k}");
@@ -147,7 +148,8 @@ fn kill_during_drain_reconciles_report_with_telemetry() {
             if rr.prefix_len == 0 {
                 continue;
             }
-            let versions = restore_rank(rt.tiers(), rr.rank).unwrap();
+            let (base, versions) = restore_rank(rt.tiers(), rr.rank).unwrap();
+            assert_eq!(base, 0, "scale {time_scale} rank {}", rr.rank);
             let originals = rank_snapshots(rr.rank, n_ckpts);
             for (k, v) in versions.iter().enumerate().take(rr.prefix_len) {
                 assert_eq!(v, &originals[k], "scale {time_scale} rank {} v{k}", rr.rank);
@@ -182,7 +184,8 @@ fn graceful_shutdown_drains_everything() {
         .collect();
     rt.wait_durable(&ids);
     for rank in 0..n_ranks {
-        let versions = restore_rank(rt.tiers(), rank).unwrap();
+        let (base, versions) = restore_rank(rt.tiers(), rank).unwrap();
+        assert_eq!(base, 0);
         assert_eq!(versions.len(), n_ckpts);
         assert_eq!(versions, rank_snapshots(rank, n_ckpts));
     }
