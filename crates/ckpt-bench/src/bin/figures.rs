@@ -18,6 +18,9 @@
 //!   restart_latency   sequential replay vs single-pass parallel restart,
 //!                     chain length x method x threads (writes
 //!                     BENCH_restart_latency.json; see --chain-lens)
+//!   flush_pipeline    compressed-tier flush sweep, method x compression
+//!                     policy x threads (writes BENCH_flush_pipeline.json;
+//!                     see --scales / --threads)
 //!   ablation-hash     A1: Murmur3 vs MD5
 //!   ablation-metadata A2: Tree vs List metadata
 //!   ablation-waves    A3: two-stage vs naive wave ordering
@@ -31,8 +34,9 @@ use ckpt_bench::report;
 fn usage() -> ! {
     eprintln!(
         "usage: figures <table1|fig2|fig4|fig5|fig6|hybrid|highfreq|streaming|adjoint|host_scaling|restart_latency|\
-         ablation-hash|ablation-metadata|ablation-waves|ablation-gorder|ablation-fusion|all> \
-         [--scale N] [--scales A,B,C] [--chain-lens A,B] [--rank-scale N] [--coverage F] [--seed N] [--json-out PATH]"
+         flush_pipeline|ablation-hash|ablation-metadata|ablation-waves|ablation-gorder|ablation-fusion|all> \
+         [--scale N] [--scales A,B,C] [--threads A,B,C] [--chain-lens A,B] [--rank-scale N] [--coverage F] \
+         [--seed N] [--json-out PATH]"
     );
     std::process::exit(2);
 }
@@ -47,7 +51,8 @@ fn main() {
     let mut rank_scale = 4_000usize;
     let mut coverage = ckpt_bench::workload::SCALING_COVERAGE;
     let mut json_out: Option<String> = None;
-    let mut scales: Vec<usize> = experiments::HOST_SCALING_SCALES.to_vec();
+    let mut scales: Option<Vec<usize>> = None;
+    let mut threads: Vec<usize> = experiments::FLUSH_PIPELINE_THREADS.to_vec();
     let mut chain_lens: Vec<usize> = experiments::RESTART_CHAIN_LENS.to_vec();
     let mut i = 1;
     while i < args.len() {
@@ -74,7 +79,20 @@ fn main() {
                 i += 2;
             }
             "--scales" => {
-                scales = args
+                scales = Some(
+                    args.get(i + 1)
+                        .map(|v| {
+                            v.split(',')
+                                .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                                .collect()
+                        })
+                        .filter(|v: &Vec<usize>| !v.is_empty())
+                        .unwrap_or_else(|| usage()),
+                );
+                i += 2;
+            }
+            "--threads" => {
+                threads = args
                     .get(i + 1)
                     .map(|v| {
                         v.split(',')
@@ -130,7 +148,15 @@ fn main() {
         report::render_fig2(&experiments::fig2_demo())
     });
     run("fig4", &mut || report::render_fig4(&experiments::fig4(cfg)));
-    run("fig5", &mut || report::render_fig5(&experiments::fig5(cfg)));
+    run("fig5", &mut || {
+        let cells = experiments::fig5(cfg);
+        let json = report::render_fig5_json(&cells);
+        let out = json_out.clone().unwrap_or_else(|| "BENCH_fig5.json".into());
+        std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+        let mut text = report::render_fig5(&cells);
+        text.push_str(&format!("wrote {out}\n"));
+        text
+    });
     run("fig6", &mut || {
         report::render_fig6(&experiments::fig6_with_ranks(
             rank_scale,
@@ -152,6 +178,9 @@ fn main() {
         report::render_adjoint(&experiments::adjoint(cfg))
     });
     run("host_scaling", &mut || {
+        let scales = scales
+            .clone()
+            .unwrap_or_else(|| experiments::HOST_SCALING_SCALES.to_vec());
         let rep = experiments::host_scaling_at(&scales, cfg.seed);
         let json = report::render_host_scaling_json(&rep);
         let out = json_out
@@ -170,6 +199,20 @@ fn main() {
             .unwrap_or_else(|| "BENCH_restart_latency.json".into());
         std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
         let mut text = report::render_restart_latency(&rep);
+        text.push_str(&format!("wrote {out}\n"));
+        text
+    });
+    run("flush_pipeline", &mut || {
+        let scales = scales
+            .clone()
+            .unwrap_or_else(|| experiments::FLUSH_PIPELINE_SCALES.to_vec());
+        let rep = experiments::flush_pipeline_at(&scales, cfg.seed, &threads);
+        let json = report::render_flush_pipeline_json(&rep);
+        let out = json_out
+            .clone()
+            .unwrap_or_else(|| "BENCH_flush_pipeline.json".into());
+        std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+        let mut text = report::render_flush_pipeline(&rep);
         text.push_str(&format!("wrote {out}\n"));
         text
     });

@@ -152,7 +152,13 @@ pub const FIG5_COUNTS: [usize; 3] = [5, 10, 20];
 /// Chunk size used in the frequency scenario.
 pub const FIG5_CHUNK: usize = 128;
 
-/// Figure 5: impact of checkpoint frequency; compressors included.
+/// Hybrid series added to Figure 5: the Tree method with its
+/// first-occurrence payloads compressed by these codecs — the composed
+/// dedup+compression data point next to the paper's either/or comparison.
+pub const FIG5_HYBRID_CODECS: [&str; 2] = ["zstd", "cascaded"];
+
+/// Figure 5: impact of checkpoint frequency; compressors and the hybrid
+/// `Tree+codec` series included.
 pub fn fig5(cfg: ExpConfig) -> Vec<Fig5Cell> {
     let mut out = Vec::new();
     for graph in PaperGraph::single_process() {
@@ -162,6 +168,16 @@ pub fn fig5(cfg: ExpConfig) -> Vec<Fig5Cell> {
                 .into_iter()
                 .map(|(name, mut m)| run_dedup(&mut *m, name, &w.snapshots, true))
                 .collect();
+            for codec in FIG5_HYBRID_CODECS {
+                let cfg_c = TreeConfig::new(FIG5_CHUNK).with_payload_codec(codec);
+                let mut m = TreeCheckpointer::new(Device::a100(), cfg_c);
+                methods.push(run_dedup(
+                    &mut m,
+                    &format!("Tree+{codec}"),
+                    &w.snapshots,
+                    true,
+                ));
+            }
             for codec in all_codecs() {
                 methods.push(run_codec(&*codec, &w.snapshots, true));
             }
@@ -920,6 +936,270 @@ pub fn hybrid(cfg: ExpConfig) -> Vec<HybridPoint> {
             HybridPoint { graph, methods }
         })
         .collect()
+}
+
+// ------------------------------------ Flush pipeline (compressed tiers)
+
+/// One (policy, thread-count) point of the compressed-flush sweep.
+#[derive(Debug)]
+pub struct FlushPipelinePoint {
+    /// Policy spelling (`off`, a codec name, or `adaptive`).
+    pub policy: String,
+    pub threads: usize,
+    /// Pre-compression payload bytes submitted (Σ encoded diff lengths;
+    /// policy- and thread-independent).
+    pub raw_bytes: u64,
+    /// Post-compression wire bytes durable on the PFS — what capacity,
+    /// throttling, and the bandwidth model charge.
+    pub stored_bytes: u64,
+    /// `stored / raw` in percent (100 = incompressible or policy off).
+    pub ratio_pct: u64,
+    /// Modeled PFS write time for the whole record: stored bytes over the
+    /// PFS tier's configured bandwidth.
+    pub modeled_pfs_write_sec: f64,
+    /// Modeled hash+flush makespan under the depth-1 pipeline: checkpoint
+    /// `k`'s hashing overlaps the SSD+PFS flush of `k-1`.
+    pub modeled_e2e_sec: f64,
+    /// Measured wall time from first submit to a fully drained PFS.
+    pub wall_sec: f64,
+    /// Producer time blocked in the depth-1 handoff
+    /// (`pipeline/enqueue_wait`). Compression runs on the flusher's side of
+    /// the channel, so this must not grow when a policy is enabled.
+    pub enqueue_wait_sec: f64,
+    /// Murmur3 digest of the bytes the parallel restart engine recovered.
+    pub restore_digest: (u64, u64),
+    /// The digest equals the producer's final snapshot (bit-exact
+    /// round trip through compress → tiers → decompress).
+    pub restore_ok: bool,
+}
+
+/// One method's policy × threads sweep over a workload.
+#[derive(Debug)]
+pub struct FlushPipelineCell {
+    pub method: &'static str,
+    pub points: Vec<FlushPipelinePoint>,
+}
+
+impl FlushPipelineCell {
+    fn point(&self, policy: &str) -> Option<&FlushPipelinePoint> {
+        self.points.iter().find(|p| p.policy == policy)
+    }
+
+    /// Every point restored bit-exact and all digests agree.
+    pub fn bit_identical(&self) -> bool {
+        self.points.iter().all(|p| p.restore_ok)
+            && self
+                .points
+                .windows(2)
+                .all(|w| w[0].restore_digest == w[1].restore_digest)
+    }
+
+    /// Stored-bytes reduction of `adaptive` over `off` (>1 = smaller).
+    pub fn stored_reduction_adaptive(&self) -> f64 {
+        match (self.point("off"), self.point("adaptive")) {
+            (Some(off), Some(ad)) => off.stored_bytes as f64 / ad.stored_bytes.max(1) as f64,
+            _ => 1.0,
+        }
+    }
+
+    /// Modeled hash+flush speedup of `adaptive` over `off`.
+    pub fn e2e_speedup_adaptive(&self) -> f64 {
+        match (self.point("off"), self.point("adaptive")) {
+            (Some(off), Some(ad)) => off.modeled_e2e_sec / ad.modeled_e2e_sec.max(1e-12),
+            _ => 1.0,
+        }
+    }
+}
+
+/// One workload (graph × scale) of the sweep.
+#[derive(Debug)]
+pub struct FlushPipelineWorkload {
+    pub graph: PaperGraph,
+    pub scale: usize,
+    pub snapshot_bytes: usize,
+    pub cells: Vec<FlushPipelineCell>,
+}
+
+/// The compressed-flush benchmark: methods × policy × threads
+/// (`BENCH_flush_pipeline.json`).
+#[derive(Debug)]
+pub struct FlushPipelineReport {
+    pub n_checkpoints: usize,
+    pub workloads: Vec<FlushPipelineWorkload>,
+}
+
+impl FlushPipelineReport {
+    pub fn bit_identical(&self) -> bool {
+        self.workloads
+            .iter()
+            .all(|w| w.cells.iter().all(|c| c.bit_identical()))
+    }
+}
+
+/// Checkpoints per cell in the flush-pipeline sweep.
+pub const FLUSH_PIPELINE_CHECKPOINTS: usize = 8;
+
+/// Pool thread counts swept (the compression stage and the restore
+/// prefetch both fan out on the shim pool).
+pub const FLUSH_PIPELINE_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Policies swept: the pre-compression baseline, one fixed codec, and the
+/// per-object adaptive selector.
+pub const FLUSH_PIPELINE_POLICIES: [&str; 3] = ["off", "zstd", "adaptive"];
+
+/// Default problem scales (graph vertices; one snapshot is `73 * 4` bytes
+/// per vertex).
+pub const FLUSH_PIPELINE_SCALES: [usize; 2] = [20_000, 80_000];
+
+/// Compressed-flush benchmark over the default scales and thread counts.
+pub fn flush_pipeline(cfg: ExpConfig) -> FlushPipelineReport {
+    flush_pipeline_at(&FLUSH_PIPELINE_SCALES, cfg.seed, &FLUSH_PIPELINE_THREADS)
+}
+
+/// The compressed-flush benchmark: for each workload (graph × scale) and
+/// method, hash the record once (the encoded diffs and their modeled device
+/// time depend on neither policy nor threads), then sweep policy × thread
+/// count over the *flush* side: submit every encoded diff through the
+/// depth-1 [`CheckpointPipeline`] into an [`AsyncRuntime`] whose flusher
+/// compresses per the policy, wait until the PFS holds the whole record,
+/// and round-trip the latest version back through the parallel restart
+/// engine. Stored bytes are read off the PFS tier (wire sizes, what the
+/// bandwidth model charges); the modeled end-to-end makespan overlaps
+/// checkpoint `k`'s hashing with the SSD+PFS flush of `k-1`, exactly the
+/// double-buffer schedule the submit path implements.
+pub fn flush_pipeline_at(scales: &[usize], seed: u64, threads: &[usize]) -> FlushPipelineReport {
+    use ckpt_hash::{Hasher128, Murmur3};
+    use ckpt_runtime::{
+        restore_rank_latest_parallel, CheckpointPipeline, CompressionPolicy, TierChain, TierConfig,
+    };
+    use ckpt_telemetry::Registry;
+    use rayon::prelude::*;
+    use std::sync::Arc;
+
+    let hasher = Murmur3;
+    let ssd_bw = TierConfig::ssd().bandwidth_bps;
+    let pfs_bw = TierConfig::pfs().bandwidth_bps;
+    let mut workloads = Vec::new();
+    for &scale in scales {
+        for graph in [PaperGraph::MessageRace, PaperGraph::Hugebubbles] {
+            let w = gdv_snapshots(graph, scale, FLUSH_PIPELINE_CHECKPOINTS, seed, true);
+            let want = hasher.hash(w.snapshots.last().expect("snapshots"));
+            let mut cells = Vec::new();
+            for method in ["Tree", "Full"] {
+                let device = Device::a100();
+                let mut m: Box<dyn Checkpointer> = match method {
+                    "Tree" => Box::new(TreeCheckpointer::new(
+                        device.clone(),
+                        TreeConfig::new(FIG5_CHUNK),
+                    )),
+                    _ => Box::new(FullCheckpointer::new(device.clone(), FIG5_CHUNK)),
+                };
+                let mut encoded: Vec<Vec<u8>> = Vec::new();
+                let mut hash_sec: Vec<f64> = Vec::new();
+                for snap in &w.snapshots {
+                    let before = device.metrics().snapshot();
+                    let out = m.checkpoint(snap);
+                    hash_sec.push(device.metrics().snapshot().modeled_sec - before.modeled_sec);
+                    encoded.push(out.diff.encode());
+                }
+                let raw_bytes: u64 = encoded.iter().map(|e| e.len() as u64).sum();
+
+                let mut points = Vec::new();
+                for policy_name in FLUSH_PIPELINE_POLICIES {
+                    let policy = CompressionPolicy::parse(policy_name).expect("known policy");
+                    for &t in threads {
+                        rayon::set_active_threads(t);
+                        // Warm the pool outside the timed region.
+                        (0..(1usize << 14)).into_par_iter().for_each(|_| {});
+                        let registry = Arc::new(Registry::new());
+                        let rt = Arc::new(AsyncRuntime::with_compression(
+                            TierChain::new(),
+                            0.0,
+                            Arc::clone(&registry),
+                            policy,
+                        ));
+                        let pipe = CheckpointPipeline::new(Arc::clone(&rt));
+                        let ids: Vec<(u32, u32)> =
+                            (0..encoded.len() as u32).map(|k| (0, k)).collect();
+                        let t0 = std::time::Instant::now();
+                        for (k, bytes) in encoded.iter().enumerate() {
+                            let b = bytes.clone();
+                            pipe.submit_with(0, k as u32, Box::new(move || b));
+                        }
+                        let pstats = pipe.close();
+                        rt.wait_durable(&ids);
+                        let wall_sec = t0.elapsed().as_secs_f64();
+                        assert_eq!(
+                            pstats.submitted,
+                            encoded.len() as u64,
+                            "every checkpoint must land durably"
+                        );
+
+                        // Post-compression wire bytes, per object, off the PFS.
+                        let wire: Vec<u64> = ids
+                            .iter()
+                            .map(|&id| {
+                                rt.tiers()
+                                    .pfs
+                                    .inspect_object(id)
+                                    .into_object()
+                                    .expect("durable object")
+                                    .stored_len()
+                            })
+                            .collect();
+                        let stored_bytes: u64 = wire.iter().sum();
+
+                        // Depth-1 overlap: hash of checkpoint k hides behind
+                        // the SSD+PFS flush of k-1; the last flush drains alone.
+                        let flush: Vec<f64> = wire
+                            .iter()
+                            .map(|&b| b as f64 / ssd_bw + b as f64 / pfs_bw)
+                            .collect();
+                        let mut e2e = hash_sec[0];
+                        for k in 1..flush.len() {
+                            e2e += hash_sec[k].max(flush[k - 1]);
+                        }
+                        e2e += flush[flush.len() - 1];
+
+                        let restored = restore_rank_latest_parallel(rt.tiers(), &device, 0, None)
+                            .expect("record restorable");
+                        let digest = hasher.hash(&restored.data);
+                        points.push(FlushPipelinePoint {
+                            policy: policy_name.to_string(),
+                            threads: t,
+                            raw_bytes,
+                            stored_bytes,
+                            ratio_pct: stored_bytes * 100 / raw_bytes.max(1),
+                            modeled_pfs_write_sec: stored_bytes as f64 / pfs_bw,
+                            modeled_e2e_sec: e2e,
+                            wall_sec,
+                            enqueue_wait_sec: registry
+                                .span_stats("pipeline/enqueue_wait")
+                                .measured_sec(),
+                            restore_digest: (digest.h1, digest.h2),
+                            restore_ok: (digest.h1, digest.h2) == (want.h1, want.h2),
+                        });
+                        Arc::try_unwrap(rt)
+                            .ok()
+                            .expect("pipeline released its handle")
+                            .shutdown();
+                    }
+                }
+                cells.push(FlushPipelineCell { method, points });
+            }
+            workloads.push(FlushPipelineWorkload {
+                graph,
+                scale,
+                snapshot_bytes: w.snapshot_bytes(),
+                cells,
+            });
+        }
+    }
+    rayon::set_active_threads(0);
+    FlushPipelineReport {
+        n_checkpoints: FLUSH_PIPELINE_CHECKPOINTS,
+        workloads,
+    }
 }
 
 /// A4: vertex-ordering pre-processing — Gorder vs the classic orderings the

@@ -468,6 +468,147 @@ pub fn render_restart_latency_json(rep: &RestartLatencyReport) -> String {
     w.finish()
 }
 
+pub fn render_flush_pipeline(rep: &FlushPipelineReport) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "Flush pipeline: compressed tiers, {} checkpoints per cell (methods x policy x threads)\n",
+        rep.n_checkpoints,
+    ));
+    for wl in &rep.workloads {
+        s.push_str(&format!(
+            "\n[{} / scale {}] ({} per snapshot)\n",
+            wl.graph.name(),
+            wl.scale,
+            fmt_bytes(wl.snapshot_bytes as u64),
+        ));
+        for cell in &wl.cells {
+            s.push_str(&format!(
+                "{}: adaptive vs off — stored {:.2}x smaller, modeled hash+flush {:.2}x faster\n",
+                cell.method,
+                cell.stored_reduction_adaptive(),
+                cell.e2e_speedup_adaptive(),
+            ));
+            s.push_str(&format!(
+                "{:>10} {:>8} {:>12} {:>7} {:>12} {:>12} {:>10} {:>12} {:>8}\n",
+                "policy",
+                "threads",
+                "stored",
+                "ratio",
+                "pfs-write",
+                "e2e-model",
+                "wall",
+                "enq-wait",
+                "restore"
+            ));
+            for p in &cell.points {
+                s.push_str(&format!(
+                    "{:>10} {:>8} {:>12} {:>6}% {:>9.3} ms {:>9.3} ms {:>7.2} ms {:>9.3} ms {:>8}\n",
+                    p.policy,
+                    p.threads,
+                    fmt_bytes(p.stored_bytes),
+                    p.ratio_pct,
+                    p.modeled_pfs_write_sec * 1e3,
+                    p.modeled_e2e_sec * 1e3,
+                    p.wall_sec * 1e3,
+                    p.enqueue_wait_sec * 1e3,
+                    if p.restore_ok { "ok" } else { "MISMATCH" },
+                ));
+            }
+            s.push_str(&format!(
+                "bit-identical restores across policy x threads: {}\n",
+                cell.bit_identical()
+            ));
+        }
+    }
+    s
+}
+
+/// The machine-readable side of the flush-pipeline sweep
+/// (`BENCH_flush_pipeline.json`).
+pub fn render_flush_pipeline_json(rep: &FlushPipelineReport) -> String {
+    let mut w = ckpt_telemetry::JsonWriter::new();
+    w.begin_object();
+    w.key("flush_pipeline").begin_object();
+    w.key("n_checkpoints").u64(rep.n_checkpoints as u64);
+    w.key("bit_identical").bool(rep.bit_identical());
+    w.key("workloads").begin_array();
+    for wl in &rep.workloads {
+        w.begin_object();
+        w.key("graph").string(wl.graph.name());
+        w.key("scale").u64(wl.scale as u64);
+        w.key("snapshot_bytes").u64(wl.snapshot_bytes as u64);
+        w.key("cells").begin_array();
+        for cell in &wl.cells {
+            w.begin_object();
+            w.key("method").string(cell.method);
+            w.key("bit_identical").bool(cell.bit_identical());
+            w.key("stored_reduction_adaptive")
+                .f64(cell.stored_reduction_adaptive());
+            w.key("e2e_speedup_adaptive")
+                .f64(cell.e2e_speedup_adaptive());
+            w.key("points").begin_array();
+            for p in &cell.points {
+                w.begin_object();
+                w.key("policy").string(&p.policy);
+                w.key("threads").u64(p.threads as u64);
+                w.key("raw_bytes").u64(p.raw_bytes);
+                w.key("stored_bytes").u64(p.stored_bytes);
+                w.key("ratio_pct").u64(p.ratio_pct);
+                w.key("modeled_pfs_write_sec").f64(p.modeled_pfs_write_sec);
+                w.key("modeled_e2e_sec").f64(p.modeled_e2e_sec);
+                w.key("wall_sec").f64(p.wall_sec);
+                w.key("enqueue_wait_sec").f64(p.enqueue_wait_sec);
+                w.key("restore_digest").string(&format!(
+                    "{:016x}{:016x}",
+                    p.restore_digest.0, p.restore_digest.1
+                ));
+                w.key("restore_ok").bool(p.restore_ok);
+                w.end_object();
+            }
+            w.end_array();
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.end_object();
+    w.finish()
+}
+
+/// The machine-readable side of Figure 5 (`BENCH_fig5.json`), including
+/// the hybrid `Tree+codec` series.
+pub fn render_fig5_json(cells: &[Fig5Cell]) -> String {
+    let mut w = ckpt_telemetry::JsonWriter::new();
+    w.begin_object();
+    w.key("fig5").begin_object();
+    w.key("cells").begin_array();
+    for c in cells {
+        w.begin_object();
+        w.key("graph").string(c.graph.name());
+        w.key("n_checkpoints").u64(c.n_checkpoints as u64);
+        w.key("methods").begin_array();
+        for m in &c.methods {
+            w.begin_object();
+            w.key("name").string(&m.name);
+            w.key("uncompressed_bytes").u64(m.uncompressed);
+            w.key("stored_bytes").u64(m.stored);
+            w.key("metadata_bytes").u64(m.metadata);
+            w.key("ratio").f64(m.ratio());
+            w.key("modeled_sec").f64(m.modeled_sec);
+            w.key("measured_sec").f64(m.measured_sec);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.end_object();
+    w.finish()
+}
+
 pub fn render_hash(points: &[HashPoint]) -> String {
     let mut s = String::new();
     s.push_str("Ablation A1: hash function choice (chunk 128 B)\n");

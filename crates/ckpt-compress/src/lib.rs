@@ -35,6 +35,7 @@
 
 pub mod bitio;
 pub mod bitpack;
+pub mod blocks;
 pub mod cascaded;
 pub mod huffman;
 pub mod lz;

@@ -12,20 +12,38 @@
 //! |---|---|---|
 //! | 0  | 4 | magic `"CKF1"` |
 //! | 4  | 2 | format version (currently 1) |
-//! | 6  | 2 | flags (reserved, 0) |
+//! | 6  | 1 | codec id (0 = stored uncompressed; see [`ckpt_compress::codec_by_id`]) |
+//! | 7  | 1 | flags high byte (reserved, 0) |
 //! | 8  | 4 | rank id |
 //! | 12 | 4 | checkpoint id |
-//! | 16 | 8 | payload length in bytes |
-//! | 24 | 8 | checksum (Murmur3 x64-128 of the payload, seeded by the ids, |
-//! |    |   | halves folded to 64 bits) |
+//! | 16 | 8 | stored payload length in bytes (post-compression) |
+//! | 24 | 8 | checksum (Murmur3 x64-128 of everything after the header, |
+//! |    |   | seeded by the ids *and the codec*, halves folded to 64 bits) |
+//! | 32 | 8 | **codec ≠ 0 only**: uncompressed payload length |
 //!
 //! The checksum seed mixes `(rank, ckpt_id)` so a frame copied to the wrong
-//! object slot fails verification even if its payload is intact. Any strict
-//! prefix of a valid frame fails verification (the header announces the
-//! payload length), which is exactly the artifact a torn write leaves
-//! behind.
+//! object slot fails verification even if its payload is intact, and the
+//! codec id so a flipped codec byte can never route an intact payload
+//! through the wrong decompressor. Any strict prefix of a valid frame fails
+//! verification (the header announces the payload length), which is exactly
+//! the artifact a torn write leaves behind.
+//!
+//! # Compressed frames
+//!
+//! When the codec byte is nonzero the payload is a
+//! [`ckpt_compress::blocks`] container encoded with that codec, and an
+//! 8-byte uncompressed-length field sits between the header and the
+//! payload. The checksum covers the *compressed* bytes (plus the length
+//! field), so corruption is detected without paying for decompression, and
+//! [`decode_payload`] verifies the decompressed size against the recorded
+//! one before returning. Legacy frames (flags = 0) are byte-identical to
+//! the pre-codec format and keep decoding unchanged — the version stays 1.
 
 use ckpt_hash::{Hasher128, Murmur3};
+
+/// Length of the uncompressed-length extension field present when the
+/// codec byte is nonzero.
+pub const FRAME_EXT_LEN: usize = 8;
 
 /// Frame magic: "CKF1".
 pub const FRAME_MAGIC: [u8; 4] = *b"CKF1";
@@ -41,8 +59,13 @@ pub const FRAME_HEADER_LEN: usize = 32;
 pub struct FrameHeader {
     pub rank: u32,
     pub ckpt_id: u32,
+    /// Stored (post-compression) payload length.
     pub payload_len: u64,
     pub checksum: u64,
+    /// Codec the payload is encoded with (0 = uncompressed).
+    pub codec: u8,
+    /// Original payload length (equals `payload_len` when `codec == 0`).
+    pub uncompressed_len: u64,
 }
 
 /// Why a frame failed verification.
@@ -67,6 +90,13 @@ pub enum FrameError {
         expected: (u32, u32),
         got: (u32, u32),
     },
+    /// Codec byte names no registered codec.
+    UnknownCodec { codec: u8 },
+    /// The checksummed payload failed to decompress (encoder-side bug; a
+    /// transport bit flip is caught by the checksum first).
+    Decompress { codec: u8 },
+    /// Decompressed payload length disagrees with the recorded one.
+    LengthMismatch { expected: u64, got: u64 },
 }
 
 impl std::fmt::Display for FrameError {
@@ -95,37 +125,92 @@ impl std::fmt::Display for FrameError {
             FrameError::IdMismatch { expected, got } => {
                 write!(f, "frame ids {got:?} do not match slot {expected:?}")
             }
+            FrameError::UnknownCodec { codec } => {
+                write!(f, "unknown frame codec id {codec}")
+            }
+            FrameError::Decompress { codec } => {
+                write!(f, "frame payload failed to decompress (codec {codec})")
+            }
+            FrameError::LengthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "decompressed length {got} does not match recorded {expected}"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for FrameError {}
 
-/// Seed for the payload checksum: mixes both ids so relocated frames fail.
+/// Seed for the payload checksum: mixes both ids so relocated frames fail,
+/// and the codec byte so a flipped codec id fails the checksum (not a
+/// misdirected decompression). Codec 0 reproduces the legacy seed exactly.
 #[inline]
-fn checksum_seed(rank: u32, ckpt_id: u32) -> u32 {
-    rank.rotate_left(16) ^ ckpt_id ^ 0x9e37_79b9
+fn checksum_seed(rank: u32, ckpt_id: u32, codec: u8) -> u32 {
+    rank.rotate_left(16) ^ ckpt_id ^ 0x9e37_79b9 ^ ((codec as u32) << 24)
 }
 
-/// The 64-bit payload checksum stored in (and verified against) the header.
-pub fn checksum64(rank: u32, ckpt_id: u32, payload: &[u8]) -> u64 {
-    let d = Murmur3.hash_seeded(payload, checksum_seed(rank, ckpt_id));
+/// The 64-bit checksum stored in (and verified against) the header, over
+/// everything following the fixed header (`region` = extension field +
+/// stored payload; for codec 0 that is just the payload).
+pub fn checksum64_region(rank: u32, ckpt_id: u32, codec: u8, region: &[u8]) -> u64 {
+    let d = Murmur3.hash_seeded(region, checksum_seed(rank, ckpt_id, codec));
     d.h1 ^ d.h2.rotate_left(32)
+}
+
+/// The legacy (uncompressed-frame) payload checksum.
+pub fn checksum64(rank: u32, ckpt_id: u32, payload: &[u8]) -> u64 {
+    checksum64_region(rank, ckpt_id, 0, payload)
+}
+
+fn encode_frame_inner(
+    rank: u32,
+    ckpt_id: u32,
+    codec: u8,
+    uncompressed_len: u64,
+    payload: &[u8],
+) -> Vec<u8> {
+    let ext = if codec != 0 { FRAME_EXT_LEN } else { 0 };
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + ext + payload.len());
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.extend_from_slice(&FRAME_VERSION.to_le_bytes());
+    out.extend_from_slice(&(codec as u16).to_le_bytes());
+    out.extend_from_slice(&rank.to_le_bytes());
+    out.extend_from_slice(&ckpt_id.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&[0u8; 8]); // checksum patched below
+    if codec != 0 {
+        out.extend_from_slice(&uncompressed_len.to_le_bytes());
+    }
+    out.extend_from_slice(payload);
+    let sum = checksum64_region(rank, ckpt_id, codec, &out[FRAME_HEADER_LEN..]);
+    out[24..32].copy_from_slice(&sum.to_le_bytes());
+    out
 }
 
 /// Wrap `payload` in a verified frame for object `(rank, ckpt_id)`. The
 /// payload bytes follow the 32-byte header verbatim.
 pub fn encode_frame(rank: u32, ckpt_id: u32, payload: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
-    out.extend_from_slice(&FRAME_MAGIC);
-    out.extend_from_slice(&FRAME_VERSION.to_le_bytes());
-    out.extend_from_slice(&0u16.to_le_bytes());
-    out.extend_from_slice(&rank.to_le_bytes());
-    out.extend_from_slice(&ckpt_id.to_le_bytes());
-    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-    out.extend_from_slice(&checksum64(rank, ckpt_id, payload).to_le_bytes());
-    out.extend_from_slice(payload);
-    out
+    encode_frame_inner(rank, ckpt_id, 0, payload.len() as u64, payload)
+}
+
+/// Wrap an already-compressed payload (a [`ckpt_compress::blocks`]
+/// container encoded with `codec`) in a frame carrying the codec id and the
+/// original length. The checksum covers the compressed bytes.
+pub fn encode_frame_compressed(
+    rank: u32,
+    ckpt_id: u32,
+    codec: u8,
+    uncompressed_len: u64,
+    compressed: &[u8],
+) -> Vec<u8> {
+    assert!(codec != 0, "codec 0 is the uncompressed frame format");
+    assert!(
+        ckpt_compress::codec_by_id(codec).is_some(),
+        "unregistered codec id {codec}"
+    );
+    encode_frame_inner(rank, ckpt_id, codec, uncompressed_len, compressed)
 }
 
 /// Whether `bytes` begins with the frame magic (cheap format sniff for
@@ -135,8 +220,11 @@ pub fn looks_framed(bytes: &[u8]) -> bool {
 }
 
 /// Parse and fully verify a frame, returning the header and a borrowed
-/// payload slice. Every integrity property is checked: magic, version,
-/// exact length, and checksum.
+/// *stored* payload slice (still compressed when the codec byte is set).
+/// Every integrity property is checked: magic, version, codec id, exact
+/// length — validated against the actual remaining buffer before anything
+/// is hashed or copied, so a bit-flipped length field can never drive an
+/// allocation — and checksum.
 pub fn decode_frame(bytes: &[u8]) -> Result<(FrameHeader, &[u8]), FrameError> {
     if bytes.len() < FRAME_HEADER_LEN {
         return Err(FrameError::TooShort { len: bytes.len() });
@@ -149,54 +237,109 @@ pub fn decode_frame(bytes: &[u8]) -> Result<(FrameHeader, &[u8]), FrameError> {
         return Err(FrameError::BadVersion { version });
     }
     let flags = u16::from_le_bytes(bytes[6..8].try_into().unwrap());
-    if flags != 0 {
+    if flags & 0xff00 != 0 {
         return Err(FrameError::BadFlags { flags });
+    }
+    let codec = flags as u8;
+    if codec != 0 && ckpt_compress::codec_by_id(codec).is_none() {
+        return Err(FrameError::UnknownCodec { codec });
     }
     let rank = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
     let ckpt_id = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
     let payload_len = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
     let checksum = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
+    let ext = if codec != 0 { FRAME_EXT_LEN as u64 } else { 0 };
+    // Length validation happens strictly before the checksum touches any
+    // payload byte: the header's claim is checked against what is actually
+    // in the buffer.
     let have = (bytes.len() - FRAME_HEADER_LEN) as u64;
-    if have < payload_len {
-        return Err(FrameError::Truncated {
-            expected: payload_len,
-            have,
-        });
+    let expected = payload_len.saturating_add(ext);
+    if have < expected {
+        return Err(FrameError::Truncated { expected, have });
     }
-    if have > payload_len {
-        return Err(FrameError::TrailingBytes {
-            expected: payload_len,
-            have,
-        });
+    if have > expected {
+        return Err(FrameError::TrailingBytes { expected, have });
     }
-    let payload = &bytes[FRAME_HEADER_LEN..];
-    let got = checksum64(rank, ckpt_id, payload);
+    let region = &bytes[FRAME_HEADER_LEN..];
+    let got = checksum64_region(rank, ckpt_id, codec, region);
     if got != checksum {
         return Err(FrameError::ChecksumMismatch {
             expected: checksum,
             got,
         });
     }
+    let (uncompressed_len, payload) = if codec != 0 {
+        let ext_bytes: [u8; FRAME_EXT_LEN] = region[..FRAME_EXT_LEN].try_into().unwrap();
+        (u64::from_le_bytes(ext_bytes), &region[FRAME_EXT_LEN..])
+    } else {
+        (payload_len, region)
+    };
     Ok((
         FrameHeader {
             rank,
             ckpt_id,
             payload_len,
             checksum,
+            codec,
+            uncompressed_len,
         },
         payload,
     ))
 }
 
-/// Verify a frame and (optionally) that it belongs to the given object
-/// slot, returning the payload slice.
-pub fn verify_frame(bytes: &[u8], expect: Option<(u32, u32)>) -> Result<&[u8], FrameError> {
+/// Like [`decode_frame`], but additionally checks the frame belongs to the
+/// given object slot.
+pub fn decode_frame_expecting(
+    bytes: &[u8],
+    expect: Option<(u32, u32)>,
+) -> Result<(FrameHeader, &[u8]), FrameError> {
     let (header, payload) = decode_frame(bytes)?;
     if let Some(expected) = expect {
         let got = (header.rank, header.ckpt_id);
         if got != expected {
             return Err(FrameError::IdMismatch { expected, got });
         }
+    }
+    Ok((header, payload))
+}
+
+/// Verify a frame and (optionally) that it belongs to the given object
+/// slot, returning the stored payload slice.
+pub fn verify_frame(bytes: &[u8], expect: Option<(u32, u32)>) -> Result<&[u8], FrameError> {
+    decode_frame_expecting(bytes, expect).map(|(_, payload)| payload)
+}
+
+/// Fully decode a frame to its original payload: verify, then decompress
+/// through the recorded codec when one is set, checking the decompressed
+/// size against the recorded uncompressed length.
+pub fn decode_payload(
+    bytes: &[u8],
+    expect: Option<(u32, u32)>,
+) -> Result<(FrameHeader, Vec<u8>), FrameError> {
+    let (header, stored) = decode_frame_expecting(bytes, expect)?;
+    let payload = decompress_payload(header.codec, header.uncompressed_len, stored)?;
+    Ok((header, payload))
+}
+
+/// Decompress a stored payload extracted from a frame with the given codec
+/// byte (0 copies through). Shared by the tier read path, which keeps the
+/// encoded bytes around for transcode-free flushing.
+pub fn decompress_payload(
+    codec: u8,
+    uncompressed_len: u64,
+    stored: &[u8],
+) -> Result<Vec<u8>, FrameError> {
+    if codec == 0 {
+        return Ok(stored.to_vec());
+    }
+    let c = ckpt_compress::codec_by_id(codec).ok_or(FrameError::UnknownCodec { codec })?;
+    let payload = ckpt_compress::blocks::decompress_blocks(&*c, stored)
+        .map_err(|_| FrameError::Decompress { codec })?;
+    if payload.len() as u64 != uncompressed_len {
+        return Err(FrameError::LengthMismatch {
+            expected: uncompressed_len,
+            got: payload.len() as u64,
+        });
     }
     Ok(payload)
 }
@@ -273,5 +416,142 @@ mod tests {
             decode_frame(b"not a frame at all, but long enough to parse!"),
             Err(FrameError::BadMagic)
         ));
+    }
+
+    fn compressed_frame(rank: u32, ckpt: u32, payload: &[u8], codec: u8) -> Vec<u8> {
+        let c = ckpt_compress::codec_by_id(codec).unwrap();
+        let container = ckpt_compress::blocks::compress_blocks(&*c, payload, 4096);
+        encode_frame_compressed(rank, ckpt, codec, payload.len() as u64, &container)
+    }
+
+    #[test]
+    fn compressed_frame_round_trips() {
+        let payload: Vec<u8> = (0..50_000u32)
+            .flat_map(|i| (i / 13).to_le_bytes())
+            .collect();
+        let framed = compressed_frame(3, 7, &payload, 6);
+        assert!(framed.len() < payload.len(), "counters must compress");
+        let (header, stored) = decode_frame(&framed).unwrap();
+        assert_eq!(header.codec, 6);
+        assert_eq!(header.uncompressed_len, payload.len() as u64);
+        assert_eq!(header.payload_len, stored.len() as u64);
+        let (h2, back) = decode_payload(&framed, Some((3, 7))).unwrap();
+        assert_eq!(h2, header);
+        assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn legacy_frames_decode_through_decode_payload() {
+        let framed = encode_frame(1, 2, b"plain bytes");
+        let (header, back) = decode_payload(&framed, Some((1, 2))).unwrap();
+        assert_eq!(header.codec, 0);
+        assert_eq!(header.uncompressed_len, header.payload_len);
+        assert_eq!(back, b"plain bytes");
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected_in_compressed_frames() {
+        let payload: Vec<u8> = (0..4096u32).map(|i| ((i / 32) % 11) as u8).collect();
+        let framed = compressed_frame(1, 2, &payload, 1);
+        for byte in 0..framed.len() {
+            for bit in 0..8 {
+                let mut bad = framed.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    decode_payload(&bad, Some((1, 2))).is_err(),
+                    "flip at byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_codec_is_typed() {
+        let mut framed = encode_frame(0, 0, b"x");
+        framed[6] = 0x63; // unregistered codec id
+        assert_eq!(
+            decode_frame(&framed).unwrap_err(),
+            FrameError::UnknownCodec { codec: 0x63 }
+        );
+    }
+
+    #[test]
+    fn truncated_length_field_is_rejected_before_any_copy() {
+        // A frame whose length field claims far more payload than the
+        // buffer holds must fail as Truncated (the defensive check) rather
+        // than be trusted.
+        let mut framed = encode_frame(0, 0, b"payload");
+        framed[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&framed),
+            Err(FrameError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn length_mismatch_is_typed() {
+        let payload = vec![9u8; 10_000];
+        let c = ckpt_compress::codec_by_id(7).unwrap();
+        let container = ckpt_compress::blocks::compress_blocks(&*c, &payload, 4096);
+        // Record a wrong uncompressed length: checksum verifies (it covers
+        // the recorded field), decompression length check must catch it.
+        let framed = encode_frame_compressed(0, 0, 7, 9_999, &container);
+        assert_eq!(
+            decode_payload(&framed, None).unwrap_err(),
+            FrameError::LengthMismatch {
+                expected: 9_999,
+                got: 10_000
+            }
+        );
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Satellite property: flipping any single header byte of a
+            /// valid frame — uncompressed or compressed — always fails
+            /// verification with a typed error, never a panic and never a
+            /// silent success.
+            #[test]
+            fn flipping_each_header_byte_is_detected(
+                payload in proptest::collection::vec(any::<u8>(), 0..2048),
+                rank in any::<u32>(),
+                ckpt in any::<u32>(),
+                codec in prop_oneof![Just(0u8), 1u8..=7],
+                flip in any::<u8>(),
+            ) {
+                prop_assume!(flip != 0);
+                let framed = if codec == 0 {
+                    encode_frame(rank, ckpt, &payload)
+                } else {
+                    compressed_frame(rank, ckpt, &payload, codec)
+                };
+                let header_len = FRAME_HEADER_LEN
+                    + if codec != 0 { FRAME_EXT_LEN } else { 0 };
+                for byte in 0..header_len.min(framed.len()) {
+                    let mut bad = framed.clone();
+                    bad[byte] ^= flip;
+                    prop_assert!(
+                        decode_payload(&bad, Some((rank, ckpt))).is_err(),
+                        "header byte {byte} xor {flip:#04x} went undetected"
+                    );
+                }
+            }
+
+            #[test]
+            fn compressed_frames_roundtrip(
+                payload in proptest::collection::vec(any::<u8>(), 0..4096),
+                codec in 1u8..=7,
+            ) {
+                let framed = compressed_frame(5, 9, &payload, codec);
+                let (header, back) = decode_payload(&framed, Some((5, 9))).unwrap();
+                prop_assert_eq!(header.codec, codec);
+                prop_assert_eq!(back, payload);
+            }
+        }
     }
 }

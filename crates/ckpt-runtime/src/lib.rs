@@ -10,6 +10,8 @@
 //!
 //! * [`tier`] — simulated storage tiers with bandwidth/capacity accounting
 //!   and integrity framing;
+//! * [`compress`] — the post-dedup compression stage: per-object adaptive
+//!   codec selection, pool-parallel encode, lazy `compress/*` telemetry;
 //! * [`fault`] — deterministic, seedable fault injection;
 //! * [`integrity`] — frame-verification counters and recovery reports;
 //! * [`runtime`] — the asynchronous flusher with retry/degradation and
@@ -21,6 +23,7 @@
 //!   feeding a single-pass resolution walk;
 //! * [`coordinator`] — the multi-rank strong-scaling harness (Fig. 6).
 
+pub mod compress;
 pub mod coordinator;
 pub mod fault;
 pub mod integrity;
@@ -30,6 +33,7 @@ pub mod restore;
 pub mod runtime;
 pub mod tier;
 
+pub use compress::{CompressMetrics, CompressionEngine, CompressionPolicy};
 pub use coordinator::{
     compact_below, run_scaling, RebasePolicy, ScalingConfig, ScalingMethod, ScalingReport,
 };
@@ -45,4 +49,6 @@ pub use lineage::{
 pub use pipeline::{CheckpointPipeline, PipelineStats, ProduceFn};
 pub use restore::{restore_rank_latest_parallel, ParallelRestoreOutcome};
 pub use runtime::{AsyncRuntime, TierChain};
-pub use tier::{FrameState, StoreError, StoreErrorKind, Tier, TierConfig};
+pub use tier::{
+    FrameState, ObjectState, StoreError, StoreErrorKind, StoredObject, Tier, TierConfig,
+};

@@ -21,11 +21,14 @@
 //! verified, which were repaired from a redundant copy, and which are lost
 //! — instead of silently returning a partial chain.
 
+use crate::compress::{CompressMetrics, CompressionEngine, CompressionPolicy};
 use crate::fault::FaultPlan;
 use crate::integrity::{
     group_by_rank, IntegrityCounters, ObjectStatus, RankRecovery, RecoveredObject, RecoveryReport,
 };
-use crate::tier::{FrameState, ObjectId, StoreErrorKind, Tier, TierConfig, TierFull};
+use crate::tier::{
+    ObjectId, ObjectState, StoreErrorKind, StoredObject, Tier, TierConfig, TierFull,
+};
 use ckpt_telemetry::{Counter, Gauge, Histogram, Registry};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
@@ -97,87 +100,127 @@ impl TierChain {
         self.integrity = IntegrityCounters::bound(registry);
     }
 
+    /// Route decode-time accounting from every tier's transparent read
+    /// path into the given compression metric sink.
+    pub fn bind_compress_metrics(&self, metrics: &Arc<CompressMetrics>) {
+        for tier in [&self.host, &self.ssd, &self.pfs] {
+            tier.bind_compress_metrics(Arc::clone(metrics));
+        }
+    }
+
     /// Integrity counters for this chain (verified / corrupt / repaired).
     pub fn integrity(&self) -> &IntegrityCounters {
         &self.integrity
     }
 
-    /// Read-and-verify with bounded retry of injected transient errors.
-    fn inspect_retry(tier: &Tier, id: ObjectId) -> FrameState {
+    /// Read-and-verify (without decoding) with bounded retry of injected
+    /// transient errors.
+    fn inspect_object_retry(tier: &Tier, id: ObjectId) -> ObjectState {
         for attempt in 0..MAX_READ_ATTEMPTS {
-            match tier.inspect(id) {
-                FrameState::TransientIo if attempt + 1 < MAX_READ_ATTEMPTS => {
+            match tier.inspect_object(id) {
+                ObjectState::TransientIo if attempt + 1 < MAX_READ_ATTEMPTS => {
                     std::thread::sleep(RETRY_BACKOFF * (1 << attempt));
                 }
                 state => return state,
             }
         }
-        FrameState::TransientIo
+        ObjectState::TransientIo
     }
 
     /// Find a *verified* copy of an object in the deepest tier holding one
     /// (PFS preferred: it is the durable copy). Copies whose frame fails
-    /// verification are skipped — a bit-flipped host copy can never shadow
-    /// a good SSD copy — then quarantined, and transparently repaired from
-    /// the surviving valid copy when one exists.
+    /// verification — or whose compressed payload fails to decode — are
+    /// skipped (a bit-flipped host copy can never shadow a good SSD copy),
+    /// then quarantined, and transparently repaired from the surviving
+    /// valid copy when one exists. Repairs re-store the *encoded* bytes,
+    /// so a compressed object stays compressed (and its compressed-payload
+    /// checksum is what the repaired copy re-verifies against).
     pub fn locate(&self, id: ObjectId) -> Option<Vec<u8>> {
         let order = [&self.pfs, &self.ssd, &self.host];
-        let mut payload: Option<Vec<u8>> = None;
+        let mut decoded: Option<Vec<u8>> = None;
+        let mut encoded: Option<StoredObject> = None;
         let mut corrupt: Vec<&Tier> = Vec::new();
         for tier in order {
-            match Self::inspect_retry(tier, id) {
-                FrameState::Valid(p) => {
-                    self.integrity.on_verified();
-                    if payload.is_none() {
-                        payload = Some(p);
+            match Self::inspect_object_retry(tier, id) {
+                ObjectState::Valid(obj) => {
+                    if decoded.is_some() {
+                        // A redundant valid copy; no need to decode it too.
+                        self.integrity.on_verified();
+                        continue;
+                    }
+                    match obj.clone().decode() {
+                        Ok(p) => {
+                            self.integrity.on_verified();
+                            decoded = Some(p);
+                            encoded = Some(obj);
+                        }
+                        Err(_) => {
+                            self.integrity.on_corrupt();
+                            tier.quarantine(id);
+                            corrupt.push(tier);
+                        }
                     }
                 }
-                FrameState::Corrupt(_) => {
+                ObjectState::Corrupt(_) => {
                     self.integrity.on_corrupt();
                     tier.quarantine(id);
                     corrupt.push(tier);
                 }
-                FrameState::Missing | FrameState::TransientIo => {}
+                ObjectState::Missing | ObjectState::TransientIo => {}
             }
         }
-        if let Some(p) = &payload {
+        if let Some(obj) = &encoded {
             for tier in corrupt {
-                if tier.store(id, p.clone()).is_ok() {
+                if tier.store_object(id, obj.clone()).is_ok() {
                     self.integrity.on_repaired();
                 }
             }
         }
-        payload
+        decoded
     }
 
     /// Classify one object for recovery; returns its status and, when
-    /// durable, the verified payload.
+    /// durable, the verified (decoded) payload.
     fn recover_object(&self, id: ObjectId) -> (ObjectStatus, Option<Vec<u8>>) {
-        match Self::inspect_retry(&self.pfs, id) {
-            FrameState::Valid(p) => {
-                self.integrity.on_verified();
-                (ObjectStatus::Verified, Some(p))
-            }
-            FrameState::Corrupt(_) => {
+        match Self::inspect_object_retry(&self.pfs, id) {
+            ObjectState::Valid(obj) => match obj.decode() {
+                Ok(p) => {
+                    self.integrity.on_verified();
+                    (ObjectStatus::Verified, Some(p))
+                }
+                Err(_) => {
+                    self.integrity.on_corrupt();
+                    self.pfs.quarantine(id);
+                    self.repair_pfs_from_upper(id)
+                }
+            },
+            ObjectState::Corrupt(_) => {
                 self.integrity.on_corrupt();
                 self.pfs.quarantine(id);
-                // Repair from a redundant copy in a higher tier.
-                for tier in [&self.ssd, &self.host] {
-                    if let FrameState::Valid(p) = Self::inspect_retry(tier, id) {
-                        self.integrity.on_verified();
-                        if self.pfs.store(id, p.clone()).is_ok() {
-                            self.integrity.on_repaired();
-                            return (ObjectStatus::Repaired, Some(p));
-                        }
-                    }
-                }
-                (ObjectStatus::LostCorrupt, None)
+                self.repair_pfs_from_upper(id)
             }
-            FrameState::Missing | FrameState::TransientIo => {
+            ObjectState::Missing | ObjectState::TransientIo => {
                 // Never durable: copies above the PFS are volatile.
                 (ObjectStatus::LostVolatile, None)
             }
         }
+    }
+
+    /// Repair the durable copy from a redundant valid copy in a higher
+    /// tier, moving the encoded bytes verbatim (no transcode).
+    fn repair_pfs_from_upper(&self, id: ObjectId) -> (ObjectStatus, Option<Vec<u8>>) {
+        for tier in [&self.ssd, &self.host] {
+            if let ObjectState::Valid(obj) = Self::inspect_object_retry(tier, id) {
+                if let Ok(p) = obj.clone().decode() {
+                    self.integrity.on_verified();
+                    if self.pfs.store_object(id, obj).is_ok() {
+                        self.integrity.on_repaired();
+                        return (ObjectStatus::Repaired, Some(p));
+                    }
+                }
+            }
+        }
+        (ObjectStatus::LostCorrupt, None)
     }
 
     /// Post-crash recovery with full accounting: every object known to any
@@ -283,8 +326,9 @@ enum Job {
 /// | `runtime/durable_lag` | gauge | submitted minus durable (in-flight objects) |
 /// | `tier/host/used_bytes` | gauge | host staging occupancy |
 /// | `tier/host/evictions`, `tier/ssd/evictions` | counter | drains that freed the tier above |
-/// | `tier/<t>/object_bytes` | histogram | object sizes written to tier `<t>` |
+/// | `tier/<t>/object_bytes` | histogram | *payload* sizes written to tier `<t>` (pre-frame, pre-compression) |
 /// | `tier/ssd/flush_ns`, `tier/pfs/flush_ns` | histogram | per-hop flush latency |
+/// | `compress/*` | mixed | see [`crate::compress`] (lazy) |
 /// | `integrity/frames_*` | counter | see [`crate::integrity`] (lazy) |
 /// | `restore/chains_restored` | counter | parallel restarts completed (lazy) |
 /// | `restore/records_read` | counter | encoded diffs fetched by restart walks (lazy) |
@@ -364,6 +408,10 @@ impl RuntimeMetrics {
 struct Flusher {
     tiers: Arc<TierChain>,
     m: Arc<RuntimeMetrics>,
+    /// Post-dedup compression stage: raw staged payloads are encoded here,
+    /// on the shared pool, before their first hop off the host tier — off
+    /// the producer's critical path.
+    engine: CompressionEngine,
     killed: Arc<AtomicBool>,
     space_freed: Arc<(Mutex<u64>, Condvar)>,
     /// Objects the flusher has given up on (never durable without outside
@@ -373,7 +421,7 @@ struct Flusher {
 }
 
 impl Flusher {
-    fn throttle(&self, bytes: usize, bw: f64) {
+    fn throttle(&self, bytes: u64, bw: f64) {
         if self.time_scale > 0.0 {
             let sec = bytes as f64 / bw * self.time_scale;
             std::thread::sleep(Duration::from_secs_f64(sec));
@@ -382,37 +430,44 @@ impl Flusher {
 
     /// Write with bounded retry + exponential backoff for transient
     /// errors. A full tier fails fast (retrying cannot free space — the
-    /// caller degrades instead). Returns the payload on failure.
-    fn store_with_retry(&self, tier: &Tier, id: ObjectId, payload: Vec<u8>) -> Result<(), Vec<u8>> {
-        let mut payload = payload;
+    /// caller degrades instead). Returns the object on failure, encoded
+    /// exactly as handed in, so no retry or degradation ever re-encodes.
+    fn store_object_with_retry(
+        &self,
+        tier: &Tier,
+        id: ObjectId,
+        object: StoredObject,
+    ) -> Result<(), StoredObject> {
+        let mut object = object;
         for attempt in 0..MAX_STORE_ATTEMPTS {
-            match tier.store(id, payload) {
+            match tier.store_object(id, object) {
                 Ok(()) => return Ok(()),
                 Err(e) => {
                     if e.kind == StoreErrorKind::Full || attempt + 1 == MAX_STORE_ATTEMPTS {
-                        return Err(e.payload);
+                        return Err(e.object);
                     }
                     self.m.on_retry();
                     std::thread::sleep(RETRY_BACKOFF * (1 << attempt));
-                    payload = e.payload;
+                    object = e.object;
                 }
             }
         }
         unreachable!("loop returns on last attempt")
     }
 
-    /// Read with bounded retry of transient errors, counting retries.
-    fn read_with_retry(&self, tier: &Tier, id: ObjectId) -> FrameState {
+    /// Read (without decoding) with bounded retry of transient errors,
+    /// counting retries.
+    fn read_object_with_retry(&self, tier: &Tier, id: ObjectId) -> ObjectState {
         for attempt in 0..MAX_READ_ATTEMPTS {
-            match tier.inspect(id) {
-                FrameState::TransientIo if attempt + 1 < MAX_READ_ATTEMPTS => {
+            match tier.inspect_object(id) {
+                ObjectState::TransientIo if attempt + 1 < MAX_READ_ATTEMPTS => {
                     self.m.on_retry();
                     std::thread::sleep(RETRY_BACKOFF * (1 << attempt));
                 }
                 state => return state,
             }
         }
-        FrameState::TransientIo
+        ObjectState::TransientIo
     }
 
     /// Evict the host copy once the object is safe below, then wake any
@@ -440,29 +495,45 @@ impl Flusher {
 
     /// Drain one object host → SSD → PFS, with retry, degradation and
     /// integrity handling at every hop.
+    ///
+    /// Compression happens exactly once, on the first hop off the host
+    /// tier: the staged raw payload is encoded per the policy, and from
+    /// then on the encoded object moves verbatim (hop 2 and degraded
+    /// paths never transcode). Throttling and tier accounting charge the
+    /// encoded size — what actually crosses the link — while
+    /// `tier/<t>/object_bytes` records the original payload size so size
+    /// distributions stay comparable across compression policies.
     fn flush(&self, id: ObjectId) {
         let t = &self.tiers;
         // Hop 1: host → SSD, degrading host → PFS if the SSD refuses the
         // object after retry exhaustion (full or persistently erroring).
-        match self.read_with_retry(&t.host, id) {
-            FrameState::Valid(payload) => {
-                let n = payload.len();
+        match self.read_object_with_retry(&t.host, id) {
+            ObjectState::Valid(staged) => {
+                // Host staging holds raw objects; anything already encoded
+                // (a re-flush of a repaired copy) passes through untouched.
+                let object = if staged.codec == 0 {
+                    self.engine.encode(staged.payload)
+                } else {
+                    staged
+                };
+                let raw_len = object.uncompressed_len;
+                let wire_len = object.stored_len();
                 let hop = Instant::now();
-                match self.store_with_retry(&t.ssd, id, payload) {
+                match self.store_object_with_retry(&t.ssd, id, object) {
                     Ok(()) => {
-                        self.throttle(n, t.ssd.config().bandwidth_bps);
+                        self.throttle(wire_len, t.ssd.config().bandwidth_bps);
                         self.m.ssd_flush_ns.record_duration(hop.elapsed());
-                        self.m.ssd_object_bytes.record(n as u64);
+                        self.m.ssd_object_bytes.record(raw_len);
                         self.free_host(id);
                     }
-                    Err(payload) => {
+                    Err(object) => {
                         self.m.on_degraded_flush();
                         let hop = Instant::now();
-                        match self.store_with_retry(&t.pfs, id, payload) {
+                        match self.store_object_with_retry(&t.pfs, id, object) {
                             Ok(()) => {
-                                self.throttle(n, t.pfs.config().bandwidth_bps);
+                                self.throttle(wire_len, t.pfs.config().bandwidth_bps);
                                 self.m.pfs_flush_ns.record_duration(hop.elapsed());
-                                self.m.pfs_object_bytes.record(n as u64);
+                                self.m.pfs_object_bytes.record(raw_len);
                                 self.on_durable();
                                 self.free_host(id);
                             }
@@ -472,7 +543,7 @@ impl Flusher {
                     }
                 }
             }
-            FrameState::Corrupt(_) => {
+            ObjectState::Corrupt(_) => {
                 // A corrupt staged copy can never drain; only a deeper copy
                 // can still make this object durable.
                 t.integrity.on_corrupt();
@@ -482,27 +553,28 @@ impl Flusher {
                     return;
                 }
             }
-            FrameState::TransientIo => {
+            ObjectState::TransientIo => {
                 if !t.ssd.contains(id) && !t.pfs.contains(id) {
                     self.mark_undrainable(id);
                     return;
                 }
             }
-            FrameState::Missing => {}
+            ObjectState::Missing => {}
         }
         if self.killed.load(Ordering::Relaxed) {
             return;
         }
-        // Hop 2: SSD → PFS.
-        match self.read_with_retry(&t.ssd, id) {
-            FrameState::Valid(payload) => {
-                let n = payload.len();
+        // Hop 2: SSD → PFS. The encoded object moves verbatim.
+        match self.read_object_with_retry(&t.ssd, id) {
+            ObjectState::Valid(object) => {
+                let raw_len = object.uncompressed_len;
+                let wire_len = object.stored_len();
                 let hop = Instant::now();
-                match self.store_with_retry(&t.pfs, id, payload) {
+                match self.store_object_with_retry(&t.pfs, id, object) {
                     Ok(()) => {
-                        self.throttle(n, t.pfs.config().bandwidth_bps);
+                        self.throttle(wire_len, t.pfs.config().bandwidth_bps);
                         self.m.pfs_flush_ns.record_duration(hop.elapsed());
-                        self.m.pfs_object_bytes.record(n as u64);
+                        self.m.pfs_object_bytes.record(raw_len);
                         self.on_durable();
                         if t.ssd.evict(id) {
                             self.m.ssd_evictions.inc();
@@ -511,19 +583,19 @@ impl Flusher {
                     Err(_) => self.mark_undrainable(id),
                 }
             }
-            FrameState::Corrupt(_) => {
+            ObjectState::Corrupt(_) => {
                 t.integrity.on_corrupt();
                 t.ssd.quarantine(id);
                 if !t.pfs.contains(id) {
                     self.mark_undrainable(id);
                 }
             }
-            FrameState::TransientIo => {
+            ObjectState::TransientIo => {
                 if !t.pfs.contains(id) {
                     self.mark_undrainable(id);
                 }
             }
-            FrameState::Missing => {}
+            ObjectState::Missing => {}
         }
     }
 
@@ -584,8 +656,24 @@ impl AsyncRuntime {
     /// Like [`with_tiers_throttled`](Self::with_tiers_throttled), but
     /// recording metrics into a caller-provided registry (so several
     /// subsystems can share one report).
-    pub fn with_telemetry(mut tiers: TierChain, time_scale: f64, registry: Arc<Registry>) -> Self {
+    pub fn with_telemetry(tiers: TierChain, time_scale: f64, registry: Arc<Registry>) -> Self {
+        Self::with_compression(tiers, time_scale, registry, CompressionPolicy::Off)
+    }
+
+    /// The full constructor: a throttled, telemetry-bound runtime whose
+    /// flusher compresses every object per `policy` on its first hop off
+    /// the host tier. `CompressionPolicy::Off` reproduces the
+    /// pre-compression runtime byte for byte (and, thanks to lazy
+    /// `compress/*` metrics, report for report).
+    pub fn with_compression(
+        mut tiers: TierChain,
+        time_scale: f64,
+        registry: Arc<Registry>,
+        policy: CompressionPolicy,
+    ) -> Self {
         tiers.bind_telemetry(Arc::clone(&registry));
+        let cmetrics = Arc::new(CompressMetrics::bound(Arc::clone(&registry)));
+        tiers.bind_compress_metrics(&cmetrics);
         let tiers = Arc::new(tiers);
         let metrics = Arc::new(RuntimeMetrics::new(registry));
         let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
@@ -595,6 +683,7 @@ impl AsyncRuntime {
         let flusher = Flusher {
             tiers: Arc::clone(&tiers),
             m: Arc::clone(&metrics),
+            engine: CompressionEngine::new(policy, cmetrics),
             killed: Arc::clone(&killed),
             space_freed: Arc::clone(&space_freed),
             undrainable: Arc::clone(&undrainable),
@@ -1088,6 +1177,152 @@ mod tests {
             tiers.recover_report().into_prefixes()[&0],
             Vec::<Vec<u8>>::new()
         );
+    }
+
+    fn compressible_payload(len_u32s: u32) -> Vec<u8> {
+        (0..len_u32s).flat_map(|i| (i / 7).to_le_bytes()).collect()
+    }
+
+    fn zstd_object(payload: &[u8]) -> StoredObject {
+        let codec = ckpt_compress::codec_by_id(6).unwrap();
+        let container = ckpt_compress::blocks::compress_blocks(
+            &*codec,
+            payload,
+            ckpt_compress::blocks::DEFAULT_BLOCK_SIZE,
+        );
+        StoredObject::encoded(6, payload.len() as u64, container)
+    }
+
+    #[test]
+    fn compressed_flush_round_trips_and_shrinks_lower_tiers() {
+        let reg = Arc::new(Registry::new());
+        let rt = AsyncRuntime::with_compression(
+            TierChain::new(),
+            0.0,
+            Arc::clone(&reg),
+            CompressionPolicy::Adaptive,
+        );
+        let payload = compressible_payload(100_000);
+        rt.submit(0, 0, payload.clone()).unwrap();
+        rt.wait_durable(&[(0, 0)]);
+
+        // Transparent reads return the original bytes; the durable copy is
+        // stored compressed and charged at its compressed size.
+        assert_eq!(rt.tiers().pfs.get((0, 0)), Some(payload.clone()));
+        let durable = rt.tiers().pfs.inspect_object((0, 0)).into_object().unwrap();
+        assert_ne!(durable.codec, 0);
+        assert_eq!(durable.uncompressed_len, payload.len() as u64);
+        assert!(rt.tiers().pfs.used_bytes() < payload.len() as u64 / 2);
+        assert_eq!(rt.tiers().locate((0, 0)), Some(payload.clone()));
+
+        rt.shutdown();
+        // Size histograms stay in payload units regardless of policy
+        // (PR-1 invariant: host/ssd/pfs object_bytes are comparable).
+        for tier in ["host", "ssd", "pfs"] {
+            let snap = reg
+                .histogram(&format!("tier/{tier}/object_bytes"))
+                .snapshot();
+            assert_eq!(snap.sum, payload.len() as u64, "{tier} histogram");
+        }
+        let json = reg.snapshot_json();
+        assert!(
+            json.contains("compress/bytes_in"),
+            "missing metrics: {json}"
+        );
+        assert!(reg.gauge("compress/ratio_pct").get() < 100);
+        assert!(reg.counter("compress/decode_ns").get() > 0);
+    }
+
+    #[test]
+    fn off_policy_exports_the_pre_compression_schema() {
+        let rt = AsyncRuntime::new();
+        rt.submit(0, 0, compressible_payload(50_000)).unwrap();
+        rt.wait_durable(&[(0, 0)]);
+        let reg = Arc::clone(rt.telemetry());
+        rt.shutdown();
+        assert!(!reg.snapshot_json().contains("compress/"));
+    }
+
+    #[test]
+    fn degraded_flush_of_compressed_object_skips_ssd_but_stays_compressed() {
+        let tiers = TierChain::with_configs(
+            TierConfig::host(),
+            TierConfig {
+                name: "ssd",
+                bandwidth_bps: 2.0e9,
+                capacity: 0,
+            },
+            TierConfig::pfs(),
+        );
+        let reg = Arc::new(Registry::new());
+        let rt = AsyncRuntime::with_compression(
+            tiers,
+            0.0,
+            Arc::clone(&reg),
+            CompressionPolicy::Fixed(6),
+        );
+        let payload = compressible_payload(60_000);
+        rt.submit(0, 0, payload.clone()).unwrap();
+        rt.wait_durable(&[(0, 0)]);
+        assert_eq!(rt.tiers().pfs.get((0, 0)), Some(payload));
+        let durable = rt.tiers().pfs.inspect_object((0, 0)).into_object().unwrap();
+        assert_eq!(durable.codec, 6);
+        rt.shutdown();
+        assert_eq!(reg.counter("runtime/degraded_flushes").get(), 1);
+        // Encoded exactly once: the degraded PFS retry reuses the object.
+        assert_eq!(reg.counter("compress/objects/zstd").get(), 1);
+    }
+
+    #[test]
+    fn recover_repairs_corrupt_compressed_pfs_copy_without_transcoding() {
+        // The PFS copy of a *compressed* object is bit-flipped; the SSD
+        // holds a clean compressed copy. Recovery must quarantine the bad
+        // copy, verify the compressed checksum of the good one, and repair
+        // the PFS with the encoded bytes verbatim.
+        let plan = FaultPlan::builder()
+            .on_put("pfs", 0, FaultKind::BitFlip { bit: 555 })
+            .build();
+        let tiers = TierChain::with_faults(plan);
+        let payload = compressible_payload(80_000);
+        let obj = zstd_object(&payload);
+        tiers.pfs.store_object((2, 0), obj.clone()).unwrap(); // corrupted
+        tiers.ssd.store_object((2, 0), obj.clone()).unwrap(); // good copy
+        let report = tiers.recover_report();
+        assert_eq!(report.total_repaired(), 1);
+        assert_eq!(report.ranks[0].payloads[0], payload);
+        // The repaired durable copy is still the same encoded object.
+        assert_eq!(tiers.pfs.inspect_object((2, 0)).into_object(), Some(obj));
+        assert_eq!(tiers.pfs.quarantined(), vec![(2, 0)]);
+    }
+
+    #[test]
+    fn locate_repairs_with_encoded_bytes() {
+        let plan = FaultPlan::builder()
+            .on_put("ssd", 0, FaultKind::BitFlip { bit: 222 })
+            .build();
+        let tiers = TierChain::with_faults(plan);
+        let payload = compressible_payload(70_000);
+        let obj = zstd_object(&payload);
+        tiers.ssd.store_object((0, 0), obj.clone()).unwrap(); // corrupted
+        tiers.host.store_object((0, 0), obj.clone()).unwrap(); // good copy
+        assert_eq!(tiers.locate((0, 0)), Some(payload));
+        assert_eq!(tiers.integrity().repaired_count(), 1);
+        // The repaired SSD copy verifies and is still compressed.
+        assert_eq!(tiers.ssd.inspect_object((0, 0)).into_object(), Some(obj));
+    }
+
+    #[test]
+    fn undecompressible_durable_copy_counts_as_corrupt_and_lost() {
+        // A frame that verifies but whose payload is garbage to the codec:
+        // recovery must classify it lost-corrupt, not crash or return junk.
+        let tiers = TierChain::new();
+        tiers
+            .pfs
+            .store_object((0, 0), StoredObject::encoded(6, 4096, vec![0x5A; 99]))
+            .unwrap();
+        let report = tiers.recover_report();
+        assert_eq!(report.total(ObjectStatus::LostCorrupt), 1);
+        assert_eq!(tiers.pfs.quarantined(), vec![(0, 0)]);
     }
 
     #[test]

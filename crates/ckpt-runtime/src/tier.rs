@@ -11,13 +11,25 @@
 //! # Integrity framing
 //!
 //! Every stored object is wrapped in a self-describing
-//! [`ckpt_dedup::frame`] (magic, rank/ckpt ids, payload length, 64-bit
-//! checksum) at [`put`](Tier::put) time and verified at read time.
+//! [`ckpt_dedup::frame`] (magic, rank/ckpt ids, codec, payload length,
+//! 64-bit checksum) at [`put`](Tier::put) time and verified at read time.
 //! [`get`](Tier::get) returns only payloads whose frame verifies;
 //! [`inspect`](Tier::inspect) additionally distinguishes missing from
 //! corrupt objects so chain-level code can quarantine and repair. Capacity,
 //! bandwidth and byte accounting remain *payload-based* (the 32-byte header
 //! is bookkeeping, not modeled I/O).
+//!
+//! # Compressed objects
+//!
+//! The flusher may hand a tier an already-compressed payload via
+//! [`store_object`](Tier::store_object); the frame then records the codec
+//! and the original length, the checksum covers the *compressed* bytes,
+//! and capacity / bandwidth / modeled-time accounting all use the
+//! post-compression size (that is what actually moves and sits on the
+//! device). Reads stay transparent: [`get`](Tier::get)/[`inspect`](Tier::inspect)
+//! decompress after verification, while
+//! [`inspect_object`](Tier::inspect_object) exposes the encoded form so
+//! the drain loop can move an object down a tier without transcoding it.
 //!
 //! # Torn-write contract
 //!
@@ -30,12 +42,14 @@
 //! atomically installs a prefix of the framed bytes to model a write racing
 //! a crash; frame verification detects it at the next read.
 
+use crate::compress::CompressMetrics;
 use crate::fault::{apply_latency, FaultKind, FaultPlan, OpKind};
 use ckpt_dedup::frame;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 /// Identifies one checkpoint object: `(rank, ckpt_id)`.
 pub type ObjectId = (u32, u32);
@@ -92,6 +106,85 @@ pub struct Tier {
     busy_femtos: AtomicU64,
     /// Optional fault-injection hook (see [`crate::fault`]).
     faults: Option<Arc<FaultPlan>>,
+    /// Bound once by the runtime so transparent reads can account decode
+    /// time; never set in metric-less contexts.
+    compress_metrics: OnceLock<Arc<CompressMetrics>>,
+}
+
+/// An object in its *stored* form: the codec it was encoded with, the
+/// original payload length, and the bytes as they sit on the device
+/// (compressed when `codec != 0`). This is the currency of the flush path:
+/// the SSD→PFS hop moves a `StoredObject` verbatim, never transcoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredObject {
+    /// `ckpt_compress` codec id; 0 means the payload is stored verbatim.
+    pub codec: u8,
+    /// Length of the original (decoded) payload in bytes.
+    pub uncompressed_len: u64,
+    /// The stored bytes (a [`ckpt_compress::blocks`] container when
+    /// `codec != 0`, the payload itself otherwise).
+    pub payload: Vec<u8>,
+}
+
+impl StoredObject {
+    /// An uncompressed object (the legacy `store` path).
+    pub fn raw(payload: Vec<u8>) -> Self {
+        StoredObject {
+            codec: 0,
+            uncompressed_len: payload.len() as u64,
+            payload,
+        }
+    }
+
+    /// An already-compressed object.
+    pub fn encoded(codec: u8, uncompressed_len: u64, payload: Vec<u8>) -> Self {
+        debug_assert!(codec != 0, "use StoredObject::raw for codec 0");
+        StoredObject {
+            codec,
+            uncompressed_len,
+            payload,
+        }
+    }
+
+    pub fn is_compressed(&self) -> bool {
+        self.codec != 0
+    }
+
+    /// Bytes this object occupies on a device: the stored payload plus the
+    /// frame extension field that travels with compressed objects. This is
+    /// what capacity, bandwidth and modeled-time accounting charge.
+    pub fn stored_len(&self) -> u64 {
+        let ext = if self.codec != 0 {
+            frame::FRAME_EXT_LEN as u64
+        } else {
+            0
+        };
+        self.payload.len() as u64 + ext
+    }
+
+    /// Recover the original payload (decompressing through the recorded
+    /// codec when one is set).
+    pub fn decode(self) -> Result<Vec<u8>, frame::FrameError> {
+        if self.codec == 0 {
+            Ok(self.payload)
+        } else {
+            frame::decompress_payload(self.codec, self.uncompressed_len, &self.payload)
+        }
+    }
+
+    fn frame(&self, id: ObjectId) -> Vec<u8> {
+        if self.codec == 0 {
+            frame::encode_frame(id.0, id.1, &self.payload)
+        } else {
+            frame::encode_frame_compressed(
+                id.0,
+                id.1,
+                self.codec,
+                self.uncompressed_len,
+                &self.payload,
+            )
+        }
+    }
 }
 
 /// Error for writes that exceed tier capacity.
@@ -108,12 +201,20 @@ impl std::fmt::Display for TierFull {
 
 impl std::error::Error for TierFull {}
 
-/// Why a [`Tier::store`] failed. The payload is handed back so the caller
-/// can retry without copying.
+/// Why a [`Tier::store`] failed. The object is handed back so the caller
+/// can retry without copying (and, for compressed objects, without
+/// re-encoding).
 #[derive(Debug)]
 pub struct StoreError {
     pub kind: StoreErrorKind,
-    pub payload: Vec<u8>,
+    pub object: StoredObject,
+}
+
+impl StoreError {
+    /// The stored payload bytes, for raw-path callers.
+    pub fn into_payload(self) -> Vec<u8> {
+        self.object.payload
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -146,6 +247,30 @@ impl FrameState {
     }
 }
 
+/// The verified state of one object slot in its *encoded* form, as seen by
+/// [`Tier::inspect_object`]. Same outcomes as [`FrameState`] but without
+/// decompressing, so the drain loop can move compressed objects verbatim.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ObjectState {
+    /// No object stored under this id.
+    Missing,
+    /// Frame verified; the stored (possibly compressed) object.
+    Valid(StoredObject),
+    /// An object is stored but its frame fails verification.
+    Corrupt(frame::FrameError),
+    /// An injected transient read error; retry is expected to succeed.
+    TransientIo,
+}
+
+impl ObjectState {
+    pub fn into_object(self) -> Option<StoredObject> {
+        match self {
+            ObjectState::Valid(o) => Some(o),
+            _ => None,
+        }
+    }
+}
+
 impl Tier {
     pub fn new(cfg: TierConfig) -> Self {
         Self::with_fault_hook(cfg, None)
@@ -166,7 +291,14 @@ impl Tier {
             bytes_written: AtomicU64::new(0),
             busy_femtos: AtomicU64::new(0),
             faults,
+            compress_metrics: OnceLock::new(),
         }
+    }
+
+    /// Bind the compression metric sink so transparent reads account their
+    /// decode time. First binding wins; later calls are ignored.
+    pub fn bind_compress_metrics(&self, metrics: Arc<CompressMetrics>) {
+        let _ = self.compress_metrics.set(metrics);
     }
 
     pub fn name(&self) -> &'static str {
@@ -194,13 +326,21 @@ impl Tier {
     /// Like [`put`](Self::put), but hands the payload back on failure so
     /// the caller can retry (backpressure path).
     pub fn try_put(&self, id: ObjectId, bytes: Vec<u8>) -> Result<(), Vec<u8>> {
-        self.store(id, bytes).map_err(|e| e.payload)
+        self.store(id, bytes).map_err(|e| e.into_payload())
     }
 
-    /// Store `payload` under `id`, framed, reporting *why* on failure so
-    /// the drain loop can distinguish a full tier (degrade) from a
-    /// transient I/O error (retry with backoff).
+    /// Store `payload` under `id`, framed and uncompressed, reporting *why*
+    /// on failure so the drain loop can distinguish a full tier (degrade)
+    /// from a transient I/O error (retry with backoff).
     pub fn store(&self, id: ObjectId, payload: Vec<u8>) -> Result<(), StoreError> {
+        self.store_object(id, StoredObject::raw(payload))
+    }
+
+    /// Store an object in its encoded form. Capacity, bandwidth, byte and
+    /// modeled-time accounting all charge [`StoredObject::stored_len`] —
+    /// the compressed size when a codec is set, because that is what moves
+    /// over the link and sits on the device.
+    pub fn store_object(&self, id: ObjectId, object: StoredObject) -> Result<(), StoreError> {
         // Fault hook: consult the plan before any side effect so a
         // transient error leaves no trace in the accounting.
         let fault = self
@@ -212,23 +352,23 @@ impl Tier {
             if *kind == FaultKind::TransientIo {
                 return Err(StoreError {
                     kind: StoreErrorKind::TransientIo,
-                    payload,
+                    object,
                 });
             }
         }
 
-        let len = payload.len() as u64;
+        let len = object.stored_len();
         // Reserve capacity optimistically; roll back on overflow.
         let prev = self.used.fetch_add(len, Ordering::Relaxed);
         if prev + len > self.cfg.capacity {
             self.used.fetch_sub(len, Ordering::Relaxed);
             return Err(StoreError {
                 kind: StoreErrorKind::Full,
-                payload,
+                object,
             });
         }
 
-        let mut framed = frame::encode_frame(id.0, id.1, &payload);
+        let mut framed = object.frame(id);
         // Storage faults mutate the framed bytes *before* the atomic
         // insert: readers see the complete (corrupt) object, never a
         // half-applied write.
@@ -263,15 +403,42 @@ impl Tier {
         Ok(())
     }
 
-    /// Fetch a verified copy of an object's payload. Corrupt, missing and
-    /// transiently-unreadable objects all read as `None`; use
-    /// [`inspect`](Self::inspect) to tell them apart.
+    /// Fetch a verified copy of an object's payload, transparently
+    /// decompressed. Corrupt, missing and transiently-unreadable objects
+    /// all read as `None`; use [`inspect`](Self::inspect) to tell them
+    /// apart.
     pub fn get(&self, id: ObjectId) -> Option<Vec<u8>> {
         self.inspect(id).into_payload()
     }
 
-    /// Read and verify an object's frame, distinguishing every outcome.
+    /// Read and verify an object's frame, distinguishing every outcome and
+    /// decoding the payload back to its original bytes (a payload that
+    /// verifies but fails to decompress reads as `Corrupt`).
     pub fn inspect(&self, id: ObjectId) -> FrameState {
+        match self.inspect_object(id) {
+            ObjectState::Missing => FrameState::Missing,
+            ObjectState::TransientIo => FrameState::TransientIo,
+            ObjectState::Corrupt(e) => FrameState::Corrupt(e),
+            ObjectState::Valid(obj) => {
+                let timed = obj.is_compressed().then(Instant::now);
+                match obj.decode() {
+                    Ok(payload) => {
+                        if let (Some(t0), Some(m)) = (timed, self.compress_metrics.get()) {
+                            m.on_decode(t0.elapsed().as_nanos() as u64);
+                        }
+                        FrameState::Valid(payload)
+                    }
+                    Err(e) => FrameState::Corrupt(e),
+                }
+            }
+        }
+    }
+
+    /// Read and verify an object's frame *without* decompressing: the
+    /// checksum (over the stored bytes) and ids are checked, but the
+    /// payload is returned in its encoded form so it can be re-stored on
+    /// another tier verbatim.
+    pub fn inspect_object(&self, id: ObjectId) -> ObjectState {
         let fault = self
             .faults
             .as_ref()
@@ -279,16 +446,20 @@ impl Tier {
         if let Some(kind) = &fault {
             apply_latency(kind);
             if *kind == FaultKind::TransientIo {
-                return FrameState::TransientIo;
+                return ObjectState::TransientIo;
             }
         }
         let framed = match self.objects.lock().get(&id) {
             Some(bytes) => bytes.clone(),
-            None => return FrameState::Missing,
+            None => return ObjectState::Missing,
         };
-        match frame::verify_frame(&framed, Some(id)) {
-            Ok(payload) => FrameState::Valid(payload.to_vec()),
-            Err(e) => FrameState::Corrupt(e),
+        match frame::decode_frame_expecting(&framed, Some(id)) {
+            Ok((header, stored)) => ObjectState::Valid(StoredObject {
+                codec: header.codec,
+                uncompressed_len: header.uncompressed_len,
+                payload: stored.to_vec(),
+            }),
+            Err(e) => ObjectState::Corrupt(e),
         }
     }
 
@@ -475,11 +646,11 @@ mod tests {
         let t = Tier::with_faults(TierConfig::host(), plan);
         let err = t.store((0, 0), vec![9; 30]).unwrap_err();
         assert_eq!(err.kind, StoreErrorKind::TransientIo);
-        assert_eq!(err.payload, vec![9; 30]);
+        assert_eq!(err.object.payload, vec![9; 30]);
         assert_eq!(t.used_bytes(), 0);
         assert_eq!(t.bytes_written(), 0);
-        // Retry (op 1) succeeds.
-        t.store((0, 0), err.payload).unwrap();
+        // Retry (op 1) succeeds; the handed-back object is reusable as-is.
+        t.store_object((0, 0), err.object).unwrap();
         // Get op 0 fine, op 1 faulted, op 2 fine.
         assert_eq!(t.get((0, 0)), Some(vec![9; 30]));
         assert_eq!(t.inspect((0, 0)), FrameState::TransientIo);
@@ -494,5 +665,82 @@ mod tests {
         let raw = t.raw((0, 0)).unwrap();
         t.objects.lock().insert((0, 1), raw);
         assert!(matches!(t.inspect((0, 1)), FrameState::Corrupt(_)));
+    }
+
+    fn zstd_object(payload: &[u8]) -> StoredObject {
+        let codec = ckpt_compress::codec_by_id(6).unwrap();
+        let container = ckpt_compress::blocks::compress_blocks(
+            &*codec,
+            payload,
+            ckpt_compress::blocks::DEFAULT_BLOCK_SIZE,
+        );
+        StoredObject::encoded(6, payload.len() as u64, container)
+    }
+
+    #[test]
+    fn compressed_objects_round_trip_transparently() {
+        let t = Tier::new(TierConfig::host());
+        let payload: Vec<u8> = (0..100_000u32)
+            .flat_map(|i| (i % 37).to_le_bytes())
+            .collect();
+        let obj = zstd_object(&payload);
+        let stored_len = obj.stored_len();
+        assert!(stored_len < payload.len() as u64 / 2);
+        t.store_object((2, 7), obj.clone()).unwrap();
+
+        // Reads decode transparently…
+        assert_eq!(t.get((2, 7)), Some(payload.clone()));
+        assert_eq!(t.inspect((2, 7)), FrameState::Valid(payload));
+        // …while inspect_object exposes the encoded form verbatim.
+        assert_eq!(t.inspect_object((2, 7)), ObjectState::Valid(obj));
+
+        // Accounting charges the compressed size, not the original.
+        assert_eq!(t.used_bytes(), stored_len);
+        assert_eq!(t.bytes_written(), stored_len);
+    }
+
+    #[test]
+    fn capacity_is_enforced_on_compressed_size() {
+        let payload: Vec<u8> = vec![3; 64 * 1024];
+        let obj = zstd_object(&payload);
+        let t = Tier::new(TierConfig {
+            name: "tiny",
+            bandwidth_bps: 1e9,
+            // Too small for the raw payload, roomy for the compressed one.
+            capacity: payload.len() as u64 / 4,
+        });
+        assert!(obj.stored_len() <= t.config().capacity);
+        t.store_object((0, 0), obj).unwrap();
+        assert_eq!(
+            t.store((0, 1), payload).unwrap_err().kind,
+            StoreErrorKind::Full
+        );
+    }
+
+    #[test]
+    fn undecompressible_payload_reads_as_corrupt() {
+        // A frame whose checksum verifies but whose payload is not a valid
+        // block container: the frame layer cannot catch it, decode must.
+        let t = Tier::new(TierConfig::host());
+        let garbage = StoredObject::encoded(6, 4096, vec![0xAB; 64]);
+        t.store_object((1, 1), garbage.clone()).unwrap();
+        assert_eq!(t.inspect_object((1, 1)), ObjectState::Valid(garbage));
+        assert!(matches!(
+            t.inspect((1, 1)),
+            FrameState::Corrupt(frame::FrameError::Decompress { codec: 6 })
+        ));
+        assert_eq!(t.get((1, 1)), None);
+    }
+
+    #[test]
+    fn bit_flip_on_compressed_object_is_detected_without_decoding() {
+        let plan = FaultPlanBuilder::new()
+            .on_put("host", 0, FaultKind::BitFlip { bit: 401 })
+            .build();
+        let t = Tier::with_faults(TierConfig::host(), plan);
+        let payload: Vec<u8> = (0..50_000u32).flat_map(|i| (i % 9).to_le_bytes()).collect();
+        t.store_object((0, 0), zstd_object(&payload)).unwrap();
+        assert!(matches!(t.inspect_object((0, 0)), ObjectState::Corrupt(_)));
+        assert!(matches!(t.inspect((0, 0)), FrameState::Corrupt(_)));
     }
 }

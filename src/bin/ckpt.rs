@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! ckpt create  --out <dir> [--method tree|list|basic|full] [--chunk N]
-//!              [--compress zstd|lz4|...] [--stats] <snapshot files...>
+//!              [--compress off|adaptive|zstd|lz4|...]
+//!              [--payload-compress zstd|lz4|...] [--stats] <snapshot files...>
 //! ckpt info    <dir>
 //! ckpt stats   <dir>
 //! ckpt restore <dir> --version K --out <file> [--parallel] [--stats]
@@ -15,6 +16,16 @@
 //! unframed records are still readable (detected by the magic sniff). All
 //! snapshots must have equal length (the engine checkpoints a fixed-size
 //! buffer, like the paper's GDV array).
+//!
+//! `--compress` applies the runtime's frame-level compression stage to each
+//! record file: the encoded diff goes through the
+//! [`CompressionPolicy`](ckpt_runtime::CompressionPolicy) (`adaptive`
+//! samples each object and picks a codec; a codec name fixes one; `off` is
+//! the default) and is stored in a compressed frame whose checksum covers
+//! the compressed bytes. `info`/`stats`/`verify` read the codec flag and
+//! decompress transparently. `--payload-compress` is the older, orthogonal
+//! dedup-layer knob: it compresses first-occurrence chunk payloads *inside*
+//! the diff (`Diff::payload_codec`) before it is ever framed.
 //!
 //! A *compacted* record (chain-compaction GC deleted the files below a
 //! rebase point) starts at `NNNN.ckpt` for some `NNNN > 0`; every command
@@ -36,22 +47,39 @@
 //! "metrics": {"counters", "gauges", "histograms", "spans"}}` (see
 //! `DESIGN.md` § Observability).
 
+use gpu_dedup_ckpt::compress::codec_by_id;
 use gpu_dedup_ckpt::dedup::prelude::*;
-use gpu_dedup_ckpt::dedup::{encode_frame, looks_framed, verify_frame, Diff};
+use gpu_dedup_ckpt::dedup::{
+    decode_payload, encode_frame, encode_frame_compressed, looks_framed, Diff,
+};
 use gpu_dedup_ckpt::gpu_sim::Device;
+use gpu_dedup_ckpt::runtime::{CompressMetrics, CompressionEngine, CompressionPolicy};
 use gpu_dedup_ckpt::telemetry::{JsonWriter, Registry, StageBreakdown};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  ckpt create  --out <dir> [--method tree|list|basic|full] [--chunk N] \
-         [--compress <codec>] [--verify-collisions] [--stats] <snapshots...>\n  \
+         [--compress off|adaptive|<codec>] [--payload-compress <codec>] \
+         [--verify-collisions] [--stats] <snapshots...>\n  \
          ckpt info    <dir>\n  ckpt stats   <dir>\n  \
          ckpt restore <dir> --version K --out <file> [--parallel] [--stats]\n  \
          ckpt verify  <dir> [<snapshots...>]   (no snapshots: integrity-only mode)"
     );
     ExitCode::from(2)
+}
+
+/// The display name of a frame codec id (`raw` for 0).
+fn codec_name(codec: u8) -> String {
+    if codec == 0 {
+        "raw".into()
+    } else {
+        codec_by_id(codec)
+            .map(|c| c.name().to_string())
+            .unwrap_or_else(|| format!("codec{codec}"))
+    }
 }
 
 fn main() -> ExitCode {
@@ -86,15 +114,19 @@ fn diff_path(dir: &Path, version: usize) -> PathBuf {
     dir.join(format!("{version:04}.ckpt"))
 }
 
-/// Unwrap a checkpoint file's integrity frame (verifying it), falling back
-/// to the raw bytes for legacy unframed records. CLI records use rank 0 and
-/// the version number as checkpoint id.
-fn unframe<'a>(bytes: &'a [u8], version: usize, path: &Path) -> Result<&'a [u8], String> {
+/// Unwrap a checkpoint file's integrity frame — verifying the checksum
+/// (over the *stored* bytes, compressed or not) and transparently
+/// decompressing compressed frames — falling back to the raw bytes for
+/// legacy unframed records. Returns the frame codec id (0 for uncompressed
+/// or legacy) and the decoded diff payload. CLI records use rank 0 and the
+/// version number as checkpoint id.
+fn unframe(bytes: &[u8], version: usize, path: &Path) -> Result<(u8, Vec<u8>), String> {
     if looks_framed(bytes) {
-        verify_frame(bytes, Some((0, version as u32)))
+        decode_payload(bytes, Some((0, version as u32)))
+            .map(|(header, payload)| (header.codec, payload))
             .map_err(|e| format!("{}: corrupt frame: {e}", path.display()))
     } else {
-        Ok(bytes)
+        Ok((0, bytes.to_vec()))
     }
 }
 
@@ -117,21 +149,27 @@ fn record_base(dir: &Path) -> Result<usize, Box<dyn std::error::Error>> {
     base.ok_or_else(|| format!("no checkpoints found in {}", dir.display()).into())
 }
 
-/// Load the record's diffs in version order, verifying integrity frames.
-/// Returns `(base, diffs)` where `base` is the first surviving version: a
-/// compacted record starts at its rebase point, whose head record must be
-/// self-contained (it replays with no reference below itself).
-fn load_record(dir: &Path) -> Result<(usize, Vec<Diff>), Box<dyn std::error::Error>> {
+/// Load the record's diffs in version order, verifying integrity frames
+/// and transparently decompressing compressed frames. Returns
+/// `(base, diffs, frame_codecs)` where `base` is the first surviving
+/// version (a compacted record starts at its rebase point, whose head
+/// record must be self-contained) and `frame_codecs[k]` is the frame-level
+/// codec id version `base + k` was stored with (0 = uncompressed).
+type LoadedRecord = (usize, Vec<Diff>, Vec<u8>);
+
+fn load_record(dir: &Path) -> Result<LoadedRecord, Box<dyn std::error::Error>> {
     let base = record_base(dir)?;
     let mut diffs = Vec::new();
+    let mut codecs = Vec::new();
     for version in base.. {
         let path = diff_path(dir, version);
         if !path.exists() {
             break;
         }
         let bytes = std::fs::read(&path)?;
-        let payload = unframe(&bytes, version, &path)?;
-        diffs.push(Diff::decode(payload).map_err(|e| format!("{}: {e}", path.display()))?);
+        let (codec, payload) = unframe(&bytes, version, &path)?;
+        codecs.push(codec);
+        diffs.push(Diff::decode(&payload).map_err(|e| format!("{}: {e}", path.display()))?);
     }
     if base > 0 && !is_self_contained(&diffs[0]) {
         return Err(format!(
@@ -140,7 +178,7 @@ fn load_record(dir: &Path) -> Result<(usize, Vec<Diff>), Box<dyn std::error::Err
         )
         .into());
     }
-    Ok((base, diffs))
+    Ok((base, diffs, codecs))
 }
 
 /// Print the one-line JSON telemetry report: the command-specific header
@@ -177,6 +215,7 @@ fn cmd_create(args: &[String], stats: bool) -> CliResult {
     let mut method = "tree".to_string();
     let mut chunk = 128usize;
     let mut compress: Option<String> = None;
+    let mut payload_compress: Option<String> = None;
     let mut verify_collisions = false;
     let mut snapshots: Vec<PathBuf> = Vec::new();
     let mut i = 0;
@@ -198,6 +237,14 @@ fn cmd_create(args: &[String], stats: bool) -> CliResult {
                 compress = Some(args.get(i + 1).ok_or("--compress needs a value")?.clone());
                 i += 2;
             }
+            "--payload-compress" => {
+                payload_compress = Some(
+                    args.get(i + 1)
+                        .ok_or("--payload-compress needs a value")?
+                        .clone(),
+                );
+                i += 2;
+            }
             "--verify-collisions" => {
                 verify_collisions = true;
                 i += 1;
@@ -214,9 +261,17 @@ fn cmd_create(args: &[String], stats: bool) -> CliResult {
     }
     std::fs::create_dir_all(&out_dir)?;
 
+    // `--compress` is the frame-level stage (post-dedup, per record file);
+    // `--payload-compress` the dedup-layer knob (inside the diff).
+    let policy = match &compress {
+        None => CompressionPolicy::Off,
+        Some(spec) => CompressionPolicy::parse(spec)
+            .ok_or_else(|| format!("unknown --compress policy '{spec}' (off|adaptive|<codec>)"))?,
+    };
+
     let device = Device::a100();
     let mut cfg = TreeConfig::new(chunk);
-    if let Some(codec) = &compress {
+    if let Some(codec) = &payload_compress {
         cfg = cfg.with_payload_codec(codec);
     }
     if verify_collisions {
@@ -230,7 +285,13 @@ fn cmd_create(args: &[String], stats: bool) -> CliResult {
         other => return Err(format!("unknown method '{other}'").into()),
     };
 
-    let registry = Registry::new();
+    let registry = Arc::new(Registry::new());
+    let metrics = Arc::new(if stats {
+        CompressMetrics::bound(registry.clone())
+    } else {
+        CompressMetrics::detached()
+    });
+    let engine = CompressionEngine::new(policy, metrics);
     let mut breakdowns = Vec::new();
     let mut total_in = 0u64;
     let mut total_out = 0u64;
@@ -243,29 +304,51 @@ fn cmd_create(args: &[String], stats: bool) -> CliResult {
         }
         drop(span);
         let encoded = out.diff.encode();
-        // The on-disk file is the encoded diff wrapped in an integrity
-        // frame; sizes reported below are payload sizes (the 32-byte
-        // header is bookkeeping, not checkpoint data).
-        std::fs::write(
-            diff_path(&out_dir, version),
-            encode_frame(0, version as u32, &encoded),
-        )?;
+        let encoded_len = encoded.len();
+        // The on-disk file is the encoded diff, run through the frame-level
+        // compression policy and wrapped in an integrity frame; sizes
+        // reported below are stored payload sizes (the 32-byte header is
+        // bookkeeping, not checkpoint data).
+        let object = engine.encode(encoded);
+        let stored_len = object.payload.len();
+        let framed = if object.codec == 0 {
+            encode_frame(0, version as u32, &object.payload)
+        } else {
+            encode_frame_compressed(
+                0,
+                version as u32,
+                object.codec,
+                object.uncompressed_len,
+                &object.payload,
+            )
+        };
+        std::fs::write(diff_path(&out_dir, version), framed)?;
         total_in += data.len() as u64;
-        total_out += encoded.len() as u64;
+        total_out += stored_len as u64;
         println!(
-            "v{version:04}  {:>12} -> {:>12} bytes  (ratio {:>8.2}x)  {}",
+            "v{version:04}  {:>12} -> {:>12} bytes  (ratio {:>8.2}x)  {}{}",
             data.len(),
-            encoded.len(),
+            stored_len,
             out.stats.ratio(),
-            path.display()
+            path.display(),
+            if object.codec != 0 {
+                format!(
+                    "  [frame {}: {encoded_len} -> {stored_len} B]",
+                    codec_name(object.codec)
+                )
+            } else {
+                String::new()
+            },
         );
         if stats {
             registry
                 .histogram("cli/snapshot_bytes")
                 .record(data.len() as u64);
+            // Payload units (pre-compression), comparable across policies;
+            // the `compress/*` counters carry the post-compression story.
             registry
                 .histogram("cli/encoded_bytes")
-                .record(encoded.len() as u64);
+                .record(encoded_len as u64);
             breakdowns.push(out.breakdown);
         }
     }
@@ -311,7 +394,7 @@ fn cmd_create(args: &[String], stats: bool) -> CliResult {
 
 fn cmd_info(args: &[String]) -> CliResult {
     let dir = PathBuf::from(args.first().ok_or("missing <dir>")?);
-    let (base, diffs) = load_record(&dir)?;
+    let (base, diffs, codecs) = load_record(&dir)?;
     println!(
         "record {}: {} versions{}, method {}, chunk {} B, buffer {} bytes",
         dir.display(),
@@ -326,10 +409,10 @@ fn cmd_info(args: &[String]) -> CliResult {
         diffs[0].data_len,
     );
     let mut total = 0u64;
-    for d in &diffs {
+    for (d, &frame_codec) in diffs.iter().zip(&codecs) {
         total += d.stored_bytes() as u64;
         println!(
-            "  v{:04}  stored {:>10} B  payload {:>10} B  meta {:>8} B  regions {:>6}+{:<6}{}",
+            "  v{:04}  stored {:>10} B  payload {:>10} B  meta {:>8} B  regions {:>6}+{:<6}{}{}",
             d.ckpt_id,
             d.stored_bytes(),
             d.payload.len(),
@@ -340,6 +423,11 @@ fn cmd_info(args: &[String]) -> CliResult {
                 "  [compressed]"
             } else {
                 ""
+            },
+            if frame_codec != 0 {
+                format!("  [frame {}]", codec_name(frame_codec))
+            } else {
+                String::new()
             },
         );
     }
@@ -355,13 +443,20 @@ fn cmd_info(args: &[String]) -> CliResult {
 /// per-version size distributions as histograms, plus record totals.
 fn cmd_stats(args: &[String]) -> CliResult {
     let dir = PathBuf::from(args.first().ok_or("missing <dir>")?);
-    let (base, diffs) = load_record(&dir)?;
+    let (base, diffs, codecs) = load_record(&dir)?;
     let registry = Registry::new();
     let mut stored = 0u64;
-    for d in &diffs {
+    let mut compressed_frames = 0u64;
+    for (d, &frame_codec) in diffs.iter().zip(&codecs) {
         registry
             .histogram("record/stored_bytes")
             .record(d.stored_bytes() as u64);
+        if frame_codec != 0 {
+            compressed_frames += 1;
+            registry
+                .counter(&format!("record/frames/{}", codec_name(frame_codec)))
+                .inc();
+        }
         registry
             .histogram("record/payload_bytes")
             .record(d.payload.len() as u64);
@@ -384,6 +479,7 @@ fn cmd_stats(args: &[String]) -> CliResult {
             ("data_len", diffs[0].data_len),
             ("chunk_size", diffs[0].chunk_size as u64),
             ("stored_bytes", stored),
+            ("compressed_frames", compressed_frames),
         ],
         Some(diffs[0].kind.name()),
         &[],
@@ -420,7 +516,7 @@ fn cmd_restore(args: &[String], stats: bool) -> CliResult {
     }
     let dir = dir.ok_or("missing <dir>")?;
     let out = out.ok_or("missing --out <file>")?;
-    let (base, diffs) = load_record(&dir)?;
+    let (base, diffs, _codecs) = load_record(&dir)?;
     let last = base + diffs.len() - 1;
     let version = version.unwrap_or(last);
     if version < base || version > last {
@@ -512,14 +608,21 @@ fn verify_integrity(dir: &Path) -> CliResult {
         match unframe(&bytes, version, &path)
             .map_err(Into::into)
             .and_then(
-                |payload: &[u8]| -> Result<Diff, Box<dyn std::error::Error>> {
-                    Diff::decode(payload).map_err(|e| format!("{}: {e}", path.display()).into())
-                },
-            ) {
-            Ok(diff) => {
+            |(codec, payload): (u8, Vec<u8>)| -> Result<(u8, Diff), Box<dyn std::error::Error>> {
+                Diff::decode(&payload)
+                    .map(|d| (codec, d))
+                    .map_err(|e| format!("{}: {e}", path.display()).into())
+            },
+        ) {
+            Ok((codec, diff)) => {
                 println!(
-                    "v{version:04} ok   frame + diff verified ({} B){legacy}",
-                    bytes.len()
+                    "v{version:04} ok   frame + diff verified ({} B){}{legacy}",
+                    bytes.len(),
+                    if codec != 0 {
+                        format!("  [frame {}]", codec_name(codec))
+                    } else {
+                        String::new()
+                    },
                 );
                 diffs.push(diff);
             }
@@ -559,7 +662,7 @@ fn cmd_verify(args: &[String]) -> CliResult {
     if originals.is_empty() {
         return verify_integrity(&dir);
     }
-    let (base, diffs) = load_record(&dir)?;
+    let (base, diffs, _codecs) = load_record(&dir)?;
     if originals.len() != diffs.len() {
         return Err(format!(
             "record has {} versions (from v{base:04}) but {} originals were given",
