@@ -21,6 +21,9 @@
 //!   flush_pipeline    compressed-tier flush sweep, method x compression
 //!                     policy x threads (writes BENCH_flush_pipeline.json;
 //!                     see --scales / --threads)
+//!   redundancy        cross-rank redundancy groups: throughput overhead
+//!                     and rank-loss restore latency vs PFS-only recovery,
+//!                     method x policy (writes BENCH_redundancy.json)
 //!   ablation-hash     A1: Murmur3 vs MD5
 //!   ablation-metadata A2: Tree vs List metadata
 //!   ablation-waves    A3: two-stage vs naive wave ordering
@@ -34,7 +37,7 @@ use ckpt_bench::report;
 fn usage() -> ! {
     eprintln!(
         "usage: figures <table1|fig2|fig4|fig5|fig6|hybrid|highfreq|streaming|adjoint|host_scaling|restart_latency|\
-         flush_pipeline|ablation-hash|ablation-metadata|ablation-waves|ablation-gorder|ablation-fusion|all> \
+         flush_pipeline|redundancy|ablation-hash|ablation-metadata|ablation-waves|ablation-gorder|ablation-fusion|all> \
          [--scale N] [--scales A,B,C] [--threads A,B,C] [--chain-lens A,B] [--rank-scale N] [--coverage F] \
          [--seed N] [--json-out PATH]"
     );
@@ -213,6 +216,21 @@ fn main() {
             .unwrap_or_else(|| "BENCH_flush_pipeline.json".into());
         std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
         let mut text = report::render_flush_pipeline(&rep);
+        text.push_str(&format!("wrote {out}\n"));
+        text
+    });
+    run("redundancy", &mut || {
+        let scale = scales
+            .clone()
+            .and_then(|s| s.first().copied())
+            .unwrap_or(experiments::REDUNDANCY_SCALE);
+        let rep = experiments::redundancy_at(scale, cfg.seed);
+        let json = report::render_redundancy_json(&rep);
+        let out = json_out
+            .clone()
+            .unwrap_or_else(|| "BENCH_redundancy.json".into());
+        std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+        let mut text = report::render_redundancy(&rep);
         text.push_str(&format!("wrote {out}\n"));
         text
     });

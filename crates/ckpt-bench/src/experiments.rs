@@ -1202,6 +1202,263 @@ pub fn flush_pipeline_at(scales: &[usize], seed: u64, threads: &[usize]) -> Flus
     }
 }
 
+// ------------------------------------ Cross-rank redundancy groups
+
+/// One redundancy-policy point of the rank-loss sweep.
+#[derive(Debug)]
+pub struct RedundancyPoint {
+    /// Policy spelling (`off`, `partner`, `xor:<k>`).
+    pub policy: String,
+    /// Pre-compression payload bytes submitted across all ranks.
+    pub raw_bytes: u64,
+    /// Post-compression wire bytes durable on the PFS, all ranks.
+    pub stored_bytes: u64,
+    /// Bytes resident on the redundancy group tier (0 with policy off).
+    pub group_bytes: u64,
+    /// `group_bytes * 100 / stored_bytes` — the storage cost of the
+    /// encoding (≈100 for partner, ≈100/(k−1) for `xor:k`).
+    pub storage_overhead_pct: u64,
+    /// Wall time from first submit to a fully drained PFS (the
+    /// producer-visible makespan; redundancy encoding rides the flusher).
+    pub wall_sec: f64,
+    /// Aggregate submit throughput, raw bytes over `wall_sec`.
+    pub agg_throughput_bps: f64,
+    /// Extra wall time until every member's redundancy encoding is also
+    /// durable (what GC waits on before `compact_below`).
+    pub redundancy_drain_sec: f64,
+    /// Producer time blocked in the depth-1 handoff — must not grow when
+    /// a redundancy policy is enabled (critical path untouched).
+    pub enqueue_wait_sec: f64,
+    /// Where the lost rank's record came back from: `pfs` (policy off —
+    /// local tiers lost, PFS survives) or `group` (every local copy
+    /// including the PFS lost; partners/parity rebuild it).
+    pub restore_source: &'static str,
+    /// Wall time to restore the lost rank's latest checkpoint.
+    pub rank_loss_restore_sec: f64,
+    /// Murmur3 digest of the restored bytes.
+    pub restore_digest: (u64, u64),
+    /// The digest equals the lost rank's final snapshot (bit-exact).
+    pub restore_ok: bool,
+}
+
+/// One method's policy sweep.
+#[derive(Debug)]
+pub struct RedundancyCell {
+    pub method: &'static str,
+    pub points: Vec<RedundancyPoint>,
+}
+
+impl RedundancyCell {
+    pub fn point(&self, policy: &str) -> Option<&RedundancyPoint> {
+        self.points.iter().find(|p| p.policy == policy)
+    }
+
+    /// Producer-visible throughput cost of `policy` over `off`, percent
+    /// (positive = slower with redundancy).
+    pub fn throughput_overhead_pct(&self, policy: &str) -> f64 {
+        match (self.point("off"), self.point(policy)) {
+            (Some(off), Some(p)) => (p.wall_sec / off.wall_sec.max(1e-12) - 1.0) * 100.0,
+            _ => 0.0,
+        }
+    }
+
+    /// Every point restored the lost rank bit-exact.
+    pub fn bit_identical(&self) -> bool {
+        self.points.iter().all(|p| p.restore_ok)
+    }
+}
+
+/// The rank-loss redundancy benchmark (`BENCH_redundancy.json`).
+#[derive(Debug)]
+pub struct RedundancyReport {
+    pub graph: PaperGraph,
+    pub scale: usize,
+    pub n_ranks: usize,
+    pub n_checkpoints: usize,
+    /// The rank whose local tiers get wiped before the restore timing.
+    pub lost_rank: u32,
+    pub cells: Vec<RedundancyCell>,
+}
+
+impl RedundancyReport {
+    pub fn bit_identical(&self) -> bool {
+        self.cells.iter().all(|c| c.bit_identical())
+    }
+}
+
+/// Checkpoints per rank in the redundancy sweep.
+pub const REDUNDANCY_CHECKPOINTS: usize = 6;
+
+/// Ranks in the modeled cluster (divisible by every swept group size).
+pub const REDUNDANCY_RANKS: usize = 4;
+
+/// Policies swept: no redundancy (PFS-only recovery baseline), full
+/// partner copies, and XOR parity at two group sizes.
+pub const REDUNDANCY_POLICIES: [&str; 4] = ["off", "partner", "xor:2", "xor:4"];
+
+/// Default problem scale (graph vertices per rank).
+pub const REDUNDANCY_SCALE: usize = 20_000;
+
+/// The cross-rank redundancy benchmark: per method, every rank hashes its
+/// own record once (encoded diffs are policy-independent), then each
+/// policy submits all ranks' records interleaved through one depth-1
+/// pipeline into a redundancy-enabled [`AsyncRuntime`]. After the PFS
+/// drains (and the group encodings settle), rank `lost_rank` suffers a
+/// full local loss — with policy `off` only host+SSD go (PFS-only
+/// recovery, the baseline); with redundancy on, the PFS copies are wiped
+/// too, so the parallel restart engine must rebuild every record from the
+/// group before replaying. The restored bytes are digest-checked against
+/// the rank's final snapshot.
+pub fn redundancy_at(scale: usize, seed: u64) -> RedundancyReport {
+    use ckpt_hash::{Hasher128, Murmur3};
+    use ckpt_runtime::{
+        restore_rank_latest_parallel, CheckpointPipeline, CompressionPolicy, RedundancyPolicy,
+        TierChain,
+    };
+    use ckpt_telemetry::Registry;
+    use std::sync::Arc;
+
+    let hasher = Murmur3;
+    let graph = PaperGraph::MessageRace;
+    let lost_rank: u32 = 1;
+
+    // Per-rank workloads: same graph, seed-perturbed so records differ.
+    let workloads: Vec<_> = (0..REDUNDANCY_RANKS)
+        .map(|r| gdv_snapshots(graph, scale, REDUNDANCY_CHECKPOINTS, seed + r as u64, true))
+        .collect();
+    let want: Vec<_> = workloads
+        .iter()
+        .map(|w| {
+            let d = hasher.hash(w.snapshots.last().expect("snapshots"));
+            (d.h1, d.h2)
+        })
+        .collect();
+
+    let device = Device::a100();
+    let mut cells = Vec::new();
+    for method in ["Tree", "Full"] {
+        // Hash every rank's record once; diffs depend only on the method.
+        let mut encoded: Vec<Vec<Vec<u8>>> = Vec::new();
+        for w in &workloads {
+            let mut m: Box<dyn Checkpointer> = match method {
+                "Tree" => Box::new(TreeCheckpointer::new(
+                    device.clone(),
+                    TreeConfig::new(FIG5_CHUNK),
+                )),
+                _ => Box::new(FullCheckpointer::new(device.clone(), FIG5_CHUNK)),
+            };
+            encoded.push(
+                w.snapshots
+                    .iter()
+                    .map(|s| m.checkpoint(s).diff.encode())
+                    .collect(),
+            );
+        }
+        let raw_bytes: u64 = encoded
+            .iter()
+            .flat_map(|r| r.iter().map(|e| e.len() as u64))
+            .sum();
+
+        let mut points = Vec::new();
+        for policy_name in REDUNDANCY_POLICIES {
+            let redundancy = RedundancyPolicy::parse(policy_name).expect("known policy");
+            let registry = Arc::new(Registry::new());
+            let rt = Arc::new(AsyncRuntime::with_redundancy(
+                TierChain::new(),
+                0.0,
+                Arc::clone(&registry),
+                CompressionPolicy::parse("adaptive").expect("known policy"),
+                redundancy,
+            ));
+            let pipe = CheckpointPipeline::new(Arc::clone(&rt));
+            let ids: Vec<(u32, u32)> = (0..REDUNDANCY_CHECKPOINTS as u32)
+                .flat_map(|k| (0..REDUNDANCY_RANKS as u32).map(move |r| (r, k)))
+                .collect();
+            let t0 = std::time::Instant::now();
+            for k in 0..REDUNDANCY_CHECKPOINTS {
+                // Interleave ranks checkpoint-major, the cluster schedule.
+                for (r, rank_encoded) in encoded.iter().enumerate() {
+                    let b = rank_encoded[k].clone();
+                    pipe.submit_with(r as u32, k as u32, Box::new(move || b));
+                }
+            }
+            let pstats = pipe.close();
+            rt.wait_durable(&ids);
+            let wall_sec = t0.elapsed().as_secs_f64();
+            assert_eq!(
+                pstats.submitted,
+                ids.len() as u64,
+                "every checkpoint must land durably"
+            );
+            let t1 = std::time::Instant::now();
+            rt.wait_redundancy_durable(&ids);
+            let redundancy_drain_sec = t1.elapsed().as_secs_f64();
+
+            let stored_bytes: u64 = ids
+                .iter()
+                .map(|&id| {
+                    rt.tiers()
+                        .pfs
+                        .inspect_object(id)
+                        .into_object()
+                        .expect("durable object")
+                        .stored_len()
+                })
+                .sum();
+            let group_bytes = rt
+                .tiers()
+                .redundancy()
+                .map(|red| red.group_tier().used_bytes())
+                .unwrap_or(0);
+
+            // Rank loss: local tiers always go; with redundancy on, the
+            // PFS copies go too so recovery must come from the group.
+            rt.tiers().host.wipe_rank(lost_rank);
+            rt.tiers().ssd.wipe_rank(lost_rank);
+            let restore_source = if redundancy == RedundancyPolicy::Off {
+                "pfs"
+            } else {
+                rt.tiers().pfs.wipe_rank(lost_rank);
+                "group"
+            };
+            let t2 = std::time::Instant::now();
+            let restored = restore_rank_latest_parallel(rt.tiers(), &device, lost_rank, None)
+                .expect("lost rank restorable");
+            let rank_loss_restore_sec = t2.elapsed().as_secs_f64();
+            let digest = hasher.hash(&restored.data);
+
+            points.push(RedundancyPoint {
+                policy: policy_name.to_string(),
+                raw_bytes,
+                stored_bytes,
+                group_bytes,
+                storage_overhead_pct: group_bytes * 100 / stored_bytes.max(1),
+                wall_sec,
+                agg_throughput_bps: raw_bytes as f64 / wall_sec.max(1e-12),
+                redundancy_drain_sec,
+                enqueue_wait_sec: registry.span_stats("pipeline/enqueue_wait").measured_sec(),
+                restore_source,
+                rank_loss_restore_sec,
+                restore_digest: (digest.h1, digest.h2),
+                restore_ok: (digest.h1, digest.h2) == want[lost_rank as usize],
+            });
+            Arc::try_unwrap(rt)
+                .ok()
+                .expect("pipeline released its handle")
+                .shutdown();
+        }
+        cells.push(RedundancyCell { method, points });
+    }
+    RedundancyReport {
+        graph,
+        scale,
+        n_ranks: REDUNDANCY_RANKS,
+        n_checkpoints: REDUNDANCY_CHECKPOINTS,
+        lost_rank,
+        cells,
+    }
+}
+
 /// A4: vertex-ordering pre-processing — Gorder vs the classic orderings the
 /// Gorder paper compares against (BFS, RCM) and the as-received labeling.
 #[derive(Debug)]
@@ -1547,6 +1804,32 @@ mod tests {
                 );
                 assert!(p.host_modeled_sec > 0.0);
             }
+        }
+    }
+
+    #[test]
+    fn redundancy_restores_lost_rank_bit_identically() {
+        let rep = redundancy_at(900, 7);
+        assert_eq!(rep.cells.len(), 2);
+        assert!(rep.bit_identical(), "lost-rank restore drifted");
+        for cell in &rep.cells {
+            assert_eq!(cell.points.len(), REDUNDANCY_POLICIES.len());
+            let off = cell.point("off").unwrap();
+            assert_eq!(off.group_bytes, 0);
+            assert_eq!(off.restore_source, "pfs");
+            for policy in ["partner", "xor:2", "xor:4"] {
+                let p = cell.point(policy).unwrap();
+                assert_eq!(p.restore_source, "group");
+                assert!(p.group_bytes > 0, "{policy}: no group objects");
+                assert_eq!(p.restore_digest, off.restore_digest);
+            }
+            // XOR parity must be cheaper than mirroring, and wider groups
+            // cheaper than narrow ones.
+            let partner = cell.point("partner").unwrap();
+            let x2 = cell.point("xor:2").unwrap();
+            let x4 = cell.point("xor:4").unwrap();
+            assert!(x4.group_bytes < x2.group_bytes);
+            assert!(x2.group_bytes <= partner.group_bytes + partner.group_bytes / 8);
         }
     }
 

@@ -577,6 +577,103 @@ pub fn render_flush_pipeline_json(rep: &FlushPipelineReport) -> String {
     w.finish()
 }
 
+pub fn render_redundancy(rep: &RedundancyReport) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "Cross-rank redundancy: {} ranks x {} checkpoints [{} / scale {}], rank {} lost\n",
+        rep.n_ranks,
+        rep.n_checkpoints,
+        rep.graph.name(),
+        rep.scale,
+        rep.lost_rank,
+    ));
+    for cell in &rep.cells {
+        s.push_str(&format!(
+            "\n{}: rank-loss restores bit-identical: {}\n",
+            cell.method,
+            cell.bit_identical()
+        ));
+        s.push_str(&format!(
+            "{:>8} {:>12} {:>12} {:>9} {:>10} {:>9} {:>10} {:>7} {:>10} {:>8}\n",
+            "policy",
+            "stored",
+            "group",
+            "store-ov",
+            "wall",
+            "tput-ov",
+            "red-drain",
+            "source",
+            "restore",
+            "digest"
+        ));
+        for p in &cell.points {
+            s.push_str(&format!(
+                "{:>8} {:>12} {:>12} {:>8}% {:>7.2} ms {:>8.1}% {:>7.2} ms {:>7} {:>7.2} ms {:>8}\n",
+                p.policy,
+                fmt_bytes(p.stored_bytes),
+                fmt_bytes(p.group_bytes),
+                p.storage_overhead_pct,
+                p.wall_sec * 1e3,
+                cell.throughput_overhead_pct(&p.policy),
+                p.redundancy_drain_sec * 1e3,
+                p.restore_source,
+                p.rank_loss_restore_sec * 1e3,
+                if p.restore_ok { "ok" } else { "MISMATCH" },
+            ));
+        }
+    }
+    s
+}
+
+/// The machine-readable side of the redundancy sweep
+/// (`BENCH_redundancy.json`).
+pub fn render_redundancy_json(rep: &RedundancyReport) -> String {
+    let mut w = ckpt_telemetry::JsonWriter::new();
+    w.begin_object();
+    w.key("redundancy").begin_object();
+    w.key("graph").string(rep.graph.name());
+    w.key("scale").u64(rep.scale as u64);
+    w.key("n_ranks").u64(rep.n_ranks as u64);
+    w.key("n_checkpoints").u64(rep.n_checkpoints as u64);
+    w.key("lost_rank").u64(rep.lost_rank as u64);
+    w.key("bit_identical").bool(rep.bit_identical());
+    w.key("cells").begin_array();
+    for cell in &rep.cells {
+        w.begin_object();
+        w.key("method").string(cell.method);
+        w.key("bit_identical").bool(cell.bit_identical());
+        w.key("points").begin_array();
+        for p in &cell.points {
+            w.begin_object();
+            w.key("policy").string(&p.policy);
+            w.key("raw_bytes").u64(p.raw_bytes);
+            w.key("stored_bytes").u64(p.stored_bytes);
+            w.key("group_bytes").u64(p.group_bytes);
+            w.key("storage_overhead_pct").u64(p.storage_overhead_pct);
+            w.key("wall_sec").f64(p.wall_sec);
+            w.key("agg_throughput_bps").f64(p.agg_throughput_bps);
+            w.key("throughput_overhead_pct")
+                .f64(cell.throughput_overhead_pct(&p.policy));
+            w.key("redundancy_drain_sec").f64(p.redundancy_drain_sec);
+            w.key("enqueue_wait_sec").f64(p.enqueue_wait_sec);
+            w.key("restore_source").string(p.restore_source);
+            w.key("rank_loss_restore_sec").f64(p.rank_loss_restore_sec);
+            w.key("restore_digest").string(&format!(
+                "{:016x}{:016x}",
+                p.restore_digest.0, p.restore_digest.1
+            ));
+            w.key("restore_ok").bool(p.restore_ok);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.end_object();
+    w.finish()
+}
+
 /// The machine-readable side of Figure 5 (`BENCH_fig5.json`), including
 /// the hybrid `Tree+codec` series.
 pub fn render_fig5_json(cells: &[Fig5Cell]) -> String {

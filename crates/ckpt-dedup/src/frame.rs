@@ -344,6 +344,179 @@ pub fn decompress_payload(
     Ok(payload)
 }
 
+// ---- Redundancy-group parity records ------------------------------------
+//
+// Cross-rank redundancy (partner copies / XOR parity groups) stores *parity
+// records* alongside ordinary objects. A parity record is a self-describing
+// payload with its own magic — it travels **inside** a standard codec-0
+// frame in the group store, so the legacy frame format above is untouched.
+//
+// Layout (little-endian):
+//
+// | offset | size | field |
+// |---|---|---|
+// | 0  | 4 | magic `"CKPX"` |
+// | 4  | 2 | record version (currently 1) |
+// | 6  | 2 | reserved (0) |
+// | 8  | 4 | group id |
+// | 12 | 4 | stripe index within the group |
+// | 16 | 4 | checkpoint id |
+// | 20 | 4 | member count `n` |
+// | 24 | 8 | parity length in bytes |
+// | 32 | 8 | checksum of everything after offset 40 |
+// | 40 | 37·n | member table (rank u32, codec u8, uncompressed_len u64, |
+// |    |      | stored_len u64, chunk_len u64, checksum u64) |
+// | …  | parity_len | XOR parity bytes |
+
+/// Parity record magic: "CKPX".
+pub const PARITY_MAGIC: [u8; 4] = *b"CKPX";
+
+/// Current parity record version.
+pub const PARITY_VERSION: u16 = 1;
+
+/// Fixed parity-record header size preceding the member table.
+pub const PARITY_HEADER_LEN: usize = 40;
+
+/// Serialized size of one member-table entry.
+pub const PARITY_MEMBER_LEN: usize = 37;
+
+/// Metadata a parity record carries for each contributing group member, so
+/// a lost member can be reconstructed and verified without any surviving
+/// local state of its own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParityMember {
+    pub rank: u32,
+    /// Codec of the member's stored (post-compression) payload.
+    pub codec: u8,
+    pub uncompressed_len: u64,
+    /// Stored payload length the member had when it was encoded.
+    pub stored_len: u64,
+    /// Chunk length the member's payload was striped with.
+    pub chunk_len: u64,
+    /// [`checksum64_region`]`(rank, ckpt_id, codec, payload)` of the
+    /// member's stored bytes — reconstruction is verified against this, so
+    /// a wrong payload can never be returned silently.
+    pub checksum: u64,
+}
+
+/// One XOR parity stripe of a redundancy group at a given checkpoint id:
+/// the running XOR of each contributing member's chunk assigned to this
+/// stripe (shorter chunks are implicitly zero-padded), plus every
+/// contributor's metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ParityRecord {
+    pub group: u32,
+    pub stripe: u32,
+    pub ckpt_id: u32,
+    pub members: Vec<ParityMember>,
+    pub parity: Vec<u8>,
+}
+
+impl ParityRecord {
+    /// Serialize to the layout documented above.
+    pub fn encode(&self) -> Vec<u8> {
+        let body_len = PARITY_MEMBER_LEN * self.members.len() + self.parity.len();
+        let mut out = Vec::with_capacity(PARITY_HEADER_LEN + body_len);
+        out.extend_from_slice(&PARITY_MAGIC);
+        out.extend_from_slice(&PARITY_VERSION.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes());
+        out.extend_from_slice(&self.group.to_le_bytes());
+        out.extend_from_slice(&self.stripe.to_le_bytes());
+        out.extend_from_slice(&self.ckpt_id.to_le_bytes());
+        out.extend_from_slice(&(self.members.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.parity.len() as u64).to_le_bytes());
+        out.extend_from_slice(&[0u8; 8]); // checksum patched below
+        for m in &self.members {
+            out.extend_from_slice(&m.rank.to_le_bytes());
+            out.push(m.codec);
+            out.extend_from_slice(&m.uncompressed_len.to_le_bytes());
+            out.extend_from_slice(&m.stored_len.to_le_bytes());
+            out.extend_from_slice(&m.chunk_len.to_le_bytes());
+            out.extend_from_slice(&m.checksum.to_le_bytes());
+        }
+        out.extend_from_slice(&self.parity);
+        let sum = checksum64_region(
+            self.group,
+            self.stripe ^ self.ckpt_id.rotate_left(8),
+            0,
+            &out[PARITY_HEADER_LEN..],
+        );
+        out[32..40].copy_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Parse and fully verify a serialized parity record. Lengths are
+    /// validated against the actual buffer before anything is hashed, so a
+    /// corrupted count field can never drive an allocation.
+    pub fn decode(bytes: &[u8]) -> Result<ParityRecord, FrameError> {
+        if bytes.len() < PARITY_HEADER_LEN {
+            return Err(FrameError::TooShort { len: bytes.len() });
+        }
+        if bytes[0..4] != PARITY_MAGIC {
+            return Err(FrameError::BadMagic);
+        }
+        let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
+        if version != PARITY_VERSION {
+            return Err(FrameError::BadVersion { version });
+        }
+        let reserved = u16::from_le_bytes(bytes[6..8].try_into().unwrap());
+        if reserved != 0 {
+            return Err(FrameError::BadFlags { flags: reserved });
+        }
+        let group = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        let stripe = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+        let ckpt_id = u32::from_le_bytes(bytes[16..20].try_into().unwrap());
+        let n_members = u32::from_le_bytes(bytes[20..24].try_into().unwrap()) as u64;
+        let parity_len = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
+        let checksum = u64::from_le_bytes(bytes[32..40].try_into().unwrap());
+        let have = (bytes.len() - PARITY_HEADER_LEN) as u64;
+        let expected = n_members
+            .saturating_mul(PARITY_MEMBER_LEN as u64)
+            .saturating_add(parity_len);
+        if have < expected {
+            return Err(FrameError::Truncated { expected, have });
+        }
+        if have > expected {
+            return Err(FrameError::TrailingBytes { expected, have });
+        }
+        let body = &bytes[PARITY_HEADER_LEN..];
+        let got = checksum64_region(group, stripe ^ ckpt_id.rotate_left(8), 0, body);
+        if got != checksum {
+            return Err(FrameError::ChecksumMismatch {
+                expected: checksum,
+                got,
+            });
+        }
+        let mut members = Vec::with_capacity(n_members as usize);
+        let mut at = 0usize;
+        for _ in 0..n_members {
+            let m = &body[at..at + PARITY_MEMBER_LEN];
+            members.push(ParityMember {
+                rank: u32::from_le_bytes(m[0..4].try_into().unwrap()),
+                codec: m[4],
+                uncompressed_len: u64::from_le_bytes(m[5..13].try_into().unwrap()),
+                stored_len: u64::from_le_bytes(m[13..21].try_into().unwrap()),
+                chunk_len: u64::from_le_bytes(m[21..29].try_into().unwrap()),
+                checksum: u64::from_le_bytes(m[29..37].try_into().unwrap()),
+            });
+            at += PARITY_MEMBER_LEN;
+        }
+        Ok(ParityRecord {
+            group,
+            stripe,
+            ckpt_id,
+            members,
+            parity: body[at..].to_vec(),
+        })
+    }
+}
+
+/// Whether a stored payload is a serialized parity record (cheap format
+/// sniff; says nothing about validity).
+pub fn looks_parity(bytes: &[u8]) -> bool {
+    bytes.len() >= PARITY_MAGIC.len() && bytes[..PARITY_MAGIC.len()] == PARITY_MAGIC
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -503,6 +676,89 @@ mod tests {
                 got: 10_000
             }
         );
+    }
+
+    fn sample_parity() -> ParityRecord {
+        ParityRecord {
+            group: 3,
+            stripe: 1,
+            ckpt_id: 9,
+            members: vec![
+                ParityMember {
+                    rank: 12,
+                    codec: 6,
+                    uncompressed_len: 4096,
+                    stored_len: 1024,
+                    chunk_len: 342,
+                    checksum: 0xdead_beef_cafe_f00d,
+                },
+                ParityMember {
+                    rank: 14,
+                    codec: 0,
+                    uncompressed_len: 512,
+                    stored_len: 512,
+                    chunk_len: 171,
+                    checksum: 0x0123_4567_89ab_cdef,
+                },
+            ],
+            parity: (0..342u32).map(|i| (i % 251) as u8).collect(),
+        }
+    }
+
+    #[test]
+    fn parity_record_round_trips() {
+        let rec = sample_parity();
+        let bytes = rec.encode();
+        assert!(looks_parity(&bytes));
+        assert!(!looks_framed(&bytes));
+        assert_eq!(ParityRecord::decode(&bytes).unwrap(), rec);
+    }
+
+    #[test]
+    fn empty_parity_record_round_trips() {
+        let rec = ParityRecord {
+            group: 0,
+            stripe: 0,
+            ckpt_id: 0,
+            members: Vec::new(),
+            parity: Vec::new(),
+        };
+        let bytes = rec.encode();
+        assert_eq!(bytes.len(), PARITY_HEADER_LEN);
+        assert_eq!(ParityRecord::decode(&bytes).unwrap(), rec);
+    }
+
+    #[test]
+    fn every_parity_bit_flip_is_detected() {
+        let bytes = sample_parity().encode();
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut bad = bytes.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    ParityRecord::decode(&bad).is_err(),
+                    "parity flip at byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parity_truncation_is_typed_before_allocation() {
+        let mut bytes = sample_parity().encode();
+        // A corrupted member count must fail as Truncated, not allocate.
+        bytes[20..24].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            ParityRecord::decode(&bytes),
+            Err(FrameError::Truncated { .. })
+        ));
+        let whole = sample_parity().encode();
+        for cut in 0..whole.len() {
+            assert!(
+                ParityRecord::decode(&whole[..cut]).is_err(),
+                "prefix of {cut} bytes went undetected"
+            );
+        }
     }
 
     mod prop {

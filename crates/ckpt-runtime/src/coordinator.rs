@@ -190,10 +190,19 @@ where
                     assert_eq!(pstats.aborted, 0, "rank {rank}: host staging full");
                     // Chain compaction: only after the rebase record is
                     // durable may the records below it be dropped — a crash
-                    // in between must still find a restorable chain.
+                    // in between must still find a restorable chain. With a
+                    // redundancy group, the rebase record's *group encoding*
+                    // must be durable too before GC advances, or a rank loss
+                    // right after compaction would leave the group unable to
+                    // rebuild the only legal chain head.
                     let gc_evicted = if last_rebase > 0 {
                         runtime.wait_durable(&[(rank, last_rebase)]);
-                        compact_below(runtime.tiers(), rank, last_rebase)
+                        runtime.wait_redundancy_durable(&[(rank, last_rebase)]);
+                        let n = compact_below(runtime.tiers(), rank, last_rebase);
+                        if let Some(red) = runtime.tiers().redundancy() {
+                            red.compact_below(rank, last_rebase);
+                        }
+                        n
                     } else {
                         0
                     };

@@ -40,6 +40,13 @@ pub enum FaultKind {
     TransientIo,
     /// Delay the operation by `micros` microseconds, then proceed.
     LatencySpike { micros: u32 },
+    /// Whole-rank node loss: every object rank `rank` holds in the
+    /// *volatile* tiers (host, SSD) — resident or quarantined — is wiped,
+    /// along with any redundancy-group objects hosted on that rank. The
+    /// operation that trips the fault proceeds normally; the wipe is
+    /// applied by the tier chain at its next deterministic poll point
+    /// (flush start, locate, recovery). The durable PFS tier survives.
+    RankLoss { rank: u32 },
 }
 
 /// One scheduled fault: the `ordinal`-th `op` on tier `tier` (0-based).
@@ -108,6 +115,46 @@ impl FaultPlan {
                 1 => (OpKind::Put, FaultKind::BitFlip { bit: rng.next() }),
                 2 => (OpKind::Put, FaultKind::TransientIo),
                 3 => (OpKind::Get, FaultKind::TransientIo),
+                _ => (
+                    OpKind::Put,
+                    FaultKind::LatencySpike {
+                        micros: (rng.next() % 200) as u32,
+                    },
+                ),
+            };
+            b = b.fault(tier, op, ordinal, kind);
+        }
+        b.build()
+    }
+
+    /// Like [`from_seed`](Self::from_seed), but the taxonomy additionally
+    /// includes [`FaultKind::RankLoss`] events targeting one of `ranks`
+    /// ranks (cluster failure schedules for redundancy-group tests). Kept
+    /// as a separate constructor so every schedule `from_seed` ever
+    /// produced stays byte-stable.
+    pub fn from_seed_clustered(seed: u64, count: usize, horizon: u64, ranks: u32) -> Arc<Self> {
+        let mut rng = SplitMix64::new(seed);
+        let mut b = FaultPlanBuilder::new();
+        let tiers = ["host", "ssd", "pfs"];
+        for _ in 0..count {
+            let tier = tiers[(rng.next() % 3) as usize];
+            let ordinal = rng.next() % horizon.max(1);
+            let (op, kind) = match rng.next() % 6 {
+                0 => (
+                    OpKind::Put,
+                    FaultKind::TornWrite {
+                        keep_bytes: (rng.next() % 64) as u32,
+                    },
+                ),
+                1 => (OpKind::Put, FaultKind::BitFlip { bit: rng.next() }),
+                2 => (OpKind::Put, FaultKind::TransientIo),
+                3 => (OpKind::Get, FaultKind::TransientIo),
+                4 => (
+                    OpKind::Put,
+                    FaultKind::RankLoss {
+                        rank: (rng.next() % ranks.max(1) as u64) as u32,
+                    },
+                ),
                 _ => (
                     OpKind::Put,
                     FaultKind::LatencySpike {

@@ -83,6 +83,10 @@ pub enum ObjectStatus {
     /// The durable copy was corrupt but was rewritten from a redundant
     /// valid copy in a higher tier.
     Repaired,
+    /// Every local copy was lost or corrupt, but the object was rebuilt
+    /// bit-identically from its cross-rank redundancy group (partner copy
+    /// or XOR parity) and re-stored on the PFS.
+    RestoredFromGroup,
     /// A durable copy existed but was corrupt with no redundant copy.
     LostCorrupt,
     /// The object never became durable; surviving copies (if any) lived in
@@ -95,6 +99,7 @@ impl ObjectStatus {
         match self {
             ObjectStatus::Verified => "verified",
             ObjectStatus::Repaired => "repaired",
+            ObjectStatus::RestoredFromGroup => "restored_from_group",
             ObjectStatus::LostCorrupt => "lost_corrupt",
             ObjectStatus::LostVolatile => "lost_volatile",
         }
@@ -102,7 +107,10 @@ impl ObjectStatus {
 
     /// Whether the object is usable for restart after recovery.
     pub fn is_durable(&self) -> bool {
-        matches!(self, ObjectStatus::Verified | ObjectStatus::Repaired)
+        matches!(
+            self,
+            ObjectStatus::Verified | ObjectStatus::Repaired | ObjectStatus::RestoredFromGroup
+        )
     }
 }
 
@@ -158,6 +166,11 @@ impl RecoveryReport {
         self.total(ObjectStatus::Repaired)
     }
 
+    /// Objects rebuilt from a cross-rank redundancy group.
+    pub fn total_restored_from_group(&self) -> usize {
+        self.total(ObjectStatus::RestoredFromGroup)
+    }
+
     pub fn total_lost(&self) -> usize {
         self.total(ObjectStatus::LostCorrupt) + self.total(ObjectStatus::LostVolatile)
     }
@@ -187,6 +200,13 @@ impl RecoveryReport {
         w.key("total_objects").u64(self.total_objects() as u64);
         w.key("verified").u64(self.total_verified() as u64);
         w.key("repaired").u64(self.total_repaired() as u64);
+        // Only clusters running a redundancy group can produce this
+        // status; the key is omitted at zero so redundancy-off reports
+        // stay byte-identical to the pre-redundancy schema.
+        if self.total_restored_from_group() > 0 {
+            w.key("restored_from_group")
+                .u64(self.total_restored_from_group() as u64);
+        }
         w.key("lost_corrupt")
             .u64(self.total(ObjectStatus::LostCorrupt) as u64);
         w.key("lost_volatile")

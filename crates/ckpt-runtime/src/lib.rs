@@ -18,6 +18,8 @@
 //!   failure injection;
 //! * [`pipeline`] — the double-buffered submit tail that overlaps one
 //!   checkpoint's serialize/D2H/submit with the next one's hashing;
+//! * [`redundancy`] — cross-rank redundancy groups (partner copy / XOR
+//!   parity) enabling cluster-level rank-loss recovery;
 //! * [`lineage`] — record collection and sequential restoration;
 //! * [`restore`] — the parallel restart engine: prefetched tier reads
 //!   feeding a single-pass resolution walk;
@@ -29,6 +31,7 @@ pub mod fault;
 pub mod integrity;
 pub mod lineage;
 pub mod pipeline;
+pub mod redundancy;
 pub mod restore;
 pub mod runtime;
 pub mod tier;
@@ -47,6 +50,7 @@ pub use lineage::{
     collect_record, restore_rank, restore_rank_latest, restore_rank_with_report, LineageError,
 };
 pub use pipeline::{CheckpointPipeline, PipelineStats, ProduceFn};
+pub use redundancy::{ReconstructError, RedundancyMetrics, RedundancyPolicy, RedundancyStore};
 pub use restore::{restore_rank_latest_parallel, ParallelRestoreOutcome};
 pub use runtime::{AsyncRuntime, TierChain};
 pub use tier::{

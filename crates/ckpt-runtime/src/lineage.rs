@@ -69,8 +69,20 @@ impl std::error::Error for LineageError {}
 /// [`LineageError::Hole`] instead of silently restoring stale state.
 pub fn collect_record(tiers: &TierChain, rank: u32) -> Result<(u32, Vec<Vec<u8>>), LineageError> {
     let mut present: BTreeMap<u32, Vec<u8>> = BTreeMap::new();
-    for tier in [&tiers.pfs, &tiers.ssd, &tiers.host] {
-        for (r, k) in tier.resident().into_iter().chain(tier.quarantined()) {
+    // Ids known only to the redundancy group (every local copy wiped by a
+    // rank loss) must be enumerated too: `locate` falls back to a group
+    // rebuild for them.
+    let group_ids = tiers.redundancy_member_ids();
+    for tier_ids in [
+        tiers.pfs.resident(),
+        tiers.pfs.quarantined(),
+        tiers.ssd.resident(),
+        tiers.ssd.quarantined(),
+        tiers.host.resident(),
+        tiers.host.quarantined(),
+        group_ids,
+    ] {
+        for (r, k) in tier_ids {
             if r == rank && !present.contains_key(&k) {
                 if let Some(bytes) = tiers.locate((rank, k)) {
                     present.insert(k, bytes);

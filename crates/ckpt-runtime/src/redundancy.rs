@@ -1,0 +1,913 @@
+//! Cross-rank redundancy groups: partner copies and XOR parity stripes.
+//!
+//! Multi-level checkpointing systems (FTI, SCR, VeloC) put a redundancy
+//! level *between* node-local storage and the PFS: ranks form small groups
+//! and each checkpoint object is either mirrored onto a partner rank or
+//! XOR-parity-encoded across the group, so losing one whole node costs
+//! nothing that the surviving group members cannot rebuild. This module is
+//! that level for the simulated tier chain.
+//!
+//! # Encoding
+//!
+//! The flusher hands each framed, post-compression [`StoredObject`] to
+//! [`RedundancyStore::encode_member`] right after the compression stage —
+//! on the flusher thread, overlapped with the next checkpoint via the
+//! depth-1 pipeline, so the producer's critical path is untouched.
+//!
+//! * **Partner** (`partner`): groups of two, `partner(r) = r ^ 1`. The full
+//!   encoded object is copied into the group store, hosted on the partner.
+//! * **XOR** (`xor:<k>`): SCR-style striping. Member `r` (group-local index
+//!   `l = r % k`) splits its encoded payload into `k-1` chunks of
+//!   `ceil(len / (k-1))` bytes; chunk `j` is assigned to stripe
+//!   `s = j + (j >= l)` — every stripe *except* the member's own index —
+//!   and the parity for stripe `s` is hosted on group-local rank `s`. A
+//!   single rank loss therefore leaves every parity stripe a lost member
+//!   needs alive on a surviving host; two losses in one group are
+//!   unrecoverable by construction and surface as a typed error, never a
+//!   wrong payload.
+//!
+//! Parity stripes are [`ckpt_dedup::frame::ParityRecord`]s carrying every
+//! contributor's metadata (codec, lengths, chunk length, and a checksum of
+//! its stored bytes), serialized as ordinary codec-0 payloads inside a
+//! dedicated group [`Tier`] — so framing, fault injection and capacity
+//! accounting come for free and legacy frames are untouched.
+//!
+//! # Reconstruction
+//!
+//! [`RedundancyStore::reconstruct`] rebuilds a member's stored object
+//! bit-identically: partner mode reads the mirror; XOR mode fetches every
+//! surviving contributor's object (via a caller-supplied closure over the
+//! local tiers), XORs their chunks back out of each needed stripe, and
+//! reassembles the payload. The result is verified against the member
+//! checksum recorded at encode time — on any mismatch or missing piece the
+//! caller gets a typed [`ReconstructError`].
+//!
+//! # GC gating
+//!
+//! [`RedundancyStore::compact_below`] mirrors the tier chain's
+//! `compact_below`: partner copies below a rank's rebase floor drop
+//! immediately, while an XOR parity stripe at checkpoint `c` only drops
+//! once *every* member of the group has advanced its floor past `c` — a
+//! stripe is useful exactly as long as any member might still need it.
+
+use crate::tier::{ObjectId, ObjectState, StoredObject, Tier, TierConfig};
+use ckpt_dedup::frame::{self, ParityMember, ParityRecord};
+use ckpt_telemetry::{Counter, Registry};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, OnceLock};
+
+/// How checkpoint objects are protected across ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RedundancyPolicy {
+    /// No cross-rank protection (the pre-redundancy runtime, byte for
+    /// byte).
+    #[default]
+    Off,
+    /// Mirror each object onto its partner rank (`r ^ 1`); groups of two.
+    Partner,
+    /// XOR parity striping across groups of `group_size` consecutive
+    /// ranks (`group_size >= 2`).
+    Xor { group_size: u32 },
+}
+
+impl RedundancyPolicy {
+    /// Parse a CLI/bench spelling: `off`, `partner`, or `xor:<k>`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "off" | "none" => Some(RedundancyPolicy::Off),
+            "partner" => Some(RedundancyPolicy::Partner),
+            _ => {
+                let k = s.strip_prefix("xor:")?.parse::<u32>().ok()?;
+                (k >= 2).then_some(RedundancyPolicy::Xor { group_size: k })
+            }
+        }
+    }
+
+    pub fn label(&self) -> String {
+        match self {
+            RedundancyPolicy::Off => "off".into(),
+            RedundancyPolicy::Partner => "partner".into(),
+            RedundancyPolicy::Xor { group_size } => format!("xor:{group_size}"),
+        }
+    }
+
+    /// Ranks per redundancy group (1 when off).
+    pub fn group_size(&self) -> u32 {
+        match self {
+            RedundancyPolicy::Off => 1,
+            RedundancyPolicy::Partner => 2,
+            RedundancyPolicy::Xor { group_size } => *group_size,
+        }
+    }
+
+    /// The group a rank belongs to.
+    pub fn group_of(&self, rank: u32) -> u32 {
+        rank / self.group_size().max(1)
+    }
+}
+
+/// Why a group reconstruction failed. Every variant maps to `LostCorrupt`
+/// at the recovery layer: the group *knew* the object but cannot prove a
+/// bit-identical rebuild.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconstructError {
+    /// The store never encoded this member (nothing to rebuild from).
+    UnknownMember,
+    /// A needed group copy / parity stripe is gone (e.g. its host rank was
+    /// also lost — two losses in one group).
+    MissingGroupCopy,
+    /// A needed group copy / parity stripe is present but fails
+    /// verification.
+    CorruptGroupCopy,
+    /// A surviving contributor's object could not be fetched from any
+    /// local tier (simultaneous loss elsewhere in the group).
+    MissingSurvivor { rank: u32 },
+    /// The reassembled payload failed the member checksum recorded at
+    /// encode time.
+    ChecksumMismatch,
+}
+
+impl std::fmt::Display for ReconstructError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReconstructError::UnknownMember => write!(f, "member was never group-encoded"),
+            ReconstructError::MissingGroupCopy => write!(f, "group copy/parity stripe missing"),
+            ReconstructError::CorruptGroupCopy => write!(f, "group copy/parity stripe corrupt"),
+            ReconstructError::MissingSurvivor { rank } => {
+                write!(f, "surviving member {rank} unavailable for parity rebuild")
+            }
+            ReconstructError::ChecksumMismatch => {
+                write!(f, "reconstructed payload failed member checksum")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReconstructError {}
+
+/// `redundancy/*` telemetry. Every metric registers lazily on first event,
+/// so runs with redundancy off export exactly the pre-existing schema.
+///
+/// | metric | kind | meaning |
+/// |---|---|---|
+/// | `redundancy/partner_copies` | counter | objects mirrored onto a partner |
+/// | `redundancy/parity_updates` | counter | parity stripe merges performed |
+/// | `redundancy/bytes_stored` | counter | bytes written into the group store |
+/// | `redundancy/restored_objects` | counter | objects rebuilt from the group |
+/// | `redundancy/restore_failures` | counter | known members that failed to rebuild |
+/// | `redundancy/rank_losses` | counter | `RankLoss` faults applied to the chain |
+pub struct RedundancyMetrics {
+    registry: Option<Arc<Registry>>,
+    partner_copies: OnceLock<Arc<Counter>>,
+    parity_updates: OnceLock<Arc<Counter>>,
+    bytes_stored: OnceLock<Arc<Counter>>,
+    restored_objects: OnceLock<Arc<Counter>>,
+    restore_failures: OnceLock<Arc<Counter>>,
+    rank_losses: OnceLock<Arc<Counter>>,
+}
+
+impl RedundancyMetrics {
+    pub fn bound(registry: Arc<Registry>) -> Self {
+        RedundancyMetrics {
+            registry: Some(registry),
+            ..Self::detached()
+        }
+    }
+
+    /// A sink that counts nothing (stores built without telemetry).
+    pub fn detached() -> Self {
+        RedundancyMetrics {
+            registry: None,
+            partner_copies: OnceLock::new(),
+            parity_updates: OnceLock::new(),
+            bytes_stored: OnceLock::new(),
+            restored_objects: OnceLock::new(),
+            restore_failures: OnceLock::new(),
+            rank_losses: OnceLock::new(),
+        }
+    }
+
+    fn lazy<'a>(
+        &'a self,
+        slot: &'a OnceLock<Arc<Counter>>,
+        name: &'static str,
+    ) -> Option<&'a Arc<Counter>> {
+        self.registry
+            .as_ref()
+            .map(|r| slot.get_or_init(|| r.counter(name)))
+    }
+
+    fn on_partner_copy(&self, bytes: u64) {
+        if let Some(c) = self.lazy(&self.partner_copies, "redundancy/partner_copies") {
+            c.inc();
+        }
+        if let Some(c) = self.lazy(&self.bytes_stored, "redundancy/bytes_stored") {
+            c.add(bytes);
+        }
+    }
+
+    fn on_parity_update(&self, bytes: u64) {
+        if let Some(c) = self.lazy(&self.parity_updates, "redundancy/parity_updates") {
+            c.inc();
+        }
+        if let Some(c) = self.lazy(&self.bytes_stored, "redundancy/bytes_stored") {
+            c.add(bytes);
+        }
+    }
+
+    pub(crate) fn on_restored(&self) {
+        if let Some(c) = self.lazy(&self.restored_objects, "redundancy/restored_objects") {
+            c.inc();
+        }
+    }
+
+    pub(crate) fn on_restore_failure(&self) {
+        if let Some(c) = self.lazy(&self.restore_failures, "redundancy/restore_failures") {
+            c.inc();
+        }
+    }
+
+    pub(crate) fn on_rank_loss(&self) {
+        if let Some(c) = self.lazy(&self.rank_losses, "redundancy/rank_losses") {
+            c.inc();
+        }
+    }
+}
+
+/// Per-member metadata kept by the store (mirrors what travels inside
+/// parity records) so "does the group know this object" and verification
+/// survive the loss of the member's own copies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct MemberMeta {
+    codec: u8,
+    uncompressed_len: u64,
+    stored_len: u64,
+    chunk_len: u64,
+    checksum: u64,
+}
+
+impl MemberMeta {
+    fn to_parity(self, rank: u32) -> ParityMember {
+        ParityMember {
+            rank,
+            codec: self.codec,
+            uncompressed_len: self.uncompressed_len,
+            stored_len: self.stored_len,
+            chunk_len: self.chunk_len,
+            checksum: self.checksum,
+        }
+    }
+}
+
+/// Bounded retries against the group tier, mirroring the flusher's policy:
+/// transient faults are expected to clear on retry.
+const MAX_GROUP_STORE_ATTEMPTS: usize = 4;
+
+/// The cross-rank redundancy level: a dedicated group [`Tier`] holding
+/// partner copies / parity stripes, plus the member and hosting metadata
+/// needed to wipe the right objects on a rank loss and to rebuild lost
+/// members.
+pub struct RedundancyStore {
+    policy: RedundancyPolicy,
+    /// Group objects, framed like any other tier object. Keys: the member
+    /// id itself for partner copies; `(hosting_rank, ckpt_id)` for XOR
+    /// parity stripes.
+    group: Tier,
+    /// Which rank hosts each group object (wiped with that rank).
+    hosts: Mutex<HashMap<ObjectId, u32>>,
+    /// Every member the group has encoded, with its verification metadata.
+    members: Mutex<HashMap<ObjectId, MemberMeta>>,
+    /// Ids already encoded (idempotence across degraded re-flushes).
+    encoded: Mutex<HashSet<ObjectId>>,
+    /// Per-rank GC floors (see [`compact_below`](Self::compact_below)).
+    floors: Mutex<HashMap<u32, u32>>,
+    metrics: RedundancyMetrics,
+}
+
+impl RedundancyStore {
+    pub fn new(policy: RedundancyPolicy, metrics: RedundancyMetrics) -> Self {
+        assert!(
+            policy != RedundancyPolicy::Off,
+            "an Off-policy chain carries no redundancy store"
+        );
+        RedundancyStore {
+            policy,
+            group: Tier::new(TierConfig::group()),
+            hosts: Mutex::new(HashMap::new()),
+            members: Mutex::new(HashMap::new()),
+            encoded: Mutex::new(HashSet::new()),
+            floors: Mutex::new(HashMap::new()),
+            metrics,
+        }
+    }
+
+    pub fn policy(&self) -> RedundancyPolicy {
+        self.policy
+    }
+
+    /// The underlying group tier (modeled time, accounting, fault binding).
+    pub fn group_tier(&self) -> &Tier {
+        &self.group
+    }
+
+    pub(crate) fn metrics(&self) -> &RedundancyMetrics {
+        &self.metrics
+    }
+
+    /// Whether the given member's redundancy encoding is durable in the
+    /// group store (the GC gate for `compact_below`).
+    pub fn is_encoded(&self, id: ObjectId) -> bool {
+        self.encoded.lock().contains(&id)
+    }
+
+    /// Whether the group has metadata for this member (even if its copies
+    /// were since lost — the distinction between `LostCorrupt` and
+    /// `LostVolatile` for wiped ranks).
+    pub fn knows_member(&self, id: ObjectId) -> bool {
+        self.members.lock().contains_key(&id)
+    }
+
+    /// Every member id the group has encoded (sorted).
+    pub fn member_ids(&self) -> Vec<ObjectId> {
+        let mut ids: Vec<ObjectId> = self.members.lock().keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn member_checksum(id: ObjectId, object: &StoredObject) -> u64 {
+        frame::checksum64_region(id.0, id.1, object.codec, &object.payload)
+    }
+
+    fn store_with_retry(&self, key: ObjectId, object: StoredObject) -> bool {
+        let mut object = object;
+        for _ in 0..MAX_GROUP_STORE_ATTEMPTS {
+            match self.group.store_object(key, object) {
+                Ok(()) => return true,
+                Err(e) => {
+                    if e.kind == crate::tier::StoreErrorKind::Full {
+                        return false;
+                    }
+                    object = e.object;
+                }
+            }
+        }
+        false
+    }
+
+    /// Protect one member's encoded object across its group. Idempotent:
+    /// re-encoding an already-protected id (degraded re-flushes) is a
+    /// no-op. Runs on the flusher thread, off the producer's critical path.
+    pub fn encode_member(&self, id: ObjectId, object: &StoredObject) {
+        if !self.encoded.lock().insert(id) {
+            return;
+        }
+        let meta = MemberMeta {
+            codec: object.codec,
+            uncompressed_len: object.uncompressed_len,
+            stored_len: object.payload.len() as u64,
+            chunk_len: 0,
+            checksum: Self::member_checksum(id, object),
+        };
+        match self.policy {
+            RedundancyPolicy::Off => unreachable!("Off carries no store"),
+            RedundancyPolicy::Partner => {
+                if self.store_with_retry(id, object.clone()) {
+                    self.hosts.lock().insert(id, id.0 ^ 1);
+                    self.members.lock().insert(id, meta);
+                    self.metrics.on_partner_copy(object.stored_len());
+                } else {
+                    self.encoded.lock().remove(&id);
+                }
+            }
+            RedundancyPolicy::Xor { group_size } => {
+                self.encode_xor(id, object, meta, group_size as usize);
+            }
+        }
+    }
+
+    fn encode_xor(&self, id: ObjectId, object: &StoredObject, mut meta: MemberMeta, k: usize) {
+        let (rank, ckpt) = (id.0 as usize, id.1);
+        let (g, l) = (rank / k, rank % k);
+        let len = object.payload.len();
+        let chunk_len = len.div_ceil(k - 1);
+        meta.chunk_len = chunk_len as u64;
+        let mut all_ok = true;
+        for j in 0..k - 1 {
+            let s = if j >= l { j + 1 } else { j };
+            let host = (g * k + s) as u32;
+            let key = (host, ckpt);
+            let mut rec = match self.group.inspect_object(key).into_object() {
+                Some(obj) => ParityRecord::decode(&obj.payload).unwrap_or_default(),
+                None => ParityRecord::default(),
+            };
+            rec.group = g as u32;
+            rec.stripe = s as u32;
+            rec.ckpt_id = ckpt;
+            if rec.parity.len() < chunk_len {
+                rec.parity.resize(chunk_len, 0);
+            }
+            let lo = j * chunk_len;
+            let hi = ((j + 1) * chunk_len).min(len);
+            if lo < len {
+                for (i, b) in object.payload[lo..hi].iter().enumerate() {
+                    rec.parity[i] ^= b;
+                }
+            }
+            rec.members.retain(|m| m.rank != id.0);
+            rec.members.push(meta.to_parity(id.0));
+            rec.members.sort_by_key(|m| m.rank);
+            let bytes = rec.encode();
+            let stored = bytes.len() as u64;
+            if self.store_with_retry(key, StoredObject::raw(bytes)) {
+                self.hosts.lock().insert(key, host);
+                self.metrics.on_parity_update(stored);
+            } else {
+                all_ok = false;
+            }
+        }
+        if all_ok {
+            self.members.lock().insert(id, meta);
+        } else {
+            self.encoded.lock().remove(&id);
+        }
+    }
+
+    /// Rebuild one member's stored object bit-identically from the group.
+    /// `fetch` resolves a surviving contributor's encoded object from the
+    /// local tiers (XOR only; partner mode needs no survivors). The result
+    /// is verified against the checksum recorded at encode time — a wrong
+    /// payload is never returned.
+    pub fn reconstruct(
+        &self,
+        id: ObjectId,
+        fetch: &dyn Fn(ObjectId) -> Option<StoredObject>,
+    ) -> Result<StoredObject, ReconstructError> {
+        let meta = self
+            .members
+            .lock()
+            .get(&id)
+            .copied()
+            .ok_or(ReconstructError::UnknownMember)?;
+        let object = match self.policy {
+            RedundancyPolicy::Off => return Err(ReconstructError::UnknownMember),
+            RedundancyPolicy::Partner => match self.group.inspect_object(id) {
+                ObjectState::Valid(obj) => obj,
+                ObjectState::Missing => return Err(ReconstructError::MissingGroupCopy),
+                _ => return Err(ReconstructError::CorruptGroupCopy),
+            },
+            RedundancyPolicy::Xor { group_size } => {
+                self.reconstruct_xor(id, meta, group_size as usize, fetch)?
+            }
+        };
+        let ok = object.codec == meta.codec
+            && object.payload.len() as u64 == meta.stored_len
+            && Self::member_checksum(id, &object) == meta.checksum;
+        if ok {
+            Ok(object)
+        } else {
+            Err(ReconstructError::ChecksumMismatch)
+        }
+    }
+
+    fn reconstruct_xor(
+        &self,
+        id: ObjectId,
+        meta: MemberMeta,
+        k: usize,
+        fetch: &dyn Fn(ObjectId) -> Option<StoredObject>,
+    ) -> Result<StoredObject, ReconstructError> {
+        let (rank, ckpt) = (id.0 as usize, id.1);
+        let (g, l) = (rank / k, rank % k);
+        let chunk_len = meta.chunk_len as usize;
+        let mut payload = Vec::with_capacity(meta.stored_len as usize);
+        let mut fetched: HashMap<u32, StoredObject> = HashMap::new();
+        for j in 0..k - 1 {
+            let s = if j >= l { j + 1 } else { j };
+            let key = ((g * k + s) as u32, ckpt);
+            let rec = match self.group.inspect_object(key) {
+                ObjectState::Valid(obj) => ParityRecord::decode(&obj.payload)
+                    .map_err(|_| ReconstructError::CorruptGroupCopy)?,
+                ObjectState::Missing => return Err(ReconstructError::MissingGroupCopy),
+                _ => return Err(ReconstructError::CorruptGroupCopy),
+            };
+            let mut chunk = rec.parity.clone();
+            for m in &rec.members {
+                if m.rank == id.0 {
+                    continue;
+                }
+                if let std::collections::hash_map::Entry::Vacant(e) = fetched.entry(m.rank) {
+                    let obj = fetch((m.rank, ckpt))
+                        .ok_or(ReconstructError::MissingSurvivor { rank: m.rank })?;
+                    // A survivor whose bytes drifted from what was encoded
+                    // would silently poison the XOR — verify up front.
+                    if obj.payload.len() as u64 != m.stored_len
+                        || Self::member_checksum((m.rank, ckpt), &obj) != m.checksum
+                    {
+                        return Err(ReconstructError::MissingSurvivor { rank: m.rank });
+                    }
+                    e.insert(obj);
+                }
+                let obj = &fetched[&m.rank];
+                let lm = (m.rank as usize) % k;
+                let jm = if s > lm { s - 1 } else { s };
+                let ml = m.chunk_len as usize;
+                let lo = (jm * ml).min(obj.payload.len());
+                let hi = ((jm + 1) * ml).min(obj.payload.len());
+                if chunk.len() < hi - lo {
+                    return Err(ReconstructError::CorruptGroupCopy);
+                }
+                for (i, b) in obj.payload[lo..hi].iter().enumerate() {
+                    chunk[i] ^= b;
+                }
+            }
+            chunk.resize(chunk_len, 0);
+            payload.extend_from_slice(&chunk);
+        }
+        payload.truncate(meta.stored_len as usize);
+        if payload.len() as u64 != meta.stored_len {
+            return Err(ReconstructError::ChecksumMismatch);
+        }
+        Ok(StoredObject {
+            codec: meta.codec,
+            uncompressed_len: meta.uncompressed_len,
+            payload,
+        })
+    }
+
+    /// Serialize the policy and member metadata as a small line-oriented
+    /// manifest (`policy <label>` then one `member` line per id) so a CLI
+    /// record directory can persist group state next to the exported group
+    /// objects.
+    pub fn export_manifest(&self) -> String {
+        let mut out = format!("policy {}\n", self.policy.label());
+        let ids = self.member_ids();
+        let members = self.members.lock();
+        for id in ids {
+            let m = members[&id];
+            out.push_str(&format!(
+                "member {} {} {} {} {} {} {:016x}\n",
+                id.0, id.1, m.codec, m.uncompressed_len, m.stored_len, m.chunk_len, m.checksum
+            ));
+        }
+        out
+    }
+
+    /// Rebuild a store (detached metrics) from [`export_manifest`] output.
+    /// The caller re-inserts the exported group objects into
+    /// [`group_tier`](Self::group_tier) afterwards. Returns `None` on any
+    /// malformed line — a truncated manifest must not half-load.
+    pub fn from_manifest(text: &str) -> Option<RedundancyStore> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let policy = RedundancyPolicy::parse(lines.next()?.strip_prefix("policy ")?)?;
+        if policy == RedundancyPolicy::Off {
+            return None;
+        }
+        let store = RedundancyStore::new(policy, RedundancyMetrics::detached());
+        for line in lines {
+            let mut f = line.strip_prefix("member ")?.split_whitespace();
+            let rank: u32 = f.next()?.parse().ok()?;
+            let ckpt: u32 = f.next()?.parse().ok()?;
+            let meta = MemberMeta {
+                codec: f.next()?.parse().ok()?,
+                uncompressed_len: f.next()?.parse().ok()?,
+                stored_len: f.next()?.parse().ok()?,
+                chunk_len: f.next()?.parse().ok()?,
+                checksum: u64::from_str_radix(f.next()?, 16).ok()?,
+            };
+            store.members.lock().insert((rank, ckpt), meta);
+            store.encoded.lock().insert((rank, ckpt));
+        }
+        Some(store)
+    }
+
+    /// Wipe every group object hosted on a lost rank (applied by the tier
+    /// chain when a `RankLoss` fault is polled). Member metadata survives —
+    /// cluster metadata is replicated in these systems — so a wiped member
+    /// is still *known*, which is what distinguishes `LostCorrupt` from
+    /// `LostVolatile` at recovery time.
+    pub fn apply_rank_loss(&self, rank: u32) -> usize {
+        let keys: Vec<ObjectId> = {
+            let hosts = self.hosts.lock();
+            hosts
+                .iter()
+                .filter(|&(_, &h)| h == rank)
+                .map(|(&k, _)| k)
+                .collect()
+        };
+        let mut wiped = 0;
+        for key in keys {
+            if self.group.evict(key) {
+                wiped += 1;
+            }
+            self.hosts.lock().remove(&key);
+        }
+        self.metrics.on_rank_loss();
+        wiped
+    }
+
+    /// Advance `rank`'s GC floor to `below` and drop group objects nothing
+    /// can need anymore: partner copies of this rank below the floor
+    /// immediately; XOR parity stripes of the group only below the
+    /// *minimum* floor across all its members. Returns evicted objects.
+    pub fn compact_below(&self, rank: u32, below: u32) -> usize {
+        {
+            let mut floors = self.floors.lock();
+            let f = floors.entry(rank).or_insert(0);
+            *f = (*f).max(below);
+        }
+        let mut evicted = 0;
+        match self.policy {
+            RedundancyPolicy::Off => {}
+            RedundancyPolicy::Partner => {
+                let ids: Vec<ObjectId> = self
+                    .members
+                    .lock()
+                    .keys()
+                    .filter(|&&(r, c)| r == rank && c < below)
+                    .copied()
+                    .collect();
+                for id in ids {
+                    if self.group.evict(id) {
+                        evicted += 1;
+                    }
+                    self.hosts.lock().remove(&id);
+                    self.members.lock().remove(&id);
+                }
+            }
+            RedundancyPolicy::Xor { group_size } => {
+                let k = group_size;
+                let g = rank / k;
+                let group_ranks = g * k..(g + 1) * k;
+                let min_floor = {
+                    let floors = self.floors.lock();
+                    group_ranks
+                        .clone()
+                        .map(|r| floors.get(&r).copied().unwrap_or(0))
+                        .min()
+                        .unwrap_or(0)
+                };
+                let stripe_ids: Vec<ObjectId> = self
+                    .group
+                    .resident()
+                    .into_iter()
+                    .filter(|&(h, c)| group_ranks.contains(&h) && c < min_floor)
+                    .collect();
+                for key in stripe_ids {
+                    if self.group.evict(key) {
+                        evicted += 1;
+                    }
+                    self.hosts.lock().remove(&key);
+                }
+                self.members
+                    .lock()
+                    .retain(|&(r, c), _| !(group_ranks.contains(&r) && c < min_floor));
+            }
+        }
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(policy: RedundancyPolicy) -> RedundancyStore {
+        RedundancyStore::new(policy, RedundancyMetrics::detached())
+    }
+
+    fn payload(rank: u32, ckpt: u32, len: usize) -> StoredObject {
+        StoredObject::raw(
+            (0..len)
+                .map(|i| {
+                    (i as u32)
+                        .wrapping_mul(2654435761)
+                        .wrapping_add(rank * 7919 + ckpt * 104729) as u8
+                })
+                .collect(),
+        )
+    }
+
+    fn no_fetch(_: ObjectId) -> Option<StoredObject> {
+        None
+    }
+
+    #[test]
+    fn policy_parsing_round_trips() {
+        assert_eq!(RedundancyPolicy::parse("off"), Some(RedundancyPolicy::Off));
+        assert_eq!(
+            RedundancyPolicy::parse("partner"),
+            Some(RedundancyPolicy::Partner)
+        );
+        assert_eq!(
+            RedundancyPolicy::parse("xor:4"),
+            Some(RedundancyPolicy::Xor { group_size: 4 })
+        );
+        assert_eq!(RedundancyPolicy::parse("xor:1"), None);
+        assert_eq!(RedundancyPolicy::parse("xor:"), None);
+        assert_eq!(RedundancyPolicy::parse("raid6"), None);
+        assert_eq!(RedundancyPolicy::Xor { group_size: 8 }.label(), "xor:8");
+        assert_eq!(RedundancyPolicy::Partner.group_size(), 2);
+        assert_eq!(RedundancyPolicy::Xor { group_size: 4 }.group_of(7), 1);
+    }
+
+    #[test]
+    fn partner_copy_reconstructs_bit_identically() {
+        let s = store(RedundancyPolicy::Partner);
+        let obj = payload(2, 5, 4096);
+        s.encode_member((2, 5), &obj);
+        assert!(s.is_encoded((2, 5)));
+        assert!(s.knows_member((2, 5)));
+        assert_eq!(s.reconstruct((2, 5), &no_fetch).unwrap(), obj);
+        // Losing the partner host (rank 3) wipes the copy: typed error.
+        s.apply_rank_loss(3);
+        assert_eq!(
+            s.reconstruct((2, 5), &no_fetch).unwrap_err(),
+            ReconstructError::MissingGroupCopy
+        );
+        assert!(s.knows_member((2, 5)), "metadata survives the wipe");
+    }
+
+    #[test]
+    fn xor_reconstructs_any_single_lost_member() {
+        for k in [2u32, 3, 4, 5] {
+            let s = store(RedundancyPolicy::Xor { group_size: k });
+            // Uneven sizes exercise the zero-padding paths.
+            let objs: Vec<StoredObject> = (0..k)
+                .map(|r| payload(r, 1, 1000 + 613 * r as usize))
+                .collect();
+            for (r, obj) in objs.iter().enumerate() {
+                s.encode_member((r as u32, 1), obj);
+            }
+            for lost in 0..k {
+                let fetch = |mid: ObjectId| -> Option<StoredObject> {
+                    (mid.0 != lost && mid.1 == 1).then(|| objs[mid.0 as usize].clone())
+                };
+                let got = s.reconstruct((lost, 1), &fetch).unwrap_or_else(|e| {
+                    panic!("k={k} lost={lost}: {e}");
+                });
+                assert_eq!(got, objs[lost as usize], "k={k} lost={lost}");
+            }
+        }
+    }
+
+    #[test]
+    fn xor_double_loss_is_typed_never_wrong() {
+        let k = 4u32;
+        let s = store(RedundancyPolicy::Xor { group_size: k });
+        let objs: Vec<StoredObject> = (0..k).map(|r| payload(r, 0, 2048)).collect();
+        for (r, obj) in objs.iter().enumerate() {
+            s.encode_member((r as u32, 0), obj);
+        }
+        // Ranks 1 and 2 both lost: stripes hosted there are gone AND rank
+        // 2 cannot serve as a survivor for rank 1's rebuild.
+        s.apply_rank_loss(1);
+        s.apply_rank_loss(2);
+        let fetch = |mid: ObjectId| -> Option<StoredObject> {
+            (mid.0 != 1 && mid.0 != 2).then(|| objs[mid.0 as usize].clone())
+        };
+        for lost in [1u32, 2] {
+            let err = s.reconstruct((lost, 0), &fetch).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ReconstructError::MissingGroupCopy | ReconstructError::MissingSurvivor { .. }
+                ),
+                "double loss must be typed, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn xor_detects_drifted_survivor() {
+        let k = 3u32;
+        let s = store(RedundancyPolicy::Xor { group_size: k });
+        let objs: Vec<StoredObject> = (0..k).map(|r| payload(r, 2, 512)).collect();
+        for (r, obj) in objs.iter().enumerate() {
+            s.encode_member((r as u32, 2), obj);
+        }
+        // Survivor 1 hands back different bytes than were encoded.
+        let fetch = |mid: ObjectId| -> Option<StoredObject> {
+            if mid.0 == 0 {
+                return None;
+            }
+            let mut obj = objs[mid.0 as usize].clone();
+            if mid.0 == 1 {
+                obj.payload[17] ^= 0x40;
+            }
+            Some(obj)
+        };
+        assert_eq!(
+            s.reconstruct((0, 2), &fetch).unwrap_err(),
+            ReconstructError::MissingSurvivor { rank: 1 }
+        );
+    }
+
+    #[test]
+    fn encode_is_idempotent() {
+        let s = store(RedundancyPolicy::Xor { group_size: 3 });
+        let obj = payload(0, 0, 1024);
+        s.encode_member((0, 0), &obj);
+        let before = s.group_tier().bytes_written();
+        s.encode_member((0, 0), &obj);
+        assert_eq!(s.group_tier().bytes_written(), before);
+    }
+
+    #[test]
+    fn unknown_member_is_typed() {
+        let s = store(RedundancyPolicy::Partner);
+        assert_eq!(
+            s.reconstruct((9, 9), &no_fetch).unwrap_err(),
+            ReconstructError::UnknownMember
+        );
+    }
+
+    #[test]
+    fn partner_compaction_drops_below_floor() {
+        let s = store(RedundancyPolicy::Partner);
+        for c in 0..4u32 {
+            s.encode_member((0, c), &payload(0, c, 256));
+        }
+        assert_eq!(s.compact_below(0, 2), 2);
+        assert!(!s.knows_member((0, 1)));
+        assert!(s.knows_member((0, 2)));
+        assert_eq!(
+            s.reconstruct((0, 3), &no_fetch).unwrap(),
+            payload(0, 3, 256)
+        );
+    }
+
+    #[test]
+    fn xor_stripes_survive_until_every_member_advances() {
+        let k = 3u32;
+        let s = store(RedundancyPolicy::Xor { group_size: k });
+        let objs: Vec<StoredObject> = (0..k).map(|r| payload(r, 0, 700)).collect();
+        for (r, obj) in objs.iter().enumerate() {
+            s.encode_member((r as u32, 0), obj);
+        }
+        // Two of three members advance: stripes must survive for the
+        // straggler.
+        assert_eq!(s.compact_below(0, 1), 0);
+        assert_eq!(s.compact_below(1, 1), 0);
+        let fetch = |mid: ObjectId| -> Option<StoredObject> {
+            (mid.0 != 2).then(|| objs[mid.0 as usize].clone())
+        };
+        assert_eq!(s.reconstruct((2, 0), &fetch).unwrap(), objs[2]);
+        // The straggler advances: now the stripes drop.
+        assert!(s.compact_below(2, 1) > 0);
+        assert!(!s.knows_member((2, 0)));
+    }
+
+    #[test]
+    fn manifest_round_trips_members_and_policy() {
+        let s = store(RedundancyPolicy::Xor { group_size: 3 });
+        let objs: Vec<StoredObject> = (0..3).map(|r| payload(r, 4, 800)).collect();
+        for (r, obj) in objs.iter().enumerate() {
+            s.encode_member((r as u32, 4), obj);
+        }
+        let manifest = s.export_manifest();
+        let loaded = RedundancyStore::from_manifest(&manifest).unwrap();
+        assert_eq!(loaded.policy(), s.policy());
+        assert_eq!(loaded.member_ids(), s.member_ids());
+        assert!(loaded.is_encoded((1, 4)));
+        // Re-hydrate the group tier and reconstruct through the clone.
+        for key in s.group_tier().resident() {
+            let obj = s.group_tier().inspect_object(key).into_object().unwrap();
+            loaded.group_tier().store_object(key, obj).unwrap();
+        }
+        let fetch = |mid: ObjectId| -> Option<StoredObject> {
+            (mid.0 != 1).then(|| objs[mid.0 as usize].clone())
+        };
+        assert_eq!(loaded.reconstruct((1, 4), &fetch).unwrap(), objs[1]);
+        assert!(RedundancyStore::from_manifest("policy off").is_none());
+        assert!(RedundancyStore::from_manifest("member 0 0").is_none());
+    }
+
+    #[test]
+    fn empty_payload_round_trips_through_xor() {
+        let k = 3u32;
+        let s = store(RedundancyPolicy::Xor { group_size: k });
+        let objs: Vec<StoredObject> = (0..k)
+            .map(|r| {
+                if r == 1 {
+                    StoredObject::raw(Vec::new())
+                } else {
+                    payload(r, 0, 300)
+                }
+            })
+            .collect();
+        for (r, obj) in objs.iter().enumerate() {
+            s.encode_member((r as u32, 0), obj);
+        }
+        for lost in 0..k {
+            let fetch = |mid: ObjectId| -> Option<StoredObject> {
+                (mid.0 != lost).then(|| objs[mid.0 as usize].clone())
+            };
+            assert_eq!(
+                s.reconstruct((lost, 0), &fetch).unwrap(),
+                objs[lost as usize],
+                "lost={lost}"
+            );
+        }
+    }
+}

@@ -61,6 +61,13 @@ pub fn restore_rank_latest_parallel(
             }
         }
     }
+    // A fully-lost rank has no local listings at all; its redundancy
+    // group still names the ids, and `locate` rebuilds them on demand.
+    for (r, k) in tiers.redundancy_member_ids() {
+        if r == rank {
+            candidates.push(k);
+        }
+    }
     candidates.sort_unstable();
     candidates.dedup();
     let mut target: Option<(u32, Vec<u8>)> = None;

@@ -26,6 +26,7 @@ use crate::fault::FaultPlan;
 use crate::integrity::{
     group_by_rank, IntegrityCounters, ObjectStatus, RankRecovery, RecoveredObject, RecoveryReport,
 };
+use crate::redundancy::{RedundancyMetrics, RedundancyPolicy, RedundancyStore};
 use crate::tier::{
     ObjectId, ObjectState, StoreErrorKind, StoredObject, Tier, TierConfig, TierFull,
 };
@@ -53,6 +54,12 @@ pub struct TierChain {
     pub ssd: Tier,
     pub pfs: Tier,
     integrity: IntegrityCounters,
+    /// Cross-rank redundancy level (`None` = the pre-redundancy chain,
+    /// byte for byte).
+    redundancy: Option<Arc<RedundancyStore>>,
+    /// Ranks named by fired `RankLoss` faults, wiped at the next
+    /// deterministic poll point (flush start, locate, recovery).
+    loss_sink: Arc<Mutex<Vec<u32>>>,
 }
 
 impl TierChain {
@@ -60,13 +67,23 @@ impl TierChain {
         Self::with_configs(TierConfig::host(), TierConfig::ssd(), TierConfig::pfs())
     }
 
-    pub fn with_configs(host: TierConfig, ssd: TierConfig, pfs: TierConfig) -> Self {
-        TierChain {
-            host: Tier::new(host),
-            ssd: Tier::new(ssd),
-            pfs: Tier::new(pfs),
-            integrity: IntegrityCounters::detached(),
+    fn assemble(host: Tier, ssd: Tier, pfs: Tier) -> Self {
+        let loss_sink: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
+        for tier in [&host, &ssd, &pfs] {
+            tier.bind_loss_sink(Arc::clone(&loss_sink));
         }
+        TierChain {
+            host,
+            ssd,
+            pfs,
+            integrity: IntegrityCounters::detached(),
+            redundancy: None,
+            loss_sink,
+        }
+    }
+
+    pub fn with_configs(host: TierConfig, ssd: TierConfig, pfs: TierConfig) -> Self {
+        Self::assemble(Tier::new(host), Tier::new(ssd), Tier::new(pfs))
     }
 
     /// Default-configured chain whose tiers all consult `plan` (the
@@ -86,11 +103,100 @@ impl TierChain {
         pfs: TierConfig,
         plan: Arc<FaultPlan>,
     ) -> Self {
-        TierChain {
-            host: Tier::with_faults(host, Arc::clone(&plan)),
-            ssd: Tier::with_faults(ssd, Arc::clone(&plan)),
-            pfs: Tier::with_faults(pfs, plan),
-            integrity: IntegrityCounters::detached(),
+        Self::assemble(
+            Tier::with_faults(host, Arc::clone(&plan)),
+            Tier::with_faults(ssd, Arc::clone(&plan)),
+            Tier::with_faults(pfs, plan),
+        )
+    }
+
+    /// Attach the cross-rank redundancy level. The group tier joins the
+    /// chain's rank-loss sink so `RankLoss` faults scheduled against
+    /// `"group"` are observed too.
+    pub fn attach_redundancy(&mut self, store: Arc<RedundancyStore>) {
+        store
+            .group_tier()
+            .bind_loss_sink(Arc::clone(&self.loss_sink));
+        self.redundancy = Some(store);
+    }
+
+    /// The attached redundancy store, if any.
+    pub fn redundancy(&self) -> Option<&Arc<RedundancyStore>> {
+        self.redundancy.as_ref()
+    }
+
+    /// Member ids the redundancy group knows about (empty without one) —
+    /// recovery enumerates these so an object whose every local copy was
+    /// wiped is still *seen*.
+    pub fn redundancy_member_ids(&self) -> Vec<ObjectId> {
+        self.redundancy
+            .as_ref()
+            .map(|r| r.member_ids())
+            .unwrap_or_default()
+    }
+
+    /// Hand one post-compression object to the redundancy level (no-op
+    /// without one; idempotent).
+    pub(crate) fn encode_redundancy(&self, id: ObjectId, object: &StoredObject) {
+        if let Some(red) = &self.redundancy {
+            red.encode_member(id, object);
+        }
+    }
+
+    /// Apply any pending `RankLoss` faults: wipe the lost ranks' volatile
+    /// tiers (host, SSD — never the PFS) and the group objects they
+    /// hosted. Returns the ids wiped from the volatile tiers (sorted) so
+    /// the flusher can mark non-durable ones undrainable. Deterministic:
+    /// losses are queued by the fault hook at exact op ordinals and applied
+    /// here, at the chain's fixed poll points.
+    pub fn poll_rank_loss(&self) -> Vec<ObjectId> {
+        let pending: Vec<u32> = std::mem::take(&mut *self.loss_sink.lock());
+        if pending.is_empty() {
+            return Vec::new();
+        }
+        let mut seen = HashSet::new();
+        let mut wiped = Vec::new();
+        for rank in pending {
+            if !seen.insert(rank) {
+                continue;
+            }
+            wiped.extend(self.host.wipe_rank(rank));
+            wiped.extend(self.ssd.wipe_rank(rank));
+            if let Some(red) = &self.redundancy {
+                red.apply_rank_loss(rank);
+                red.metrics().on_rank_loss();
+            }
+        }
+        wiped.sort_unstable();
+        wiped.dedup();
+        wiped
+    }
+
+    /// Rebuild an object from its redundancy group, re-storing the result
+    /// on the PFS so later reads find it durably. Returns `None` without a
+    /// group, for unknown members, and for failed rebuilds (counted).
+    fn reconstruct_from_group(&self, id: ObjectId) -> Option<StoredObject> {
+        let red = self.redundancy.as_ref()?;
+        let fetch = |mid: ObjectId| -> Option<StoredObject> {
+            for tier in [&self.pfs, &self.ssd, &self.host] {
+                if let ObjectState::Valid(obj) = Self::inspect_object_retry(tier, mid) {
+                    return Some(obj);
+                }
+            }
+            None
+        };
+        match red.reconstruct(id, &fetch) {
+            Ok(obj) => {
+                red.metrics().on_restored();
+                let _ = self.pfs.store_object(id, obj.clone());
+                Some(obj)
+            }
+            Err(_) => {
+                if red.knows_member(id) {
+                    red.metrics().on_restore_failure();
+                }
+                None
+            }
         }
     }
 
@@ -136,6 +242,7 @@ impl TierChain {
     /// so a compressed object stays compressed (and its compressed-payload
     /// checksum is what the repaired copy re-verifies against).
     pub fn locate(&self, id: ObjectId) -> Option<Vec<u8>> {
+        self.poll_rank_loss();
         let order = [&self.pfs, &self.ssd, &self.host];
         let mut decoded: Option<Vec<u8>> = None;
         let mut encoded: Option<StoredObject> = None;
@@ -169,6 +276,17 @@ impl TierChain {
                 ObjectState::Missing | ObjectState::TransientIo => {}
             }
         }
+        if decoded.is_none() {
+            // Every local copy is gone or corrupt: last resort before the
+            // caller sees a hole is a bit-identical rebuild from the
+            // object's redundancy group.
+            if let Some(obj) = self.reconstruct_from_group(id) {
+                if let Ok(p) = obj.clone().decode() {
+                    decoded = Some(p);
+                    encoded = Some(obj);
+                }
+            }
+        }
         if let Some(obj) = &encoded {
             for tier in corrupt {
                 if tier.store_object(id, obj.clone()).is_ok() {
@@ -200,14 +318,33 @@ impl TierChain {
                 self.repair_pfs_from_upper(id)
             }
             ObjectState::Missing | ObjectState::TransientIo => {
-                // Never durable: copies above the PFS are volatile.
-                (ObjectStatus::LostVolatile, None)
+                if let Some(p) = self.recover_from_group(id) {
+                    return (ObjectStatus::RestoredFromGroup, Some(p));
+                }
+                if self.redundancy.as_ref().is_some_and(|r| r.knows_member(id)) {
+                    // The group knew this object but could not rebuild it
+                    // (e.g. two losses in one XOR group): typed loss, never
+                    // a wrong payload.
+                    (ObjectStatus::LostCorrupt, None)
+                } else {
+                    // Never durable: copies above the PFS are volatile.
+                    (ObjectStatus::LostVolatile, None)
+                }
             }
         }
     }
 
+    /// Group-rebuild step of recovery: returns the decoded payload when
+    /// the redundancy group reconstructed the object bit-identically.
+    fn recover_from_group(&self, id: ObjectId) -> Option<Vec<u8>> {
+        let obj = self.reconstruct_from_group(id)?;
+        obj.decode().ok()
+    }
+
     /// Repair the durable copy from a redundant valid copy in a higher
-    /// tier, moving the encoded bytes verbatim (no transcode).
+    /// tier, moving the encoded bytes verbatim (no transcode). When no
+    /// local tier holds a usable copy, the object's redundancy group is
+    /// the final source before declaring it lost.
     fn repair_pfs_from_upper(&self, id: ObjectId) -> (ObjectStatus, Option<Vec<u8>>) {
         for tier in [&self.ssd, &self.host] {
             if let ObjectState::Valid(obj) = Self::inspect_object_retry(tier, id) {
@@ -220,6 +357,9 @@ impl TierChain {
                 }
             }
         }
+        if let Some(p) = self.recover_from_group(id) {
+            return (ObjectStatus::RestoredFromGroup, Some(p));
+        }
         (ObjectStatus::LostCorrupt, None)
     }
 
@@ -228,11 +368,17 @@ impl TierChain {
     /// repaired, or lost, and each rank's contiguous durable prefix is
     /// extracted. See [`RecoveryReport`].
     pub fn recover_report(&self) -> RecoveryReport {
+        self.poll_rank_loss();
         let mut ids: Vec<ObjectId> = Vec::new();
         for tier in [&self.pfs, &self.ssd, &self.host] {
             ids.extend(tier.resident());
             ids.extend(tier.quarantined());
         }
+        // Objects whose every local copy a rank loss wiped are invisible
+        // to the tier scan; the group's member table still names them, so
+        // cluster-scope recovery classifies them too (restored or typed
+        // lost — never silently absent).
+        ids.extend(self.redundancy_member_ids());
         let by_rank = group_by_rank(ids);
         let mut ranks: Vec<RankRecovery> = by_rank
             .into_iter()
@@ -505,6 +651,15 @@ impl Flusher {
     /// distributions stay comparable across compression policies.
     fn flush(&self, id: ObjectId) {
         let t = &self.tiers;
+        // Apply any rank loss queued by the fault hook before touching the
+        // tiers; in-flight objects the wipe took (and that never reached
+        // the PFS) can only come back via their redundancy group at
+        // recovery, so `wait_durable` must not spin on them.
+        for wiped in t.poll_rank_loss() {
+            if !t.pfs.contains(wiped) {
+                self.mark_undrainable(wiped);
+            }
+        }
         // Hop 1: host → SSD, degrading host → PFS if the SSD refuses the
         // object after retry exhaustion (full or persistently erroring).
         match self.read_object_with_retry(&t.host, id) {
@@ -516,6 +671,11 @@ impl Flusher {
                 } else {
                     staged
                 };
+                // Redundancy-encode the framed (post-compression) object
+                // across its parity group, off the producer's critical
+                // path and overlapped with the drain — idempotent, so a
+                // degraded re-flush never double-XORs.
+                t.encode_redundancy(id, &object);
                 let raw_len = object.uncompressed_len;
                 let wire_len = object.stored_len();
                 let hop = Instant::now();
@@ -701,6 +861,28 @@ impl AsyncRuntime {
         }
     }
 
+    /// The fullest constructor: [`with_compression`](Self::with_compression)
+    /// plus a cross-rank redundancy group. With
+    /// [`RedundancyPolicy::Off`] this delegates directly — no store is
+    /// attached, no `redundancy/*` metric registers, and the runtime is
+    /// the pre-redundancy one byte for byte.
+    pub fn with_redundancy(
+        mut tiers: TierChain,
+        time_scale: f64,
+        registry: Arc<Registry>,
+        policy: CompressionPolicy,
+        redundancy: RedundancyPolicy,
+    ) -> Self {
+        if redundancy != RedundancyPolicy::Off {
+            let store = Arc::new(RedundancyStore::new(
+                redundancy,
+                RedundancyMetrics::bound(Arc::clone(&registry)),
+            ));
+            tiers.attach_redundancy(store);
+        }
+        Self::with_compression(tiers, time_scale, registry, policy)
+    }
+
     pub fn tiers(&self) -> &TierChain {
         &self.tiers
     }
@@ -798,6 +980,31 @@ impl AsyncRuntime {
             }
             if self.killed.load(Ordering::Relaxed) {
                 return; // failure: durability will not progress further
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Block until every given checkpoint's redundancy encoding is
+    /// durable in the group tier (or the object was abandoned, or the
+    /// runtime killed). Immediate without a redundancy group. GC calls
+    /// this before `compact_below` so a rebase record's group encoding is
+    /// never outrun by the eviction of the history it replaces.
+    pub fn wait_redundancy_durable(&self, ids: &[ObjectId]) {
+        let Some(red) = self.tiers.redundancy() else {
+            return;
+        };
+        loop {
+            let settled = {
+                let undrainable = self.undrainable.lock();
+                ids.iter()
+                    .all(|id| red.is_encoded(*id) || undrainable.contains(id))
+            };
+            if settled {
+                return;
+            }
+            if self.killed.load(Ordering::Relaxed) {
+                return;
             }
             std::thread::yield_now();
         }

@@ -91,6 +91,17 @@ impl TierConfig {
             capacity: u64::MAX,
         }
     }
+
+    /// Redundancy-group store: partner copies / parity stripes living on
+    /// peer nodes' local SSDs, reached over the interconnect — SSD-class
+    /// bandwidth, shared capacity.
+    pub fn group() -> Self {
+        TierConfig {
+            name: "group",
+            bandwidth_bps: 2.0e9,
+            capacity: 3200 << 30,
+        }
+    }
 }
 
 /// One simulated storage tier.
@@ -109,6 +120,10 @@ pub struct Tier {
     /// Bound once by the runtime so transparent reads can account decode
     /// time; never set in metric-less contexts.
     compress_metrics: OnceLock<Arc<CompressMetrics>>,
+    /// Bound once by the tier chain: ranks named by a fired
+    /// [`FaultKind::RankLoss`] are pushed here and wiped at the chain's
+    /// next deterministic poll point.
+    loss_sink: OnceLock<Arc<Mutex<Vec<u32>>>>,
 }
 
 /// An object in its *stored* form: the codec it was encoded with, the
@@ -292,6 +307,21 @@ impl Tier {
             busy_femtos: AtomicU64::new(0),
             faults,
             compress_metrics: OnceLock::new(),
+            loss_sink: OnceLock::new(),
+        }
+    }
+
+    /// Bind the rank-loss sink shared by a tier chain. First binding wins.
+    pub fn bind_loss_sink(&self, sink: Arc<Mutex<Vec<u32>>>) {
+        let _ = self.loss_sink.set(sink);
+    }
+
+    /// Record a fired [`FaultKind::RankLoss`] for the chain to apply.
+    fn note_rank_loss(&self, fault: &Option<FaultKind>) {
+        if let Some(FaultKind::RankLoss { rank }) = fault {
+            if let Some(sink) = self.loss_sink.get() {
+                sink.lock().push(*rank);
+            }
         }
     }
 
@@ -347,6 +377,7 @@ impl Tier {
             .faults
             .as_ref()
             .and_then(|p| p.next_op(self.cfg.name, OpKind::Put));
+        self.note_rank_loss(&fault);
         if let Some(kind) = &fault {
             apply_latency(kind);
             if *kind == FaultKind::TransientIo {
@@ -443,6 +474,7 @@ impl Tier {
             .faults
             .as_ref()
             .and_then(|p| p.next_op(self.cfg.name, OpKind::Get));
+        self.note_rank_loss(&fault);
         if let Some(kind) = &fault {
             apply_latency(kind);
             if *kind == FaultKind::TransientIo {
@@ -497,6 +529,36 @@ impl Tier {
             }
             None => false,
         }
+    }
+
+    /// Wipe every object of `rank` — resident and quarantined — rolling
+    /// back capacity accounting. This models whole-node loss; it is applied
+    /// by the tier chain when a [`FaultKind::RankLoss`] fault is polled.
+    /// Returns the wiped ids (sorted, deduplicated).
+    pub fn wipe_rank(&self, rank: u32) -> Vec<ObjectId> {
+        let mut wiped = Vec::new();
+        {
+            let mut objects = self.objects.lock();
+            let ids: Vec<ObjectId> = objects.keys().filter(|id| id.0 == rank).copied().collect();
+            for id in ids {
+                if let Some(bytes) = objects.remove(&id) {
+                    self.used
+                        .fetch_sub(Self::charged_bytes(&bytes), Ordering::Relaxed);
+                    wiped.push(id);
+                }
+            }
+        }
+        {
+            let mut q = self.quarantined.lock();
+            let ids: Vec<ObjectId> = q.keys().filter(|id| id.0 == rank).copied().collect();
+            for id in ids {
+                q.remove(&id);
+                wiped.push(id);
+            }
+        }
+        wiped.sort_unstable();
+        wiped.dedup();
+        wiped
     }
 
     /// Ids currently quarantined (sorted, for deterministic tests).

@@ -1,0 +1,509 @@
+//! Cluster failure schedules for cross-rank redundancy groups.
+//!
+//! Extends the crash-consistency harness with whole-rank node loss
+//! ([`FaultKind::RankLoss`], drawn by [`FaultPlan::from_seed_clustered`])
+//! over 4–8 rank clusters running partner-copy or XOR-parity redundancy.
+//!
+//! Invariants checked:
+//!
+//! 1. recovery never returns a wrong payload — every byte it hands back is
+//!    identical to what was submitted (and replays to the fault-free
+//!    snapshots), no matter which faults fired;
+//! 2. ranks a `RankLoss` never hit are fully accounted, exactly as in the
+//!    redundancy-off harness;
+//! 3. a *fully* lost rank (host, SSD and PFS gone) restores its latest
+//!    checkpoint from the group bit-identically to sequential fault-free
+//!    replay — at 1, 2 and 8 pool threads, compression Off and Adaptive;
+//! 4. two simultaneous losses inside one XOR group produce typed
+//!    `LostCorrupt` outcomes, never a reconstructed-but-wrong payload.
+
+use ckpt_dedup::prelude::*;
+use ckpt_dedup::Diff;
+use ckpt_runtime::tier::ObjectId;
+use ckpt_runtime::{
+    restore_rank_latest_parallel, AsyncRuntime, CompressionPolicy, FaultKind, FaultPlan,
+    ObjectStatus, RedundancyPolicy, SplitMix64, TierChain,
+};
+use ckpt_telemetry::Registry;
+use gpu_sim::Device;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const CHUNK: usize = 64;
+
+/// Deterministic per-rank snapshot sequence (same construction as the
+/// crash-consistency harness, so ground truth is reproducible from the
+/// parameters alone).
+fn rank_snapshots(rank: u32, len: usize, data_seed: u64, count: usize) -> Vec<Vec<u8>> {
+    let mut rng = SplitMix64::new(data_seed ^ (rank as u64).wrapping_mul(0x9e37_79b9));
+    let mut data: Vec<u8> = (0..len).map(|_| (rng.next() & 0xff) as u8).collect();
+    let mut out = vec![data.clone()];
+    for _ in 1..count {
+        let edits = 1 + (rng.next() % 24) as usize;
+        for _ in 0..edits {
+            let at = (rng.next() as usize) % len;
+            data[at] = (rng.next() & 0xff) as u8;
+        }
+        out.push(data.clone());
+    }
+    out
+}
+
+struct Cluster {
+    ranks: u32,
+    ckpts: u32,
+    snapshots: Vec<Vec<Vec<u8>>>,
+    diffs: Vec<Vec<Vec<u8>>>,
+}
+
+impl Cluster {
+    fn build(ranks: u32, ckpts: u32, len: usize, data_seed: u64) -> Cluster {
+        let mut snapshots = Vec::new();
+        let mut diffs = Vec::new();
+        for r in 0..ranks {
+            let snaps = rank_snapshots(r, len, data_seed, ckpts as usize);
+            let mut ckpt = TreeCheckpointer::new(Device::a100(), TreeConfig::new(CHUNK));
+            diffs.push(
+                snaps
+                    .iter()
+                    .map(|s| ckpt.checkpoint(s).diff.encode())
+                    .collect::<Vec<_>>(),
+            );
+            snapshots.push(snaps);
+        }
+        Cluster {
+            ranks,
+            ckpts,
+            snapshots,
+            diffs,
+        }
+    }
+
+    fn ids(&self) -> Vec<ObjectId> {
+        (0..self.ckpts)
+            .flat_map(|k| (0..self.ranks).map(move |r| (r, k)))
+            .collect()
+    }
+}
+
+fn make_runtime(
+    plan: Arc<FaultPlan>,
+    compression: CompressionPolicy,
+    redundancy: RedundancyPolicy,
+) -> AsyncRuntime {
+    AsyncRuntime::with_redundancy(
+        TierChain::with_faults(plan),
+        0.0,
+        Arc::new(Registry::new()),
+        compression,
+        redundancy,
+    )
+}
+
+/// Submit the whole cluster rank-interleaved with an optional mid-schedule
+/// kill, then recover. Mirrors the crash-consistency harness driver.
+fn run_cluster(
+    sched: &Cluster,
+    plan: Arc<FaultPlan>,
+    kill_after: usize,
+    compression: CompressionPolicy,
+    redundancy: RedundancyPolicy,
+) -> (ckpt_runtime::RecoveryReport, Vec<ObjectId>) {
+    let rt = make_runtime(plan, compression, redundancy);
+    let mut submitted_ok: Vec<ObjectId> = Vec::new();
+    let mut n = 0usize;
+    let mut killed = false;
+    for k in 0..sched.ckpts {
+        for r in 0..sched.ranks {
+            if n == kill_after && !killed {
+                rt.wait_durable(&submitted_ok);
+                rt.kill();
+                killed = true;
+            }
+            n += 1;
+            if rt
+                .submit(r, k, sched.diffs[r as usize][k as usize].clone())
+                .is_ok()
+            {
+                submitted_ok.push((r, k));
+            }
+        }
+    }
+    if !killed {
+        rt.wait_durable(&submitted_ok);
+        rt.kill();
+    }
+    (rt.recover_report(), submitted_ok)
+}
+
+/// Invariant 1: whatever recovery reports is bit-identical to the
+/// fault-free ground truth — payloads equal the submitted bytes and the
+/// durable prefix replays to the original snapshots.
+fn check_payloads_bit_identical(sched: &Cluster, report: &ckpt_runtime::RecoveryReport) {
+    for rr in &report.ranks {
+        let r = rr.rank as usize;
+        for (i, payload) in rr.payloads.iter().enumerate() {
+            let k = rr.base as usize + i;
+            assert_eq!(
+                payload, &sched.diffs[r][k],
+                "rank {r} ckpt {k}: recovered payload differs from submitted bytes"
+            );
+        }
+        if rr.prefix_len == 0 {
+            continue;
+        }
+        let decoded: Vec<Diff> = rr
+            .payloads
+            .iter()
+            .map(|b| Diff::decode(b).expect("recovered payload must decode"))
+            .collect();
+        let versions = restore_record(&decoded).expect("durable prefix must replay");
+        for (i, v) in versions.iter().enumerate() {
+            assert_eq!(
+                v,
+                &sched.snapshots[r][rr.base as usize + i],
+                "rank {r} version {} not bit-exact to fault-free replay",
+                rr.base as usize + i
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Seeded cluster failure schedules: submits × RankLoss/BitFlip/torn
+    /// writes/kill over 4–8 ranks. Surviving ranks' durable prefixes stay
+    /// bit-identical to fault-free replay and fully accounted; recovery
+    /// never fabricates a payload for anyone.
+    #[test]
+    fn cluster_failure_schedules_recover_bit_exact(
+        ranks in 4u32..9,
+        ckpts in 2u32..4,
+        len in 256usize..768,
+        data_seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        fault_count in 0usize..12,
+        kill_frac in 0u32..120,
+        policy_idx in 0usize..3,
+    ) {
+        let redundancy = match policy_idx {
+            0 => RedundancyPolicy::Off,
+            1 => RedundancyPolicy::Partner,
+            _ => RedundancyPolicy::Xor { group_size: 2 },
+        };
+        let sched = Cluster::build(ranks, ckpts, len, data_seed);
+        let total = (ranks * ckpts) as usize;
+        let kill_after = (kill_frac as usize * (total + 1)) / 120;
+        let plan = if fault_count == 0 {
+            FaultPlan::empty()
+        } else {
+            FaultPlan::from_seed_clustered(fault_seed, fault_count, (total * 4) as u64, ranks)
+        };
+        let (report, submitted_ok) =
+            run_cluster(&sched, Arc::clone(&plan), kill_after, CompressionPolicy::Off, redundancy);
+
+        check_payloads_bit_identical(&sched, &report);
+
+        // Ranks an actually-fired RankLoss hit; everyone else must be
+        // fully accounted exactly like the redundancy-off harness.
+        let lost: std::collections::HashSet<u32> = plan
+            .fired()
+            .iter()
+            .filter_map(|f| match f.kind {
+                FaultKind::RankLoss { rank } => Some(rank),
+                _ => None,
+            })
+            .collect();
+        let mut surviving_submitted = 0usize;
+        let mut surviving_reported = 0usize;
+        for &(r, _) in &submitted_ok {
+            if !lost.contains(&r) {
+                surviving_submitted += 1;
+            }
+        }
+        for rr in &report.ranks {
+            if !lost.contains(&rr.rank) {
+                surviving_reported += rr.objects.len();
+            }
+            for o in &rr.objects {
+                if o.status == ObjectStatus::RestoredFromGroup {
+                    prop_assert_ne!(
+                        redundancy,
+                        RedundancyPolicy::Off,
+                        "group restore reported without a redundancy group"
+                    );
+                }
+            }
+        }
+        prop_assert_eq!(
+            surviving_reported, surviving_submitted,
+            "surviving ranks must account every accepted object"
+        );
+        prop_assert!(report.total_objects() <= submitted_ok.len());
+        if lost.is_empty() {
+            prop_assert_eq!(report.total_objects(), submitted_ok.len());
+        }
+        if redundancy == RedundancyPolicy::Off {
+            prop_assert_eq!(report.total_restored_from_group(), 0);
+        }
+    }
+
+    /// Satellite differential: with redundancy Off, `recover_report()` is
+    /// byte-for-byte identical (JSON rendering and all) to the baseline
+    /// compression-eligible runtime on the crash-consistency schedules —
+    /// the redundancy layer is invisible unless enabled.
+    #[test]
+    fn redundancy_off_is_byte_identical_to_baseline(
+        ranks in 1u32..3,
+        ckpts in 2u32..5,
+        len in 256usize..1024,
+        data_seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        fault_count in 0usize..10,
+        kill_frac in 0u32..120,
+        adaptive in any::<bool>(),
+    ) {
+        let compression = if adaptive {
+            CompressionPolicy::Adaptive
+        } else {
+            CompressionPolicy::Off
+        };
+        let sched = Cluster::build(ranks, ckpts, len, data_seed);
+        let total = (ranks * ckpts) as usize;
+        let kill_after = (kill_frac as usize * (total + 1)) / 120;
+        let horizon = (total * 4) as u64;
+        let mk = || {
+            if fault_count == 0 {
+                FaultPlan::empty()
+            } else {
+                FaultPlan::from_seed(fault_seed, fault_count, horizon)
+            }
+        };
+
+        // Baseline: the pre-redundancy constructor.
+        let plan_a = mk();
+        let rt = AsyncRuntime::with_compression(
+            TierChain::with_faults(Arc::clone(&plan_a)),
+            0.0,
+            Arc::new(Registry::new()),
+            compression,
+        );
+        let mut ok_a = Vec::new();
+        for k in 0..sched.ckpts {
+            for r in 0..sched.ranks {
+                if (k * sched.ranks + r) as usize == kill_after {
+                    rt.wait_durable(&ok_a);
+                    rt.kill();
+                }
+                if rt.submit(r, k, sched.diffs[r as usize][k as usize].clone()).is_ok() {
+                    ok_a.push((r, k));
+                }
+            }
+        }
+        rt.wait_durable(&ok_a);
+        rt.kill();
+        let base_json = rt.recover_report().to_json();
+        let base_fired = plan_a.fired();
+
+        // Same schedule through the redundancy-aware constructor, Off.
+        let plan_b = mk();
+        let rt = make_runtime(Arc::clone(&plan_b), compression, RedundancyPolicy::Off);
+        let mut ok_b = Vec::new();
+        for k in 0..sched.ckpts {
+            for r in 0..sched.ranks {
+                if (k * sched.ranks + r) as usize == kill_after {
+                    rt.wait_durable(&ok_b);
+                    rt.kill();
+                }
+                if rt.submit(r, k, sched.diffs[r as usize][k as usize].clone()).is_ok() {
+                    ok_b.push((r, k));
+                }
+            }
+        }
+        rt.wait_durable(&ok_b);
+        rt.kill();
+        let off_json = rt.recover_report().to_json();
+
+        prop_assert_eq!(base_fired, plan_b.fired(), "fault schedules diverged");
+        prop_assert_eq!(ok_a, ok_b, "accepted-submission sets diverged");
+        prop_assert_eq!(
+            base_json, off_json,
+            "redundancy Off changed the recovery report"
+        );
+    }
+}
+
+/// Acceptance criterion: a fully-lost rank (host, SSD *and* PFS wiped)
+/// restores its latest checkpoint from the redundancy group bit-identically
+/// to sequential fault-free replay — at 1, 2 and 8 pool threads, with
+/// compression Off and Adaptive, under both partner and XOR policies.
+#[test]
+fn fully_lost_rank_restores_from_group_bit_identically() {
+    let device = Device::a100();
+    let sched = Cluster::build(4, 4, 4096, 2024);
+    let lost = 2u32;
+    let want = sched.snapshots[lost as usize].last().unwrap();
+    for redundancy in [
+        RedundancyPolicy::Partner,
+        RedundancyPolicy::Xor { group_size: 4 },
+    ] {
+        for compression in [CompressionPolicy::Off, CompressionPolicy::Adaptive] {
+            for threads in [1usize, 2, 8] {
+                rayon::set_active_threads(threads);
+                let rt = make_runtime(FaultPlan::empty(), compression, redundancy);
+                let ids = sched.ids();
+                for k in 0..sched.ckpts {
+                    for r in 0..sched.ranks {
+                        rt.submit(r, k, sched.diffs[r as usize][k as usize].clone())
+                            .unwrap();
+                    }
+                }
+                rt.wait_durable(&ids);
+                rt.wait_redundancy_durable(&ids);
+                rt.kill();
+
+                // Node loss takes every local copy, durable tier included.
+                rt.tiers().host.wipe_rank(lost);
+                rt.tiers().ssd.wipe_rank(lost);
+                rt.tiers().pfs.wipe_rank(lost);
+
+                let out = restore_rank_latest_parallel(rt.tiers(), &device, lost, None)
+                    .expect("lost rank must restore from its group");
+                assert_eq!(out.version, sched.ckpts - 1);
+                assert_eq!(
+                    &out.data, want,
+                    "{redundancy:?}/{compression:?}/{threads} threads: \
+                     group restore not bit-identical to fault-free replay"
+                );
+
+                // The rebuild re-registers on the PFS and the recovery
+                // report types it as group-restored.
+                let report = rt.recover_report();
+                let rr = report
+                    .ranks
+                    .iter()
+                    .find(|rr| rr.rank == lost)
+                    .expect("lost rank present in report");
+                assert_eq!(rr.prefix_len, sched.ckpts as usize);
+                assert!(rr.objects.iter().all(|o| o.status.is_durable()));
+                check_payloads_bit_identical(&sched, &report);
+            }
+        }
+    }
+    rayon::set_active_threads(0);
+}
+
+/// Two simultaneous rank losses inside one XOR group: reconstruction is
+/// impossible, and the report must say `LostCorrupt` for every affected
+/// object — never a fabricated payload — while the other group's ranks
+/// stay fully verified.
+#[test]
+fn xor_double_loss_is_typed_never_wrong() {
+    let sched = Cluster::build(8, 3, 2048, 7);
+    let rt = make_runtime(
+        FaultPlan::empty(),
+        CompressionPolicy::Off,
+        RedundancyPolicy::Xor { group_size: 4 },
+    );
+    let ids = sched.ids();
+    for k in 0..sched.ckpts {
+        for r in 0..sched.ranks {
+            rt.submit(r, k, sched.diffs[r as usize][k as usize].clone())
+                .unwrap();
+        }
+    }
+    rt.wait_durable(&ids);
+    rt.wait_redundancy_durable(&ids);
+    rt.kill();
+
+    // Ranks 1 and 2 share XOR group 0; both go down completely, hosted
+    // parity stripes included.
+    let red = rt
+        .tiers()
+        .redundancy()
+        .expect("redundancy attached")
+        .clone();
+    for lost in [1u32, 2] {
+        rt.tiers().host.wipe_rank(lost);
+        rt.tiers().ssd.wipe_rank(lost);
+        rt.tiers().pfs.wipe_rank(lost);
+        red.apply_rank_loss(lost);
+    }
+
+    let device = Device::a100();
+    assert!(
+        restore_rank_latest_parallel(rt.tiers(), &device, 1, None).is_err(),
+        "a double loss must not restore"
+    );
+
+    let report = rt.recover_report();
+    check_payloads_bit_identical(&sched, &report);
+    for rr in &report.ranks {
+        if rr.rank == 1 || rr.rank == 2 {
+            assert_eq!(rr.prefix_len, 0, "rank {}: nothing usable remains", rr.rank);
+            for o in &rr.objects {
+                assert_eq!(
+                    o.status,
+                    ObjectStatus::LostCorrupt,
+                    "rank {} ckpt {}: double loss must be typed, got {:?}",
+                    rr.rank,
+                    o.ckpt_id,
+                    o.status
+                );
+            }
+        } else {
+            // Everyone else — including group 1 (ranks 4–7) — is intact.
+            assert_eq!(rr.prefix_len, sched.ckpts as usize, "rank {}", rr.rank);
+            assert!(rr
+                .objects
+                .iter()
+                .all(|o| o.status == ObjectStatus::Verified));
+        }
+    }
+}
+
+/// A single loss in each of two *different* XOR groups is fine: both
+/// ranks rebuild from their own group's survivors.
+#[test]
+fn one_loss_per_group_restores_both() {
+    let sched = Cluster::build(8, 2, 1024, 11);
+    let rt = make_runtime(
+        FaultPlan::empty(),
+        CompressionPolicy::Adaptive,
+        RedundancyPolicy::Xor { group_size: 4 },
+    );
+    let ids = sched.ids();
+    for k in 0..sched.ckpts {
+        for r in 0..sched.ranks {
+            rt.submit(r, k, sched.diffs[r as usize][k as usize].clone())
+                .unwrap();
+        }
+    }
+    rt.wait_durable(&ids);
+    rt.wait_redundancy_durable(&ids);
+    rt.kill();
+
+    let red = rt
+        .tiers()
+        .redundancy()
+        .expect("redundancy attached")
+        .clone();
+    for lost in [1u32, 6] {
+        rt.tiers().host.wipe_rank(lost);
+        rt.tiers().ssd.wipe_rank(lost);
+        rt.tiers().pfs.wipe_rank(lost);
+        red.apply_rank_loss(lost);
+    }
+
+    let device = Device::a100();
+    for lost in [1u32, 6] {
+        let out = restore_rank_latest_parallel(rt.tiers(), &device, lost, None)
+            .expect("single loss per group must restore");
+        assert_eq!(
+            &out.data,
+            sched.snapshots[lost as usize].last().unwrap(),
+            "rank {lost}: group restore not bit-identical"
+        );
+    }
+}

@@ -50,23 +50,35 @@
 use gpu_dedup_ckpt::compress::codec_by_id;
 use gpu_dedup_ckpt::dedup::prelude::*;
 use gpu_dedup_ckpt::dedup::{
-    decode_payload, encode_frame, encode_frame_compressed, looks_framed, Diff,
+    decode_frame_expecting, decode_payload, encode_frame, encode_frame_compressed, looks_framed,
+    Diff,
 };
 use gpu_dedup_ckpt::gpu_sim::Device;
-use gpu_dedup_ckpt::runtime::{CompressMetrics, CompressionEngine, CompressionPolicy};
+use gpu_dedup_ckpt::runtime::{
+    CompressMetrics, CompressionEngine, CompressionPolicy, RedundancyMetrics, RedundancyPolicy,
+    RedundancyStore, StoredObject,
+};
 use gpu_dedup_ckpt::telemetry::{JsonWriter, Registry, StageBreakdown};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 
+type ObjectId = (u32, u32);
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  ckpt create  --out <dir> [--method tree|list|basic|full] [--chunk N] \
          [--compress off|adaptive|<codec>] [--payload-compress <codec>] \
+         [--redundancy off|partner|xor:<k>] [--ranks R] \
          [--verify-collisions] [--stats] <snapshots...>\n  \
          ckpt info    <dir>\n  ckpt stats   <dir>\n  \
          ckpt restore <dir> --version K --out <file> [--parallel] [--stats]\n  \
-         ckpt verify  <dir> [<snapshots...>]   (no snapshots: integrity-only mode)"
+         ckpt verify  <dir> [<snapshots...>]   (no snapshots: integrity-only mode)\n\n\
+         --redundancy splits the snapshots across R ranks (default: the group \
+         size), writes rank####/ record subdirs plus a group/ directory of \
+         partner copies or XOR parity stripes, and makes verify/stats \
+         group-aware: a rank whose directory is absent is reported per object \
+         as reconstructable-from-group or LOST, never silently skipped."
     );
     ExitCode::from(2)
 }
@@ -118,11 +130,17 @@ fn diff_path(dir: &Path, version: usize) -> PathBuf {
 /// (over the *stored* bytes, compressed or not) and transparently
 /// decompressing compressed frames — falling back to the raw bytes for
 /// legacy unframed records. Returns the frame codec id (0 for uncompressed
-/// or legacy) and the decoded diff payload. CLI records use rank 0 and the
-/// version number as checkpoint id.
-fn unframe(bytes: &[u8], version: usize, path: &Path) -> Result<(u8, Vec<u8>), String> {
+/// or legacy) and the decoded diff payload. Flat CLI records use rank 0
+/// and the version number as checkpoint id; clustered records carry their
+/// real rank in the frame.
+fn unframe_as(
+    bytes: &[u8],
+    rank: u32,
+    version: usize,
+    path: &Path,
+) -> Result<(u8, Vec<u8>), String> {
     if looks_framed(bytes) {
-        decode_payload(bytes, Some((0, version as u32)))
+        decode_payload(bytes, Some((rank, version as u32)))
             .map(|(header, payload)| (header.codec, payload))
             .map_err(|e| format!("{}: corrupt frame: {e}", path.display()))
     } else {
@@ -158,6 +176,10 @@ fn record_base(dir: &Path) -> Result<usize, Box<dyn std::error::Error>> {
 type LoadedRecord = (usize, Vec<Diff>, Vec<u8>);
 
 fn load_record(dir: &Path) -> Result<LoadedRecord, Box<dyn std::error::Error>> {
+    load_record_as(dir, 0)
+}
+
+fn load_record_as(dir: &Path, rank: u32) -> Result<LoadedRecord, Box<dyn std::error::Error>> {
     let base = record_base(dir)?;
     let mut diffs = Vec::new();
     let mut codecs = Vec::new();
@@ -167,7 +189,7 @@ fn load_record(dir: &Path) -> Result<LoadedRecord, Box<dyn std::error::Error>> {
             break;
         }
         let bytes = std::fs::read(&path)?;
-        let (codec, payload) = unframe(&bytes, version, &path)?;
+        let (codec, payload) = unframe_as(&bytes, rank, version, &path)?;
         codecs.push(codec);
         diffs.push(Diff::decode(&payload).map_err(|e| format!("{}: {e}", path.display()))?);
     }
@@ -216,11 +238,28 @@ fn cmd_create(args: &[String], stats: bool) -> CliResult {
     let mut chunk = 128usize;
     let mut compress: Option<String> = None;
     let mut payload_compress: Option<String> = None;
+    let mut redundancy = RedundancyPolicy::Off;
+    let mut ranks: Option<usize> = None;
     let mut verify_collisions = false;
     let mut snapshots: Vec<PathBuf> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--redundancy" => {
+                let spec = args.get(i + 1).ok_or("--redundancy needs a value")?;
+                redundancy = RedundancyPolicy::parse(spec).ok_or_else(|| {
+                    format!("unknown --redundancy policy '{spec}' (off|partner|xor:<k>)")
+                })?;
+                i += 2;
+            }
+            "--ranks" => {
+                let r: usize = args.get(i + 1).ok_or("--ranks needs a value")?.parse()?;
+                if r == 0 {
+                    return Err("--ranks must be at least 1".into());
+                }
+                ranks = Some(r);
+                i += 2;
+            }
             "--out" => {
                 out_dir = Some(PathBuf::from(args.get(i + 1).ok_or("--out needs a value")?));
                 i += 2;
@@ -268,6 +307,23 @@ fn cmd_create(args: &[String], stats: bool) -> CliResult {
         Some(spec) => CompressionPolicy::parse(spec)
             .ok_or_else(|| format!("unknown --compress policy '{spec}' (off|adaptive|<codec>)"))?,
     };
+
+    if redundancy != RedundancyPolicy::Off || ranks.is_some() {
+        // A rank count defaults to one full redundancy group.
+        let n_ranks = ranks.unwrap_or(redundancy.group_size().max(1) as usize);
+        return cmd_create_cluster(CreateCluster {
+            out_dir,
+            method,
+            chunk,
+            policy,
+            payload_compress,
+            verify_collisions,
+            redundancy,
+            n_ranks,
+            snapshots,
+            stats,
+        });
+    }
 
     let device = Device::a100();
     let mut cfg = TreeConfig::new(chunk);
@@ -392,6 +448,391 @@ fn cmd_create(args: &[String], stats: bool) -> CliResult {
     Ok(())
 }
 
+/// Per-rank record subdirectory of a clustered record root.
+fn rank_dir(root: &Path, rank: u32) -> PathBuf {
+    root.join(format!("rank{rank:04}"))
+}
+
+/// On-disk name of one exported group object (partner copy or parity
+/// stripe), keyed by `(hosting_rank, ckpt_id)`.
+fn group_object_path(root: &Path, key: ObjectId) -> PathBuf {
+    root.join("group")
+        .join(format!("h{:04}_c{:04}.grp", key.0, key.1))
+}
+
+/// Whether a record root uses the clustered multi-rank layout.
+fn is_cluster_dir(dir: &Path) -> bool {
+    dir.join("group").join("MANIFEST").exists() || rank_dir(dir, 0).is_dir()
+}
+
+/// Read one member's stored object back from its rank directory: the
+/// framed file, checksum-verified, with the *stored* (possibly compressed)
+/// payload kept intact so group checksums line up with what was encoded.
+fn read_member_object(root: &Path, id: ObjectId) -> Option<StoredObject> {
+    let path = rank_dir(root, id.0).join(format!("{:04}.ckpt", id.1));
+    let bytes = std::fs::read(&path).ok()?;
+    let (header, payload) = decode_frame_expecting(&bytes, Some(id)).ok()?;
+    Some(if header.codec == 0 {
+        StoredObject::raw(payload.to_vec())
+    } else {
+        StoredObject::encoded(header.codec, header.uncompressed_len, payload.to_vec())
+    })
+}
+
+struct CreateCluster {
+    out_dir: PathBuf,
+    method: String,
+    chunk: usize,
+    policy: CompressionPolicy,
+    payload_compress: Option<String>,
+    verify_collisions: bool,
+    redundancy: RedundancyPolicy,
+    n_ranks: usize,
+    snapshots: Vec<PathBuf>,
+    stats: bool,
+}
+
+/// `ckpt create --redundancy ... [--ranks R]`: the snapshots are split
+/// into `R` contiguous per-rank sequences, each rank de-duplicates its own
+/// record into `rank####/`, and every framed record file is additionally
+/// partner-copied or XOR-parity-encoded across the rank's group into
+/// `group/` (plus a `group/MANIFEST` naming policy and members).
+fn cmd_create_cluster(c: CreateCluster) -> CliResult {
+    let n = c.snapshots.len();
+    if n < c.n_ranks {
+        return Err(format!("{n} snapshots cannot be split across {} ranks", c.n_ranks).into());
+    }
+    let group_size = c.redundancy.group_size().max(1) as usize;
+    if c.redundancy != RedundancyPolicy::Off && !c.n_ranks.is_multiple_of(group_size) {
+        return Err(format!(
+            "--ranks {} is not a multiple of the {} group size {group_size}",
+            c.n_ranks,
+            c.redundancy.label()
+        )
+        .into());
+    }
+    let registry = Arc::new(Registry::new());
+    let engine = CompressionEngine::new(
+        c.policy,
+        Arc::new(if c.stats {
+            CompressMetrics::bound(registry.clone())
+        } else {
+            CompressMetrics::detached()
+        }),
+    );
+    let store = (c.redundancy != RedundancyPolicy::Off).then(|| {
+        RedundancyStore::new(
+            c.redundancy,
+            if c.stats {
+                RedundancyMetrics::bound(registry.clone())
+            } else {
+                RedundancyMetrics::detached()
+            },
+        )
+    });
+
+    // Contiguous split: the first `n % ranks` ranks take one extra.
+    let base_len = n / c.n_ranks;
+    let extra = n % c.n_ranks;
+    let mut next = 0usize;
+    let mut total_in = 0u64;
+    let mut total_out = 0u64;
+    for rank in 0..c.n_ranks as u32 {
+        let take = base_len + usize::from((rank as usize) < extra);
+        let slice = &c.snapshots[next..next + take];
+        next += take;
+        let rdir = rank_dir(&c.out_dir, rank);
+        std::fs::create_dir_all(&rdir)?;
+        let device = Device::a100();
+        let mut cfg = TreeConfig::new(c.chunk);
+        if let Some(codec) = &c.payload_compress {
+            cfg = cfg.with_payload_codec(codec);
+        }
+        if c.verify_collisions {
+            cfg = cfg.with_collision_verification();
+        }
+        let mut ckpt: Box<dyn Checkpointer> = match c.method.as_str() {
+            "tree" => Box::new(TreeCheckpointer::new(device.clone(), cfg)),
+            "list" => Box::new(ListCheckpointer::new(device.clone(), cfg)),
+            "basic" => Box::new(BasicCheckpointer::new(device.clone(), c.chunk)),
+            "full" => Box::new(FullCheckpointer::new(device.clone(), c.chunk)),
+            other => return Err(format!("unknown method '{other}'").into()),
+        };
+        for (version, path) in slice.iter().enumerate() {
+            let data = std::fs::read(path)?;
+            let out = ckpt.checkpoint(&data);
+            let object = engine.encode(out.diff.encode());
+            if let Some(store) = &store {
+                store.encode_member((rank, version as u32), &object);
+            }
+            let framed = if object.codec == 0 {
+                encode_frame(rank, version as u32, &object.payload)
+            } else {
+                encode_frame_compressed(
+                    rank,
+                    version as u32,
+                    object.codec,
+                    object.uncompressed_len,
+                    &object.payload,
+                )
+            };
+            total_in += data.len() as u64;
+            total_out += object.payload.len() as u64;
+            std::fs::write(diff_path(&rdir, version), framed)?;
+        }
+        println!(
+            "rank{rank:04}: {take} versions  ({} .. {})",
+            slice
+                .first()
+                .map(|p| p.display().to_string())
+                .unwrap_or_default(),
+            slice
+                .last()
+                .map(|p| p.display().to_string())
+                .unwrap_or_default(),
+        );
+    }
+
+    if let Some(store) = &store {
+        let gdir = c.out_dir.join("group");
+        std::fs::create_dir_all(&gdir)?;
+        let mut group_bytes = 0u64;
+        let mut group_objects = 0u64;
+        for key in store.group_tier().resident() {
+            let obj = store
+                .group_tier()
+                .inspect_object(key)
+                .into_object()
+                .ok_or("group object failed verification during export")?;
+            let framed = if obj.codec == 0 {
+                encode_frame(key.0, key.1, &obj.payload)
+            } else {
+                encode_frame_compressed(key.0, key.1, obj.codec, obj.uncompressed_len, &obj.payload)
+            };
+            group_bytes += framed.len() as u64;
+            group_objects += 1;
+            std::fs::write(group_object_path(&c.out_dir, key), framed)?;
+        }
+        std::fs::write(gdir.join("MANIFEST"), store.export_manifest())?;
+        println!(
+            "group: policy {}, {} ranks in groups of {group_size}, \
+             {group_objects} objects ({group_bytes} B)",
+            c.redundancy.label(),
+            c.n_ranks,
+        );
+    }
+    println!(
+        "cluster record: {} ranks, {n} versions, {total_in} -> {total_out} bytes ({:.2}x)",
+        c.n_ranks,
+        total_in as f64 / total_out.max(1) as f64,
+    );
+    if c.stats {
+        registry.counter("cli/versions").add(n as u64);
+        registry.counter("cli/ranks").add(c.n_ranks as u64);
+        emit_stats_report(
+            "create",
+            &[
+                ("versions", n as u64),
+                ("ranks", c.n_ranks as u64),
+                ("input_bytes", total_in),
+                ("stored_bytes", total_out),
+            ],
+            Some(&c.method),
+            &[],
+            &registry,
+        );
+    }
+    Ok(())
+}
+
+/// Group-aware verification of a clustered record: every present rank
+/// directory is integrity-verified like a flat record, and every rank
+/// whose directory is *absent* is checked object by object against the
+/// redundancy group — reported as reconstructable or LOST, never silently
+/// skipped.
+fn verify_cluster(dir: &Path) -> CliResult {
+    let manifest_path = dir.join("group").join("MANIFEST");
+    let store = if manifest_path.exists() {
+        let text = std::fs::read_to_string(&manifest_path)?;
+        let store = RedundancyStore::from_manifest(&text).ok_or("group/MANIFEST is malformed")?;
+        for entry in std::fs::read_dir(dir.join("group"))? {
+            let path = entry?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let Some(stem) = name.strip_suffix(".grp") else {
+                continue;
+            };
+            let key: ObjectId = (|| {
+                let (h, c) = stem.strip_prefix('h')?.split_once("_c")?;
+                Some((h.parse().ok()?, c.parse().ok()?))
+            })()
+            .ok_or_else(|| format!("unparseable group object name '{name}'"))?;
+            let bytes = std::fs::read(&path)?;
+            let (header, payload) = decode_frame_expecting(&bytes, Some(key))
+                .map_err(|e| format!("{}: corrupt group frame: {e}", path.display()))?;
+            let obj = if header.codec == 0 {
+                StoredObject::raw(payload.to_vec())
+            } else {
+                StoredObject::encoded(header.codec, header.uncompressed_len, payload.to_vec())
+            };
+            store
+                .group_tier()
+                .store_object(key, obj)
+                .map_err(|_| format!("{}: group store refused the object", path.display()))?;
+        }
+        Some(store)
+    } else {
+        None
+    };
+
+    // The rank set: every rank#### directory present, plus every rank the
+    // group manifest knows about (so a wholly-lost rank is still checked).
+    let mut ranks: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+    for entry in std::fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        if let Some(r) = name
+            .to_str()
+            .and_then(|n| n.strip_prefix("rank"))
+            .and_then(|n| n.parse().ok())
+        {
+            ranks.insert(r);
+        }
+    }
+    if let Some(store) = &store {
+        ranks.extend(store.member_ids().iter().map(|&(r, _)| r));
+    }
+    if ranks.is_empty() {
+        return Err(format!("no rank directories found in {}", dir.display()).into());
+    }
+
+    let fetch = |mid: ObjectId| read_member_object(dir, mid);
+    let mut bad = 0usize;
+    for &rank in &ranks {
+        let rdir = rank_dir(dir, rank);
+        if rdir.is_dir() {
+            match verify_integrity_as(&rdir, rank) {
+                Ok(()) => println!("rank{rank:04}: ok"),
+                Err(e) => {
+                    bad += 1;
+                    println!("rank{rank:04}: BAD  {e}");
+                }
+            }
+            continue;
+        }
+        // The rank's directory is gone. Per-group parity health instead of
+        // a silent skip: can each of its objects still be rebuilt?
+        let Some(store) = &store else {
+            bad += 1;
+            println!("rank{rank:04}: LOST  directory absent and no redundancy group present");
+            continue;
+        };
+        let ids: Vec<ObjectId> = store
+            .member_ids()
+            .into_iter()
+            .filter(|&(r, _)| r == rank)
+            .collect();
+        if ids.is_empty() {
+            bad += 1;
+            println!("rank{rank:04}: LOST  directory absent and unknown to the group");
+            continue;
+        }
+        for id in ids {
+            match store.reconstruct(id, &fetch) {
+                Ok(obj) => println!(
+                    "rank{rank:04} v{:04} reconstructable from group ({} B, {})",
+                    id.1,
+                    obj.payload.len(),
+                    store.policy().label(),
+                ),
+                Err(e) => {
+                    bad += 1;
+                    println!("rank{rank:04} v{:04} LOST  {e}", id.1);
+                }
+            }
+        }
+    }
+    if bad > 0 {
+        return Err(format!("{bad} rank(s)/object(s) failed cluster verification").into());
+    }
+    println!("cluster record ok: {} ranks verified", ranks.len());
+    Ok(())
+}
+
+/// Group-aware `ckpt stats` over a clustered record: per-rank record
+/// aggregates plus `redundancy/*` inventory counters.
+fn cmd_stats_cluster(dir: &Path) -> CliResult {
+    let registry = Registry::new();
+    let mut versions = 0u64;
+    let mut stored = 0u64;
+    let mut n_ranks = 0u64;
+    let mut method: Option<String> = None;
+    // Scan for rank#### directories rather than counting up from 0: a
+    // wholly-lost rank must not hide the ranks numbered after it.
+    let mut present: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+    for entry in std::fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        if let Some(r) = name
+            .to_str()
+            .and_then(|n| n.strip_prefix("rank"))
+            .and_then(|n| n.parse().ok())
+        {
+            present.insert(r);
+        }
+    }
+    for &rank in &present {
+        let rdir = rank_dir(dir, rank);
+        n_ranks += 1;
+        let (_base, diffs, _codecs) = load_record_as(&rdir, rank)?;
+        method.get_or_insert_with(|| diffs[0].kind.name().to_string());
+        for d in &diffs {
+            registry
+                .histogram("record/stored_bytes")
+                .record(d.stored_bytes() as u64);
+            stored += d.stored_bytes() as u64;
+        }
+        versions += diffs.len() as u64;
+    }
+    let manifest_path = dir.join("group").join("MANIFEST");
+    if let Ok(text) = std::fs::read_to_string(&manifest_path) {
+        let store = RedundancyStore::from_manifest(&text).ok_or("group/MANIFEST is malformed")?;
+        registry
+            .counter("redundancy/members")
+            .add(store.member_ids().len() as u64);
+        let mut group_objects = 0u64;
+        let mut group_bytes = 0u64;
+        for entry in std::fs::read_dir(dir.join("group"))? {
+            let entry = entry?;
+            if entry.path().extension().is_some_and(|e| e == "grp") {
+                group_objects += 1;
+                group_bytes += entry.metadata()?.len();
+            }
+        }
+        registry
+            .counter("redundancy/group_objects")
+            .add(group_objects);
+        registry.counter("redundancy/group_bytes").add(group_bytes);
+        registry
+            .counter("redundancy/group_ranks")
+            .add(store.policy().group_size() as u64);
+    }
+    if n_ranks == 0 {
+        return Err(format!("no rank directories found in {}", dir.display()).into());
+    }
+    emit_stats_report(
+        "stats",
+        &[
+            ("versions", versions),
+            ("ranks", n_ranks),
+            ("stored_bytes", stored),
+        ],
+        method.as_deref(),
+        &[],
+        &registry,
+    );
+    Ok(())
+}
+
 fn cmd_info(args: &[String]) -> CliResult {
     let dir = PathBuf::from(args.first().ok_or("missing <dir>")?);
     let (base, diffs, codecs) = load_record(&dir)?;
@@ -443,6 +884,9 @@ fn cmd_info(args: &[String]) -> CliResult {
 /// per-version size distributions as histograms, plus record totals.
 fn cmd_stats(args: &[String]) -> CliResult {
     let dir = PathBuf::from(args.first().ok_or("missing <dir>")?);
+    if is_cluster_dir(&dir) {
+        return cmd_stats_cluster(&dir);
+    }
     let (base, diffs, codecs) = load_record(&dir)?;
     let registry = Registry::new();
     let mut stored = 0u64;
@@ -587,6 +1031,10 @@ fn cmd_restore(args: &[String], stats: bool) -> CliResult {
 /// Integrity-only verification: checksum every frame and replay the whole
 /// restore chain, reporting per-version outcomes. No originals needed.
 fn verify_integrity(dir: &Path) -> CliResult {
+    verify_integrity_as(dir, 0)
+}
+
+fn verify_integrity_as(dir: &Path, rank: u32) -> CliResult {
     let base = record_base(dir)?;
     if base > 0 {
         println!("record is compacted: first surviving version is v{base:04} (rebase point)");
@@ -605,7 +1053,7 @@ fn verify_integrity(dir: &Path) -> CliResult {
         } else {
             "  [legacy unframed]"
         };
-        match unframe(&bytes, version, &path)
+        match unframe_as(&bytes, rank, version, &path)
             .map_err(Into::into)
             .and_then(
             |(codec, payload): (u8, Vec<u8>)| -> Result<(u8, Diff), Box<dyn std::error::Error>> {
@@ -659,6 +1107,12 @@ fn verify_integrity(dir: &Path) -> CliResult {
 fn cmd_verify(args: &[String]) -> CliResult {
     let dir = PathBuf::from(args.first().ok_or("missing <dir>")?);
     let originals = &args[1..];
+    if is_cluster_dir(&dir) {
+        if !originals.is_empty() {
+            return Err("clustered records verify in integrity mode (no originals)".into());
+        }
+        return verify_cluster(&dir);
+    }
     if originals.is_empty() {
         return verify_integrity(&dir);
     }
