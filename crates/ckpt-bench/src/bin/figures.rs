@@ -24,6 +24,10 @@
 //!   redundancy        cross-rank redundancy groups: throughput overhead
 //!                     and rank-loss restore latency vs PFS-only recovery,
 //!                     method x policy (writes BENCH_redundancy.json)
+//!   rank_dedup        cluster-wide dedup index: stored bytes and restore
+//!                     digests, policy x rank-dedup on/off over 4 ranks
+//!                     with overlapping working sets (writes
+//!                     BENCH_rank_dedup.json)
 //!   ablation-hash     A1: Murmur3 vs MD5
 //!   ablation-metadata A2: Tree vs List metadata
 //!   ablation-waves    A3: two-stage vs naive wave ordering
@@ -37,7 +41,7 @@ use ckpt_bench::report;
 fn usage() -> ! {
     eprintln!(
         "usage: figures <table1|fig2|fig4|fig5|fig6|hybrid|highfreq|streaming|adjoint|host_scaling|restart_latency|\
-         flush_pipeline|redundancy|ablation-hash|ablation-metadata|ablation-waves|ablation-gorder|ablation-fusion|all> \
+         flush_pipeline|redundancy|rank_dedup|ablation-hash|ablation-metadata|ablation-waves|ablation-gorder|ablation-fusion|all> \
          [--scale N] [--scales A,B,C] [--threads A,B,C] [--chain-lens A,B] [--rank-scale N] [--coverage F] \
          [--seed N] [--json-out PATH]"
     );
@@ -231,6 +235,21 @@ fn main() {
             .unwrap_or_else(|| "BENCH_redundancy.json".into());
         std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
         let mut text = report::render_redundancy(&rep);
+        text.push_str(&format!("wrote {out}\n"));
+        text
+    });
+    run("rank_dedup", &mut || {
+        let scale = scales
+            .clone()
+            .and_then(|s| s.first().copied())
+            .unwrap_or(experiments::RANK_DEDUP_SCALE);
+        let rep = experiments::rank_dedup_at(scale, cfg.seed);
+        let json = report::render_rank_dedup_json(&rep);
+        let out = json_out
+            .clone()
+            .unwrap_or_else(|| "BENCH_rank_dedup.json".into());
+        std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+        let mut text = report::render_rank_dedup(&rep);
         text.push_str(&format!("wrote {out}\n"));
         text
     });

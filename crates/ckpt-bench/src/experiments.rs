@@ -1459,6 +1459,340 @@ pub fn redundancy_at(scale: usize, seed: u64) -> RedundancyReport {
     }
 }
 
+/// One restore measurement in the rank-dedup sweep: the lost rank and a
+/// surviving "witness" rank (whose records hold cross-rank references
+/// into the lost rank) restored at a fixed thread count.
+#[derive(Debug)]
+pub struct RankDedupRestore {
+    pub threads: usize,
+    pub lost_digest: (u64, u64),
+    pub witness_digest: (u64, u64),
+    pub lost_ok: bool,
+    pub witness_ok: bool,
+    pub restore_sec: f64,
+}
+
+/// One redundancy-policy x rank-dedup cell of the sweep.
+#[derive(Debug)]
+pub struct RankDedupPoint {
+    pub policy: String,
+    pub rank_dedup: bool,
+    pub raw_bytes: u64,
+    pub stored_bytes: u64,
+    pub group_bytes: u64,
+    pub claims: u64,
+    pub remote_refs: u64,
+    pub remote_bytes_saved: u64,
+    pub wall_sec: f64,
+    /// Modeled tier time to drain every checkpoint host -> SSD -> PFS.
+    pub modeled_e2e_sec: f64,
+    pub restore_source: &'static str,
+    pub restores: Vec<RankDedupRestore>,
+}
+
+impl RankDedupPoint {
+    pub fn bit_identical(&self) -> bool {
+        self.restores.iter().all(|r| r.lost_ok && r.witness_ok)
+    }
+}
+
+#[derive(Debug)]
+pub struct RankDedupCell {
+    pub method: &'static str,
+    pub points: Vec<RankDedupPoint>,
+}
+
+impl RankDedupCell {
+    /// Stored-byte reduction of rank-dedup ON vs per-rank dedup only
+    /// (OFF) under the same redundancy policy.
+    pub fn reduction_pct(&self, policy: &str) -> f64 {
+        let stored = |on: bool| {
+            self.points
+                .iter()
+                .find(|p| p.policy == policy && p.rank_dedup == on)
+                .map(|p| p.stored_bytes as f64)
+        };
+        match (stored(false), stored(true)) {
+            (Some(off), Some(on)) if off > 0.0 => (off - on) * 100.0 / off,
+            _ => 0.0,
+        }
+    }
+
+    pub fn bit_identical(&self) -> bool {
+        self.points.iter().all(|p| p.bit_identical())
+    }
+}
+
+#[derive(Debug)]
+pub struct RankDedupReport {
+    pub graph: PaperGraph,
+    pub scale: usize,
+    pub n_ranks: usize,
+    pub n_checkpoints: usize,
+    pub chunk: usize,
+    pub lost_rank: u32,
+    pub witness_rank: u32,
+    pub threads: Vec<usize>,
+    pub cells: Vec<RankDedupCell>,
+}
+
+impl RankDedupReport {
+    pub fn bit_identical(&self) -> bool {
+        self.cells.iter().all(|c| c.bit_identical())
+    }
+
+    /// Worst-case reduction across methods and redundancy policies.
+    pub fn min_reduction_pct(&self) -> f64 {
+        self.cells
+            .iter()
+            .flat_map(|c| RANK_DEDUP_POLICIES.iter().map(move |p| c.reduction_pct(p)))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Redundancy policies crossed with rank-dedup on/off.
+pub const RANK_DEDUP_POLICIES: [&str; 3] = ["off", "partner", "xor:4"];
+
+/// Restore-side thread counts the digests are checked at.
+pub const RANK_DEDUP_THREADS: [usize; 3] = [1, 2, 8];
+
+/// Default problem scale (shared-region graph vertices).
+pub const RANK_DEDUP_SCALE: usize = 12_000;
+
+/// Cluster-index grid size: the per-rank dedup grid ([`FIG5_CHUNK`]).
+/// Tree diffs pack changed chunks in encoder order, which varies with
+/// each rank's private tail — a coarser cluster grid would group
+/// different runs of chunks on different ranks and miss nearly every
+/// cross-rank match, so only the native granularity dedups robustly.
+pub const RANK_DEDUP_CHUNK: usize = FIG5_CHUNK;
+
+/// The cluster-wide dedup benchmark: every rank checkpoints a snapshot
+/// made of a *shared* region (identical bytes on all ranks, the
+/// overlapping working set) plus a seed-perturbed private tail. With
+/// rank-dedup on, one shared inline claim index spans the ranks, so each
+/// shared chunk is stored exactly once cluster-wide and every other rank
+/// writes a `CKPR` cross-rank reference instead. Rank `lost_rank` (the
+/// claim winner under the checkpoint-major schedule) then suffers a full
+/// local loss; both the lost rank and a surviving witness rank — whose
+/// records point *into* the lost rank — are restored at several thread
+/// counts and digest-checked against their final snapshots.
+pub fn rank_dedup_at(scale: usize, seed: u64) -> RankDedupReport {
+    use ckpt_hash::{Hasher128, Murmur3};
+    use ckpt_runtime::{
+        restore_rank_latest_parallel, CheckpointPipeline, CompressionPolicy, RankDedupConfig,
+        RankDedupEngine, RankDedupMetrics, RedundancyPolicy, TierChain,
+    };
+    use ckpt_telemetry::Registry;
+    use std::sync::Arc;
+
+    let hasher = Murmur3;
+    let graph = PaperGraph::MessageRace;
+    // The first submitter under the checkpoint-major interleave wins the
+    // shared-region claims, so losing it exercises group reconstruction
+    // of remotely-referenced chunks during every other rank's restore.
+    let lost_rank: u32 = 0;
+    let witness_rank: u32 = 2;
+
+    // Shared region: one workload, identical on every rank, padded to a
+    // chunk multiple so the private tail starts grid-aligned and the
+    // shared chunks hash identically across ranks.
+    let shared = gdv_snapshots(graph, scale, REDUNDANCY_CHECKPOINTS, seed, true);
+    let pad = |b: &[u8]| {
+        let mut v = b.to_vec();
+        v.resize(v.len().div_ceil(RANK_DEDUP_CHUNK) * RANK_DEDUP_CHUNK, 0);
+        v
+    };
+    let workloads: Vec<Vec<Vec<u8>>> = (0..REDUNDANCY_RANKS)
+        .map(|r| {
+            let tail = gdv_snapshots(
+                graph,
+                scale / 3,
+                REDUNDANCY_CHECKPOINTS,
+                seed + 101 * (r as u64 + 1),
+                true,
+            );
+            shared
+                .snapshots
+                .iter()
+                .zip(&tail.snapshots)
+                .map(|(s, t)| {
+                    let mut v = pad(s);
+                    v.extend_from_slice(t);
+                    v
+                })
+                .collect()
+        })
+        .collect();
+    let want: Vec<_> = workloads
+        .iter()
+        .map(|w| {
+            let d = hasher.hash(w.last().expect("snapshots"));
+            (d.h1, d.h2)
+        })
+        .collect();
+
+    let device = Device::a100();
+    let mut cells = Vec::new();
+    for method in ["Tree", "Full"] {
+        // Hash every rank's record once; encoded diffs depend only on
+        // the method, not on the policy/dedup cell.
+        let mut encoded: Vec<Vec<Vec<u8>>> = Vec::new();
+        for w in &workloads {
+            let mut m: Box<dyn Checkpointer> = match method {
+                "Tree" => Box::new(TreeCheckpointer::new(
+                    device.clone(),
+                    TreeConfig::new(FIG5_CHUNK),
+                )),
+                _ => Box::new(FullCheckpointer::new(device.clone(), FIG5_CHUNK)),
+            };
+            encoded.push(w.iter().map(|s| m.checkpoint(s).diff.encode()).collect());
+        }
+        let raw_bytes: u64 = encoded
+            .iter()
+            .flat_map(|r| r.iter().map(|e| e.len() as u64))
+            .sum();
+
+        let mut points = Vec::new();
+        for policy_name in RANK_DEDUP_POLICIES {
+            for rank_dedup in [false, true] {
+                let redundancy = RedundancyPolicy::parse(policy_name).expect("known policy");
+                let registry = Arc::new(Registry::new());
+                let engine = rank_dedup.then(|| {
+                    RankDedupEngine::new(
+                        RankDedupConfig {
+                            ranks: REDUNDANCY_RANKS as u32,
+                            chunk_len: RANK_DEDUP_CHUNK,
+                        },
+                        RankDedupMetrics::bound(Arc::clone(&registry)),
+                    )
+                });
+                // Compression off: the sweep isolates the cluster
+                // index's stored-byte effect (the compression stage has
+                // its own sweep, `flush_pipeline`, and composes with
+                // rank-dedup in the production path).
+                let rt = Arc::new(AsyncRuntime::with_rank_dedup(
+                    TierChain::new(),
+                    0.0,
+                    Arc::clone(&registry),
+                    CompressionPolicy::Off,
+                    redundancy,
+                    engine,
+                ));
+                let pipe = CheckpointPipeline::new(Arc::clone(&rt));
+                let ids: Vec<(u32, u32)> = (0..REDUNDANCY_CHECKPOINTS as u32)
+                    .flat_map(|k| (0..REDUNDANCY_RANKS as u32).map(move |r| (r, k)))
+                    .collect();
+                let t0 = std::time::Instant::now();
+                for k in 0..REDUNDANCY_CHECKPOINTS {
+                    for (r, rank_encoded) in encoded.iter().enumerate() {
+                        let b = rank_encoded[k].clone();
+                        pipe.submit_with(r as u32, k as u32, Box::new(move || b));
+                    }
+                }
+                let pstats = pipe.close();
+                rt.wait_durable(&ids);
+                let wall_sec = t0.elapsed().as_secs_f64();
+                assert_eq!(
+                    pstats.submitted,
+                    ids.len() as u64,
+                    "every checkpoint must land durably"
+                );
+                rt.wait_redundancy_durable(&ids);
+                if let Some(e) = rt.rank_dedup() {
+                    e.quiesce();
+                }
+
+                let stored_bytes: u64 = ids
+                    .iter()
+                    .map(|&id| {
+                        rt.tiers()
+                            .pfs
+                            .inspect_object(id)
+                            .into_object()
+                            .expect("durable object")
+                            .stored_len()
+                    })
+                    .sum();
+                let group_bytes = rt
+                    .tiers()
+                    .redundancy()
+                    .map(|red| red.group_tier().used_bytes())
+                    .unwrap_or(0);
+                let modeled_e2e_sec = rt.tiers().host.modeled_busy_sec()
+                    + rt.tiers().ssd.modeled_busy_sec()
+                    + rt.tiers().pfs.modeled_busy_sec();
+                let counter = |name: &str| registry.counter(name).get();
+
+                // Full local loss of the claim-winning rank; with
+                // redundancy on, the PFS copies go too so both its own
+                // restore and every cross-rank reference into it must
+                // come back through the parity group.
+                rt.tiers().host.wipe_rank(lost_rank);
+                rt.tiers().ssd.wipe_rank(lost_rank);
+                let restore_source = if redundancy == RedundancyPolicy::Off {
+                    "pfs"
+                } else {
+                    rt.tiers().pfs.wipe_rank(lost_rank);
+                    "group"
+                };
+                let mut restores = Vec::new();
+                for &threads in &RANK_DEDUP_THREADS {
+                    rayon::set_active_threads(threads);
+                    let t1 = std::time::Instant::now();
+                    let lost = restore_rank_latest_parallel(rt.tiers(), &device, lost_rank, None)
+                        .expect("lost rank restorable");
+                    let witness =
+                        restore_rank_latest_parallel(rt.tiers(), &device, witness_rank, None)
+                            .expect("witness rank restorable");
+                    let restore_sec = t1.elapsed().as_secs_f64();
+                    let ld = hasher.hash(&lost.data);
+                    let wd = hasher.hash(&witness.data);
+                    restores.push(RankDedupRestore {
+                        threads,
+                        lost_digest: (ld.h1, ld.h2),
+                        witness_digest: (wd.h1, wd.h2),
+                        lost_ok: (ld.h1, ld.h2) == want[lost_rank as usize],
+                        witness_ok: (wd.h1, wd.h2) == want[witness_rank as usize],
+                        restore_sec,
+                    });
+                }
+                rayon::set_active_threads(0);
+
+                points.push(RankDedupPoint {
+                    policy: policy_name.to_string(),
+                    rank_dedup,
+                    raw_bytes,
+                    stored_bytes,
+                    group_bytes,
+                    claims: counter("rankdedup/claims"),
+                    remote_refs: counter("rankdedup/remote_refs"),
+                    remote_bytes_saved: counter("rankdedup/remote_bytes_saved"),
+                    wall_sec,
+                    modeled_e2e_sec,
+                    restore_source,
+                    restores,
+                });
+                Arc::try_unwrap(rt)
+                    .ok()
+                    .expect("pipeline released its handle")
+                    .shutdown();
+            }
+        }
+        cells.push(RankDedupCell { method, points });
+    }
+    RankDedupReport {
+        graph,
+        scale,
+        n_ranks: REDUNDANCY_RANKS,
+        n_checkpoints: REDUNDANCY_CHECKPOINTS,
+        chunk: RANK_DEDUP_CHUNK,
+        lost_rank,
+        witness_rank,
+        threads: RANK_DEDUP_THREADS.to_vec(),
+        cells,
+    }
+}
+
 /// A4: vertex-ordering pre-processing — Gorder vs the classic orderings the
 /// Gorder paper compares against (BFS, RCM) and the as-received labeling.
 #[derive(Debug)]

@@ -674,6 +674,136 @@ pub fn render_redundancy_json(rep: &RedundancyReport) -> String {
     w.finish()
 }
 
+pub fn render_rank_dedup(rep: &RankDedupReport) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "Cluster-wide rank dedup: {} ranks x {} checkpoints [{} / scale {} / chunk {} B], \
+         rank {} lost, rank {} witness\n",
+        rep.n_ranks,
+        rep.n_checkpoints,
+        rep.graph.name(),
+        rep.scale,
+        rep.chunk,
+        rep.lost_rank,
+        rep.witness_rank,
+    ));
+    for cell in &rep.cells {
+        s.push_str(&format!(
+            "\n{}: restores bit-identical at threads {:?}: {}\n",
+            cell.method,
+            rep.threads,
+            cell.bit_identical()
+        ));
+        s.push_str(&format!(
+            "{:>8} {:>6} {:>12} {:>12} {:>7} {:>8} {:>12} {:>10} {:>7} {:>10} {:>8}\n",
+            "policy",
+            "dedup",
+            "stored",
+            "group",
+            "claims",
+            "refs",
+            "saved",
+            "modeled",
+            "source",
+            "restore",
+            "reduct"
+        ));
+        for p in &cell.points {
+            let restore_ms: f64 =
+                p.restores.iter().map(|r| r.restore_sec).sum::<f64>() / p.restores.len() as f64;
+            s.push_str(&format!(
+                "{:>8} {:>6} {:>12} {:>12} {:>7} {:>8} {:>12} {:>7.2} ms {:>7} {:>7.2} ms {:>7}\n",
+                p.policy,
+                if p.rank_dedup { "on" } else { "off" },
+                fmt_bytes(p.stored_bytes),
+                fmt_bytes(p.group_bytes),
+                p.claims,
+                p.remote_refs,
+                fmt_bytes(p.remote_bytes_saved),
+                p.modeled_e2e_sec * 1e3,
+                p.restore_source,
+                restore_ms * 1e3,
+                if p.rank_dedup {
+                    format!("{:.1}%", cell.reduction_pct(&p.policy))
+                } else {
+                    "-".into()
+                },
+            ));
+        }
+    }
+    s.push_str(&format!(
+        "\nworst-case stored-byte reduction vs per-rank dedup: {:.1}%\n",
+        rep.min_reduction_pct()
+    ));
+    s
+}
+
+/// The machine-readable side of the rank-dedup sweep
+/// (`BENCH_rank_dedup.json`).
+pub fn render_rank_dedup_json(rep: &RankDedupReport) -> String {
+    let mut w = ckpt_telemetry::JsonWriter::new();
+    w.begin_object();
+    w.key("rank_dedup").begin_object();
+    w.key("graph").string(rep.graph.name());
+    w.key("scale").u64(rep.scale as u64);
+    w.key("n_ranks").u64(rep.n_ranks as u64);
+    w.key("n_checkpoints").u64(rep.n_checkpoints as u64);
+    w.key("chunk").u64(rep.chunk as u64);
+    w.key("lost_rank").u64(rep.lost_rank as u64);
+    w.key("witness_rank").u64(rep.witness_rank as u64);
+    w.key("bit_identical").bool(rep.bit_identical());
+    w.key("min_reduction_pct").f64(rep.min_reduction_pct());
+    w.key("cells").begin_array();
+    for cell in &rep.cells {
+        w.begin_object();
+        w.key("method").string(cell.method);
+        w.key("bit_identical").bool(cell.bit_identical());
+        w.key("points").begin_array();
+        for p in &cell.points {
+            w.begin_object();
+            w.key("policy").string(&p.policy);
+            w.key("rank_dedup").bool(p.rank_dedup);
+            w.key("raw_bytes").u64(p.raw_bytes);
+            w.key("stored_bytes").u64(p.stored_bytes);
+            w.key("group_bytes").u64(p.group_bytes);
+            w.key("claims").u64(p.claims);
+            w.key("remote_refs").u64(p.remote_refs);
+            w.key("remote_bytes_saved").u64(p.remote_bytes_saved);
+            w.key("reduction_pct").f64(if p.rank_dedup {
+                cell.reduction_pct(&p.policy)
+            } else {
+                0.0
+            });
+            w.key("wall_sec").f64(p.wall_sec);
+            w.key("modeled_e2e_sec").f64(p.modeled_e2e_sec);
+            w.key("restore_source").string(p.restore_source);
+            w.key("restores").begin_array();
+            for r in &p.restores {
+                w.begin_object();
+                w.key("threads").u64(r.threads as u64);
+                w.key("lost_digest")
+                    .string(&format!("{:016x}{:016x}", r.lost_digest.0, r.lost_digest.1));
+                w.key("witness_digest").string(&format!(
+                    "{:016x}{:016x}",
+                    r.witness_digest.0, r.witness_digest.1
+                ));
+                w.key("lost_ok").bool(r.lost_ok);
+                w.key("witness_ok").bool(r.witness_ok);
+                w.key("restore_sec").f64(r.restore_sec);
+                w.end_object();
+            }
+            w.end_array();
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.end_object();
+    w.finish()
+}
+
 /// The machine-readable side of Figure 5 (`BENCH_fig5.json`), including
 /// the hybrid `Tree+codec` series.
 pub fn render_fig5_json(cells: &[Fig5Cell]) -> String {

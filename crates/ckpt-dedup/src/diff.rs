@@ -149,6 +149,34 @@ impl Diff {
         HEADER_BYTES + self.metadata_bytes() + self.payload.len()
     }
 
+    /// Byte offset at which the first-occurrence payload starts inside a
+    /// valid encoded diff, without decoding the tables. `None` when `buf`
+    /// is not a structurally valid diff. The cluster dedup index uses this
+    /// to start its chunk grid at the payload — metadata prefixes differ
+    /// per rank, but payload bytes of replicated regions align.
+    pub fn payload_offset(buf: &[u8]) -> Option<usize> {
+        if buf.len() < HEADER_BYTES || buf[0..4] != MAGIC {
+            return None;
+        }
+        if u16::from_le_bytes(buf[4..6].try_into().unwrap()) != VERSION {
+            return None;
+        }
+        let kind = MethodKind::from_u8(buf[6])?;
+        let data_len = u64::from_le_bytes(buf[12..20].try_into().unwrap());
+        let chunk_size = u32::from_le_bytes(buf[20..24].try_into().unwrap());
+        let n_first = u32::from_le_bytes(buf[24..28].try_into().unwrap()) as usize;
+        let n_shift = u32::from_le_bytes(buf[28..32].try_into().unwrap()) as usize;
+        let payload_len = u64::from_le_bytes(buf[32..40].try_into().unwrap()) as usize;
+        let n_chunks = (data_len as usize).div_ceil(chunk_size.max(1) as usize);
+        let meta_len = match kind {
+            MethodKind::Full => 0,
+            MethodKind::Basic => n_chunks.div_ceil(8),
+            MethodKind::List | MethodKind::Tree => n_first * 4 + n_shift * 12,
+        };
+        let offset = HEADER_BYTES.checked_add(meta_len)?;
+        (offset.checked_add(payload_len) == Some(buf.len())).then_some(offset)
+    }
+
     /// Serialize to bytes.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.stored_bytes());

@@ -97,6 +97,9 @@ pub enum FrameError {
     Decompress { codec: u8 },
     /// Decompressed payload length disagrees with the recorded one.
     LengthMismatch { expected: u64, got: u64 },
+    /// A rank-dedup entry table slot carries an unknown tag (encoder bug;
+    /// a transport bit flip is caught by the record checksum first).
+    BadEntryTag { index: u32, tag: u8 },
 }
 
 impl std::fmt::Display for FrameError {
@@ -136,6 +139,9 @@ impl std::fmt::Display for FrameError {
                     f,
                     "decompressed length {got} does not match recorded {expected}"
                 )
+            }
+            FrameError::BadEntryTag { index, tag } => {
+                write!(f, "rank-dedup entry {index} has unknown tag {tag}")
             }
         }
     }
@@ -517,6 +523,281 @@ pub fn looks_parity(bytes: &[u8]) -> bool {
     bytes.len() >= PARITY_MAGIC.len() && bytes[..PARITY_MAGIC.len()] == PARITY_MAGIC
 }
 
+// ---- Cluster-wide rank-dedup records ------------------------------------
+//
+// The cluster dedup index shards the 128-bit chunk-hash space across the
+// ranks of a redundancy group; a chunk first seen by *any* rank is stored
+// exactly once cluster-wide, and later occurrences are replaced by a
+// `RemoteRef` naming the first-occurrence location. A rank-dedup record is
+// the payload-level materialization of that: the object's payload is cut on
+// a fixed chunk grid, each grid cell becomes either a *local* entry (bytes
+// carried inline, in table order) or a *remote* entry (a `RemoteRef`), and
+// the original payload's length and checksum ride along so resolution can
+// prove a bit-identical reassembly — a dangling or wrong reference is a
+// typed loss, never a silently wrong payload.
+//
+// Like `CKPX`, the record travels **inside** a standard frame (and through
+// the compression stage like any other payload), so legacy frames stay
+// byte-identical.
+//
+// Layout (little-endian):
+//
+// | offset | size | field |
+// |---|---|---|
+// | 0  | 4 | magic `"CKPR"` |
+// | 4  | 2 | record version (currently 1) |
+// | 6  | 2 | reserved (0) |
+// | 8  | 4 | rank |
+// | 12 | 4 | checkpoint id |
+// | 16 | 8 | checksum of everything after offset 24, seeded by the ids |
+// | 24 | 4 | dedup grid chunk length |
+// | 28 | 4 | entry count `n` |
+// | 32 | 8 | original payload length |
+// | 40 | 8 | original payload checksum ([`checksum64`] under the ids) |
+// | 48 | 8 | total local bytes |
+// | 56 | 13·n | entry table (tag u8; tag 0 = local: len u32, 8 pad bytes; |
+// |    |      | tag 1 = remote: owner_rank u32, ckpt_id u32, chunk u32, pad) |
+// | …  | local_len | local entries' bytes, concatenated in table order |
+//
+// The record checksum covers every header field after itself plus the body,
+// and its seed mixes `(rank, ckpt_id)` — any single corrupted bit anywhere
+// in a record is detected at decode time.
+
+/// Rank-dedup record magic: "CKPR".
+pub const RANKDEDUP_MAGIC: [u8; 4] = *b"CKPR";
+
+/// Current rank-dedup record version.
+pub const RANKDEDUP_VERSION: u16 = 1;
+
+/// Fixed rank-dedup header size preceding the entry table.
+pub const RANKDEDUP_HEADER_LEN: usize = 56;
+
+/// Offset at which the record checksum's coverage starts.
+const RANKDEDUP_CHECK_OFFSET: usize = 24;
+
+/// Serialized size of one entry-table slot.
+pub const RANKDEDUP_ENTRY_LEN: usize = 13;
+
+/// A cross-rank first-occurrence reference: the chunk's bytes live in
+/// entry `chunk` of the rank-dedup record stored as object
+/// `(owner_rank, ckpt_id)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RemoteRef {
+    pub owner_rank: u32,
+    pub ckpt_id: u32,
+    /// Entry index inside the referenced record (which must be local
+    /// there — references are depth-1 by construction).
+    pub chunk: u32,
+}
+
+/// One grid cell of a rank-dedup record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankDedupEntry {
+    /// The cell's bytes are carried inline (`len` of them, in table order).
+    Local { len: u32 },
+    /// The cell's bytes are stored once cluster-wide, at the referenced
+    /// first-occurrence location.
+    Remote(RemoteRef),
+}
+
+/// A payload rewritten against the cluster-wide dedup index. See the
+/// layout comment above.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankDedupRecord {
+    pub rank: u32,
+    pub ckpt_id: u32,
+    /// Grid chunk length the payload was cut with (entry 0 may be a
+    /// variable-length local cell covering the diff metadata prefix).
+    pub chunk_len: u32,
+    /// Length of the original (pre-dedup) payload.
+    pub orig_len: u64,
+    /// [`checksum64`]`(rank, ckpt_id, original payload)`: resolution is
+    /// verified against this before any payload is returned.
+    pub orig_checksum: u64,
+    pub entries: Vec<RankDedupEntry>,
+    /// Local entries' bytes, concatenated in table order.
+    pub local: Vec<u8>,
+}
+
+/// Seed mixing for the record checksum: distinct from both the frame and
+/// parity seeds so a record can never masquerade as either.
+#[inline]
+fn rankdedup_sum(rank: u32, ckpt_id: u32, region: &[u8]) -> u64 {
+    checksum64_region(rank ^ 0x524b_4452, ckpt_id.rotate_left(16), 0, region)
+}
+
+impl RankDedupRecord {
+    /// Total bytes of local entries (must equal `local.len()`).
+    fn local_len(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|e| match e {
+                RankDedupEntry::Local { len } => *len as u64,
+                RankDedupEntry::Remote(_) => 0,
+            })
+            .sum()
+    }
+
+    /// Borrow the inline bytes of local entry `index`. `None` when the
+    /// index is out of range or names a remote entry.
+    pub fn local_slice(&self, index: u32) -> Option<&[u8]> {
+        let mut at = 0usize;
+        for (i, e) in self.entries.iter().enumerate() {
+            match e {
+                RankDedupEntry::Local { len } => {
+                    let len = *len as usize;
+                    if i as u32 == index {
+                        return self.local.get(at..at + len);
+                    }
+                    at += len;
+                }
+                RankDedupEntry::Remote(_) => {
+                    if i as u32 == index {
+                        return None;
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Every remote reference the record carries, in table order.
+    pub fn remote_refs(&self) -> impl Iterator<Item = RemoteRef> + '_ {
+        self.entries.iter().filter_map(|e| match e {
+            RankDedupEntry::Remote(r) => Some(*r),
+            RankDedupEntry::Local { .. } => None,
+        })
+    }
+
+    /// Serialize to the layout documented above.
+    pub fn encode(&self) -> Vec<u8> {
+        debug_assert_eq!(self.local_len(), self.local.len() as u64);
+        let body_len = RANKDEDUP_ENTRY_LEN * self.entries.len() + self.local.len();
+        let mut out = Vec::with_capacity(RANKDEDUP_HEADER_LEN + body_len);
+        out.extend_from_slice(&RANKDEDUP_MAGIC);
+        out.extend_from_slice(&RANKDEDUP_VERSION.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes());
+        out.extend_from_slice(&self.rank.to_le_bytes());
+        out.extend_from_slice(&self.ckpt_id.to_le_bytes());
+        out.extend_from_slice(&[0u8; 8]); // checksum patched below
+        out.extend_from_slice(&self.chunk_len.to_le_bytes());
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.orig_len.to_le_bytes());
+        out.extend_from_slice(&self.orig_checksum.to_le_bytes());
+        out.extend_from_slice(&(self.local.len() as u64).to_le_bytes());
+        for e in &self.entries {
+            match e {
+                RankDedupEntry::Local { len } => {
+                    out.push(0);
+                    out.extend_from_slice(&len.to_le_bytes());
+                    out.extend_from_slice(&[0u8; 8]);
+                }
+                RankDedupEntry::Remote(r) => {
+                    out.push(1);
+                    out.extend_from_slice(&r.owner_rank.to_le_bytes());
+                    out.extend_from_slice(&r.ckpt_id.to_le_bytes());
+                    out.extend_from_slice(&r.chunk.to_le_bytes());
+                }
+            }
+        }
+        out.extend_from_slice(&self.local);
+        let sum = rankdedup_sum(self.rank, self.ckpt_id, &out[RANKDEDUP_CHECK_OFFSET..]);
+        out[16..24].copy_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Parse and fully verify a serialized rank-dedup record. Lengths are
+    /// validated against the actual buffer before anything is hashed, so a
+    /// corrupted count field can never drive an allocation.
+    pub fn decode(bytes: &[u8]) -> Result<RankDedupRecord, FrameError> {
+        if bytes.len() < RANKDEDUP_HEADER_LEN {
+            return Err(FrameError::TooShort { len: bytes.len() });
+        }
+        if bytes[0..4] != RANKDEDUP_MAGIC {
+            return Err(FrameError::BadMagic);
+        }
+        let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
+        if version != RANKDEDUP_VERSION {
+            return Err(FrameError::BadVersion { version });
+        }
+        let reserved = u16::from_le_bytes(bytes[6..8].try_into().unwrap());
+        if reserved != 0 {
+            return Err(FrameError::BadFlags { flags: reserved });
+        }
+        let rank = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        let ckpt_id = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+        let checksum = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+        let chunk_len = u32::from_le_bytes(bytes[24..28].try_into().unwrap());
+        let n_entries = u32::from_le_bytes(bytes[28..32].try_into().unwrap()) as u64;
+        let orig_len = u64::from_le_bytes(bytes[32..40].try_into().unwrap());
+        let orig_checksum = u64::from_le_bytes(bytes[40..48].try_into().unwrap());
+        let local_len = u64::from_le_bytes(bytes[48..56].try_into().unwrap());
+        let have = (bytes.len() - RANKDEDUP_CHECK_OFFSET) as u64;
+        let expected = ((RANKDEDUP_HEADER_LEN - RANKDEDUP_CHECK_OFFSET) as u64)
+            .saturating_add(n_entries.saturating_mul(RANKDEDUP_ENTRY_LEN as u64))
+            .saturating_add(local_len);
+        if have < expected {
+            return Err(FrameError::Truncated { expected, have });
+        }
+        if have > expected {
+            return Err(FrameError::TrailingBytes { expected, have });
+        }
+        let got = rankdedup_sum(rank, ckpt_id, &bytes[RANKDEDUP_CHECK_OFFSET..]);
+        if got != checksum {
+            return Err(FrameError::ChecksumMismatch {
+                expected: checksum,
+                got,
+            });
+        }
+        let mut entries = Vec::with_capacity(n_entries as usize);
+        let mut at = RANKDEDUP_HEADER_LEN;
+        let mut local_sum = 0u64;
+        for i in 0..n_entries {
+            let e = &bytes[at..at + RANKDEDUP_ENTRY_LEN];
+            match e[0] {
+                0 => {
+                    let len = u32::from_le_bytes(e[1..5].try_into().unwrap());
+                    local_sum += len as u64;
+                    entries.push(RankDedupEntry::Local { len });
+                }
+                1 => entries.push(RankDedupEntry::Remote(RemoteRef {
+                    owner_rank: u32::from_le_bytes(e[1..5].try_into().unwrap()),
+                    ckpt_id: u32::from_le_bytes(e[5..9].try_into().unwrap()),
+                    chunk: u32::from_le_bytes(e[9..13].try_into().unwrap()),
+                })),
+                tag => {
+                    return Err(FrameError::BadEntryTag {
+                        index: i as u32,
+                        tag,
+                    })
+                }
+            }
+            at += RANKDEDUP_ENTRY_LEN;
+        }
+        if local_sum != local_len {
+            return Err(FrameError::LengthMismatch {
+                expected: local_len,
+                got: local_sum,
+            });
+        }
+        Ok(RankDedupRecord {
+            rank,
+            ckpt_id,
+            chunk_len,
+            orig_len,
+            orig_checksum,
+            entries,
+            local: bytes[at..].to_vec(),
+        })
+    }
+}
+
+/// Whether a stored payload is a serialized rank-dedup record (cheap
+/// format sniff; says nothing about validity).
+pub fn looks_rankdedup(bytes: &[u8]) -> bool {
+    bytes.len() >= RANKDEDUP_MAGIC.len() && bytes[..RANKDEDUP_MAGIC.len()] == RANKDEDUP_MAGIC
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -761,6 +1042,128 @@ mod tests {
         }
     }
 
+    fn sample_rankdedup() -> RankDedupRecord {
+        RankDedupRecord {
+            rank: 2,
+            ckpt_id: 5,
+            chunk_len: 64,
+            orig_len: 40 + 3 * 64,
+            orig_checksum: 0x1122_3344_5566_7788,
+            entries: vec![
+                RankDedupEntry::Local { len: 40 },
+                RankDedupEntry::Remote(RemoteRef {
+                    owner_rank: 0,
+                    ckpt_id: 5,
+                    chunk: 1,
+                }),
+                RankDedupEntry::Local { len: 64 },
+                RankDedupEntry::Remote(RemoteRef {
+                    owner_rank: 2,
+                    ckpt_id: 5,
+                    chunk: 2,
+                }),
+            ],
+            local: (0..104u32).map(|i| (i % 253) as u8).collect(),
+        }
+    }
+
+    #[test]
+    fn rankdedup_record_round_trips() {
+        let rec = sample_rankdedup();
+        let bytes = rec.encode();
+        assert!(looks_rankdedup(&bytes));
+        assert!(!looks_framed(&bytes));
+        assert!(!looks_parity(&bytes));
+        let back = RankDedupRecord::decode(&bytes).unwrap();
+        assert_eq!(back, rec);
+        assert_eq!(back.local_slice(0).unwrap(), &rec.local[..40]);
+        assert_eq!(back.local_slice(2).unwrap(), &rec.local[40..]);
+        assert_eq!(back.local_slice(1), None, "remote entry has no local bytes");
+        assert_eq!(back.local_slice(9), None);
+        assert_eq!(back.remote_refs().count(), 2);
+    }
+
+    #[test]
+    fn empty_rankdedup_record_round_trips() {
+        let rec = RankDedupRecord {
+            rank: 0,
+            ckpt_id: 0,
+            chunk_len: 64,
+            orig_len: 0,
+            orig_checksum: checksum64(0, 0, &[]),
+            entries: Vec::new(),
+            local: Vec::new(),
+        };
+        let bytes = rec.encode();
+        assert_eq!(bytes.len(), RANKDEDUP_HEADER_LEN);
+        assert_eq!(RankDedupRecord::decode(&bytes).unwrap(), rec);
+    }
+
+    #[test]
+    fn every_rankdedup_bit_flip_is_detected() {
+        let bytes = sample_rankdedup().encode();
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut bad = bytes.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    RankDedupRecord::decode(&bad).is_err(),
+                    "rank-dedup flip at byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rankdedup_truncation_is_typed_before_allocation() {
+        let mut bytes = sample_rankdedup().encode();
+        // A corrupted entry count must fail as Truncated, not allocate.
+        bytes[28..32].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            RankDedupRecord::decode(&bytes),
+            Err(FrameError::Truncated { .. })
+        ));
+        let whole = sample_rankdedup().encode();
+        for cut in 0..whole.len() {
+            assert!(
+                RankDedupRecord::decode(&whole[..cut]).is_err(),
+                "prefix of {cut} bytes went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn rankdedup_bad_entry_tag_is_typed() {
+        // Forge a record whose checksum covers a corrupt tag byte: the tag
+        // error (not the checksum) must surface, typed with the slot index.
+        let mut rec = sample_rankdedup();
+        rec.entries[1] = RankDedupEntry::Local { len: 0 };
+        let mut bytes = rec.encode();
+        let tag_at = RANKDEDUP_HEADER_LEN + RANKDEDUP_ENTRY_LEN;
+        bytes[tag_at] = 7;
+        let sum = rankdedup_sum(rec.rank, rec.ckpt_id, &bytes[RANKDEDUP_CHECK_OFFSET..]);
+        bytes[16..24].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(
+            RankDedupRecord::decode(&bytes).unwrap_err(),
+            FrameError::BadEntryTag { index: 1, tag: 7 }
+        );
+    }
+
+    #[test]
+    fn rankdedup_local_sum_mismatch_is_typed() {
+        // Local entry lengths that do not add up to the carried bytes are a
+        // typed LengthMismatch even under a recomputed checksum.
+        let rec = sample_rankdedup();
+        let mut bytes = rec.encode();
+        bytes[RANKDEDUP_HEADER_LEN + 1] = 41;
+        let sum = rankdedup_sum(rec.rank, rec.ckpt_id, &bytes[RANKDEDUP_CHECK_OFFSET..]);
+        bytes[16..24].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            RankDedupRecord::decode(&bytes),
+            Err(FrameError::LengthMismatch { .. })
+        ));
+    }
+
     mod prop {
         use super::*;
         use proptest::prelude::*;
@@ -807,6 +1210,103 @@ mod tests {
                 let (header, back) = decode_payload(&framed, Some((5, 9))).unwrap();
                 prop_assert_eq!(header.codec, codec);
                 prop_assert_eq!(back, payload);
+            }
+
+            /// Fuzz: feeding arbitrary byte strings to every parser in
+            /// this module never panics — each either succeeds (the fuzzer
+            /// stumbled on a valid object, which the checksums make
+            /// astronomically unlikely) or returns a typed [`FrameError`].
+            #[test]
+            fn arbitrary_bytes_never_panic_any_parser(
+                bytes in proptest::collection::vec(any::<u8>(), 0..512),
+            ) {
+                let _ = decode_frame(&bytes);
+                let _ = decode_payload(&bytes, Some((1, 2)));
+                let _ = ParityRecord::decode(&bytes);
+                let _ = RankDedupRecord::decode(&bytes);
+            }
+
+            /// Fuzz: arbitrary bytes *behind valid magic* still land in the
+            /// typed taxonomy — the header fields themselves are hostile.
+            #[test]
+            fn arbitrary_bytes_with_valid_magic_never_panic(
+                tail in proptest::collection::vec(any::<u8>(), 0..256),
+                which in 0usize..3,
+            ) {
+                let magic: &[u8; 4] = match which {
+                    0 => &FRAME_MAGIC,
+                    1 => &PARITY_MAGIC,
+                    _ => &RANKDEDUP_MAGIC,
+                };
+                let mut bytes = magic.to_vec();
+                bytes.extend_from_slice(&tail);
+                prop_assert!(decode_frame(&bytes).is_err() || which == 0);
+                prop_assert!(ParityRecord::decode(&bytes).is_err() || which == 1);
+                prop_assert!(RankDedupRecord::decode(&bytes).is_err() || which == 2);
+            }
+
+            /// Fuzz: truncating a *valid* object of any of the three
+            /// formats at every offset is always a typed error, never a
+            /// panic and never a silent success.
+            #[test]
+            fn truncation_at_every_offset_is_typed(
+                payload in proptest::collection::vec(any::<u8>(), 1..512),
+                rank in 0u32..8,
+                ckpt in 0u32..8,
+                codec in prop_oneof![Just(0u8), 1u8..=7],
+            ) {
+                let framed = if codec == 0 {
+                    encode_frame(rank, ckpt, &payload)
+                } else {
+                    compressed_frame(rank, ckpt, &payload, codec)
+                };
+                for cut in 0..framed.len() {
+                    prop_assert!(decode_frame(&framed[..cut]).is_err());
+                }
+
+                let parity = ParityRecord {
+                    group: rank,
+                    stripe: 1,
+                    ckpt_id: ckpt,
+                    members: vec![ParityMember {
+                        rank,
+                        codec,
+                        uncompressed_len: payload.len() as u64,
+                        stored_len: payload.len() as u64,
+                        chunk_len: 64,
+                        checksum: checksum64(rank, ckpt, &payload),
+                    }],
+                    parity: payload.clone(),
+                }
+                .encode();
+                for cut in 0..parity.len() {
+                    prop_assert!(ParityRecord::decode(&parity[..cut]).is_err());
+                }
+
+                let half = payload.len() / 2;
+                let dedup = RankDedupRecord {
+                    rank,
+                    ckpt_id: ckpt,
+                    chunk_len: 64,
+                    orig_len: payload.len() as u64,
+                    orig_checksum: checksum64(rank, ckpt, &payload),
+                    entries: vec![
+                        RankDedupEntry::Local { len: half as u32 },
+                        RankDedupEntry::Remote(RemoteRef {
+                            owner_rank: rank ^ 1,
+                            ckpt_id: ckpt,
+                            chunk: 0,
+                        }),
+                        RankDedupEntry::Local {
+                            len: (payload.len() - half) as u32,
+                        },
+                    ],
+                    local: payload.clone(),
+                }
+                .encode();
+                for cut in 0..dedup.len() {
+                    prop_assert!(RankDedupRecord::decode(&dedup[..cut]).is_err());
+                }
             }
         }
     }

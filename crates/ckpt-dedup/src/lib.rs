@@ -53,8 +53,9 @@ pub use ckpt_telemetry::{StageBreakdown, StageSample};
 pub use diff::{Diff, MethodKind, ShiftRegion};
 pub use frame::{
     decode_frame, decode_frame_expecting, decode_payload, encode_frame, encode_frame_compressed,
-    looks_framed, looks_parity, verify_frame, FrameError, FrameHeader, ParityMember, ParityRecord,
-    FRAME_EXT_LEN, FRAME_HEADER_LEN, FRAME_MAGIC, FRAME_VERSION,
+    looks_framed, looks_parity, looks_rankdedup, verify_frame, FrameError, FrameHeader,
+    ParityMember, ParityRecord, RankDedupEntry, RankDedupRecord, RemoteRef, FRAME_EXT_LEN,
+    FRAME_HEADER_LEN, FRAME_MAGIC, FRAME_VERSION,
 };
 pub use labels::Label;
 pub use methods::basic::BasicCheckpointer;

@@ -247,10 +247,19 @@ where
 /// races a crash must err on keeping the old chain (see the
 /// kill-during-compaction crash schedule). Returns evictions performed.
 pub fn compact_below(tiers: &TierChain, rank: u32, rebase_id: u32) -> usize {
+    // Cluster-dedup GC floor: an object another rank still references
+    // remotely must outlive this rank's rebase — evicting it would turn
+    // those references dangling. The index releases this rank's own
+    // outbound edges, retires claims into what *will* be evicted, and
+    // names what must stay.
+    let pinned = tiers
+        .rank_dedup_index()
+        .map(|ix| ix.compact_below(rank, rebase_id))
+        .unwrap_or_default();
     let mut evicted = 0;
     for tier in [&tiers.pfs, &tiers.ssd, &tiers.host] {
         for (r, k) in tier.resident() {
-            if r == rank && k < rebase_id && tier.evict((r, k)) {
+            if r == rank && k < rebase_id && !pinned.contains(&(r, k)) && tier.evict((r, k)) {
                 evicted += 1;
             }
         }

@@ -20,6 +20,9 @@
 //!   checkpoint's serialize/D2H/submit with the next one's hashing;
 //! * [`redundancy`] — cross-rank redundancy groups (partner copy / XOR
 //!   parity) enabling cluster-level rank-loss recovery;
+//! * [`rankdedup`] — the cluster-wide content-addressed dedup index:
+//!   hash-space sharding across a group's ranks, asynchronous
+//!   first-occurrence claim exchange, cross-rank reference records;
 //! * [`lineage`] — record collection and sequential restoration;
 //! * [`restore`] — the parallel restart engine: prefetched tier reads
 //!   feeding a single-pass resolution walk;
@@ -31,6 +34,7 @@ pub mod fault;
 pub mod integrity;
 pub mod lineage;
 pub mod pipeline;
+pub mod rankdedup;
 pub mod redundancy;
 pub mod restore;
 pub mod runtime;
@@ -50,6 +54,10 @@ pub use lineage::{
     collect_record, restore_rank, restore_rank_latest, restore_rank_with_report, LineageError,
 };
 pub use pipeline::{CheckpointPipeline, PipelineStats, ProduceFn};
+pub use rankdedup::{
+    resolve_record, ClaimBatch, ClaimExchange, ClaimLoc, RankDedupConfig, RankDedupEngine,
+    RankDedupError, RankDedupIndex, RankDedupMetrics,
+};
 pub use redundancy::{ReconstructError, RedundancyMetrics, RedundancyPolicy, RedundancyStore};
 pub use restore::{restore_rank_latest_parallel, ParallelRestoreOutcome};
 pub use runtime::{AsyncRuntime, TierChain};

@@ -26,6 +26,7 @@ use crate::fault::FaultPlan;
 use crate::integrity::{
     group_by_rank, IntegrityCounters, ObjectStatus, RankRecovery, RecoveredObject, RecoveryReport,
 };
+use crate::rankdedup::{RankDedupEngine, RankDedupIndex};
 use crate::redundancy::{RedundancyMetrics, RedundancyPolicy, RedundancyStore};
 use crate::tier::{
     ObjectId, ObjectState, StoreErrorKind, StoredObject, Tier, TierConfig, TierFull,
@@ -57,6 +58,9 @@ pub struct TierChain {
     /// Cross-rank redundancy level (`None` = the pre-redundancy chain,
     /// byte for byte).
     redundancy: Option<Arc<RedundancyStore>>,
+    /// Cluster-wide dedup index (`None` = no rank-dedup resolution on the
+    /// read path, byte for byte the pre-index chain).
+    rank_dedup: Option<Arc<RankDedupIndex>>,
     /// Ranks named by fired `RankLoss` faults, wiped at the next
     /// deterministic poll point (flush start, locate, recovery).
     loss_sink: Arc<Mutex<Vec<u32>>>,
@@ -78,6 +82,7 @@ impl TierChain {
             pfs,
             integrity: IntegrityCounters::detached(),
             redundancy: None,
+            rank_dedup: None,
             loss_sink,
         }
     }
@@ -123,6 +128,17 @@ impl TierChain {
     /// The attached redundancy store, if any.
     pub fn redundancy(&self) -> Option<&Arc<RedundancyStore>> {
         self.redundancy.as_ref()
+    }
+
+    /// Attach the cluster-wide dedup index: the read path resolves
+    /// `CKPR` records through it (and types dangling references).
+    pub fn attach_rank_dedup(&mut self, index: Arc<RankDedupIndex>) {
+        self.rank_dedup = Some(index);
+    }
+
+    /// The attached cluster dedup index, if any.
+    pub fn rank_dedup_index(&self) -> Option<&Arc<RankDedupIndex>> {
+        self.rank_dedup.as_ref()
     }
 
     /// Member ids the redundancy group knows about (empty without one) —
@@ -242,6 +258,16 @@ impl TierChain {
     /// so a compressed object stays compressed (and its compressed-payload
     /// checksum is what the repaired copy re-verifies against).
     pub fn locate(&self, id: ObjectId) -> Option<Vec<u8>> {
+        let bytes = self.locate_stored(id)?;
+        self.resolve_if_rank_dedup(id, bytes)
+    }
+
+    /// `locate` minus rank-dedup resolution: the stored payload verbatim
+    /// (a `CKPR` record when the object was submitted with rank-dedup on).
+    /// Resolution fetches *referenced* records through this, so a remote
+    /// chunk on a lost rank still reconstructs from its parity group — and
+    /// resolution never recurses.
+    fn locate_stored(&self, id: ObjectId) -> Option<Vec<u8>> {
         self.poll_rank_loss();
         let order = [&self.pfs, &self.ssd, &self.host];
         let mut decoded: Option<Vec<u8>> = None;
@@ -297,9 +323,50 @@ impl TierChain {
         decoded
     }
 
+    /// Resolve a rank-dedup record back to the originally submitted
+    /// payload; anything else passes through untouched. A reference that
+    /// cannot be resolved — target gone from every tier *and* its group,
+    /// or failing the recorded checksum — yields `None` (a typed hole),
+    /// never a wrong payload.
+    fn resolve_if_rank_dedup(&self, id: ObjectId, bytes: Vec<u8>) -> Option<Vec<u8>> {
+        if !ckpt_dedup::frame::looks_rankdedup(&bytes) {
+            return Some(bytes);
+        }
+        let t0 = Instant::now();
+        let fetch = |target: ObjectId| self.locate_stored(target);
+        let resolved = crate::rankdedup::resolve_record(id, &bytes, &fetch);
+        if let Some(ix) = &self.rank_dedup {
+            ix.metrics().on_fetch(t0.elapsed());
+        }
+        match resolved {
+            Ok(payload) => Some(payload),
+            Err(_) => {
+                if let Some(ix) = &self.rank_dedup {
+                    ix.metrics().on_orphans(1);
+                }
+                None
+            }
+        }
+    }
+
     /// Classify one object for recovery; returns its status and, when
     /// durable, the verified (decoded) payload.
     fn recover_object(&self, id: ObjectId) -> (ObjectStatus, Option<Vec<u8>>) {
+        let (status, payload) = self.recover_object_stored(id);
+        match payload {
+            Some(p) => match self.resolve_if_rank_dedup(id, p) {
+                Some(resolved) => (status, Some(resolved)),
+                // The record itself is durable but a cross-rank reference
+                // dangles (referenced rank lost beyond its group's reach):
+                // typed loss, never a wrong payload.
+                None => (ObjectStatus::LostCorrupt, None),
+            },
+            None => (status, None),
+        }
+    }
+
+    /// Tier/group classification of one object, pre-resolution.
+    fn recover_object_stored(&self, id: ObjectId) -> (ObjectStatus, Option<Vec<u8>>) {
         match Self::inspect_object_retry(&self.pfs, id) {
             ObjectState::Valid(obj) => match obj.decode() {
                 Ok(p) => {
@@ -791,6 +858,9 @@ pub struct AsyncRuntime {
     /// producers stalled in [`submit_blocking`](Self::submit_blocking).
     space_freed: Arc<(Mutex<u64>, Condvar)>,
     undrainable: Arc<Mutex<HashSet<ObjectId>>>,
+    /// Cluster-wide dedup engine; when set, every submission is rewritten
+    /// against the shared index before it is staged.
+    rank_dedup: Option<Arc<RankDedupEngine>>,
 }
 
 impl AsyncRuntime {
@@ -858,6 +928,7 @@ impl AsyncRuntime {
             killed,
             space_freed,
             undrainable,
+            rank_dedup: None,
         }
     }
 
@@ -881,6 +952,33 @@ impl AsyncRuntime {
             tiers.attach_redundancy(store);
         }
         Self::with_compression(tiers, time_scale, registry, policy)
+    }
+
+    /// [`with_redundancy`](Self::with_redundancy) plus the cluster-wide
+    /// dedup engine. The engine is shared: every rank's runtime in a group
+    /// holds the same `Arc` (one index, one claim exchange). With `None`
+    /// this delegates directly — no index attaches, no `rankdedup/*`
+    /// metric registers, and the runtime is the per-rank one byte for
+    /// byte.
+    pub fn with_rank_dedup(
+        mut tiers: TierChain,
+        time_scale: f64,
+        registry: Arc<Registry>,
+        policy: CompressionPolicy,
+        redundancy: RedundancyPolicy,
+        engine: Option<Arc<RankDedupEngine>>,
+    ) -> Self {
+        if let Some(e) = &engine {
+            tiers.attach_rank_dedup(Arc::clone(e.index()));
+        }
+        let mut rt = Self::with_redundancy(tiers, time_scale, registry, policy, redundancy);
+        rt.rank_dedup = engine;
+        rt
+    }
+
+    /// The shared cluster dedup engine, if any.
+    pub fn rank_dedup(&self) -> Option<&Arc<RankDedupEngine>> {
+        self.rank_dedup.as_ref()
     }
 
     pub fn tiers(&self) -> &TierChain {
@@ -907,6 +1005,7 @@ impl AsyncRuntime {
     /// blocking time).
     pub fn submit(&self, rank: u32, ckpt_id: u32, bytes: Vec<u8>) -> Result<(), TierFull> {
         let id = (rank, ckpt_id);
+        let bytes = self.dedup_transform(id, bytes);
         let len = bytes.len();
         self.tiers.host.put(id, bytes)?;
         self.metrics.on_submitted(len, self.tiers.host.used_bytes());
@@ -925,10 +1024,11 @@ impl AsyncRuntime {
         &self,
         rank: u32,
         ckpt_id: u32,
-        mut bytes: Vec<u8>,
+        bytes: Vec<u8>,
     ) -> Result<Duration, TierFull> {
         let start = Instant::now();
         let id = (rank, ckpt_id);
+        let mut bytes = self.dedup_transform(id, bytes);
         let mut stalled = false;
         loop {
             let len = bytes.len();
@@ -1030,6 +1130,20 @@ impl AsyncRuntime {
         self.killed.store(true, Ordering::Relaxed);
         let _ = self.tx.send(Job::Shutdown);
         self.join_worker();
+        // The crash takes the claim-exchange stage with it: queued claims
+        // are dropped as typed orphans, never committed past this point.
+        if let Some(e) = &self.rank_dedup {
+            e.kill();
+        }
+    }
+
+    /// Rewrite a submission against the cluster dedup index (identity
+    /// without an engine).
+    fn dedup_transform(&self, id: ObjectId, bytes: Vec<u8>) -> Vec<u8> {
+        match &self.rank_dedup {
+            Some(e) => e.encode(id, bytes),
+            None => bytes,
+        }
     }
 
     /// After a crash: the durable record per rank — the longest prefix

@@ -22,7 +22,8 @@ use ckpt_dedup::Diff;
 use ckpt_runtime::tier::ObjectId;
 use ckpt_runtime::{
     restore_rank_latest_parallel, AsyncRuntime, CompressionPolicy, FaultKind, FaultPlan,
-    ObjectStatus, RedundancyPolicy, SplitMix64, TierChain,
+    ObjectStatus, RankDedupConfig, RankDedupEngine, RankDedupMetrics, RedundancyPolicy, SplitMix64,
+    TierChain,
 };
 use ckpt_telemetry::Registry;
 use gpu_sim::Device;
@@ -460,6 +461,237 @@ fn xor_double_loss_is_typed_never_wrong() {
                 .iter()
                 .all(|o| o.status == ObjectStatus::Verified));
         }
+    }
+}
+
+/// Per-rank snapshots over one *shared* base buffer, so the cluster
+/// dedup index has real cross-rank redundancy to find (version 0 is
+/// identical on every rank, later versions drift by seeded edits).
+fn shared_snapshots(ranks: u32, len: usize, data_seed: u64, count: usize) -> Vec<Vec<Vec<u8>>> {
+    let mut rng = SplitMix64::new(data_seed);
+    let base: Vec<u8> = (0..len).map(|_| (rng.next() & 0xff) as u8).collect();
+    (0..ranks)
+        .map(|r| {
+            let mut rng = SplitMix64::new(data_seed ^ (r as u64 + 1).wrapping_mul(0x9e37_79b9));
+            let mut data = base.clone();
+            let mut out = vec![data.clone()];
+            for _ in 1..count {
+                for _ in 0..1 + (rng.next() % 16) as usize {
+                    let at = (rng.next() as usize) % len;
+                    data[at] = (rng.next() & 0xff) as u8;
+                }
+                out.push(data.clone());
+            }
+            out
+        })
+        .collect()
+}
+
+fn shared_cluster(ranks: u32, ckpts: u32, len: usize, data_seed: u64) -> Cluster {
+    let snapshots = shared_snapshots(ranks, len, data_seed, ckpts as usize);
+    let diffs = snapshots
+        .iter()
+        .map(|snaps| {
+            let mut ckpt = TreeCheckpointer::new(Device::a100(), TreeConfig::new(CHUNK));
+            snaps
+                .iter()
+                .map(|s| ckpt.checkpoint(s).diff.encode())
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    Cluster {
+        ranks,
+        ckpts,
+        snapshots,
+        diffs,
+    }
+}
+
+/// Faults fired against the claim exchange (`RankLoss` of a claimant,
+/// transient drops, torn batches) orphan claims but never corrupt data:
+/// every durable record still resolves to the original diff bytes, every
+/// rank still restores bit-exact, and the dropped claims surface as typed
+/// `rankdedup/orphans` — the chunks stay locally stored by their
+/// claimant, never silently re-stored as someone else's.
+#[test]
+fn exchange_faults_orphan_claims_but_keep_prefixes_bit_exact() {
+    let sched = shared_cluster(4, 3, 2048, 41);
+    let plan = FaultPlan::builder()
+        .on_put("exchange", 1, FaultKind::RankLoss { rank: 1 })
+        .on_put("exchange", 2, FaultKind::TransientIo)
+        .on_put("exchange", 4, FaultKind::TornWrite { keep_bytes: 7 })
+        .build();
+    let registry = Arc::new(Registry::new());
+    let engine = RankDedupEngine::with_exchange(
+        RankDedupConfig {
+            ranks: sched.ranks,
+            chunk_len: CHUNK,
+        },
+        RankDedupMetrics::bound(Arc::clone(&registry)),
+        0xFEED,
+        2,
+        Some(Arc::clone(&plan)),
+    );
+    let rt = AsyncRuntime::with_rank_dedup(
+        TierChain::new(),
+        0.0,
+        Arc::clone(&registry),
+        CompressionPolicy::Adaptive,
+        RedundancyPolicy::Xor { group_size: 4 },
+        Some(engine),
+    );
+    let ids = sched.ids();
+    for k in 0..sched.ckpts {
+        for r in 0..sched.ranks {
+            rt.submit(r, k, sched.diffs[r as usize][k as usize].clone())
+                .unwrap();
+        }
+    }
+    rt.wait_durable(&ids);
+    rt.wait_redundancy_durable(&ids);
+    rt.rank_dedup().unwrap().quiesce();
+
+    let dropped = plan
+        .fired()
+        .iter()
+        .filter(|f| {
+            matches!(
+                f.kind,
+                FaultKind::RankLoss { .. } | FaultKind::TransientIo | FaultKind::TornWrite { .. }
+            )
+        })
+        .count();
+    assert!(dropped > 0, "the schedule must actually drop batches");
+    assert!(
+        registry.counter("rankdedup/orphans").get() > 0,
+        "dropped claim batches must be typed as orphans"
+    );
+
+    // Durable prefixes resolve to the original diffs and replay bit-exact
+    // despite the orphaned claims.
+    let report = rt.recover_report();
+    check_payloads_bit_identical(&sched, &report);
+    for rr in &report.ranks {
+        assert_eq!(rr.prefix_len, sched.ckpts as usize, "rank {}", rr.rank);
+    }
+    let device = Device::a100();
+    for r in 0..sched.ranks {
+        let out = restore_rank_latest_parallel(rt.tiers(), &device, r, None).unwrap();
+        assert_eq!(&out.data, sched.snapshots[r as usize].last().unwrap());
+    }
+    rt.kill();
+}
+
+/// Killing the exchange mid-schedule (the claim stage crashes while
+/// checkpoints keep coming) drops the queued batches as orphans; records
+/// submitted after the kill keep their chunks local. Durable prefixes
+/// stay bit-exact, and a full rank loss afterwards still restores every
+/// survivor — including one whose records reference the lost claim
+/// winner — through the parity group.
+#[test]
+fn exchange_kill_mid_schedule_keeps_durable_prefixes_bit_exact() {
+    let sched = shared_cluster(4, 4, 2048, 43);
+    let registry = Arc::new(Registry::new());
+    let engine = RankDedupEngine::with_exchange(
+        RankDedupConfig {
+            ranks: sched.ranks,
+            chunk_len: CHUNK,
+        },
+        RankDedupMetrics::bound(Arc::clone(&registry)),
+        0xBEEF,
+        3,
+        None,
+    );
+    let rt = AsyncRuntime::with_rank_dedup(
+        TierChain::new(),
+        0.0,
+        Arc::clone(&registry),
+        CompressionPolicy::Off,
+        RedundancyPolicy::Partner,
+        Some(Arc::clone(&engine)),
+    );
+    let ids = sched.ids();
+    for k in 0..sched.ckpts {
+        // The exchange crashes between checkpoint rounds 1 and 2.
+        if k == 2 {
+            engine.kill();
+        }
+        for r in 0..sched.ranks {
+            rt.submit(r, k, sched.diffs[r as usize][k as usize].clone())
+                .unwrap();
+        }
+    }
+    rt.wait_durable(&ids);
+    rt.wait_redundancy_durable(&ids);
+    assert!(
+        registry.counter("rankdedup/orphans").get() > 0,
+        "claims published into the dead exchange must be typed as orphans"
+    );
+
+    let report = rt.recover_report();
+    check_payloads_bit_identical(&sched, &report);
+    for rr in &report.ranks {
+        assert_eq!(rr.prefix_len, sched.ckpts as usize, "rank {}", rr.rank);
+    }
+
+    // Rank 0 won the shared-base claims; lose it completely and restore a
+    // surviving rank whose records reference it: the remotely-referenced
+    // chunks must come back through the partner group before the replay.
+    rt.tiers().host.wipe_rank(0);
+    rt.tiers().ssd.wipe_rank(0);
+    rt.tiers().pfs.wipe_rank(0);
+    let device = Device::a100();
+    for r in [2u32, 0] {
+        let out = restore_rank_latest_parallel(rt.tiers(), &device, r, None)
+            .expect("restore through the group");
+        assert_eq!(
+            &out.data,
+            sched.snapshots[r as usize].last().unwrap(),
+            "rank {r}: restore after claim-winner loss not bit-exact"
+        );
+    }
+    rt.kill();
+}
+
+/// Satellite differential: with rank-dedup *absent* (engine `None`), the
+/// rank-dedup-aware constructor produces a `recover_report()` whose JSON
+/// is byte-for-byte the baseline redundancy runtime's on the same
+/// schedules — the cluster index is invisible unless enabled.
+#[test]
+fn rank_dedup_off_report_json_identical_to_baseline() {
+    for (data_seed, compression) in [
+        (17u64, CompressionPolicy::Off),
+        (18, CompressionPolicy::Adaptive),
+    ] {
+        let sched = Cluster::build(3, 3, 1024, data_seed);
+        let run = |dedup_aware: bool| {
+            let rt = if dedup_aware {
+                AsyncRuntime::with_rank_dedup(
+                    TierChain::new(),
+                    0.0,
+                    Arc::new(Registry::new()),
+                    compression,
+                    RedundancyPolicy::Off,
+                    None,
+                )
+            } else {
+                make_runtime(FaultPlan::empty(), compression, RedundancyPolicy::Off)
+            };
+            for k in 0..sched.ckpts {
+                for r in 0..sched.ranks {
+                    rt.submit(r, k, sched.diffs[r as usize][k as usize].clone())
+                        .unwrap();
+                }
+            }
+            rt.wait_durable(&sched.ids());
+            rt.kill();
+            rt.recover_report().to_json()
+        };
+        assert_eq!(
+            run(false),
+            run(true),
+            "engine None changed the recovery report JSON"
+        );
     }
 }
 

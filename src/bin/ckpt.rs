@@ -51,12 +51,13 @@ use gpu_dedup_ckpt::compress::codec_by_id;
 use gpu_dedup_ckpt::dedup::prelude::*;
 use gpu_dedup_ckpt::dedup::{
     decode_frame_expecting, decode_payload, encode_frame, encode_frame_compressed, looks_framed,
-    Diff,
+    looks_rankdedup, Diff, RankDedupRecord,
 };
 use gpu_dedup_ckpt::gpu_sim::Device;
 use gpu_dedup_ckpt::runtime::{
-    CompressMetrics, CompressionEngine, CompressionPolicy, RedundancyMetrics, RedundancyPolicy,
-    RedundancyStore, StoredObject,
+    resolve_record, CompressMetrics, CompressionEngine, CompressionPolicy, RankDedupConfig,
+    RankDedupEngine, RankDedupMetrics, RedundancyMetrics, RedundancyPolicy, RedundancyStore,
+    StoredObject,
 };
 use gpu_dedup_ckpt::telemetry::{JsonWriter, Registry, StageBreakdown};
 use std::path::{Path, PathBuf};
@@ -69,16 +70,21 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  ckpt create  --out <dir> [--method tree|list|basic|full] [--chunk N] \
          [--compress off|adaptive|<codec>] [--payload-compress <codec>] \
-         [--redundancy off|partner|xor:<k>] [--ranks R] \
+         [--redundancy off|partner|xor:<k>] [--ranks R] [--rank-dedup] \
          [--verify-collisions] [--stats] <snapshots...>\n  \
          ckpt info    <dir>\n  ckpt stats   <dir>\n  \
          ckpt restore <dir> --version K --out <file> [--parallel] [--stats]\n  \
-         ckpt verify  <dir> [<snapshots...>]   (no snapshots: integrity-only mode)\n\n\
+         ckpt verify  <dir> [--json] [<snapshots...>]   (no snapshots: integrity-only mode)\n\n\
          --redundancy splits the snapshots across R ranks (default: the group \
          size), writes rank####/ record subdirs plus a group/ directory of \
          partner copies or XOR parity stripes, and makes verify/stats \
          group-aware: a rank whose directory is absent is reported per object \
-         as reconstructable-from-group or LOST, never silently skipped."
+         as reconstructable-from-group or LOST, never silently skipped. \
+         --rank-dedup shares one content-addressed index across the ranks, \
+         storing a chunk first seen by any rank exactly once cluster-wide; \
+         verify resolves the cross-rank references and types a dangling one \
+         as LOST, never a wrong payload. verify exits 0 clean, 3 when every \
+         fault is group-repairable, 4 when anything is LOST."
     );
     ExitCode::from(2)
 }
@@ -115,12 +121,46 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("ckpt: {e}");
-            ExitCode::FAILURE
+            match e.downcast_ref::<CliExit>() {
+                Some(x) => ExitCode::from(x.code),
+                None => ExitCode::FAILURE,
+            }
         }
     }
 }
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+/// Missing or malformed command-line operands.
+const EXIT_USAGE: u8 = 2;
+/// Verification found damage the redundancy group can still repair.
+const EXIT_REPAIRABLE: u8 = 3;
+/// Verification found at least one unrecoverable (LOST) object.
+const EXIT_LOST: u8 = 4;
+
+/// An error that carries a stable process exit code. Generic errors keep
+/// exiting 1; usage errors exit 2; the verify matrix distinguishes
+/// corrupt-but-repairable (3) from lost (4).
+#[derive(Debug)]
+struct CliExit {
+    code: u8,
+    msg: String,
+}
+
+impl std::fmt::Display for CliExit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for CliExit {}
+
+fn exit_with(code: u8, msg: impl Into<String>) -> Box<dyn std::error::Error> {
+    Box::new(CliExit {
+        code,
+        msg: msg.into(),
+    })
+}
 
 fn diff_path(dir: &Path, version: usize) -> PathBuf {
     dir.join(format!("{version:04}.ckpt"))
@@ -176,13 +216,26 @@ fn record_base(dir: &Path) -> Result<usize, Box<dyn std::error::Error>> {
 type LoadedRecord = (usize, Vec<Diff>, Vec<u8>);
 
 fn load_record(dir: &Path) -> Result<LoadedRecord, Box<dyn std::error::Error>> {
-    load_record_as(dir, 0)
+    // A cluster rank subdir's frames carry their real rank id; flat
+    // records use rank 0.
+    load_record_as(dir, dir_rank(dir).unwrap_or(0))
+}
+
+/// The rank number of a `rank####/` record subdirectory, if `dir` is one.
+fn dir_rank(dir: &Path) -> Option<u32> {
+    let digits = dir.file_name()?.to_str()?.strip_prefix("rank")?;
+    (digits.len() == 4 && digits.bytes().all(|b| b.is_ascii_digit()))
+        .then(|| digits.parse().ok())
+        .flatten()
 }
 
 fn load_record_as(dir: &Path, rank: u32) -> Result<LoadedRecord, Box<dyn std::error::Error>> {
     let base = record_base(dir)?;
     let mut diffs = Vec::new();
     let mut codecs = Vec::new();
+    // Lazily opened on the first rank-dedup record: resolving cross-rank
+    // references needs the cluster root and its redundancy group.
+    let mut cluster: Option<Option<ClusterContext>> = None;
     for version in base.. {
         let path = diff_path(dir, version);
         if !path.exists() {
@@ -190,6 +243,28 @@ fn load_record_as(dir: &Path, rank: u32) -> Result<LoadedRecord, Box<dyn std::er
         }
         let bytes = std::fs::read(&path)?;
         let (codec, payload) = unframe_as(&bytes, rank, version, &path)?;
+        let payload = if looks_rankdedup(&payload) {
+            let ctx = cluster
+                .get_or_insert_with(|| ClusterContext::open(dir).ok().flatten())
+                .as_ref()
+                .ok_or_else(|| {
+                    format!(
+                        "{}: rank-dedup record outside a cluster root",
+                        path.display()
+                    )
+                })?;
+            ctx.resolve((rank, version as u32), &payload).map_err(|e| {
+                exit_with(
+                    EXIT_LOST,
+                    format!(
+                        "{}: LOST  rank-dedup resolution failed: {e}",
+                        path.display()
+                    ),
+                )
+            })?
+        } else {
+            payload
+        };
         codecs.push(codec);
         diffs.push(Diff::decode(&payload).map_err(|e| format!("{}: {e}", path.display()))?);
     }
@@ -241,6 +316,7 @@ fn cmd_create(args: &[String], stats: bool) -> CliResult {
     let mut redundancy = RedundancyPolicy::Off;
     let mut ranks: Option<usize> = None;
     let mut verify_collisions = false;
+    let mut rank_dedup = false;
     let mut snapshots: Vec<PathBuf> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -288,6 +364,10 @@ fn cmd_create(args: &[String], stats: bool) -> CliResult {
                 verify_collisions = true;
                 i += 1;
             }
+            "--rank-dedup" => {
+                rank_dedup = true;
+                i += 1;
+            }
             other => {
                 snapshots.push(PathBuf::from(other));
                 i += 1;
@@ -319,10 +399,14 @@ fn cmd_create(args: &[String], stats: bool) -> CliResult {
             payload_compress,
             verify_collisions,
             redundancy,
+            rank_dedup,
             n_ranks,
             snapshots,
             stats,
         });
+    }
+    if rank_dedup {
+        return Err("--rank-dedup needs a clustered record (--ranks and/or --redundancy)".into());
     }
 
     let device = Device::a100();
@@ -460,9 +544,24 @@ fn group_object_path(root: &Path, key: ObjectId) -> PathBuf {
         .join(format!("h{:04}_c{:04}.grp", key.0, key.1))
 }
 
-/// Whether a record root uses the clustered multi-rank layout.
+/// Whether a record root uses the clustered multi-rank layout. Any
+/// surviving `rank####/` subdirectory counts — a cluster that lost rank 0
+/// *and* its group tier must still verify as a cluster, with the absent
+/// members typed, not fall back to the flat-record path.
 fn is_cluster_dir(dir: &Path) -> bool {
-    dir.join("group").join("MANIFEST").exists() || rank_dir(dir, 0).is_dir()
+    if dir.join("group").join("MANIFEST").exists() {
+        return true;
+    }
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return false;
+    };
+    entries.flatten().any(|e| {
+        e.path().is_dir()
+            && e.file_name()
+                .to_str()
+                .and_then(|n| n.strip_prefix("rank"))
+                .is_some_and(|n| n.len() == 4 && n.chars().all(|c| c.is_ascii_digit()))
+    })
 }
 
 /// Read one member's stored object back from its rank directory: the
@@ -479,6 +578,97 @@ fn read_member_object(root: &Path, id: ObjectId) -> Option<StoredObject> {
     })
 }
 
+/// The cluster root a record directory belongs to: the directory itself
+/// when it is a cluster root, its parent when it is a `rank####/` record
+/// subdir, `None` for a flat record.
+fn cluster_root_of(dir: &Path) -> Option<PathBuf> {
+    if is_cluster_dir(dir) {
+        return Some(dir.to_path_buf());
+    }
+    dir_rank(dir)
+        .and_then(|_| dir.parent())
+        .map(Path::to_path_buf)
+}
+
+/// Load the record root's redundancy group (manifest + exported group
+/// objects) when one exists, ready to reconstruct lost members.
+fn load_group_store(root: &Path) -> Result<Option<RedundancyStore>, Box<dyn std::error::Error>> {
+    let manifest_path = root.join("group").join("MANIFEST");
+    if !manifest_path.exists() {
+        return Ok(None);
+    }
+    let text = std::fs::read_to_string(&manifest_path)?;
+    let store = RedundancyStore::from_manifest(&text).ok_or("group/MANIFEST is malformed")?;
+    for entry in std::fs::read_dir(root.join("group"))? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let Some(stem) = name.strip_suffix(".grp") else {
+            continue;
+        };
+        let key: ObjectId = (|| {
+            let (h, c) = stem.strip_prefix('h')?.split_once("_c")?;
+            Some((h.parse().ok()?, c.parse().ok()?))
+        })()
+        .ok_or_else(|| format!("unparseable group object name '{name}'"))?;
+        let bytes = std::fs::read(&path)?;
+        let (header, payload) = decode_frame_expecting(&bytes, Some(key))
+            .map_err(|e| format!("{}: corrupt group frame: {e}", path.display()))?;
+        let obj = if header.codec == 0 {
+            StoredObject::raw(payload.to_vec())
+        } else {
+            StoredObject::encoded(header.codec, header.uncompressed_len, payload.to_vec())
+        };
+        store
+            .group_tier()
+            .store_object(key, obj)
+            .map_err(|_| format!("{}: group store refused the object", path.display()))?;
+    }
+    Ok(Some(store))
+}
+
+/// The decoded stored payload of one cluster member, for rank-dedup
+/// reference resolution: the rank's file when it verifies, else a group
+/// reconstruction — so a chunk on a lost rank still resolves through its
+/// parity group. `None` is a typed dangling reference upstream.
+fn fetch_member_payload(
+    root: &Path,
+    store: Option<&RedundancyStore>,
+    id: ObjectId,
+) -> Option<Vec<u8>> {
+    if let Some(obj) = read_member_object(root, id) {
+        if let Ok(payload) = obj.decode() {
+            return Some(payload);
+        }
+    }
+    let store = store?;
+    let fetch = |mid: ObjectId| read_member_object(root, mid);
+    store.reconstruct(id, &fetch).ok()?.decode().ok()
+}
+
+/// Cluster context for resolving rank-dedup records outside the runtime:
+/// the record root plus its (lazily loaded) redundancy group.
+struct ClusterContext {
+    root: PathBuf,
+    store: Option<RedundancyStore>,
+}
+
+impl ClusterContext {
+    fn open(dir: &Path) -> Result<Option<Self>, Box<dyn std::error::Error>> {
+        let Some(root) = cluster_root_of(dir) else {
+            return Ok(None);
+        };
+        let store = load_group_store(&root)?;
+        Ok(Some(ClusterContext { root, store }))
+    }
+
+    fn resolve(&self, id: ObjectId, payload: &[u8]) -> Result<Vec<u8>, String> {
+        let fetch = |mid: ObjectId| fetch_member_payload(&self.root, self.store.as_ref(), mid);
+        resolve_record(id, payload, &fetch).map_err(|e| e.to_string())
+    }
+}
+
 struct CreateCluster {
     out_dir: PathBuf,
     method: String,
@@ -487,6 +677,7 @@ struct CreateCluster {
     payload_compress: Option<String>,
     verify_collisions: bool,
     redundancy: RedundancyPolicy,
+    rank_dedup: bool,
     n_ranks: usize,
     snapshots: Vec<PathBuf>,
     stats: bool,
@@ -530,6 +721,22 @@ fn cmd_create_cluster(c: CreateCluster) -> CliResult {
             },
         )
     });
+    // The cluster dedup index: one inline engine shared by every rank, so
+    // stored-byte totals are deterministic. Ranks encode in order, so later
+    // ranks reference chunks the earlier ones claimed.
+    let dedup = c.rank_dedup.then(|| {
+        RankDedupEngine::new(
+            RankDedupConfig {
+                ranks: c.n_ranks as u32,
+                chunk_len: c.chunk,
+            },
+            if c.stats {
+                RankDedupMetrics::bound(registry.clone())
+            } else {
+                RankDedupMetrics::detached()
+            },
+        )
+    });
 
     // Contiguous split: the first `n % ranks` ranks take one extra.
     let base_len = n / c.n_ranks;
@@ -561,7 +768,13 @@ fn cmd_create_cluster(c: CreateCluster) -> CliResult {
         for (version, path) in slice.iter().enumerate() {
             let data = std::fs::read(path)?;
             let out = ckpt.checkpoint(&data);
-            let object = engine.encode(out.diff.encode());
+            // Dedup against the cluster index *before* frame compression,
+            // so cross-rank references survive any codec.
+            let staged = match &dedup {
+                Some(e) => e.encode((rank, version as u32), out.diff.encode()),
+                None => out.diff.encode(),
+            };
+            let object = engine.encode(staged);
             if let Some(store) = &store {
                 store.encode_member((rank, version as u32), &object);
             }
@@ -621,6 +834,13 @@ fn cmd_create_cluster(c: CreateCluster) -> CliResult {
             c.n_ranks,
         );
     }
+    if let Some(e) = &dedup {
+        println!(
+            "rank-dedup: {} first-occurrence claims shared across {} ranks",
+            e.index().claim_count(),
+            c.n_ranks,
+        );
+    }
     println!(
         "cluster record: {} ranks, {n} versions, {total_in} -> {total_out} bytes ({:.2}x)",
         c.n_ranks,
@@ -650,40 +870,10 @@ fn cmd_create_cluster(c: CreateCluster) -> CliResult {
 /// whose directory is *absent* is checked object by object against the
 /// redundancy group — reported as reconstructable or LOST, never silently
 /// skipped.
-fn verify_cluster(dir: &Path) -> CliResult {
-    let manifest_path = dir.join("group").join("MANIFEST");
-    let store = if manifest_path.exists() {
-        let text = std::fs::read_to_string(&manifest_path)?;
-        let store = RedundancyStore::from_manifest(&text).ok_or("group/MANIFEST is malformed")?;
-        for entry in std::fs::read_dir(dir.join("group"))? {
-            let path = entry?.path();
-            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
-                continue;
-            };
-            let Some(stem) = name.strip_suffix(".grp") else {
-                continue;
-            };
-            let key: ObjectId = (|| {
-                let (h, c) = stem.strip_prefix('h')?.split_once("_c")?;
-                Some((h.parse().ok()?, c.parse().ok()?))
-            })()
-            .ok_or_else(|| format!("unparseable group object name '{name}'"))?;
-            let bytes = std::fs::read(&path)?;
-            let (header, payload) = decode_frame_expecting(&bytes, Some(key))
-                .map_err(|e| format!("{}: corrupt group frame: {e}", path.display()))?;
-            let obj = if header.codec == 0 {
-                StoredObject::raw(payload.to_vec())
-            } else {
-                StoredObject::encoded(header.codec, header.uncompressed_len, payload.to_vec())
-            };
-            store
-                .group_tier()
-                .store_object(key, obj)
-                .map_err(|_| format!("{}: group store refused the object", path.display()))?;
-        }
-        Some(store)
-    } else {
-        None
+fn verify_cluster(dir: &Path, json: bool) -> CliResult {
+    let ctx = ClusterContext {
+        root: dir.to_path_buf(),
+        store: load_group_store(dir)?,
     };
 
     // The rank set: every rank#### directory present, plus every rank the
@@ -699,64 +889,220 @@ fn verify_cluster(dir: &Path) -> CliResult {
             ranks.insert(r);
         }
     }
-    if let Some(store) = &store {
+    if let Some(store) = &ctx.store {
         ranks.extend(store.member_ids().iter().map(|&(r, _)| r));
     }
     if ranks.is_empty() {
         return Err(format!("no rank directories found in {}", dir.display()).into());
     }
 
-    let fetch = |mid: ObjectId| read_member_object(dir, mid);
-    let mut bad = 0usize;
+    let mut report: Vec<(u32, Vec<(u32, VerifyStatus)>)> = Vec::new();
     for &rank in &ranks {
         let rdir = rank_dir(dir, rank);
+        // Every object the record names for this rank: its on-disk files
+        // plus everything the group manifest attributes to it, so a wiped
+        // file is still typed rather than silently absent.
+        let mut ckpts: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
         if rdir.is_dir() {
-            match verify_integrity_as(&rdir, rank) {
-                Ok(()) => println!("rank{rank:04}: ok"),
-                Err(e) => {
-                    bad += 1;
-                    println!("rank{rank:04}: BAD  {e}");
+            for entry in std::fs::read_dir(&rdir)? {
+                let name = entry?.file_name();
+                if let Some(v) = name
+                    .to_str()
+                    .and_then(|n| n.strip_suffix(".ckpt"))
+                    .and_then(|n| n.parse().ok())
+                {
+                    ckpts.insert(v);
                 }
             }
-            continue;
         }
-        // The rank's directory is gone. Per-group parity health instead of
-        // a silent skip: can each of its objects still be rebuilt?
-        let Some(store) = &store else {
-            bad += 1;
-            println!("rank{rank:04}: LOST  directory absent and no redundancy group present");
-            continue;
-        };
-        let ids: Vec<ObjectId> = store
-            .member_ids()
-            .into_iter()
-            .filter(|&(r, _)| r == rank)
-            .collect();
-        if ids.is_empty() {
-            bad += 1;
+        if let Some(store) = &ctx.store {
+            ckpts.extend(
+                store
+                    .member_ids()
+                    .iter()
+                    .filter(|&&(r, _)| r == rank)
+                    .map(|&(_, c)| c),
+            );
+        }
+        if ckpts.is_empty() {
             println!("rank{rank:04}: LOST  directory absent and unknown to the group");
+            report.push((rank, vec![(0, VerifyStatus::Lost)]));
             continue;
         }
-        for id in ids {
-            match store.reconstruct(id, &fetch) {
-                Ok(obj) => println!(
-                    "rank{rank:04} v{:04} reconstructable from group ({} B, {})",
-                    id.1,
-                    obj.payload.len(),
-                    store.policy().label(),
-                ),
-                Err(e) => {
-                    bad += 1;
-                    println!("rank{rank:04} v{:04} LOST  {e}", id.1);
-                }
-            }
+        let mut objects = Vec::with_capacity(ckpts.len());
+        for ckpt_id in ckpts {
+            let id = (rank, ckpt_id);
+            let (status, detail) = classify_member(&ctx, id);
+            println!(
+                "rank{rank:04} v{ckpt_id:04} {}{}{}",
+                status.label(),
+                if detail.is_empty() { "" } else { "  " },
+                detail,
+            );
+            objects.push((ckpt_id, status));
+        }
+        report.push((rank, objects));
+    }
+
+    let count = |s: VerifyStatus| -> u64 {
+        report
+            .iter()
+            .flat_map(|(_, objs)| objs.iter())
+            .filter(|&&(_, st)| st == s)
+            .count() as u64
+    };
+    let (verified, repairable, lost) = (
+        count(VerifyStatus::Verified),
+        count(VerifyStatus::Repairable),
+        count(VerifyStatus::Lost),
+    );
+    if json {
+        println!(
+            "{}",
+            verify_report_json("cluster", verified, repairable, lost, &report)
+        );
+    }
+    if lost > 0 {
+        return Err(exit_with(
+            EXIT_LOST,
+            format!("{lost} object(s) LOST ({repairable} repairable, {verified} verified)"),
+        ));
+    }
+    if repairable > 0 {
+        return Err(exit_with(
+            EXIT_REPAIRABLE,
+            format!("{repairable} object(s) repairable from the group ({verified} verified)"),
+        ));
+    }
+    println!(
+        "cluster record ok: {} ranks, {verified} objects verified",
+        ranks.len()
+    );
+    Ok(())
+}
+
+/// Stable per-object verification outcome (and its process exit code):
+/// `verified` (0) — the stored frame decodes and, for rank-dedup records,
+/// every cross-rank reference resolves; `repairable` (3) — the local copy
+/// is corrupt or absent but the redundancy group rebuilds it bit-exact;
+/// `lost` (4) — no path to a correct payload (a dangling remote reference
+/// lands here, never a wrong payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VerifyStatus {
+    Verified,
+    Repairable,
+    Lost,
+}
+
+impl VerifyStatus {
+    fn label(self) -> &'static str {
+        match self {
+            VerifyStatus::Verified => "ok",
+            VerifyStatus::Repairable => "REPAIRABLE",
+            VerifyStatus::Lost => "LOST",
         }
     }
-    if bad > 0 {
-        return Err(format!("{bad} rank(s)/object(s) failed cluster verification").into());
+
+    fn json_name(self) -> &'static str {
+        match self {
+            VerifyStatus::Verified => "verified",
+            VerifyStatus::Repairable => "repairable",
+            VerifyStatus::Lost => "lost",
+        }
     }
-    println!("cluster record ok: {} ranks verified", ranks.len());
-    Ok(())
+}
+
+/// Classify one cluster member (see [`VerifyStatus`]).
+fn classify_member(ctx: &ClusterContext, id: ObjectId) -> (VerifyStatus, String) {
+    // A payload is only acceptable once fully proven: frame checksum,
+    // rank-dedup reference resolution (checksummed against the original),
+    // and diff decode.
+    let prove = |payload: Vec<u8>| -> Result<(), String> {
+        let resolved = if looks_rankdedup(&payload) {
+            ctx.resolve(id, &payload)
+                .map_err(|e| format!("dangling rank-dedup reference: {e}"))?
+        } else {
+            payload
+        };
+        Diff::decode(&resolved).map_err(|e| e.to_string())?;
+        Ok(())
+    };
+    let path = rank_dir(&ctx.root, id.0).join(format!("{:04}.ckpt", id.1));
+    let direct = std::fs::read(&path)
+        .ok()
+        .and_then(|bytes| unframe_as(&bytes, id.0, id.1 as usize, &path).ok())
+        .map(|(_, payload)| payload);
+    let direct_err = match direct {
+        Some(payload) => match prove(payload) {
+            Ok(()) => return (VerifyStatus::Verified, String::new()),
+            // The local bytes verified as a frame but the payload cannot be
+            // proven (dangling reference / undecodable diff): the group
+            // holds the *same* object, so reconstruction cannot repair a
+            // resolution failure — only a damaged or missing local copy.
+            Err(e) => Some(e),
+        },
+        None => None,
+    };
+    if let Some(e) = direct_err {
+        return (VerifyStatus::Lost, e);
+    }
+    let Some(store) = &ctx.store else {
+        return (
+            VerifyStatus::Lost,
+            "no local copy and no redundancy group".into(),
+        );
+    };
+    let fetch = |mid: ObjectId| read_member_object(&ctx.root, mid);
+    match store
+        .reconstruct(id, &fetch)
+        .map_err(|e| e.to_string())
+        .and_then(|obj| obj.decode().map_err(|e| e.to_string()))
+        .and_then(&prove)
+    {
+        Ok(()) => (
+            VerifyStatus::Repairable,
+            format!("reconstructable from group ({})", store.policy().label()),
+        ),
+        Err(e) => (VerifyStatus::Lost, e),
+    }
+}
+
+/// The stable `verify --json` report. Schema (field order fixed):
+/// `{"command":"verify","mode":...,"clean":...,"verified":N,
+///   "repairable":N,"lost":N,"ranks":[{"rank":R,"objects":
+///   [{"ckpt_id":K,"status":"verified"|"repairable"|"lost"},..]},..]}`
+fn verify_report_json(
+    mode: &str,
+    verified: u64,
+    repairable: u64,
+    lost: u64,
+    ranks: &[(u32, Vec<(u32, VerifyStatus)>)],
+) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("command").string("verify");
+    w.key("mode").string(mode);
+    w.key("clean").bool(repairable == 0 && lost == 0);
+    w.key("verified").u64(verified);
+    w.key("repairable").u64(repairable);
+    w.key("lost").u64(lost);
+    w.key("ranks").begin_array();
+    for (rank, objects) in ranks {
+        w.begin_object();
+        w.key("rank").u64(*rank as u64);
+        w.key("objects").begin_array();
+        for (ckpt_id, status) in objects {
+            w.begin_object();
+            w.key("ckpt_id").u64(*ckpt_id as u64);
+            w.key("status").string(status.json_name());
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
 }
 
 /// Group-aware `ckpt stats` over a clustered record: per-rank record
@@ -780,9 +1126,30 @@ fn cmd_stats_cluster(dir: &Path) -> CliResult {
             present.insert(r);
         }
     }
+    // Rank-dedup inventory: counted from the *stored* records (before
+    // reference resolution), so `rankdedup/remote_bytes_saved` reports
+    // what cross-rank sharing actually kept off the disk.
+    let mut dedup_records = 0u64;
+    let mut dedup_remote_refs = 0u64;
+    let mut dedup_bytes_saved = 0u64;
     for &rank in &present {
         let rdir = rank_dir(dir, rank);
         n_ranks += 1;
+        for version in record_base(&rdir)?.. {
+            let path = diff_path(&rdir, version);
+            if !path.exists() {
+                break;
+            }
+            let bytes = std::fs::read(&path)?;
+            let Ok((_, payload)) = unframe_as(&bytes, rank, version, &path) else {
+                continue;
+            };
+            if let Ok(rec) = RankDedupRecord::decode(&payload) {
+                dedup_records += 1;
+                dedup_remote_refs += rec.remote_refs().count() as u64;
+                dedup_bytes_saved += rec.orig_len.saturating_sub(rec.local.len() as u64);
+            }
+        }
         let (_base, diffs, _codecs) = load_record_as(&rdir, rank)?;
         method.get_or_insert_with(|| diffs[0].kind.name().to_string());
         for d in &diffs {
@@ -792,6 +1159,15 @@ fn cmd_stats_cluster(dir: &Path) -> CliResult {
             stored += d.stored_bytes() as u64;
         }
         versions += diffs.len() as u64;
+    }
+    if dedup_records > 0 {
+        registry.counter("rankdedup/records").add(dedup_records);
+        registry
+            .counter("rankdedup/remote_refs")
+            .add(dedup_remote_refs);
+        registry
+            .counter("rankdedup/remote_bytes_saved")
+            .add(dedup_bytes_saved);
     }
     let manifest_path = dir.join("group").join("MANIFEST");
     if let Ok(text) = std::fs::read_to_string(&manifest_path) {
@@ -1034,6 +1410,50 @@ fn verify_integrity(dir: &Path) -> CliResult {
     verify_integrity_as(dir, 0)
 }
 
+/// `verify --json` on a flat (single-rank) record: the same report schema
+/// and exit-code matrix as cluster mode. With no redundancy group a
+/// corrupt object has no repair source, so it types straight to `lost`.
+fn verify_flat_json(dir: &Path) -> CliResult {
+    let base = record_base(dir)?;
+    let mut objects: Vec<(u32, VerifyStatus)> = Vec::new();
+    for version in base.. {
+        let path = diff_path(dir, version);
+        if !path.exists() {
+            break;
+        }
+        let ok = std::fs::read(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|bytes| unframe_as(&bytes, 0, version, &path))
+            .and_then(|(_, payload)| Diff::decode(&payload).map_err(|e| e.to_string()))
+            .is_ok();
+        objects.push((
+            version as u32,
+            if ok {
+                VerifyStatus::Verified
+            } else {
+                VerifyStatus::Lost
+            },
+        ));
+    }
+    if objects.is_empty() {
+        return Err(format!("no checkpoints found in {}", dir.display()).into());
+    }
+    let verified = objects
+        .iter()
+        .filter(|&&(_, s)| s == VerifyStatus::Verified)
+        .count() as u64;
+    let lost = objects.len() as u64 - verified;
+    let report = vec![(0u32, objects)];
+    println!("{}", verify_report_json("flat", verified, 0, lost, &report));
+    if lost > 0 {
+        return Err(exit_with(
+            EXIT_LOST,
+            format!("{lost} object(s) LOST ({verified} verified)"),
+        ));
+    }
+    Ok(())
+}
+
 fn verify_integrity_as(dir: &Path, rank: u32) -> CliResult {
     let base = record_base(dir)?;
     if base > 0 {
@@ -1105,16 +1525,30 @@ fn verify_integrity_as(dir: &Path, rank: u32) -> CliResult {
 }
 
 fn cmd_verify(args: &[String]) -> CliResult {
-    let dir = PathBuf::from(args.first().ok_or("missing <dir>")?);
+    let mut args: Vec<String> = args.to_vec();
+    let json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
+    let dir = PathBuf::from(args.first().ok_or_else(|| {
+        exit_with(
+            EXIT_USAGE,
+            "usage: ckpt verify <dir> [originals...] [--json]",
+        )
+    })?);
     let originals = &args[1..];
     if is_cluster_dir(&dir) {
         if !originals.is_empty() {
             return Err("clustered records verify in integrity mode (no originals)".into());
         }
-        return verify_cluster(&dir);
+        return verify_cluster(&dir, json);
     }
     if originals.is_empty() {
+        if json {
+            return verify_flat_json(&dir);
+        }
         return verify_integrity(&dir);
+    }
+    if json {
+        return Err("--json applies to integrity mode (no originals)".into());
     }
     let (base, diffs, _codecs) = load_record(&dir)?;
     if originals.len() != diffs.len() {

@@ -1,0 +1,218 @@
+//! Exit-code matrix and report-schema stability of `ckpt verify`.
+//!
+//! The contract, per object: `verified` — exit 0; damage the redundancy
+//! group can rebuild — exit 3; anything with no path to a correct payload
+//! (including a dangling cross-rank dedup reference) — exit 4; bad usage
+//! — exit 2. The machine-readable report (`--json`) keeps one stable
+//! schema across redundancy policies and rank-dedup on/off.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn ckpt() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ckpt"))
+}
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!("ckpt-exit-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Snapshots whose content repeats with the chunk period, so the per-rank
+/// sequences dedup heavily across ranks and versions (the claim winner's
+/// record is referenced from everywhere — exactly what dangling-reference
+/// typing must survive). Eight files → 4 ranks x 2 versions.
+fn write_snapshots(dir: &Path, count: usize) -> Vec<PathBuf> {
+    let mut data: Vec<u8> = (0..32 * 1024u32).map(|i| (i % 64) as u8).collect();
+    let mut paths = Vec::new();
+    for k in 0..count {
+        if k > 0 {
+            for j in 0..16 {
+                let at = (k * 977 + j * 419) % data.len();
+                data[at] = data[at].wrapping_add(1);
+            }
+        }
+        let p = dir.join(format!("snap{k}.bin"));
+        std::fs::write(&p, &data).unwrap();
+        paths.push(p);
+    }
+    paths
+}
+
+fn create_cluster(record: &Path, snaps: &[PathBuf], policy: &str) {
+    let out = ckpt()
+        .args([
+            "create",
+            "--out",
+            record.to_str().unwrap(),
+            "--chunk",
+            "64",
+            "--ranks",
+            "4",
+            "--redundancy",
+            policy,
+            "--rank-dedup",
+        ])
+        .args(snaps.iter().map(|p| p.to_str().unwrap()))
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "create --redundancy {policy} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+fn verify_json(record: &Path) -> (i32, String) {
+    let out = ckpt()
+        .args(["verify", record.to_str().unwrap(), "--json"])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let json = stdout
+        .lines()
+        .find(|l| l.starts_with('{'))
+        .unwrap_or_default()
+        .to_string();
+    (out.status.code().unwrap(), json)
+}
+
+/// The full matrix, per redundancy policy: clean record → 0, group-
+/// repairable damage → 3, unrepairable damage (including dangling
+/// cross-rank references) → 4. The clean-record JSON report is
+/// byte-identical across policies — one schema, not three.
+#[test]
+fn verify_exit_code_matrix_across_policies() {
+    let mut clean_jsons = Vec::new();
+    for policy in ["off", "partner", "xor:2"] {
+        let tmp = TempDir::new(&format!("matrix-{}", policy.replace(':', "-")));
+        let snaps = write_snapshots(tmp.path(), 8);
+        let record = tmp.path().join("record");
+        create_cluster(&record, &snaps, policy);
+
+        // Clean: exit 0, clean:true, stable schema.
+        let (code, json) = verify_json(&record);
+        assert_eq!(code, 0, "{policy}: clean record must verify");
+        assert!(
+            json.starts_with(r#"{"command":"verify","mode":"cluster","clean":true,"verified":8,"#),
+            "{policy}: unexpected report head: {json}"
+        );
+        assert!(
+            json.contains(r#""repairable":0,"lost":0,"ranks":["#),
+            "{json}"
+        );
+        clean_jsons.push(json);
+
+        // One flipped payload byte in rank 1's middle checkpoint: with a
+        // group it is repairable (exit 3); without, lost (exit 4).
+        let victim = record.join("rank0001").join("0001.ckpt");
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let at = bytes.len() / 2;
+        bytes[at] ^= 0x40;
+        std::fs::write(&victim, &bytes).unwrap();
+        let (code, json) = verify_json(&record);
+        if policy == "off" {
+            assert_eq!(code, 4, "{policy}: corrupt object with no group is lost");
+            assert!(json.contains(r#""status":"lost""#), "{json}");
+        } else {
+            assert_eq!(
+                code, 3,
+                "{policy}: group must classify the damage repairable"
+            );
+            assert!(json.contains(r#""status":"repairable""#), "{json}");
+            assert!(!json.contains(r#""status":"lost""#), "{json}");
+        }
+        bytes[at] ^= 0x40;
+        std::fs::write(&victim, &bytes).unwrap();
+
+        // Wipe the claim winner's first checkpoint *and* the group store:
+        // no reconstruction path remains, and every record referencing it
+        // cross-rank must be typed lost — never handed back wrong.
+        std::fs::remove_file(record.join("rank0000").join("0000.ckpt")).unwrap();
+        let group = record.join("group");
+        if group.is_dir() {
+            for entry in std::fs::read_dir(&group).unwrap() {
+                let p = entry.unwrap().path();
+                if p.extension().is_some_and(|e| e == "grp") {
+                    std::fs::remove_file(&p).unwrap();
+                }
+            }
+        }
+        let (code, json) = verify_json(&record);
+        assert_eq!(code, 4, "{policy}: dangling references must exit 4");
+        assert!(json.contains(r#""clean":false"#), "{json}");
+        assert!(json.contains(r#""status":"lost""#), "{json}");
+        // The wiped object itself and at least one *other* rank's
+        // now-dangling record are both typed.
+        let rank1 = json.split(r#""rank":1"#).nth(1).unwrap_or_default();
+        assert!(
+            rank1.contains(r#""status":"lost""#),
+            "{policy}: a referencing rank must be typed lost: {json}"
+        );
+    }
+    assert_eq!(
+        clean_jsons[0], clean_jsons[1],
+        "report schema must not depend on the policy"
+    );
+    assert_eq!(clean_jsons[1], clean_jsons[2]);
+}
+
+/// Flat (single-rank) records speak the same JSON schema with
+/// `"mode":"flat"`, and damage beyond repair exits 4 there too.
+#[test]
+fn flat_verify_json_shares_the_schema() {
+    let tmp = TempDir::new("flat-json");
+    let snaps = write_snapshots(tmp.path(), 3);
+    let record = tmp.path().join("record");
+    let out = ckpt()
+        .args(["create", "--out", record.to_str().unwrap(), "--chunk", "64"])
+        .args(snaps.iter().map(|p| p.to_str().unwrap()))
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let (code, json) = verify_json(&record);
+    assert_eq!(code, 0);
+    assert!(
+        json.starts_with(r#"{"command":"verify","mode":"flat","clean":true,"#),
+        "{json}"
+    );
+
+    let victim = record.join("0002.ckpt");
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let at = bytes.len() / 2;
+    bytes[at] ^= 0x10;
+    std::fs::write(&victim, &bytes).unwrap();
+    let (code, json) = verify_json(&record);
+    assert_eq!(code, 4, "corrupt flat object has no repair path");
+    assert!(json.contains(r#""status":"lost""#), "{json}");
+}
+
+/// Usage errors are exit 2 — distinct from verification outcomes.
+#[test]
+fn usage_errors_exit_2() {
+    for args in [&[][..], &["frobnicate"][..], &["verify"][..]] {
+        let out = ckpt().args(args).output().unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "args {args:?} must be a usage error"
+        );
+    }
+}
